@@ -1,0 +1,40 @@
+package disc
+
+import "github.com/discdiversity/disc/internal/baseline"
+
+// The baseline diversification models the paper compares DisC against
+// (Section 4). They select a fixed number k of objects — unlike DisC,
+// whose size follows from the radius — and come with their objective
+// evaluators so the models can be compared quantitatively.
+
+// MaxMin greedily selects k objects maximising the minimum pairwise
+// distance (p-dispersion).
+func MaxMin(pts []Point, m Metric, k int) []int { return baseline.MaxMin(pts, m, k) }
+
+// MaxSum greedily selects k objects maximising the sum of pairwise
+// distances.
+func MaxSum(pts []Point, m Metric, k int) []int { return baseline.MaxSum(pts, m, k) }
+
+// KMedoids selects k medoids minimising the mean distance of each object
+// to its closest medoid (deterministic per seed).
+func KMedoids(pts []Point, m Metric, k int, seed uint64) []int {
+	return baseline.KMedoids(pts, m, k, seed)
+}
+
+// RandomSample selects k distinct objects uniformly at random
+// (deterministic per seed).
+func RandomSample(n, k int, seed uint64) []int { return baseline.RandomSample(n, k, seed) }
+
+// FMin evaluates the MaxMin objective of a selection: its minimum
+// pairwise distance.
+func FMin(pts []Point, m Metric, ids []int) float64 { return baseline.FMin(pts, m, ids) }
+
+// FSum evaluates the MaxSum objective of a selection: its summed pairwise
+// distance.
+func FSum(pts []Point, m Metric, ids []int) float64 { return baseline.FSum(pts, m, ids) }
+
+// MedoidCost evaluates the k-medoids objective of a selection: the mean
+// distance from every object to its closest selected object.
+func MedoidCost(pts []Point, m Metric, ids []int) float64 {
+	return baseline.MedoidCost(pts, m, ids)
+}

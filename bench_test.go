@@ -1,0 +1,214 @@
+package disc_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, each driving the corresponding experiment
+// runner in internal/experiments. By default benchmarks run the reduced
+// ("quick") sweeps so `go test -bench=.` completes in minutes; set
+// DISC_BENCH_FULL=1 to run the paper-scale parameters (n=10000 etc.), or
+// use cmd/discbench for full runs with printed tables.
+//
+// Additional micro-benchmarks cover the load-bearing primitives: M-tree
+// construction, range queries and the selection algorithms.
+
+import (
+	"os"
+	"testing"
+
+	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/dataset"
+	"github.com/discdiversity/disc/internal/experiments"
+	"github.com/discdiversity/disc/internal/mtree"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	if os.Getenv("DISC_BENCH_FULL") == "" {
+		cfg.Quick = true
+		cfg.N = 1500
+	}
+	return cfg
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3(a)-(d): solution sizes per
+// algorithm across the radius sweep on all four datasets.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig6 regenerates Figure 6: the model comparison (DisC vs
+// MaxSum, MaxMin, k-medoids, r-C) on clustered data.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7(a)-(d): node accesses of Basic-DisC,
+// Greedy-DisC (each ± pruning) and Greedy-C.
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8(a)-(d): node accesses of the pruned
+// Greedy-DisC variants.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Cardinality regenerates Figure 9(a)-(b): size and accesses
+// vs dataset cardinality.
+func BenchmarkFig9Cardinality(b *testing.B) { runExperiment(b, "fig9card") }
+
+// BenchmarkFig9Dimensionality regenerates Figure 9(c)-(d): size and
+// accesses vs dimensionality.
+func BenchmarkFig9Dimensionality(b *testing.B) { runExperiment(b, "fig9dim") }
+
+// BenchmarkFig10 regenerates Figure 10: node accesses on trees of varying
+// fat-factor.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11to13ZoomIn regenerates Figures 11-13: zoom-in size,
+// accesses and Jaccard distance vs from-scratch recomputation.
+func BenchmarkFig11to13ZoomIn(b *testing.B) { runExperiment(b, "zoomin") }
+
+// BenchmarkFig14to16ZoomOut regenerates Figures 14-16: zoom-out size,
+// accesses and Jaccard distance for all variants.
+func BenchmarkFig14to16ZoomOut(b *testing.B) { runExperiment(b, "zoomout") }
+
+// BenchmarkAblationCapacity regenerates the in-text node-capacity claim.
+func BenchmarkAblationCapacity(b *testing.B) { runExperiment(b, "capacity") }
+
+// BenchmarkAblationFastC regenerates the in-text Fast-C vs Greedy-C
+// claims.
+func BenchmarkAblationFastC(b *testing.B) { runExperiment(b, "fastc") }
+
+// BenchmarkAblationBottomUp regenerates the in-text bottom-up range-query
+// claim.
+func BenchmarkAblationBottomUp(b *testing.B) { runExperiment(b, "bottomup") }
+
+// BenchmarkAblationBuildInit regenerates the in-text build-time count
+// initialisation claim.
+func BenchmarkAblationBuildInit(b *testing.B) { runExperiment(b, "buildinit") }
+
+// --- micro-benchmarks ---
+
+func benchPoints(n int) []object.Point {
+	ds, err := dataset.Clustered(n, 2, 0, 42)
+	if err != nil {
+		panic(err)
+	}
+	return ds.Points
+}
+
+// BenchmarkMTreeBuild measures index construction.
+func BenchmarkMTreeBuild(b *testing.B) {
+	pts := benchPoints(5000)
+	cfg := mtree.Config{Capacity: 50, Metric: object.Euclidean{}, Policy: mtree.MinOverlap}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtree.Build(cfg, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMTreeRangeQuery measures a single range query on a built tree.
+func BenchmarkMTreeRangeQuery(b *testing.B) {
+	pts := benchPoints(5000)
+	cfg := mtree.Config{Capacity: 50, Metric: object.Euclidean{}, Policy: mtree.MinOverlap}
+	tree, err := mtree.Build(cfg, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RangeQueryAround(i%len(pts), 0.05)
+	}
+}
+
+// BenchmarkSelectGreedy measures a full Greedy-DisC selection through the
+// public API (index construction excluded).
+func BenchmarkSelectGreedy(b *testing.B) {
+	d, err := disc.New(benchPoints(3000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Select(0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectBasic measures Basic-DisC through the public API.
+func BenchmarkSelectBasic(b *testing.B) {
+	d, err := disc.New(benchPoints(3000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Select(0.05, disc.WithAlgorithm(disc.AlgorithmBasic)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZoomIn measures incremental zoom-in against the cost of the
+// from-scratch run benchmarked above.
+func BenchmarkZoomIn(b *testing.B) {
+	d, err := disc.New(benchPoints(3000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := d.Select(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ZoomIn(res, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZoomOut measures incremental zoom-out (greedy variant (a)).
+func BenchmarkZoomOut(b *testing.B) {
+	d, err := disc.New(benchPoints(3000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := d.Select(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ZoomOut(res, 0.1, disc.ZoomOutGreedyLargest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlatEngineSelect contrasts the linear-scan engine.
+func BenchmarkFlatEngineSelect(b *testing.B) {
+	pts := benchPoints(3000)
+	e, err := core.NewFlatEngine(pts, object.Euclidean{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.GreedyDisC(e, 0.05, core.GreedyOptions{Update: core.UpdateGrey})
+	}
+}

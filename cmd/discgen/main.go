@@ -1,0 +1,56 @@
+// Command discgen generates the evaluation datasets to CSV files so they
+// can be inspected, plotted externally or fed back through discviz -csv.
+//
+// Usage:
+//
+//	discgen -dataset clustered -n 10000 -o clustered.csv
+//	discgen -dataset cameras -o cameras.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/discdiversity/disc/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "clustered", "dataset: uniform, clustered, cities, cameras")
+		n      = flag.Int("n", 10000, "synthetic dataset cardinality")
+		dim    = flag.Int("dim", 2, "synthetic dataset dimensionality")
+		seed   = flag.Uint64("seed", 42, "dataset seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	ds, _, err := dataset.ByName(*dsName, *n, *dim, *seed)
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d points (%d dims) to %s\n", ds.Len(), ds.Dim(), *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "discgen: %v\n", err)
+	os.Exit(1)
+}

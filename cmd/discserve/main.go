@@ -1,0 +1,36 @@
+// Command discserve runs the DisC diversification HTTP service: upload
+// datasets, select diverse subsets and zoom them over a JSON API (see
+// internal/server for the endpoint reference).
+//
+// Usage:
+//
+//	discserve -addr :8080
+//
+//	curl -X POST localhost:8080/v1/datasets -d '{"name":"demo","points":[[0.1,0.2],[0.8,0.9]]}'
+//	curl -X POST localhost:8080/v1/datasets/demo/select -d '{"radius":0.3}'
+//	curl -X POST localhost:8080/v1/results/r1/zoom -d '{"radius":0.1}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/discdiversity/disc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("discserve listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

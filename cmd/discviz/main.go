@@ -1,0 +1,90 @@
+// Command discviz renders a 2-d dataset and its diverse subset as an
+// ASCII scatter plot — a terminal rendition of the paper's Figures 1
+// and 6.
+//
+// Usage:
+//
+//	discviz -dataset clustered -r 0.1
+//	discviz -dataset cities -r 0.01 -algorithm basic
+//	discviz -csv points.csv -r 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/dataset"
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "clustered", "dataset: uniform, clustered, cities, cameras")
+		csvPath   = flag.String("csv", "", "load points from a CSV file instead (label,x,y header)")
+		n         = flag.Int("n", 2000, "synthetic dataset cardinality")
+		seed      = flag.Uint64("seed", 42, "dataset seed")
+		r         = flag.Float64("r", 0.1, "diversification radius")
+		algorithm = flag.String("algorithm", "greedy", "greedy, basic, coverage")
+		width     = flag.Int("width", 72, "plot width")
+		height    = flag.Int("height", 26, "plot height")
+	)
+	flag.Parse()
+
+	ds, metric, err := loadData(*csvPath, *dsName, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if ds.Dim() != 2 {
+		fail(fmt.Errorf("discviz renders 2-d data only; %s has %d dimensions", ds.Name, ds.Dim()))
+	}
+
+	d, err := disc.NewFromDataset(ds, disc.WithMetric(metric))
+	if err != nil {
+		fail(err)
+	}
+	var alg disc.Algorithm
+	switch *algorithm {
+	case "greedy":
+		alg = disc.AlgorithmGreedy
+	case "basic":
+		alg = disc.AlgorithmBasic
+	case "coverage":
+		alg = disc.AlgorithmCoverage
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algorithm))
+	}
+	res, err := d.Select(*r, disc.WithAlgorithm(alg))
+	if err != nil {
+		fail(err)
+	}
+
+	title := fmt.Sprintf("%s: n=%d r=%g -> %d representatives (%s, %d node accesses)",
+		ds.Name, ds.Len(), *r, res.Size(), res.Algorithm(), res.Accesses())
+	stats.ScatterPlot{Width: *width, Height: *height}.Render(os.Stdout, title, ds.Points, res.SortedIDs())
+}
+
+func loadData(csvPath, dsName string, n int, seed uint64) (*object.Dataset, object.Metric, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		ds, err := object.ReadCSV(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds.Name = csvPath
+		ds.Normalize()
+		return ds, object.Euclidean{}, nil
+	}
+	return dataset.ByName(dsName, n, 2, seed)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "discviz: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,333 @@
+package disc_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	disc "github.com/discdiversity/disc"
+)
+
+func randomPoints(n, d int, seed uint64) []disc.Point {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	pts := make([]disc.Point, n)
+	for i := range pts {
+		p := make(disc.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func newDiversifier(t *testing.T, pts []disc.Point, opts ...disc.Option) *disc.Diversifier {
+	t.Helper()
+	d, err := disc.New(pts, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := disc.New(nil); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := disc.New(randomPoints(10, 2, 1), disc.WithMetric(nil)); err == nil {
+		t.Error("nil metric accepted")
+	}
+	if _, err := disc.New(randomPoints(10, 2, 1), disc.WithMTreeCapacity(1)); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+	if _, err := disc.NewFromDataset(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestSelectAllAlgorithmsVerify(t *testing.T) {
+	pts := randomPoints(400, 2, 2)
+	algorithms := []disc.Algorithm{
+		disc.AlgorithmGreedy, disc.AlgorithmBasic, disc.AlgorithmGreedyWhite,
+		disc.AlgorithmLazyGrey, disc.AlgorithmLazyWhite,
+		disc.AlgorithmCoverage, disc.AlgorithmFastCoverage,
+	}
+	for _, engineOpts := range [][]disc.Option{nil, {disc.WithLinearScan()}} {
+		d := newDiversifier(t, pts, engineOpts...)
+		for _, a := range algorithms {
+			res, err := d.Select(0.08, disc.WithAlgorithm(a))
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			if err := d.Verify(res); err != nil {
+				t.Errorf("%v: %v", a, err)
+			}
+			if res.Size() == 0 || res.Size() != len(res.IDs()) {
+				t.Errorf("%v: size %d inconsistent", a, res.Size())
+			}
+			if res.Algorithm() == "" {
+				t.Errorf("%v: empty algorithm name", a)
+			}
+			if got := res.Points(); len(got) != res.Size() {
+				t.Errorf("%v: %d points for %d ids", a, len(got), res.Size())
+			}
+		}
+	}
+}
+
+func TestSelectInvalidInputs(t *testing.T) {
+	d := newDiversifier(t, randomPoints(50, 2, 3))
+	if _, err := d.Select(-1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := d.Select(0.1, disc.WithAlgorithm(disc.Algorithm(99))); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestZoomInKeepsRepresentatives(t *testing.T) {
+	pts := randomPoints(500, 2, 4)
+	d := newDiversifier(t, pts)
+	res, err := d.Select(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finer, err := d.ZoomIn(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(finer); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.IDs() {
+		if !finer.Contains(id) {
+			t.Errorf("representative %d dropped by zoom-in", id)
+		}
+	}
+	if finer.Radius() != 0.05 {
+		t.Errorf("radius %g", finer.Radius())
+	}
+	// The original result is untouched.
+	if res.Radius() != 0.12 || res.Size() > finer.Size() {
+		t.Error("zoom-in mutated the original result")
+	}
+}
+
+func TestZoomOutAllVariants(t *testing.T) {
+	pts := randomPoints(500, 2, 5)
+	d := newDiversifier(t, pts)
+	res, err := d.Select(0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []disc.ZoomOutVariant{
+		disc.ZoomOutGreedyLargest, disc.ZoomOutGreedySmallest,
+		disc.ZoomOutGreedyCoverage, disc.ZoomOutArbitrary,
+	}
+	scratch, err := d.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		coarser, err := d.ZoomOut(res, 0.1, v)
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if err := d.Verify(coarser); err != nil {
+			t.Errorf("%d: %v", v, err)
+		}
+		if coarser.Size() > res.Size() {
+			t.Errorf("%d: zoom-out grew the result", v)
+		}
+		// Closer to the previous result than a from-scratch run.
+		if res.Jaccard(coarser) > res.Jaccard(scratch) {
+			t.Errorf("%d: zoom-out no closer to previous result than from-scratch", v)
+		}
+	}
+	if _, err := d.ZoomOut(res, 0.1, disc.ZoomOutVariant(42)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestZoomRejectsForeignAndCoverageResults(t *testing.T) {
+	pts := randomPoints(100, 2, 6)
+	d1 := newDiversifier(t, pts)
+	d2 := newDiversifier(t, pts)
+	res, err := d1.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.ZoomIn(res, 0.05); err == nil {
+		t.Error("foreign result accepted")
+	}
+	cov, err := d1.Select(0.1, disc.WithAlgorithm(disc.AlgorithmCoverage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d1.ZoomIn(cov, 0.05); err == nil {
+		t.Error("coverage-only result accepted for zooming")
+	}
+}
+
+func TestLocalZoomInAPI(t *testing.T) {
+	pts := randomPoints(400, 2, 7)
+	d := newDiversifier(t, pts)
+	res, err := d.Select(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := res.IDs()[0]
+	lz, err := d.LocalZoomIn(res, center, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lz.Center != center || lz.LocalRadius != 0.05 {
+		t.Errorf("local zoom metadata wrong: %+v", lz)
+	}
+	for _, id := range res.IDs() {
+		if !containsInt(lz.Representatives, id) {
+			t.Errorf("representative %d missing from local zoom result", id)
+		}
+	}
+}
+
+func TestLocalZoomOutAPI(t *testing.T) {
+	pts := randomPoints(400, 2, 8)
+	d := newDiversifier(t, pts)
+	res, err := d.Select(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := res.IDs()[0]
+	lz, err := d.LocalZoomOut(res, center, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsInt(lz.Representatives, center) {
+		t.Error("centre dropped")
+	}
+	for _, rm := range lz.Removed {
+		if containsInt(lz.Representatives, rm) {
+			t.Errorf("removed representative %d still present", rm)
+		}
+	}
+}
+
+func TestDistanceToRepresentative(t *testing.T) {
+	pts := randomPoints(300, 2, 9)
+	d := newDiversifier(t, pts)
+	res, err := d.Select(0.1, disc.WithoutPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metric()
+	for id := range pts {
+		got := res.DistanceToRepresentative(id)
+		if res.Contains(id) {
+			if got != 0 {
+				t.Fatalf("representative %d: distance %g", id, got)
+			}
+			continue
+		}
+		if got > 0.1 {
+			t.Fatalf("object %d: distance %g beyond radius", id, got)
+		}
+		// Must match a real representative distance.
+		found := false
+		for _, b := range res.IDs() {
+			if m.Dist(pts[id], pts[b]) == got {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("object %d: distance %g matches no representative", id, got)
+		}
+	}
+}
+
+// Property: for random radii, Select(greedy) always yields a valid DisC
+// subset whose fmin exceeds r.
+func TestSelectQuickProperty(t *testing.T) {
+	pts := randomPoints(200, 2, 10)
+	d := newDiversifier(t, pts)
+	prop := func(raw uint16) bool {
+		r := 0.01 + float64(raw%500)/1000.0 // 0.01 .. 0.51
+		res, err := d.Select(r)
+		if err != nil {
+			return false
+		}
+		if d.Verify(res) != nil {
+			return false
+		}
+		if res.Size() >= 2 && disc.FMin(pts, d.Metric(), res.IDs()) <= r {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselinesExported(t *testing.T) {
+	pts := randomPoints(150, 2, 11)
+	m := disc.Euclidean()
+	k := 10
+	for name, ids := range map[string][]int{
+		"maxmin":    disc.MaxMin(pts, m, k),
+		"maxsum":    disc.MaxSum(pts, m, k),
+		"kmedoids":  disc.KMedoids(pts, m, k, 1),
+		"randomsel": disc.RandomSample(len(pts), k, 1),
+	} {
+		if len(ids) == 0 || len(ids) > k {
+			t.Errorf("%s returned %d ids", name, len(ids))
+		}
+	}
+	if disc.FMin(pts, m, []int{0, 1}) <= 0 {
+		t.Error("fmin not positive for distinct points")
+	}
+	if disc.FSum(pts, m, []int{0, 1, 2}) <= 0 {
+		t.Error("fsum not positive")
+	}
+	if disc.MedoidCost(pts, m, []int{0}) <= 0 {
+		t.Error("medoid cost not positive")
+	}
+}
+
+func TestMetricConstructors(t *testing.T) {
+	a, b := disc.Point{0, 0}, disc.Point{1, 1}
+	if disc.Euclidean().Dist(a, b) == 0 || disc.Manhattan().Dist(a, b) != 2 ||
+		disc.Chebyshev().Dist(a, b) != 1 || disc.Hamming().Dist(a, b) != 2 {
+		t.Error("metric constructors broken")
+	}
+	if _, err := disc.MetricByName("hamming"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetConstructors(t *testing.T) {
+	u, err := disc.UniformDataset(100, 3, 1)
+	if err != nil || u.Len() != 100 {
+		t.Fatalf("uniform: %v", err)
+	}
+	c, err := disc.ClusteredDataset(100, 2, 4, 1)
+	if err != nil || c.Len() != 100 {
+		t.Fatalf("clustered: %v", err)
+	}
+	if disc.CitiesDataset(1).Len() != 5922 {
+		t.Error("cities size")
+	}
+	if disc.CamerasDataset(1).Len() != 579 {
+		t.Error("cameras size")
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

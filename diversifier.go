@@ -1,0 +1,262 @@
+package disc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/mtree"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// Algorithm selects the heuristic used by Select. The zero value is
+// AlgorithmGreedy, the paper's best size/cost trade-off.
+type Algorithm int
+
+const (
+	// AlgorithmGreedy is Greedy-DisC with grey-neighbourhood updates:
+	// repeatedly select the uncovered object covering the most uncovered
+	// objects. Smallest subsets, more index work.
+	AlgorithmGreedy Algorithm = iota
+	// AlgorithmBasic is Basic-DisC: a single locality-ordered pass
+	// selecting any still-uncovered object. Fastest, larger subsets.
+	AlgorithmBasic
+	// AlgorithmGreedyWhite is Greedy-DisC with white-neighbourhood
+	// updates; identical output to AlgorithmGreedy with fewer index
+	// accesses on clustered data.
+	AlgorithmGreedyWhite
+	// AlgorithmLazyGrey trades slightly larger subsets for cheaper
+	// updates (half-radius refresh queries).
+	AlgorithmLazyGrey
+	// AlgorithmLazyWhite is the lazy variant of AlgorithmGreedyWhite.
+	AlgorithmLazyWhite
+	// AlgorithmCoverage is Greedy-C: coverage-only (r-C) subsets that
+	// may include mutually similar objects when that reduces size.
+	AlgorithmCoverage
+	// AlgorithmFastCoverage is Fast-C: approximate queries for cheaper
+	// r-C subsets (marginally larger).
+	AlgorithmFastCoverage
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmGreedy:
+		return "greedy-disc"
+	case AlgorithmBasic:
+		return "basic-disc"
+	case AlgorithmGreedyWhite:
+		return "white-greedy-disc"
+	case AlgorithmLazyGrey:
+		return "lazy-grey-greedy-disc"
+	case AlgorithmLazyWhite:
+		return "lazy-white-greedy-disc"
+	case AlgorithmCoverage:
+		return "greedy-c"
+	case AlgorithmFastCoverage:
+		return "fast-c"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Diversifier computes DisC diverse subsets of a fixed set of objects.
+// It is safe for sequential reuse across any number of Select and zoom
+// calls; it is not safe for concurrent use.
+type Diversifier struct {
+	points []Point
+	metric Metric
+	engine core.Engine
+}
+
+type options struct {
+	metric     Metric
+	capacity   int
+	linearScan bool
+	vpTree     bool
+	seed       uint64
+}
+
+// Option configures New.
+type Option func(*options) error
+
+// WithMetric sets the distance function (default Euclidean).
+func WithMetric(m Metric) Option {
+	return func(o *options) error {
+		if m == nil {
+			return fmt.Errorf("disc: nil metric")
+		}
+		o.metric = m
+		return nil
+	}
+}
+
+// WithMTreeCapacity sets the M-tree node capacity (default 50, the
+// paper's default; minimum 4).
+func WithMTreeCapacity(capacity int) Option {
+	return func(o *options) error {
+		if capacity < 4 {
+			return fmt.Errorf("disc: M-tree capacity %d below minimum 4", capacity)
+		}
+		o.capacity = capacity
+		return nil
+	}
+}
+
+// WithLinearScan replaces the M-tree with an exact linear-scan index:
+// no build cost, best for small inputs.
+func WithLinearScan() Option {
+	return func(o *options) error {
+		o.linearScan = true
+		return nil
+	}
+}
+
+// WithVPTree replaces the M-tree with a vantage-point tree: a simpler
+// static metric index that also supports the pruning rule. Greedy
+// selections are identical across all index choices; only the access
+// cost differs.
+func WithVPTree() Option {
+	return func(o *options) error {
+		o.vpTree = true
+		return nil
+	}
+}
+
+// WithSeed seeds the index construction (only random split policies
+// consume it; present for forward compatibility).
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// New builds a Diversifier over points. The slice is retained and must
+// not be mutated afterwards.
+func New(points []Point, opts ...Option) (*Diversifier, error) {
+	o := options{metric: Euclidean(), capacity: 50}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("disc: empty point set")
+	}
+	if _, err := object.ValidatePoints(points); err != nil {
+		return nil, fmt.Errorf("disc: %w", err)
+	}
+	if o.linearScan && o.vpTree {
+		return nil, fmt.Errorf("disc: WithLinearScan and WithVPTree are mutually exclusive")
+	}
+	d := &Diversifier{points: points, metric: o.metric}
+	switch {
+	case o.linearScan:
+		e, err := core.NewFlatEngine(points, o.metric)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = e
+	case o.vpTree:
+		e, err := core.BuildVPEngine(points, o.metric, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = e
+	default:
+		cfg := mtree.Config{Capacity: o.capacity, Metric: o.metric, Policy: mtree.MinOverlap, Seed: o.seed}
+		e, err := core.BuildTreeEngine(cfg, points)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = e
+	}
+	return d, nil
+}
+
+// NewFromDataset is New over ds.Points.
+func NewFromDataset(ds *Dataset, opts ...Option) (*Diversifier, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("disc: nil dataset")
+	}
+	return New(ds.Points, opts...)
+}
+
+// Len returns the number of objects under diversification.
+func (d *Diversifier) Len() int { return len(d.points) }
+
+// Metric returns the distance function in use.
+func (d *Diversifier) Metric() Metric { return d.metric }
+
+// Point returns the coordinates of object id.
+func (d *Diversifier) Point(id int) Point { return d.points[id] }
+
+type selectOptions struct {
+	algorithm Algorithm
+	noPrune   bool
+}
+
+// SelectOption configures Select.
+type SelectOption func(*selectOptions)
+
+// WithAlgorithm picks the selection heuristic (default AlgorithmGreedy).
+func WithAlgorithm(a Algorithm) SelectOption {
+	return func(o *selectOptions) { o.algorithm = a }
+}
+
+// WithoutPruning disables the grey-subtree pruning rule; mainly useful
+// for cost comparisons.
+func WithoutPruning() SelectOption {
+	return func(o *selectOptions) { o.noPrune = true }
+}
+
+// Select computes an r-DisC diverse subset (or an r-C subset for the
+// coverage-only algorithms) of the indexed objects.
+func (d *Diversifier) Select(r float64, opts ...SelectOption) (*Result, error) {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return nil, fmt.Errorf("disc: invalid radius %g", r)
+	}
+	var o selectOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pruned := !o.noPrune
+	var sol *core.Solution
+	switch o.algorithm {
+	case AlgorithmBasic:
+		sol = core.BasicDisC(d.engine, r, pruned)
+	case AlgorithmGreedy:
+		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateGrey, Pruned: pruned})
+	case AlgorithmGreedyWhite:
+		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateWhite, Pruned: pruned})
+	case AlgorithmLazyGrey:
+		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateLazyGrey, Pruned: pruned})
+	case AlgorithmLazyWhite:
+		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateLazyWhite, Pruned: pruned})
+	case AlgorithmCoverage:
+		sol = core.GreedyC(d.engine, r)
+	case AlgorithmFastCoverage:
+		sol = core.FastC(d.engine, r)
+	default:
+		return nil, fmt.Errorf("disc: unknown algorithm %v", o.algorithm)
+	}
+	return &Result{div: d, sol: sol, coverageOnly: o.algorithm == AlgorithmCoverage || o.algorithm == AlgorithmFastCoverage}, nil
+}
+
+// Verify checks the result against Definition 1 by direct distance
+// computation: coverage for all results, plus dissimilarity for DisC
+// (non coverage-only) results. It is O(n·|S|) and intended for tests and
+// debugging.
+func (d *Diversifier) Verify(res *Result) error {
+	if res == nil || res.div != d {
+		return fmt.Errorf("disc: result does not belong to this diversifier")
+	}
+	if res.multiRadii != nil {
+		return d.VerifyMultiRadius(res)
+	}
+	if res.coverageOnly {
+		return core.CheckCoverage(d.points, d.metric, res.sol.IDs, res.sol.Radius)
+	}
+	return core.CheckDisC(d.points, d.metric, res.sol.IDs, res.sol.Radius)
+}

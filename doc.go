@@ -1,0 +1,57 @@
+// Package disc implements DisC diversity: result diversification based on
+// dissimilarity and coverage, as introduced by Drosou and Pitoura (PVLDB
+// 2013, "DisC Diversity: Result Diversification based on Dissimilarity and
+// Coverage").
+//
+// Given a query result P and a radius r, an r-DisC diverse subset S ⊆ P
+// satisfies two conditions: every object of P has a representative in S at
+// distance at most r (coverage), and no two representatives lie within r
+// of each other (dissimilarity). Unlike top-k diversification models, the
+// size of S is not an input: the radius alone expresses the desired degree
+// of diversification, and the whole result set is always represented —
+// including its outliers.
+//
+// # Quick start
+//
+//	points := []disc.Point{{0.1, 0.2}, {0.15, 0.22}, {0.8, 0.9}}
+//	d, err := disc.New(points)                  // Euclidean, M-tree indexed
+//	if err != nil { ... }
+//	res, err := d.Select(0.1)                   // r-DisC diverse subset
+//	if err != nil { ... }
+//	for _, id := range res.IDs() { ... }        // representative objects
+//
+// # Adaptive diversification (zooming)
+//
+// Because r controls the degree of diversification, a result can be
+// adapted incrementally instead of recomputed: ZoomIn (smaller r, more and
+// closer representatives, keeping all current ones) and ZoomOut (larger r,
+// fewer representatives, preferring current ones). Both mirror the paper's
+// incremental algorithms and stay intentionally close to the previously
+// seen result. Local variants re-diversify only the neighbourhood of one
+// representative.
+//
+//	finer, err := d.ZoomIn(res, 0.05)           // res.IDs() ⊆ finer.IDs()
+//	coarser, err := d.ZoomOut(res, 0.2, disc.ZoomOutGreedyLargest)
+//	local, err := d.LocalZoomIn(res, res.IDs()[0], 0.02)
+//
+// # Selection heuristics
+//
+// Finding a minimum r-DisC diverse subset is NP-hard (it is the minimum
+// independent dominating set problem on the r-neighbourhood graph), so
+// Select offers the paper's heuristics via WithAlgorithm: AlgorithmBasic
+// (fast single pass), AlgorithmGreedy and its variants (smaller subsets),
+// and AlgorithmCoverage / AlgorithmFastCoverage for coverage-only (r-C)
+// subsets that drop the dissimilarity requirement.
+//
+// # Index engines
+//
+// Neighbourhood queries run either on an M-tree (default; scales to large
+// result sets and reports node accesses, the paper's cost measure) or on a
+// linear scan (WithLinearScan; exact reference, best for small inputs).
+//
+// The subpackages under internal implement the substrates: the M-tree
+// index, the algorithm engine, dataset generators, baseline diversifiers
+// (MaxMin, MaxSum, k-medoids) and the full experiment harness that
+// regenerates every table and figure of the paper (see DESIGN.md and
+// EXPERIMENTS.md).
+package disc

@@ -1,0 +1,70 @@
+// Command quickstart is the smallest end-to-end tour of the disc library:
+// build a diversifier over a 2-d point set, select an r-DisC diverse
+// subset, inspect it, and adapt it by zooming in and out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disc "github.com/discdiversity/disc"
+)
+
+func main() {
+	// A toy query result: clustered 2-d points in [0,1]^2.
+	ds, err := disc.ClusteredDataset(2000, 2, 6, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index the result. The default engine is an M-tree with Euclidean
+	// distance; small inputs could use disc.WithLinearScan() instead.
+	d, err := disc.NewFromDataset(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Select a diverse subset: every object has a representative within
+	// r = 0.1, and representatives are pairwise more than 0.1 apart.
+	res, err := d.Select(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("r=%.2f: %d representatives for %d objects (%s, %d node accesses)\n",
+		res.Radius(), res.Size(), d.Len(), res.Algorithm(), res.Accesses())
+	if err := d.Verify(res); err != nil {
+		log.Fatalf("invariant violated: %v", err)
+	}
+
+	// The user wants more detail: zoom in. All current representatives
+	// are kept; new ones fill the gaps at the finer radius.
+	finer, err := d.ZoomIn(res, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zoom-in to r=%.2f: %d representatives (%d kept, %d added)\n",
+		finer.Radius(), finer.Size(), res.Size(), finer.Size()-res.Size())
+
+	// Or less detail: zoom out, preferring already-seen representatives.
+	coarser, err := d.ZoomOut(res, 0.2, disc.ZoomOutGreedyLargest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept := 0
+	for _, id := range coarser.IDs() {
+		if res.Contains(id) {
+			kept++
+		}
+	}
+	fmt.Printf("zoom-out to r=%.2f: %d representatives (%d of them already shown)\n",
+		coarser.Radius(), coarser.Size(), kept)
+
+	// Compare with fixed-k baselines on the DisC result's size.
+	k := res.Size()
+	pts := ds.Points
+	m := d.Metric()
+	fmt.Printf("\nmodel comparison at k=%d:\n", k)
+	fmt.Printf("  %-10s fmin=%.4f\n", "DisC", disc.FMin(pts, m, res.IDs()))
+	fmt.Printf("  %-10s fmin=%.4f\n", "MaxMin", disc.FMin(pts, m, disc.MaxMin(pts, m, k)))
+	fmt.Printf("  %-10s fmin=%.4f\n", "k-medoids", disc.FMin(pts, m, disc.KMedoids(pts, m, k, 7)))
+}

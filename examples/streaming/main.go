@@ -1,0 +1,82 @@
+// Command streaming demonstrates the online version of DisC diversity
+// (the paper's future-work item implemented by disc.Stream): a continuous
+// feed of query results — here, sensor readings drifting across the
+// plane — is diversified on the fly, with representatives promoted and
+// retired as objects arrive and expire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	disc "github.com/discdiversity/disc"
+)
+
+func main() {
+	const (
+		radius = 0.08
+		window = 400 // sliding window size
+		steps  = 2000
+	)
+	s, err := disc.NewStream(radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+
+	// A drifting hotspot produces readings; old readings expire FIFO.
+	var windowIDs []int
+	promotions, retirements := 0, 0
+	for step := 0; step < steps; step++ {
+		t := float64(step) / steps
+		cx := 0.2 + 0.6*t // hotspot drifts left to right
+		p := disc.Point{
+			clamp(cx + rng.NormFloat64()*0.1),
+			clamp(0.5 + rng.NormFloat64()*0.15),
+		}
+		id, selected, err := s.Add(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if selected {
+			promotions++
+		}
+		windowIDs = append(windowIDs, id)
+		if len(windowIDs) > window {
+			old := windowIDs[0]
+			windowIDs = windowIDs[1:]
+			wasRep := s.IsRepresentative(old)
+			if err := s.Remove(old); err != nil {
+				log.Fatal(err)
+			}
+			if wasRep {
+				retirements++
+			}
+		}
+		if step%250 == 249 {
+			fmt.Printf("step %4d: %3d live objects, %2d representatives (hotspot at x=%.2f)\n",
+				step+1, s.Len(), s.Size(), cx)
+		}
+	}
+
+	if err := s.Verify(); err != nil {
+		log.Fatalf("invariant violated: %v", err)
+	}
+	fmt.Printf("\nprocessed %d arrivals, %d promotions, %d representative retirements\n",
+		steps, promotions, retirements)
+	fmt.Printf("final: %d representatives cover %d live objects at r=%.2f (verified)\n",
+		s.Size(), s.Len(), s.Radius())
+	fmt.Printf("index cost: %d node accesses (%.1f per operation)\n",
+		s.Accesses(), float64(s.Accesses())/float64(steps+steps-window))
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

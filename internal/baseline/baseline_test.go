@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func randomPoints(n, d int, seed uint64) []object.Point {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	pts := make([]object.Point, n)
+	for i := range pts {
+		p := make(object.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func assertValidSelection(t *testing.T, ids []int, n, k int) {
+	t.Helper()
+	if len(ids) != k {
+		t.Fatalf("selected %d, want %d", len(ids), k)
+	}
+	seen := make(map[int]bool)
+	for _, id := range ids {
+		if id < 0 || id >= n {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMaxMinSelection(t *testing.T) {
+	pts := randomPoints(300, 2, 1)
+	m := object.Euclidean{}
+	for _, k := range []int{1, 2, 7, 20} {
+		ids := MaxMin(pts, m, k)
+		assertValidSelection(t, ids, len(pts), k)
+	}
+	// MaxMin must spread: its fmin should beat random sampling's.
+	k := 15
+	mm := FMin(pts, m, MaxMin(pts, m, k))
+	rs := FMin(pts, m, RandomSample(len(pts), k, 3))
+	if mm <= rs {
+		t.Errorf("MaxMin fmin %g not above random %g", mm, rs)
+	}
+}
+
+func TestMaxMinSeedsWithFarthestPair(t *testing.T) {
+	pts := []object.Point{{0, 0}, {0.2, 0}, {1, 1}}
+	ids := MaxMin(pts, object.Euclidean{}, 2)
+	if !(ids[0] == 0 && ids[1] == 2) {
+		t.Errorf("got %v, want [0 2]", ids)
+	}
+}
+
+func TestMaxMinGreedyIsHalfApprox(t *testing.T) {
+	// The greedy is a 2-approximation of the optimal fmin; verify on
+	// small instances against exhaustive search.
+	m := object.Euclidean{}
+	for seed := uint64(0); seed < 5; seed++ {
+		pts := randomPoints(12, 2, seed+5)
+		k := 4
+		greedy := FMin(pts, m, MaxMin(pts, m, k))
+		opt := optimalFMin(pts, m, k)
+		if greedy < opt/2-1e-12 {
+			t.Errorf("seed %d: greedy fmin %g below half of optimal %g", seed, greedy, opt)
+		}
+	}
+}
+
+func optimalFMin(pts []object.Point, m object.Metric, k int) float64 {
+	n := len(pts)
+	best := -1.0
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) == k {
+			if f := FMin(pts, m, chosen); f > best {
+				best = f
+			}
+			return
+		}
+		for v := start; v < n; v++ {
+			rec(v+1, append(chosen, v))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+func TestMaxSumSelection(t *testing.T) {
+	pts := randomPoints(200, 2, 2)
+	m := object.Euclidean{}
+	for _, k := range []int{2, 5, 10, 11} {
+		ids := MaxSum(pts, m, k)
+		assertValidSelection(t, ids, len(pts), k)
+	}
+	// MaxSum should achieve a larger pairwise sum than random sampling.
+	k := 10
+	ms := FSum(pts, m, MaxSum(pts, m, k))
+	rs := FSum(pts, m, RandomSample(len(pts), k, 4))
+	if ms <= rs {
+		t.Errorf("MaxSum fsum %g not above random %g", ms, rs)
+	}
+}
+
+func TestKMedoidsSelection(t *testing.T) {
+	pts := randomPoints(300, 2, 3)
+	m := object.Euclidean{}
+	ids := KMedoids(pts, m, 8, 1)
+	if len(ids) == 0 || len(ids) > 8 {
+		t.Fatalf("got %d medoids", len(ids))
+	}
+	// k-medoids minimises mean distance-to-nearest; it must beat MaxSum
+	// (which ignores centrality) on its own objective.
+	km := MedoidCost(pts, m, ids)
+	msc := MedoidCost(pts, m, MaxSum(pts, m, len(ids)))
+	if km >= msc {
+		t.Errorf("k-medoids cost %g not below MaxSum's %g", km, msc)
+	}
+	// Determinism.
+	again := KMedoids(pts, m, 8, 1)
+	if len(again) != len(ids) {
+		t.Fatal("k-medoids not deterministic in size")
+	}
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatal("k-medoids not deterministic")
+		}
+	}
+}
+
+func TestKMedoidsClusteredData(t *testing.T) {
+	// Three tight clusters; 3-medoids must pick one point per cluster.
+	var pts []object.Point
+	rng := rand.New(rand.NewPCG(9, 9))
+	centers := []object.Point{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	for _, c := range centers {
+		for i := 0; i < 30; i++ {
+			pts = append(pts, object.Point{c[0] + rng.Float64()*0.02, c[1] + rng.Float64()*0.02})
+		}
+	}
+	ids := KMedoids(pts, object.Euclidean{}, 3, 2)
+	if len(ids) != 3 {
+		t.Fatalf("got %d medoids", len(ids))
+	}
+	buckets := map[int]bool{}
+	for _, id := range ids {
+		buckets[id/30] = true
+	}
+	if len(buckets) != 3 {
+		t.Errorf("medoids %v do not hit all three clusters", ids)
+	}
+}
+
+func TestRandomSample(t *testing.T) {
+	ids := RandomSample(100, 10, 1)
+	assertValidSelection(t, ids, 100, 10)
+	if got := RandomSample(5, 10, 1); len(got) != 5 {
+		t.Errorf("oversampling returned %d ids", len(got))
+	}
+	if got := RandomSample(5, 0, 1); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	m := object.Euclidean{}
+	if got := MaxMin(nil, m, 3); got != nil {
+		t.Error("empty input")
+	}
+	pts := randomPoints(5, 2, 8)
+	if got := MaxMin(pts, m, 10); len(got) != 5 {
+		t.Error("k>n should return all")
+	}
+	if got := MaxSum(pts, m, 10); len(got) != 5 {
+		t.Error("k>n should return all")
+	}
+	if got := KMedoids(pts, m, 10, 1); len(got) != 5 {
+		t.Error("k>n should return all")
+	}
+	if f := FMin(pts, m, []int{0}); f == 0 {
+		t.Error("singleton fmin should be +Inf")
+	}
+}

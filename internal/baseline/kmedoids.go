@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// KMedoids selects k representative objects minimising
+// (1/|P|) Σ dist(p, c(p)) where c(p) is p's closest selected object — the
+// clustering baseline of Figure 6(d). The implementation seeds with
+// k-means++-style sampling (deterministic for a given seed) and then
+// alternates assignment and per-cluster medoid recomputation until the
+// cost stops improving.
+func KMedoids(pts []object.Point, m object.Metric, k int, seed uint64) []int {
+	n := len(pts)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		return allIDs(n)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+
+	// k-means++ seeding: first medoid random, then proportional to
+	// squared distance from the closest chosen medoid.
+	medoids := []int{rng.IntN(n)}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = m.Dist(pts[i], pts[medoids[0]])
+	}
+	for len(medoids) < k {
+		var total float64
+		for _, d := range minDist {
+			total += d * d
+		}
+		next := -1
+		if total == 0 {
+			for i := 0; i < n; i++ {
+				if minDist[i] > 0 || !contains(medoids, i) {
+					next = i
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+		} else {
+			x := rng.Float64() * total
+			for i := 0; i < n; i++ {
+				x -= minDist[i] * minDist[i]
+				if x <= 0 {
+					next = i
+					break
+				}
+			}
+			if next == -1 {
+				next = n - 1
+			}
+		}
+		medoids = append(medoids, next)
+		for i := range minDist {
+			if d := m.Dist(pts[i], pts[next]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	cost := math.Inf(1)
+	for iter := 0; iter < 50; iter++ {
+		// Assignment step.
+		var newCost float64
+		for i := 0; i < n; i++ {
+			bestC, bestD := 0, math.Inf(1)
+			for c, med := range medoids {
+				if d := m.Dist(pts[i], pts[med]); d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			assign[i] = bestC
+			newCost += bestD
+		}
+		if newCost >= cost-1e-12 {
+			break
+		}
+		cost = newCost
+		// Medoid update: per cluster, the member minimising summed
+		// intra-cluster distance.
+		for c := range medoids {
+			var members []int
+			for i := 0; i < n; i++ {
+				if assign[i] == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			best, bestSum := medoids[c], math.Inf(1)
+			for _, cand := range members {
+				var s float64
+				for _, o := range members {
+					s += m.Dist(pts[cand], pts[o])
+				}
+				if s < bestSum {
+					best, bestSum = cand, s
+				}
+			}
+			medoids[c] = best
+		}
+	}
+	sort.Ints(medoids)
+	return dedupe(medoids)
+}
+
+// MedoidCost returns (1/|P|) Σ_p dist(p, closest selected object).
+func MedoidCost(pts []object.Point, m object.Metric, ids []int) float64 {
+	if len(ids) == 0 || len(pts) == 0 {
+		return math.Inf(1)
+	}
+	var total float64
+	for _, p := range pts {
+		best := math.Inf(1)
+		for _, id := range ids {
+			if d := m.Dist(p, pts[id]); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(pts))
+}
+
+// RandomSample returns k distinct ids drawn uniformly (deterministic per
+// seed), the sampling strawman Section 4 contrasts DisC with.
+func RandomSample(n, k int, seed uint64) []int {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+	ids := rng.Perm(n)[:k]
+	sort.Ints(ids)
+	return ids
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

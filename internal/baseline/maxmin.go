@@ -1,0 +1,99 @@
+// Package baseline implements the diversification models the paper
+// compares DisC against in Section 4 / Figure 6: greedy MaxMin
+// (p-dispersion), greedy MaxSum, k-medoids clustering and random
+// sampling. All baselines are deterministic given their seed and return
+// object ids into the input point slice.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// MaxMin greedily selects k objects maximising
+// f_min = min_{p_i≠p_j∈S} dist(p_i,p_j): it seeds with the farthest pair
+// and repeatedly adds the object whose minimum distance to the selected
+// set is largest. This is the standard 2-approximation greedy the paper
+// uses ("greedy heuristics which have been shown to achieve good
+// solutions").
+func MaxMin(pts []object.Point, m object.Metric, k int) []int {
+	n := len(pts)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		return allIDs(n)
+	}
+	// Seed: the farthest pair (ties towards lower ids).
+	bi, bj, best := 0, 0, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := m.Dist(pts[i], pts[j]); d > best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	sel := []int{bi}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = m.Dist(pts[i], pts[bi])
+	}
+	add := func(v int) {
+		sel = append(sel, v)
+		for i := range minDist {
+			if d := m.Dist(pts[i], pts[v]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	if k >= 2 {
+		add(bj)
+	}
+	for len(sel) < k {
+		cand, candDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > candDist {
+				cand, candDist = i, minDist[i]
+			}
+		}
+		add(cand)
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// FMin returns min pairwise distance of the selected set (the MaxMin
+// objective); +Inf for sets smaller than two.
+func FMin(pts []object.Point, m object.Metric, ids []int) float64 {
+	best := math.Inf(1)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if d := m.Dist(pts[ids[i]], pts[ids[j]]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// FSum returns the sum of pairwise distances of the selected set (the
+// MaxSum objective).
+func FSum(pts []object.Point, m object.Metric, ids []int) float64 {
+	var s float64
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			s += m.Dist(pts[ids[i]], pts[ids[j]])
+		}
+	}
+	return s
+}
+
+func allIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

@@ -1,0 +1,66 @@
+package baseline
+
+import "sort"
+
+import "github.com/discdiversity/disc/internal/object"
+
+// MaxSum greedily selects k objects aiming to maximise the sum of
+// pairwise distances: following Gollapudi & Sharma's greedy, it repeatedly
+// adds the unselected pair with the largest distance (and, for odd k, a
+// final single object maximising its summed distance to the selection).
+// This is the heuristic behind Figure 6(b), which the paper notes tends to
+// focus on the outskirts of the dataset.
+func MaxSum(pts []object.Point, m object.Metric, k int) []int {
+	n := len(pts)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		return allIDs(n)
+	}
+	selected := make([]bool, n)
+	var sel []int
+	for len(sel)+2 <= k {
+		bi, bj, best := -1, -1, -1.0
+		for i := 0; i < n; i++ {
+			if selected[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if selected[j] {
+					continue
+				}
+				if d := m.Dist(pts[i], pts[j]); d > best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		selected[bi], selected[bj] = true, true
+		sel = append(sel, bi, bj)
+	}
+	if len(sel) < k {
+		// Odd k: add the object with the largest summed distance to the
+		// current selection.
+		cand, best := -1, -1.0
+		for i := 0; i < n; i++ {
+			if selected[i] {
+				continue
+			}
+			var s float64
+			for _, v := range sel {
+				s += m.Dist(pts[i], pts[v])
+			}
+			if s > best {
+				best, cand = s, i
+			}
+		}
+		if cand >= 0 {
+			sel = append(sel, cand)
+		}
+	}
+	sort.Ints(sel)
+	return sel
+}

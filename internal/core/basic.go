@@ -1,0 +1,57 @@
+package core
+
+import "github.com/discdiversity/disc/internal/object"
+
+// BasicDisC computes an r-DisC diverse subset with the paper's baseline
+// heuristic (Section 2.3): repeatedly take an arbitrary white object —
+// here the next white object in the engine's locality-preserving scan
+// order — color it black and color its neighbourhood grey. The produced
+// set is a maximal independent set of G_{P,r} and therefore r-DisC
+// diverse (Lemma 1).
+//
+// With pruned set (and a CoverageEngine) range queries skip fully covered
+// regions, the "Basic-DisC (Pruned)" variant of the evaluation. Pruned
+// runs leave DistBlack inexact; see Solution.DistBlackExact.
+func BasicDisC(e Engine, r float64, pruned bool) *Solution {
+	n := e.Size()
+	name := "Basic-DisC"
+	cov, hasCov := e.(CoverageEngine)
+	usePrune := pruned && hasCov
+	if usePrune {
+		name += " (Pruned)"
+		cov.StartCoverage(nil)
+	}
+	s := newSolution(n, r, name)
+	start := e.Accesses()
+
+	for _, pi := range e.ScanOrder() {
+		if s.Colors[pi] != White {
+			continue
+		}
+		s.selectBlack(pi)
+		if usePrune {
+			cov.Cover(pi)
+		}
+		var ns []object.Neighbor
+		if usePrune {
+			ns = cov.NeighborsWhite(pi, r)
+		} else {
+			ns = e.Neighbors(pi, r)
+		}
+		for _, nb := range ns {
+			if s.Colors[nb.ID] == White {
+				s.Colors[nb.ID] = Grey
+				if usePrune {
+					cov.Cover(nb.ID)
+				}
+			}
+			if nb.Dist < s.DistBlack[nb.ID] {
+				s.DistBlack[nb.ID] = nb.Dist
+			}
+		}
+	}
+
+	s.DistBlackExact = !usePrune
+	s.Accesses = e.Accesses() - start
+	return s
+}

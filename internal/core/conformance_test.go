@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// allEngines builds every engine implementation over the same points.
+func allEngines(t *testing.T, pts []object.Point, m object.Metric) map[string]Engine {
+	t.Helper()
+	engines := map[string]Engine{
+		"flat": flatEngine(t, pts, m),
+		"tree": treeEngine(t, pts, m),
+	}
+	vp, err := BuildVPEngine(pts, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["vptree"] = vp
+	return engines
+}
+
+// TestEngineConformanceNeighbors: every engine must return exactly the
+// brute-force neighbour set with exact distances.
+func TestEngineConformanceNeighbors(t *testing.T) {
+	pts := randomPoints(350, 3, 80)
+	m := object.Manhattan{}
+	for name, e := range allEngines(t, pts, m) {
+		for _, id := range []int{0, 17, 349} {
+			for _, r := range []float64{0.05, 0.2, 0.8} {
+				got := map[int]float64{}
+				for _, nb := range e.Neighbors(id, r) {
+					got[nb.ID] = nb.Dist
+				}
+				want := map[int]float64{}
+				for j := range pts {
+					if j != id {
+						if d := m.Dist(pts[id], pts[j]); d <= r {
+							want[j] = d
+						}
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s id=%d r=%g: %d neighbours, want %d", name, id, r, len(got), len(want))
+				}
+				for j, d := range want {
+					if got[j] != d {
+						t.Fatalf("%s id=%d r=%g: neighbour %d dist %g want %g", name, id, r, j, got[j], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineConformanceScanOrder: the scan order must be a permutation.
+func TestEngineConformanceScanOrder(t *testing.T) {
+	pts := randomPoints(200, 2, 81)
+	for name, e := range allEngines(t, pts, object.Euclidean{}) {
+		order := e.ScanOrder()
+		if len(order) != len(pts) {
+			t.Fatalf("%s: scan returned %d ids", name, len(order))
+		}
+		sorted := append([]int(nil), order...)
+		sort.Ints(sorted)
+		for i, id := range sorted {
+			if id != i {
+				t.Fatalf("%s: scan order is not a permutation", name)
+			}
+		}
+	}
+}
+
+// TestEngineConformanceGreedyIdentical: exact-count greedy selection must
+// be identical on every engine, pruned or not — the strongest
+// cross-validation of the index implementations.
+func TestEngineConformanceGreedyIdentical(t *testing.T) {
+	pts := randomPoints(450, 2, 82)
+	m := object.Euclidean{}
+	for _, r := range []float64{0.04, 0.1} {
+		var ref []int
+		var refName string
+		for name, e := range allEngines(t, pts, m) {
+			for _, pruned := range []bool{false, true} {
+				s := GreedyDisC(e, r, GreedyOptions{Update: UpdateGrey, Pruned: pruned})
+				if ref == nil {
+					ref = s.SortedIDs()
+					refName = name
+					continue
+				}
+				if !equalInts(ref, s.SortedIDs()) {
+					t.Errorf("r=%g: %s(pruned=%v) differs from %s", r, name, pruned, refName)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineConformanceAlgorithmsValid: every algorithm on every engine
+// yields a valid result.
+func TestEngineConformanceAlgorithmsValid(t *testing.T) {
+	pts := randomPoints(300, 2, 83)
+	m := object.Euclidean{}
+	r := 0.09
+	for name, e := range allEngines(t, pts, m) {
+		for alg, run := range discAlgorithms() {
+			s := run(e, r)
+			if err := VerifySolution(e, s); err != nil {
+				t.Errorf("%s/%s: %v", name, alg, err)
+			}
+		}
+		for _, cov := range []func(Engine, float64) *Solution{GreedyC, FastC} {
+			s := cov(e, r)
+			if err := VerifyCoverageOnly(e, s); err != nil {
+				t.Errorf("%s coverage algorithm: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestEngineConformanceZoom: zooming works and stays valid on every
+// engine.
+func TestEngineConformanceZoom(t *testing.T) {
+	pts := randomPoints(350, 2, 84)
+	m := object.Euclidean{}
+	for name, e := range allEngines(t, pts, m) {
+		prev := GreedyDisC(e, 0.1, GreedyOptions{Update: UpdateGrey})
+		in, err := ZoomIn(e, prev.Clone(), 0.05, true, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifySolution(e, in); err != nil {
+			t.Errorf("%s zoom-in: %v", name, err)
+		}
+		out, err := ZoomOut(e, prev.Clone(), 0.2, ZoomOutGreedyA)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifySolution(e, out); err != nil {
+			t.Errorf("%s zoom-out: %v", name, err)
+		}
+	}
+}
+
+// TestEngineConformanceAccessCounting: accesses must increase on queries
+// and reset to zero.
+func TestEngineConformanceAccessCounting(t *testing.T) {
+	pts := randomPoints(150, 2, 85)
+	for name, e := range allEngines(t, pts, object.Euclidean{}) {
+		e.ResetAccesses()
+		if e.Accesses() != 0 {
+			t.Errorf("%s: reset failed", name)
+		}
+		e.Neighbors(0, 0.2)
+		if e.Accesses() == 0 {
+			t.Errorf("%s: query charged nothing", name)
+		}
+	}
+}

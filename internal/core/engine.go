@@ -1,0 +1,91 @@
+// Package core implements the paper's algorithms: the DisC heuristics
+// (Basic-DisC, the Greedy-DisC family, Greedy-C, Fast-C) and the adaptive
+// zooming algorithms (Zoom-In/Out and their greedy variants, plus local
+// zooming).
+//
+// Algorithms are written once against the Engine interface so that the
+// same code runs on the exact brute-force FlatEngine (used as a
+// correctness reference) and on the M-tree backed TreeEngine (used for
+// the paper's node-access experiments). With deterministic tie-breaking
+// both engines return identical solutions, which the test suite exploits
+// to cross-validate the index.
+package core
+
+import (
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// Engine abstracts neighbourhood search over a fixed object universe.
+// IDs are dense in [0, Size()).
+type Engine interface {
+	// Size returns the number of objects.
+	Size() int
+	// Metric returns the distance function.
+	Metric() object.Metric
+	// Point returns the coordinates of object id.
+	Point(id int) object.Point
+	// Neighbors returns every object within distance r of object id,
+	// excluding id itself, with distances.
+	Neighbors(id int, r float64) []object.Neighbor
+	// NeighborsOfPoint returns every object within distance r of an
+	// arbitrary point.
+	NeighborsOfPoint(q object.Point, r float64) []object.Neighbor
+	// ScanOrder returns all ids in a locality-preserving order (leaf
+	// order for the M-tree, id order for the flat engine).
+	ScanOrder() []int
+	// Accesses returns the cumulative cost counter: M-tree node accesses
+	// for the tree engine, objects examined for the flat engine.
+	Accesses() int64
+	// ResetAccesses zeroes the cost counter.
+	ResetAccesses()
+}
+
+// CoverageEngine is implemented by engines that support the paper's
+// pruning rule. Cover(id) informs the engine that id is no longer white;
+// NeighborsWhite then reports only still-white neighbours, skipping
+// fully-covered regions.
+type CoverageEngine interface {
+	Engine
+	// StartCoverage (re)initialises coverage state; white[id]==false
+	// marks id as already covered. A nil slice means everything is
+	// white.
+	StartCoverage(white []bool)
+	// Cover marks an object as covered (grey or black).
+	Cover(id int)
+	// IsWhite reports whether id is still uncovered.
+	IsWhite(id int) bool
+	// NeighborsWhite returns the white objects within distance r of id,
+	// pruning fully covered regions.
+	NeighborsWhite(id int, r float64) []object.Neighbor
+}
+
+// BottomUpEngine is implemented by engines that can answer neighbourhood
+// queries starting from the object's own storage location, optionally
+// stopping at the first fully covered ancestor (Fast-C's approximate
+// query).
+type BottomUpEngine interface {
+	Engine
+	// NeighborsBottomUp answers Neighbors(id, r) bottom-up. With
+	// stopAtGrey set the result may be incomplete.
+	NeighborsBottomUp(id int, r float64, stopAtGrey bool) []object.Neighbor
+}
+
+// CountingEngine is implemented by engines that computed the initial
+// neighbourhood sizes as a side effect of construction (the paper's
+// build-time accounting, which it reports saves up to 45% of accesses).
+type CountingEngine interface {
+	Engine
+	// InitialCounts returns |N_r(p)| for every object at the engine's
+	// build radius, and that radius. ok is false when counts were not
+	// collected during construction.
+	InitialCounts() (counts []int, r float64, ok bool)
+}
+
+// sortNeighbors orders a neighbour list by id so algorithm behaviour is
+// independent of index traversal order.
+func sortNeighbors(ns []object.Neighbor) []object.Neighbor {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	return ns
+}

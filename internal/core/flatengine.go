@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// FlatEngine answers neighbourhood queries by scanning the whole point
+// set. It is the exact reference implementation the M-tree engine is
+// validated against, and is also the right choice for small inputs where
+// building an index would dominate. Its access counter counts objects
+// examined, so pruning (skipping covered objects) is visible in the cost
+// the same way skipped subtrees are for the tree engine.
+type FlatEngine struct {
+	pts      []object.Point
+	metric   object.Metric
+	accesses int64
+	white    []bool
+	tracking bool
+}
+
+var (
+	_ Engine         = (*FlatEngine)(nil)
+	_ CoverageEngine = (*FlatEngine)(nil)
+)
+
+// NewFlatEngine creates a flat engine over pts. The slice is not copied
+// and must not be mutated while the engine is in use.
+func NewFlatEngine(pts []object.Point, m object.Metric) (*FlatEngine, error) {
+	if _, err := object.ValidatePoints(pts); err != nil {
+		return nil, fmt.Errorf("core: flat engine: %w", err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: flat engine: nil metric")
+	}
+	return &FlatEngine{pts: pts, metric: m}, nil
+}
+
+// Size implements Engine.
+func (f *FlatEngine) Size() int { return len(f.pts) }
+
+// Metric implements Engine.
+func (f *FlatEngine) Metric() object.Metric { return f.metric }
+
+// Point implements Engine.
+func (f *FlatEngine) Point(id int) object.Point { return f.pts[id] }
+
+// Neighbors implements Engine by scanning every object.
+func (f *FlatEngine) Neighbors(id int, r float64) []object.Neighbor {
+	q := f.pts[id]
+	var out []object.Neighbor
+	for j, p := range f.pts {
+		f.accesses++
+		if j == id {
+			continue
+		}
+		if d := f.metric.Dist(q, p); d <= r {
+			out = append(out, object.Neighbor{ID: j, Dist: d})
+		}
+	}
+	return out
+}
+
+// NeighborsOfPoint implements Engine.
+func (f *FlatEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
+	var out []object.Neighbor
+	for j, p := range f.pts {
+		f.accesses++
+		if d := f.metric.Dist(q, p); d <= r {
+			out = append(out, object.Neighbor{ID: j, Dist: d})
+		}
+	}
+	return out
+}
+
+// ScanOrder implements Engine; the flat engine has no locality structure,
+// so the order is plain id order.
+func (f *FlatEngine) ScanOrder() []int {
+	ids := make([]int, len(f.pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// Accesses implements Engine.
+func (f *FlatEngine) Accesses() int64 { return f.accesses }
+
+// ResetAccesses implements Engine.
+func (f *FlatEngine) ResetAccesses() { f.accesses = 0 }
+
+// StartCoverage implements CoverageEngine.
+func (f *FlatEngine) StartCoverage(white []bool) {
+	f.white = make([]bool, len(f.pts))
+	if white == nil {
+		for i := range f.white {
+			f.white[i] = true
+		}
+	} else {
+		copy(f.white, white)
+	}
+	f.tracking = true
+}
+
+// Cover implements CoverageEngine.
+func (f *FlatEngine) Cover(id int) {
+	if f.tracking {
+		f.white[id] = false
+	}
+}
+
+// IsWhite implements CoverageEngine.
+func (f *FlatEngine) IsWhite(id int) bool { return f.tracking && f.white[id] }
+
+// NeighborsWhite implements CoverageEngine. Covered objects are skipped
+// and, analogously to grey M-tree subtrees, not charged as accesses.
+func (f *FlatEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
+	if !f.tracking {
+		panic("core: NeighborsWhite without StartCoverage")
+	}
+	q := f.pts[id]
+	var out []object.Neighbor
+	for j, p := range f.pts {
+		if !f.white[j] || j == id {
+			continue
+		}
+		f.accesses++
+		if d := f.metric.Dist(q, p); d <= r {
+			out = append(out, object.Neighbor{ID: j, Dist: d})
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package core
+
+import "github.com/discdiversity/disc/internal/object"
+
+// UpdateStrategy selects how Greedy-DisC refreshes the white-neighbourhood
+// sizes of the remaining white objects after a selection (Section 5.1).
+type UpdateStrategy int
+
+const (
+	// UpdateGrey issues one range query per newly greyed object
+	// ("Grey-Greedy-DisC"). Exact counts.
+	UpdateGrey UpdateStrategy = iota
+	// UpdateWhite issues a single 2r query around the selected object to
+	// find the whites whose counts may have changed, then fixes their
+	// counts with direct distance computations ("White-Greedy-DisC").
+	// Exact counts, fewer node accesses when many objects grey at once.
+	UpdateWhite
+	// UpdateLazyGrey is UpdateGrey with radius r/2: cheaper queries that
+	// miss some updates, trading slightly larger solutions for fewer
+	// accesses ("Lazy-Grey-Greedy-DisC").
+	UpdateLazyGrey
+	// UpdateLazyWhite is UpdateWhite with radius 3r/2
+	// ("Lazy-White-Greedy-DisC").
+	UpdateLazyWhite
+)
+
+// String implements fmt.Stringer.
+func (u UpdateStrategy) String() string {
+	switch u {
+	case UpdateGrey:
+		return "grey"
+	case UpdateWhite:
+		return "white"
+	case UpdateLazyGrey:
+		return "lazy-grey"
+	case UpdateLazyWhite:
+		return "lazy-white"
+	default:
+		return "update?"
+	}
+}
+
+// GreedyOptions configures GreedyDisC.
+type GreedyOptions struct {
+	// Update is the count-maintenance strategy.
+	Update UpdateStrategy
+	// Pruned enables the grey-subtree pruning rule when the engine
+	// supports it.
+	Pruned bool
+}
+
+// GreedyDisC computes an r-DisC diverse subset with Algorithm 1 of the
+// paper: repeatedly select the white object covering the most white
+// objects. The white-neighbourhood sizes live in the priority structure
+// L' (a lazy max-heap); how they are maintained after each selection is
+// governed by opts.Update.
+//
+// If the engine collected neighbourhood counts during construction
+// (CountingEngine, radius matching r), initialisation is free; otherwise
+// one range query per object establishes the counts.
+func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
+	n := e.Size()
+	name := greedyName(opts)
+	cov, hasCov := e.(CoverageEngine)
+	usePrune := opts.Pruned && hasCov
+	if usePrune {
+		cov.StartCoverage(nil)
+	}
+	s := newSolution(n, r, name)
+	start := e.Accesses()
+
+	nw := initialWhiteCounts(e, r)
+	h := newLazyHeap(n)
+	for id, c := range nw {
+		h.push(id, c)
+	}
+
+	for {
+		pi, ok := h.popValid(func(id, key int) bool {
+			return s.Colors[id] == White && key == nw[id]
+		})
+		if !ok {
+			break
+		}
+		s.selectBlack(pi)
+		if usePrune {
+			cov.Cover(pi)
+		}
+		var ns []object.Neighbor
+		if usePrune {
+			ns = cov.NeighborsWhite(pi, r)
+		} else {
+			ns = e.Neighbors(pi, r)
+		}
+		newGrey := make([]object.Neighbor, 0, len(ns))
+		for _, nb := range ns {
+			if s.Colors[nb.ID] == White {
+				s.Colors[nb.ID] = Grey
+				newGrey = append(newGrey, nb)
+				if usePrune {
+					cov.Cover(nb.ID)
+				}
+			}
+			if nb.Dist < s.DistBlack[nb.ID] {
+				s.DistBlack[nb.ID] = nb.Dist
+			}
+		}
+		updateWhiteCounts(e, cov, usePrune, s, r, opts.Update, pi, newGrey, nw, h)
+	}
+
+	s.DistBlackExact = !usePrune
+	s.Accesses = e.Accesses() - start
+	return s
+}
+
+func greedyName(opts GreedyOptions) string {
+	var name string
+	switch opts.Update {
+	case UpdateWhite:
+		name = "White-Greedy-DisC"
+	case UpdateLazyGrey:
+		name = "Lazy-Grey-Greedy-DisC"
+	case UpdateLazyWhite:
+		name = "Lazy-White-Greedy-DisC"
+	default:
+		name = "Grey-Greedy-DisC"
+	}
+	if opts.Pruned {
+		name += " (Pruned)"
+	}
+	return name
+}
+
+// initialWhiteCounts returns |N_r(p)| per object, using build-time counts
+// when available and issuing one range query per object otherwise.
+func initialWhiteCounts(e Engine, r float64) []int {
+	if ce, ok := e.(CountingEngine); ok {
+		if counts, cr, have := ce.InitialCounts(); have && cr == r {
+			return append([]int(nil), counts...)
+		}
+	}
+	nw := make([]int, e.Size())
+	for id := range nw {
+		nw[id] = len(e.Neighbors(id, r))
+	}
+	return nw
+}
+
+// updateWhiteCounts applies the chosen maintenance strategy after pi was
+// selected and newGrey turned grey.
+func updateWhiteCounts(e Engine, cov CoverageEngine, usePrune bool, s *Solution, r float64, strategy UpdateStrategy, pi int, newGrey []object.Neighbor, nw []int, h *lazyHeap) {
+	whiteNeighbors := func(id int, radius float64) []object.Neighbor {
+		if usePrune {
+			return cov.NeighborsWhite(id, radius)
+		}
+		return e.Neighbors(id, radius)
+	}
+	switch strategy {
+	case UpdateGrey, UpdateLazyGrey:
+		radius := r
+		if strategy == UpdateLazyGrey {
+			radius = r / 2
+		}
+		for _, gj := range newGrey {
+			for _, nk := range whiteNeighbors(gj.ID, radius) {
+				if s.Colors[nk.ID] == White {
+					nw[nk.ID]--
+					h.push(nk.ID, nw[nk.ID])
+				}
+			}
+		}
+	case UpdateWhite, UpdateLazyWhite:
+		radius := 2 * r
+		if strategy == UpdateLazyWhite {
+			radius = 1.5 * r
+		}
+		m := e.Metric()
+		for _, wk := range whiteNeighbors(pi, radius) {
+			if s.Colors[wk.ID] != White {
+				continue
+			}
+			cnt := 0
+			for _, gj := range newGrey {
+				if m.Dist(e.Point(wk.ID), e.Point(gj.ID)) <= r {
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				nw[wk.ID] -= cnt
+				h.push(wk.ID, nw[wk.ID])
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import "github.com/discdiversity/disc/internal/object"
+
+// GreedyC computes an r-C diverse subset: the coverage condition of
+// Definition 1 without requiring independence. It modifies Greedy-DisC so
+// that both white and grey objects are candidates, always selecting the
+// object that covers the most uncovered objects (line 6 of Algorithm 1
+// relaxed). The paper's pruning rule is not applicable because grey
+// objects and nodes must stay reachable to keep their counts current.
+func GreedyC(e Engine, r float64) *Solution {
+	full := func(id int) []object.Neighbor { return e.Neighbors(id, r) }
+	return greedyCoverage(e, r, "Greedy-C", full, full)
+}
+
+// FastC is the cheaper r-C heuristic of Section 5.1: it behaves like
+// GreedyC but answers every range query bottom-up, skipping fully covered
+// (grey) subtrees is not needed; instead the climb stops at the first
+// grey ancestor whose region contains the whole query ball ("the query
+// stops climbing up the tree when the first grey internal node is met").
+// Stopped queries may miss neighbours stored in distant leaves, which
+// never breaks coverage — a missed white object simply stays white and is
+// covered later — but can enlarge the result, exactly the trade-off the
+// paper describes. The containment guard keeps the approximation from
+// collapsing when the query ball is much larger than the local regions;
+// see DESIGN.md ("Deliberate deviations") for a discussion of how our
+// measurements compare with the paper's in-text Fast-C claims.
+//
+// On engines without bottom-up support FastC degrades to GreedyC.
+func FastC(e Engine, r float64) *Solution {
+	bu, hasBU := e.(BottomUpEngine)
+	cov, hasCov := e.(CoverageEngine)
+	if !hasBU || !hasCov {
+		full := func(id int) []object.Neighbor { return e.Neighbors(id, r) }
+		return greedyCoverage(e, r, "Fast-C", full, full)
+	}
+	cov.StartCoverage(nil)
+	q := func(id int) []object.Neighbor { return bu.NeighborsBottomUp(id, r, true) }
+	return greedyCoverage(e, r, "Fast-C", q, q)
+}
+
+// greedyCoverage is the shared loop of GreedyC and FastC. colorNeighbors
+// retrieves the neighbourhood used to colour objects grey when a
+// candidate is selected; updateNeighbors (possibly approximate) is used
+// to maintain candidate counts.
+func greedyCoverage(e Engine, r float64, name string, colorNeighbors, updateNeighbors func(id int) []object.Neighbor) *Solution {
+	n := e.Size()
+	s := newSolution(n, r, name)
+	cov, hasCov := e.(CoverageEngine)
+	start := e.Accesses()
+
+	// nw[id] = number of *white* objects in N_r(id); every non-black
+	// object is a candidate keyed by it.
+	nw := initialWhiteCounts(e, r)
+	h := newLazyHeap(n)
+	for id, c := range nw {
+		h.push(id, c)
+	}
+
+	whitesLeft := n
+	// cover transitions an object out of the white state.
+	cover := func(id int) {
+		whitesLeft--
+		if hasCov {
+			cov.Cover(id)
+		}
+	}
+
+	for whitesLeft > 0 {
+		pc, ok := h.popValid(func(id, key int) bool {
+			if s.Colors[id] == Black || key != nw[id] {
+				return false
+			}
+			// A grey candidate covering nothing new is useless;
+			// a white one still covers itself.
+			return key > 0 || s.Colors[id] == White
+		})
+		if !ok {
+			break // unreachable: every white stays valid in the heap
+		}
+		wasWhite := s.Colors[pc] == White
+		s.selectBlack(pc)
+		if wasWhite {
+			cover(pc)
+		}
+		ns := colorNeighbors(pc)
+		newGrey := make([]object.Neighbor, 0, len(ns))
+		for _, nb := range ns {
+			if s.Colors[nb.ID] == White {
+				s.Colors[nb.ID] = Grey
+				newGrey = append(newGrey, nb)
+				cover(nb.ID)
+			}
+			if nb.Dist < s.DistBlack[nb.ID] {
+				s.DistBlack[nb.ID] = nb.Dist
+			}
+		}
+
+		// Every object that left the white state (pc if it was white,
+		// plus newGrey) decrements the count of each of its non-black
+		// neighbours. pc's neighbourhood was just retrieved; reuse it.
+		if wasWhite {
+			for _, nb := range ns {
+				if s.Colors[nb.ID] != Black {
+					nw[nb.ID]--
+					h.push(nb.ID, nw[nb.ID])
+				}
+			}
+		}
+		for _, gj := range newGrey {
+			for _, nk := range updateNeighbors(gj.ID) {
+				if s.Colors[nk.ID] != Black {
+					nw[nk.ID]--
+					h.push(nk.ID, nw[nk.ID])
+				}
+			}
+		}
+	}
+
+	// Greedy-C's full queries keep closest-black distances exact; Fast-C's
+	// stopped queries may miss neighbours.
+	s.DistBlackExact = name == "Greedy-C"
+	s.Accesses = e.Accesses() - start
+	return s
+}

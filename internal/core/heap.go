@@ -1,0 +1,63 @@
+package core
+
+import "container/heap"
+
+// lazyHeap is the priority structure the paper calls L': objects ordered
+// by the size of their white neighbourhood. Keys change frequently as
+// objects are covered, so the heap uses lazy invalidation: every key
+// change pushes a fresh item and stale items are discarded at pop time by
+// comparing against the caller's authoritative count array.
+//
+// Ordering is (key desc, id asc), which makes every algorithm
+// deterministic and lets the flat and tree engines produce identical
+// solutions.
+type lazyHeap struct{ items []heapItem }
+
+type heapItem struct {
+	key int
+	id  int
+}
+
+func (h *lazyHeap) Len() int { return len(h.items) }
+
+func (h *lazyHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	return a.id < b.id
+}
+
+func (h *lazyHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *lazyHeap) Push(x any) { h.items = append(h.items, x.(heapItem)) }
+
+func (h *lazyHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func newLazyHeap(capacity int) *lazyHeap {
+	return &lazyHeap{items: make([]heapItem, 0, capacity)}
+}
+
+// push records a (possibly updated) key for id.
+func (h *lazyHeap) push(id, key int) {
+	heap.Push(h, heapItem{key: key, id: id})
+}
+
+// popValid returns the id with the largest current key for which
+// valid(id, key) holds, discarding stale entries. ok is false when the
+// heap is exhausted.
+func (h *lazyHeap) popValid(valid func(id, key int) bool) (id int, ok bool) {
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if valid(it.id, it.key) {
+			return it.id, true
+		}
+	}
+	return 0, false
+}

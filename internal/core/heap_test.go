@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLazyHeapOrdering(t *testing.T) {
+	h := newLazyHeap(8)
+	counts := map[int]int{1: 5, 2: 9, 3: 9, 4: 1}
+	for id, k := range counts {
+		h.push(id, k)
+	}
+	valid := func(id, key int) bool { return counts[id] == key }
+	// Highest key first; ties by lowest id.
+	want := []int{2, 3, 1, 4}
+	for _, w := range want {
+		id, ok := h.popValid(valid)
+		if !ok || id != w {
+			t.Fatalf("pop got (%d,%v), want %d", id, ok, w)
+		}
+		delete(counts, id)
+	}
+	if _, ok := h.popValid(valid); ok {
+		t.Fatal("pop from exhausted heap succeeded")
+	}
+}
+
+func TestLazyHeapStaleEntriesDiscarded(t *testing.T) {
+	h := newLazyHeap(8)
+	counts := []int{0: 10, 1: 8}
+	h.push(0, 10)
+	h.push(1, 8)
+	// Object 0's count drops twice; each change pushes a new entry.
+	counts[0] = 6
+	h.push(0, 6)
+	counts[0] = 3
+	h.push(0, 3)
+	valid := func(id, key int) bool { return counts[id] == key }
+	id, ok := h.popValid(valid)
+	if !ok || id != 1 {
+		t.Fatalf("expected 1 (key 8) first, got %d", id)
+	}
+	counts[1] = -1 // invalidate entirely
+	id, ok = h.popValid(valid)
+	if !ok || id != 0 {
+		t.Fatalf("expected 0 (key 3), got (%d,%v)", id, ok)
+	}
+	if _, ok := h.popValid(valid); ok {
+		t.Fatal("stale entries should all be discarded")
+	}
+}
+
+// Randomized: the heap with lazy invalidation must always pop the maximum
+// current key among valid objects, compared against a linear scan.
+func TestLazyHeapMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	n := 200
+	counts := make([]int, n)
+	alive := make([]bool, n)
+	h := newLazyHeap(n)
+	for i := range counts {
+		counts[i] = rng.IntN(50)
+		alive[i] = true
+		h.push(i, counts[i])
+	}
+	valid := func(id, key int) bool { return alive[id] && counts[id] == key }
+	for round := 0; round < n; round++ {
+		// Randomly decrement a few counts first.
+		for j := 0; j < 5; j++ {
+			id := rng.IntN(n)
+			if alive[id] && counts[id] > 0 {
+				counts[id]--
+				h.push(id, counts[id])
+			}
+		}
+		// Linear-scan expectation.
+		best := -1
+		for id := 0; id < n; id++ {
+			if !alive[id] {
+				continue
+			}
+			if best == -1 || counts[id] > counts[best] {
+				best = id
+			}
+		}
+		if best == -1 {
+			break
+		}
+		got, ok := h.popValid(valid)
+		if !ok {
+			t.Fatalf("round %d: heap exhausted with %d alive", round, countTrue(alive))
+		}
+		if counts[got] != counts[best] {
+			t.Fatalf("round %d: popped key %d, max is %d", round, counts[got], counts[best])
+		}
+		alive[got] = false
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

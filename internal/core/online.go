@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/discdiversity/disc/internal/mtree"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// OnlineDisC maintains an r-DisC diverse subset of a stream of objects —
+// the "online version of the problem" the paper names as future work
+// (Section 8). Objects arrive one at a time and may later be retracted;
+// after every operation the selected set is a valid r-DisC diverse subset
+// of the live objects:
+//
+//   - Add: a newcomer covered by an existing representative turns grey;
+//     otherwise it becomes a representative itself. This preserves both
+//     maximality (nothing coverable is left white) and independence (a
+//     newcomer is promoted only when no representative is within r).
+//   - Remove: retracting a grey object changes nothing. Retracting a
+//     representative orphans the objects it covered; orphans are
+//     re-covered in arrival order, promoting those still uncovered.
+//
+// The structure is backed by a growing M-tree, so each operation costs a
+// constant number of range queries.
+type OnlineDisC struct {
+	metric  object.Metric
+	r       float64
+	tree    *mtree.Tree
+	colors  []Color
+	deleted []bool
+	// closest[id] is the representative covering id (itself for
+	// representatives, -1 while uncovered/deleted).
+	closest []int
+	// distBlack[id] is the distance to closest[id].
+	distBlack []float64
+	reps      int
+	live      int
+}
+
+// NewOnlineDisC creates an empty online maintainer for radius r.
+// Capacity is the M-tree node capacity (minimum 4; the paper's default
+// is 50).
+func NewOnlineDisC(m object.Metric, r float64, capacity int) (*OnlineDisC, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: online: nil metric")
+	}
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return nil, fmt.Errorf("core: online: invalid radius %g", r)
+	}
+	tree, err := mtree.New(mtree.Config{Capacity: capacity, Metric: m, Policy: mtree.MinOverlap}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineDisC{metric: m, r: r, tree: tree}, nil
+}
+
+// Radius returns the maintained radius.
+func (o *OnlineDisC) Radius() float64 { return o.r }
+
+// Len returns the number of live (non-retracted) objects.
+func (o *OnlineDisC) Len() int { return o.live }
+
+// Size returns the number of current representatives.
+func (o *OnlineDisC) Size() int { return o.reps }
+
+// Point returns the coordinates of object id.
+func (o *OnlineDisC) Point(id int) object.Point { return o.tree.Point(id) }
+
+// Accesses returns cumulative M-tree node accesses.
+func (o *OnlineDisC) Accesses() int64 { return o.tree.Accesses() }
+
+// Add indexes a new object and reports its assigned id and whether it was
+// promoted to a representative.
+func (o *OnlineDisC) Add(p object.Point) (id int, selected bool, err error) {
+	id, err = o.tree.Add(p)
+	if err != nil {
+		return 0, false, err
+	}
+	o.colors = append(o.colors, White)
+	o.deleted = append(o.deleted, false)
+	o.closest = append(o.closest, -1)
+	o.distBlack = append(o.distBlack, math.Inf(1))
+	o.live++
+
+	bestRep, bestDist := -1, math.Inf(1)
+	for _, nb := range o.tree.RangeQueryAround(id, o.r) {
+		if o.deleted[nb.ID] || o.colors[nb.ID] != Black {
+			continue
+		}
+		if nb.Dist < bestDist {
+			bestRep, bestDist = nb.ID, nb.Dist
+		}
+	}
+	if bestRep >= 0 {
+		o.colors[id] = Grey
+		o.closest[id] = bestRep
+		o.distBlack[id] = bestDist
+		return id, false, nil
+	}
+	o.promote(id)
+	return id, true, nil
+}
+
+// promote makes id a representative and re-points nearby covered objects
+// that are closer to it than to their current representative.
+func (o *OnlineDisC) promote(id int) {
+	o.colors[id] = Black
+	o.closest[id] = id
+	o.distBlack[id] = 0
+	o.reps++
+	for _, nb := range o.tree.RangeQueryAround(id, o.r) {
+		if o.deleted[nb.ID] || o.colors[nb.ID] == Black {
+			continue
+		}
+		if nb.Dist < o.distBlack[nb.ID] {
+			o.colors[nb.ID] = Grey
+			o.closest[nb.ID] = id
+			o.distBlack[nb.ID] = nb.Dist
+		}
+	}
+}
+
+// Remove retracts object id from the stream. Retracting a representative
+// triggers local repair: objects it covered are re-assigned to another
+// representative within r when one exists and promoted otherwise.
+func (o *OnlineDisC) Remove(id int) error {
+	if id < 0 || id >= len(o.colors) {
+		return fmt.Errorf("core: online: id %d out of range", id)
+	}
+	if o.deleted[id] {
+		return fmt.Errorf("core: online: object %d already removed", id)
+	}
+	o.deleted[id] = true
+	o.live--
+	wasBlack := o.colors[id] == Black
+	o.colors[id] = Grey
+	o.closest[id] = -1
+	o.distBlack[id] = math.Inf(1)
+	if !wasBlack {
+		return nil
+	}
+	o.reps--
+
+	// Orphans: live objects that were covered by id.
+	var orphans []int
+	for _, nb := range o.tree.RangeQueryAround(id, o.r) {
+		if o.deleted[nb.ID] || o.colors[nb.ID] == Black {
+			continue
+		}
+		if o.closest[nb.ID] == id {
+			orphans = append(orphans, nb.ID)
+		}
+	}
+	// Re-cover orphans in arrival (id) order: reattach to a surviving
+	// representative when possible, promote otherwise. Promotion may
+	// cover later orphans, so reattachment is re-checked as we go.
+	for _, q := range orphans {
+		bestRep, bestDist := -1, math.Inf(1)
+		for _, nb := range o.tree.RangeQueryAround(q, o.r) {
+			if o.deleted[nb.ID] || o.colors[nb.ID] != Black {
+				continue
+			}
+			if nb.Dist < bestDist {
+				bestRep, bestDist = nb.ID, nb.Dist
+			}
+		}
+		if bestRep >= 0 {
+			o.closest[q] = bestRep
+			o.distBlack[q] = bestDist
+			continue
+		}
+		o.promote(q)
+	}
+	return nil
+}
+
+// Deleted reports whether id has been retracted.
+func (o *OnlineDisC) Deleted(id int) bool {
+	return id >= 0 && id < len(o.deleted) && o.deleted[id]
+}
+
+// IsRepresentative reports whether live object id is currently selected.
+func (o *OnlineDisC) IsRepresentative(id int) bool {
+	return id >= 0 && id < len(o.colors) && !o.deleted[id] && o.colors[id] == Black
+}
+
+// Representatives returns the current representative ids in ascending
+// order.
+func (o *OnlineDisC) Representatives() []int {
+	ids := make([]int, 0, o.reps)
+	for id, c := range o.colors {
+		if c == Black && !o.deleted[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Verify checks the DisC invariants over the live objects by direct
+// distance computation. Intended for tests and debugging.
+func (o *OnlineDisC) Verify() error {
+	var pts []object.Point
+	var idx []int
+	for id := 0; id < len(o.colors); id++ {
+		if !o.deleted[id] {
+			pts = append(pts, o.tree.Point(id))
+			idx = append(idx, id)
+		}
+	}
+	back := make(map[int]int, len(idx))
+	for i, id := range idx {
+		back[id] = i
+	}
+	var sel []int
+	for _, id := range o.Representatives() {
+		sel = append(sel, back[id])
+	}
+	if len(pts) == 0 {
+		if len(sel) != 0 {
+			return fmt.Errorf("core: online: representatives without live objects")
+		}
+		return nil
+	}
+	return CheckDisC(pts, o.metric, sel, o.r)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func newOnline(t *testing.T, r float64) *OnlineDisC {
+	t.Helper()
+	o, err := NewOnlineDisC(object.Euclidean{}, r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOnlineAddMaintainsInvariant(t *testing.T) {
+	o := newOnline(t, 0.1)
+	pts := randomPoints(300, 2, 60)
+	for i, p := range pts {
+		if _, _, err := o.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		// Verify after every 25th insertion (full check is O(n·|S|)).
+		if i%25 == 0 {
+			if err := o.Verify(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 300 {
+		t.Errorf("live count %d", o.Len())
+	}
+	if o.Size() == 0 || o.Size() != len(o.Representatives()) {
+		t.Errorf("size %d vs %d representatives", o.Size(), len(o.Representatives()))
+	}
+}
+
+func TestOnlineMatchesBasicDisCOnSameOrder(t *testing.T) {
+	// Inserting objects in id order must give exactly the maximal
+	// independent set Basic-DisC builds with id-order scanning.
+	pts := randomPoints(250, 2, 61)
+	m := object.Euclidean{}
+	r := 0.12
+	o := newOnline(t, r)
+	for _, p := range pts {
+		if _, _, err := o.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := flatEngine(t, pts, m)
+	ref := BasicDisC(e, r, false)
+	if !equalInts(o.Representatives(), ref.SortedIDs()) {
+		t.Errorf("online set %v differs from Basic-DisC %v", o.Representatives(), ref.SortedIDs())
+	}
+}
+
+func TestOnlineRemoveGrey(t *testing.T) {
+	o := newOnline(t, 0.2)
+	a, _, _ := o.Add(object.Point{0.5, 0.5})
+	b, sel, _ := o.Add(object.Point{0.55, 0.5})
+	if sel {
+		t.Fatal("covered newcomer promoted")
+	}
+	if err := o.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 1 || !o.IsRepresentative(a) {
+		t.Error("removing a grey object disturbed the representatives")
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineRemoveRepresentativeRepairs(t *testing.T) {
+	o := newOnline(t, 0.1)
+	// A representative with two dependents on opposite sides.
+	center, _, _ := o.Add(object.Point{0.5, 0.5})
+	left, _, _ := o.Add(object.Point{0.42, 0.5})
+	right, _, _ := o.Add(object.Point{0.58, 0.5})
+	if o.Size() != 1 {
+		t.Fatalf("setup: %d representatives", o.Size())
+	}
+	if err := o.Remove(center); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// left and right are 0.16 apart (> r): both must now be covered —
+	// left promoted first (arrival order), right needs its own promotion.
+	if !o.IsRepresentative(left) || !o.IsRepresentative(right) {
+		t.Errorf("repair failed: left=%v right=%v",
+			o.IsRepresentative(left), o.IsRepresentative(right))
+	}
+}
+
+func TestOnlineRandomChurnKeepsInvariant(t *testing.T) {
+	o := newOnline(t, 0.08)
+	rng := rand.New(rand.NewPCG(9, 9))
+	var liveIDs []int
+	for step := 0; step < 400; step++ {
+		if len(liveIDs) == 0 || rng.Float64() < 0.7 {
+			p := object.Point{rng.Float64(), rng.Float64()}
+			id, _, err := o.Add(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveIDs = append(liveIDs, id)
+		} else {
+			k := rng.IntN(len(liveIDs))
+			id := liveIDs[k]
+			liveIDs = append(liveIDs[:k], liveIDs[k+1:]...)
+			if err := o.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%40 == 0 {
+			if err := o.Verify(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != len(liveIDs) {
+		t.Errorf("live %d, want %d", o.Len(), len(liveIDs))
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	if _, err := NewOnlineDisC(nil, 0.1, 8); err == nil {
+		t.Error("nil metric accepted")
+	}
+	if _, err := NewOnlineDisC(object.Euclidean{}, -1, 8); err == nil {
+		t.Error("negative radius accepted")
+	}
+	o := newOnline(t, 0.1)
+	if err := o.Remove(0); err == nil {
+		t.Error("removing unknown id accepted")
+	}
+	id, _, _ := o.Add(object.Point{0.1, 0.1})
+	if err := o.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Remove(id); err == nil {
+		t.Error("double removal accepted")
+	}
+	if o.IsRepresentative(id) {
+		t.Error("removed object still a representative")
+	}
+	// Dimension mismatch surfaces from the tree.
+	if _, _, err := o.Add(object.Point{0.1, 0.2, 0.3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestOnlineEmptyVerify(t *testing.T) {
+	o := newOnline(t, 0.1)
+	if err := o.Verify(); err != nil {
+		t.Errorf("empty maintainer invalid: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/vptree"
+)
+
+// VPEngine adapts a vantage-point tree to the Engine interfaces — the
+// alternative index structure the paper's future work calls for. It
+// supports the pruning rule (CoverageEngine) but, being a static binary
+// tree, offers neither bottom-up queries nor build-time counts.
+type VPEngine struct {
+	tree *vptree.Tree
+}
+
+var (
+	_ Engine         = (*VPEngine)(nil)
+	_ CoverageEngine = (*VPEngine)(nil)
+)
+
+// BuildVPEngine constructs a VP-tree over pts and wraps it.
+func BuildVPEngine(pts []object.Point, m object.Metric, seed uint64) (*VPEngine, error) {
+	t, err := vptree.Build(pts, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &VPEngine{tree: t}, nil
+}
+
+// Tree exposes the underlying index.
+func (ve *VPEngine) Tree() *vptree.Tree { return ve.tree }
+
+// Size implements Engine.
+func (ve *VPEngine) Size() int { return ve.tree.Len() }
+
+// Metric implements Engine.
+func (ve *VPEngine) Metric() object.Metric { return ve.tree.Metric() }
+
+// Point implements Engine.
+func (ve *VPEngine) Point(id int) object.Point { return ve.tree.Point(id) }
+
+// Neighbors implements Engine.
+func (ve *VPEngine) Neighbors(id int, r float64) []object.Neighbor {
+	return ve.tree.RangeQueryAround(id, r)
+}
+
+// NeighborsOfPoint implements Engine.
+func (ve *VPEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
+	return ve.tree.RangeQuery(q, r)
+}
+
+// ScanOrder implements Engine via in-order traversal.
+func (ve *VPEngine) ScanOrder() []int { return ve.tree.ScanOrder() }
+
+// Accesses implements Engine.
+func (ve *VPEngine) Accesses() int64 { return ve.tree.Accesses() }
+
+// ResetAccesses implements Engine.
+func (ve *VPEngine) ResetAccesses() { ve.tree.ResetAccesses() }
+
+// StartCoverage implements CoverageEngine.
+func (ve *VPEngine) StartCoverage(white []bool) {
+	if white == nil {
+		ve.tree.EnableTracking()
+		return
+	}
+	ve.tree.ResetTracking(white)
+}
+
+// Cover implements CoverageEngine.
+func (ve *VPEngine) Cover(id int) { ve.tree.Cover(id) }
+
+// IsWhite implements CoverageEngine.
+func (ve *VPEngine) IsWhite(id int) bool { return ve.tree.IsWhite(id) }
+
+// NeighborsWhite implements CoverageEngine.
+func (ve *VPEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
+	return ve.tree.RangeQueryPruned(id, r)
+}

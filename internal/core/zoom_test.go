@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func baseSolution(t *testing.T, e Engine, r float64) *Solution {
+	t.Helper()
+	s := GreedyDisC(e, r, GreedyOptions{Update: UpdateGrey})
+	if err := VerifySolution(e, s); err != nil {
+		t.Fatalf("base solution invalid: %v", err)
+	}
+	return s
+}
+
+func TestZoomInProducesValidSuperset(t *testing.T) {
+	pts := randomPoints(500, 2, 11)
+	m := object.Euclidean{}
+	for engName, e := range bothEngines(t, pts, m) {
+		for _, greedy := range []bool{false, true} {
+			prev := baseSolution(t, e, 0.1)
+			zoomed, err := ZoomIn(e, prev, 0.05, greedy, false)
+			if err != nil {
+				t.Fatalf("%s greedy=%v: %v", engName, greedy, err)
+			}
+			if err := VerifySolution(e, zoomed); err != nil {
+				t.Errorf("%s greedy=%v: invalid: %v", engName, greedy, err)
+			}
+			// Lemma 5(i): S^r ⊆ S^r'.
+			for _, id := range prev.IDs {
+				if !zoomed.Contains(id) {
+					t.Errorf("%s greedy=%v: previous representative %d dropped", engName, greedy, id)
+				}
+			}
+			if zoomed.Size() < prev.Size() {
+				t.Errorf("%s greedy=%v: zoom-in shrank the solution", engName, greedy)
+			}
+		}
+	}
+}
+
+func TestZoomInPrunedStillValid(t *testing.T) {
+	pts := randomPoints(600, 2, 12)
+	m := object.Euclidean{}
+	e := treeEngine(t, pts, m)
+	prev := baseSolution(t, e, 0.12)
+	zoomed, err := ZoomIn(e, prev, 0.06, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySolution(e, zoomed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoomInAfterPrunedBaseRun(t *testing.T) {
+	// A pruned base run leaves DistBlack inexact; ZoomIn must repair it
+	// (the paper's post-processing) and still produce a valid solution.
+	pts := randomPoints(600, 2, 13)
+	m := object.Euclidean{}
+	e := treeEngine(t, pts, m)
+	prev := BasicDisC(e, 0.1, true)
+	if prev.DistBlackExact {
+		t.Fatal("expected inexact DistBlack after pruned run")
+	}
+	zoomed, err := ZoomIn(e, prev, 0.04, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySolution(e, zoomed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoomInRejectsBadArguments(t *testing.T) {
+	pts := randomPoints(100, 2, 14)
+	m := object.Euclidean{}
+	e := flatEngine(t, pts, m)
+	prev := baseSolution(t, e, 0.1)
+	if _, err := ZoomIn(e, prev, 0.2, false, false); err == nil {
+		t.Error("zoom-in with larger radius accepted")
+	}
+	if _, err := ZoomIn(e, prev, -0.1, false, false); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := ZoomIn(e, nil, 0.05, false, false); err == nil {
+		t.Error("nil solution accepted")
+	}
+}
+
+func TestZoomOutProducesValidSolution(t *testing.T) {
+	pts := randomPoints(500, 2, 15)
+	m := object.Euclidean{}
+	variants := []ZoomOutVariant{ZoomOutPlain, ZoomOutGreedyA, ZoomOutGreedyB, ZoomOutGreedyC}
+	for engName, e := range bothEngines(t, pts, m) {
+		prev := baseSolution(t, e, 0.05)
+		for _, v := range variants {
+			zoomed, err := ZoomOut(e, prev, 0.1, v)
+			if err != nil {
+				t.Fatalf("%s %v: %v", engName, v, err)
+			}
+			if err := VerifySolution(e, zoomed); err != nil {
+				t.Errorf("%s %v: invalid: %v", engName, v, err)
+			}
+			if zoomed.Size() > prev.Size() {
+				t.Errorf("%s %v: zoom-out grew the solution (%d -> %d)", engName, v, prev.Size(), zoomed.Size())
+			}
+		}
+	}
+}
+
+func TestZoomOutKeepsOverlapWithPrevious(t *testing.T) {
+	// The point of incremental zoom-out is staying close to the previous
+	// result: the adapted solution must share representatives with S^r,
+	// and variant (b) is designed to maximise that overlap.
+	pts := randomPoints(800, 2, 16)
+	m := object.Euclidean{}
+	e := flatEngine(t, pts, m)
+	prev := baseSolution(t, e, 0.04)
+	scratch := GreedyDisC(e, 0.08, GreedyOptions{Update: UpdateGrey})
+	for _, v := range []ZoomOutVariant{ZoomOutPlain, ZoomOutGreedyA, ZoomOutGreedyB, ZoomOutGreedyC} {
+		zoomed, err := ZoomOut(e, prev, 0.08, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Jaccard(prev, zoomed) > Jaccard(prev, scratch) {
+			t.Errorf("%v: zoomed solution farther from previous than from-scratch", v)
+		}
+	}
+}
+
+func TestZoomOutRejectsBadArguments(t *testing.T) {
+	pts := randomPoints(100, 2, 17)
+	m := object.Euclidean{}
+	e := flatEngine(t, pts, m)
+	prev := baseSolution(t, e, 0.1)
+	if _, err := ZoomOut(e, prev, 0.05, ZoomOutPlain); err == nil {
+		t.Error("zoom-out with smaller radius accepted")
+	}
+	empty := newSolution(len(pts), 0.1, "empty")
+	if _, err := ZoomOut(e, empty, 0.2, ZoomOutPlain); err == nil {
+		t.Error("empty previous solution accepted")
+	}
+}
+
+func TestZoomRoundTripStaysValid(t *testing.T) {
+	pts := randomPoints(400, 2, 18)
+	m := object.Euclidean{}
+	e := flatEngine(t, pts, m)
+	s := baseSolution(t, e, 0.08)
+	radii := []float64{0.05, 0.03, 0.06, 0.12, 0.04}
+	for _, r := range radii {
+		var err error
+		var next *Solution
+		if r < s.Radius {
+			next, err = ZoomIn(e, s, r, true, false)
+		} else {
+			next, err = ZoomOut(e, s, r, ZoomOutGreedyA)
+		}
+		if err != nil {
+			t.Fatalf("radius %g: %v", r, err)
+		}
+		if err := VerifySolution(e, next); err != nil {
+			t.Fatalf("radius %g: %v", r, err)
+		}
+		s = next
+	}
+}
+
+func TestLocalZoomIn(t *testing.T) {
+	pts := randomPoints(500, 2, 19)
+	m := object.Euclidean{}
+	for engName, e := range bothEngines(t, pts, m) {
+		prev := baseSolution(t, e, 0.15)
+		center := prev.IDs[0]
+		for _, greedy := range []bool{false, true} {
+			res, err := LocalZoomIn(e, prev, center, 0.05, greedy)
+			if err != nil {
+				t.Fatalf("%s greedy=%v: %v", engName, greedy, err)
+			}
+			// The previous representatives must all survive.
+			for _, id := range prev.IDs {
+				if !containsInt(res.Final, id) {
+					t.Errorf("%s: representative %d dropped by local zoom-in", engName, id)
+				}
+			}
+			// Region coverage at the local radius: every region object
+			// must be within rNew of some final representative.
+			for _, id := range res.Region {
+				covered := false
+				for _, b := range res.Final {
+					if m.Dist(pts[id], pts[b]) <= 0.05 {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("%s greedy=%v: region object %d uncovered at local radius", engName, greedy, id)
+				}
+			}
+			// Added representatives must be inside the region and
+			// mutually independent at the local radius.
+			for i, a := range res.Added {
+				if !containsInt(res.Region, a) {
+					t.Errorf("%s: added %d outside region", engName, a)
+				}
+				for _, b := range res.Added[i+1:] {
+					if d := m.Dist(pts[a], pts[b]); d <= 0.05 {
+						t.Errorf("%s: added representatives %d,%d at distance %g", engName, a, b, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLocalZoomInRejectsNonRepresentative(t *testing.T) {
+	pts := randomPoints(200, 2, 20)
+	e := flatEngine(t, pts, object.Euclidean{})
+	prev := baseSolution(t, e, 0.1)
+	nonRep := -1
+	for id := range pts {
+		if !prev.Contains(id) {
+			nonRep = id
+			break
+		}
+	}
+	if _, err := LocalZoomIn(e, prev, nonRep, 0.05, false); err == nil {
+		t.Error("non-representative centre accepted")
+	}
+}
+
+func TestLocalZoomOut(t *testing.T) {
+	pts := randomPoints(600, 2, 21)
+	m := object.Euclidean{}
+	e := flatEngine(t, pts, m)
+	prev := baseSolution(t, e, 0.05)
+	center := prev.IDs[0]
+	res, err := LocalZoomOut(e, prev, center, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsInt(res.Final, center) {
+		t.Fatal("centre dropped by local zoom-out")
+	}
+	// Removed representatives must lie within the new radius of centre.
+	for _, id := range res.Removed {
+		if d := m.Dist(pts[id], pts[center]); d > 0.15 {
+			t.Errorf("removed %d at distance %g > rNew", id, d)
+		}
+	}
+	// Global coverage must hold with mixed radii: each object is within
+	// rNew of centre or within the original radius of a surviving
+	// representative.
+	for id := range pts {
+		if m.Dist(pts[id], pts[center]) <= 0.15 {
+			continue
+		}
+		covered := false
+		for _, b := range res.Final {
+			if m.Dist(pts[id], pts[b]) <= prev.Radius {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("object %d lost coverage after local zoom-out", id)
+		}
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

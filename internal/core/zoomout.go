@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// ZoomOutVariant selects the first-pass ordering of Zoom-Out
+// (Section 3.2 / Algorithm 3).
+type ZoomOutVariant int
+
+const (
+	// ZoomOutPlain examines the previous representatives in scan order
+	// (the non-greedy Zoom-Out).
+	ZoomOutPlain ZoomOutVariant = iota
+	// ZoomOutGreedyA selects the red object with the *largest* number of
+	// red neighbours, aiming to discard many old representatives per
+	// selection (variation (a), the paper's Algorithm 3).
+	ZoomOutGreedyA
+	// ZoomOutGreedyB selects the red object with the *smallest* number
+	// of red neighbours, aiming to keep S^r ∩ S^r' large (variation (b)).
+	ZoomOutGreedyB
+	// ZoomOutGreedyC selects the red object with the largest number of
+	// white neighbours (variation (c)); its keys are recomputed with
+	// fresh range queries every round, which is why the paper found its
+	// cost can exceed computing a solution from scratch.
+	ZoomOutGreedyC
+)
+
+// String implements fmt.Stringer.
+func (v ZoomOutVariant) String() string {
+	switch v {
+	case ZoomOutPlain:
+		return "Zoom-Out"
+	case ZoomOutGreedyA:
+		return "Greedy-Zoom-Out (a)"
+	case ZoomOutGreedyB:
+		return "Greedy-Zoom-Out (b)"
+	case ZoomOutGreedyC:
+		return "Greedy-Zoom-Out (c)"
+	default:
+		return fmt.Sprintf("Zoom-Out(%d)", int(v))
+	}
+}
+
+// ZoomOut adapts an existing solution to a larger radius
+// rNew > prev.Radius. Pass one re-examines the previous representatives
+// (now "red"): each selected red covers — and thereby removes — the red
+// neighbours that are no longer dissimilar at the larger radius. Pass two
+// covers any objects left uncovered. Greedy variants select whites by
+// descending white-neighbourhood size in the second pass; the plain
+// variant takes them in scan order.
+func ZoomOut(e Engine, prev *Solution, rNew float64, variant ZoomOutVariant) (*Solution, error) {
+	if err := checkZoomArgs(e, prev, rNew); err != nil {
+		return nil, err
+	}
+	if rNew <= prev.Radius {
+		return nil, fmt.Errorf("core: zoom-out radius %g not larger than %g", rNew, prev.Radius)
+	}
+	if len(prev.IDs) == 0 {
+		return nil, fmt.Errorf("core: zoom-out: previous solution is empty")
+	}
+
+	n := e.Size()
+	s := newSolution(n, rNew, variant.String())
+	for _, id := range prev.IDs {
+		s.Colors[id] = Red
+	}
+	start := e.Accesses()
+
+	colorNeighbors := func(ns []object.Neighbor) {
+		for _, nb := range ns {
+			if c := s.Colors[nb.ID]; c == White || c == Red {
+				s.Colors[nb.ID] = Grey
+			}
+			if nb.Dist < s.DistBlack[nb.ID] {
+				s.DistBlack[nb.ID] = nb.Dist
+			}
+		}
+	}
+
+	switch variant {
+	case ZoomOutPlain:
+		zoomOutPassOnePlain(e, s, prev, rNew, colorNeighbors)
+	case ZoomOutGreedyC:
+		zoomOutPassOneWhiteKey(e, s, prev, rNew, colorNeighbors)
+	default:
+		zoomOutPassOneRedKey(e, s, prev, rNew, variant == ZoomOutGreedyA, colorNeighbors)
+	}
+
+	// Pass two: cover the objects no representative reaches at rNew.
+	if variant == ZoomOutPlain {
+		for _, pi := range e.ScanOrder() {
+			if s.Colors[pi] != White {
+				continue
+			}
+			s.selectBlack(pi)
+			colorNeighbors(e.Neighbors(pi, rNew))
+		}
+	} else {
+		zoomOutPassTwoGreedy(e, s, rNew, colorNeighbors)
+	}
+
+	s.DistBlackExact = true
+	s.Accesses = e.Accesses() - start
+	return s, nil
+}
+
+// zoomOutPassOnePlain processes the old representatives in scan order.
+func zoomOutPassOnePlain(e Engine, s *Solution, prev *Solution, rNew float64, colorNeighbors func([]object.Neighbor)) {
+	rank := scanRank(e)
+	reds := append([]int(nil), prev.IDs...)
+	sort.Slice(reds, func(i, j int) bool { return rank[reds[i]] < rank[reds[j]] })
+	for _, pi := range reds {
+		if s.Colors[pi] != Red {
+			continue // covered by an earlier selection
+		}
+		s.selectBlack(pi)
+		colorNeighbors(e.Neighbors(pi, rNew))
+	}
+}
+
+// zoomOutPassOneRedKey implements variations (a) and (b): reds are keyed
+// by their current number of red neighbours. One range query per red
+// establishes both the keys and the cached neighbourhoods reused when the
+// red is selected; counts are maintained through the red-red adjacency.
+func zoomOutPassOneRedKey(e Engine, s *Solution, prev *Solution, rNew float64, largest bool, colorNeighbors func([]object.Neighbor)) {
+	reds := append([]int(nil), prev.IDs...)
+	sort.Ints(reds)
+	cached := make(map[int][]object.Neighbor, len(reds))
+	redAdj := make(map[int][]int, len(reds))
+	redCount := make(map[int]int, len(reds))
+	for _, pi := range reds {
+		ns := e.Neighbors(pi, rNew)
+		cached[pi] = ns
+		for _, nb := range ns {
+			if s.Colors[nb.ID] == Red {
+				redAdj[pi] = append(redAdj[pi], nb.ID)
+			}
+		}
+		redCount[pi] = len(redAdj[pi])
+	}
+	remaining := len(reds)
+	for remaining > 0 {
+		best, bestKey := -1, 0
+		for _, pi := range reds {
+			if s.Colors[pi] != Red {
+				continue
+			}
+			k := redCount[pi]
+			if best == -1 || (largest && k > bestKey) || (!largest && k < bestKey) {
+				best, bestKey = pi, k
+			}
+		}
+		if best == -1 {
+			break
+		}
+		// Selecting best removes it and every red it covers from the
+		// red set; their red neighbours' keys drop accordingly.
+		leaveRed := func(x int) {
+			remaining--
+			for _, y := range redAdj[x] {
+				if s.Colors[y] == Red {
+					redCount[y]--
+				}
+			}
+		}
+		s.selectBlack(best)
+		leaveRed(best)
+		for _, nb := range cached[best] {
+			if s.Colors[nb.ID] == Red {
+				s.Colors[nb.ID] = Grey
+				leaveRed(nb.ID)
+			}
+		}
+		colorNeighbors(cached[best])
+	}
+}
+
+// zoomOutPassOneWhiteKey implements variation (c): each round recomputes,
+// with fresh range queries, how many still-white objects every remaining
+// red would cover, then selects the maximum.
+func zoomOutPassOneWhiteKey(e Engine, s *Solution, prev *Solution, rNew float64, colorNeighbors func([]object.Neighbor)) {
+	reds := append([]int(nil), prev.IDs...)
+	sort.Ints(reds)
+	remaining := len(reds)
+	for remaining > 0 {
+		best := -1
+		bestKey := -1
+		var bestNS []object.Neighbor
+		for _, pi := range reds {
+			if s.Colors[pi] != Red {
+				continue
+			}
+			ns := e.Neighbors(pi, rNew)
+			k := 0
+			for _, nb := range ns {
+				if s.Colors[nb.ID] == White {
+					k++
+				}
+			}
+			if k > bestKey {
+				best, bestKey, bestNS = pi, k, ns
+			}
+		}
+		if best == -1 {
+			break
+		}
+		s.selectBlack(best)
+		remaining--
+		for _, nb := range bestNS {
+			if s.Colors[nb.ID] == Red {
+				remaining--
+			}
+		}
+		colorNeighbors(bestNS)
+	}
+}
+
+// zoomOutPassTwoGreedy covers the remaining whites by descending
+// white-neighbourhood size (Algorithm 3, lines 12-19).
+func zoomOutPassTwoGreedy(e Engine, s *Solution, rNew float64, colorNeighbors func([]object.Neighbor)) {
+	n := e.Size()
+	nw := make([]int, n)
+	h := newLazyHeap(64)
+	any := false
+	for id := 0; id < n; id++ {
+		if s.Colors[id] != White {
+			continue
+		}
+		any = true
+		for _, nb := range e.Neighbors(id, rNew) {
+			if s.Colors[nb.ID] == White {
+				nw[id]++
+			}
+		}
+		h.push(id, nw[id])
+	}
+	if !any {
+		return
+	}
+	for {
+		pi, ok := h.popValid(func(id, key int) bool {
+			return s.Colors[id] == White && key == nw[id]
+		})
+		if !ok {
+			return
+		}
+		s.selectBlack(pi)
+		ns := e.Neighbors(pi, rNew)
+		newGrey := make([]object.Neighbor, 0, len(ns))
+		for _, nb := range ns {
+			if s.Colors[nb.ID] == White {
+				newGrey = append(newGrey, nb)
+			}
+		}
+		colorNeighbors(ns)
+		for _, gj := range newGrey {
+			for _, nk := range e.Neighbors(gj.ID, rNew) {
+				if s.Colors[nk.ID] == White {
+					nw[nk.ID]--
+					h.push(nk.ID, nw[nk.ID])
+				}
+			}
+		}
+	}
+}
+
+// scanRank maps every object id to its position in the engine's scan
+// order without charging accesses twice for algorithms that need ranks
+// only once.
+func scanRank(e Engine) []int {
+	rank := make([]int, e.Size())
+	for pos, id := range e.ScanOrder() {
+		rank[id] = pos
+	}
+	return rank
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// CamerasSize matches the cardinality of the paper's Acme camera database.
+const CamerasSize = 579
+
+// Camera attribute dimensions, in order.
+const (
+	CamBrand = iota
+	CamLine
+	CamMegapixels
+	CamZoom
+	CamInterface
+	CamBattery
+	CamStorage
+	camDims
+)
+
+var cameraAttrNames = []string{
+	"brand", "line", "megapixels", "zoom", "interface", "battery", "storage",
+}
+
+var cameraBrands = []string{
+	"Canon", "Nikon", "Sony", "FujiFilm", "Olympus", "Pentax",
+	"Kodak", "Casio", "Ricoh", "Toshiba", "Epson", "Minolta",
+}
+
+var cameraLines = []string{
+	"A", "S", "ELPH", "Pro", "Coolpix", "FinePix", "Optio",
+	"Mavica", "PhotoPC", "IXUS", "PowerShot", "Cyber",
+	"mju", "RDC", "PDR", "EX",
+}
+
+var cameraMegapixels = []string{
+	"0.8", "1.2", "1.4", "1.9", "2.2", "3.1", "3.9", "6.0", "8.0", "14.0",
+}
+
+var cameraZooms = []string{"no", "2.2x", "3.0x", "4.0x", "6.0x", "10.0x", "35.0x"}
+
+var cameraInterfaces = []string{"serial", "USB", "serial+USB", "USB+FireWire", "none"}
+
+var cameraBatteries = []string{"AA", "lithium", "NiMH", "NiCd", "AA+lithium"}
+
+var cameraStorages = []string{
+	"CompactFlash", "SmartMedia", "SecureDigital", "MemoryStick",
+	"MultiMediaCard", "xD-PictureCard", "internal",
+}
+
+// Cameras returns a deterministic stand-in for the paper's "Cameras"
+// dataset: 579 digital cameras described by 7 categorical characteristics
+// (brand, product line, megapixels, zoom, interface, battery, storage),
+// compared with the Hamming distance.
+//
+// The real Acme database is no longer available; the generator mirrors its
+// schema and, crucially, the attribute correlations that make Hamming
+// radii 1..6 meaningful: cameras of the same brand share product lines and
+// lean towards house-specific interfaces, batteries and storage types, and
+// megapixels correlate with zoom (product generations). Category codes are
+// stored as float64 coordinate values; Dataset.Values maps them back to
+// strings for display.
+func Cameras(seed uint64) *object.Dataset {
+	rng := newRNG(seed ^ 0xca3e7a5)
+	ds := &object.Dataset{
+		Name:      "cameras",
+		Points:    make([]object.Point, 0, CamerasSize),
+		Labels:    make([]string, 0, CamerasSize),
+		AttrNames: cameraAttrNames,
+		Values: [][]string{
+			cameraBrands, cameraLines, cameraMegapixels, cameraZooms,
+			cameraInterfaces, cameraBatteries, cameraStorages,
+		},
+	}
+
+	// Per-brand house style: preferred lines, interface, battery and
+	// storage, fixed once per brand.
+	type house struct {
+		lines            []int
+		iface, batt, sto int
+	}
+	houses := make([]house, len(cameraBrands))
+	for b := range houses {
+		nLines := 2 + rng.IntN(3)
+		lines := rng.Perm(len(cameraLines))[:nLines]
+		houses[b] = house{
+			lines: lines,
+			iface: rng.IntN(len(cameraInterfaces)),
+			batt:  rng.IntN(len(cameraBatteries)),
+			sto:   rng.IntN(len(cameraStorages)),
+		}
+	}
+	// Brand market share is skewed (Canon/Nikon/Sony dominate), like the
+	// real catalogue.
+	brandWeight := make([]float64, len(cameraBrands))
+	var wsum float64
+	for b := range brandWeight {
+		brandWeight[b] = 1 / float64(b+1)
+		wsum += brandWeight[b]
+	}
+	pickBrand := func() int {
+		x := rng.Float64() * wsum
+		for b, w := range brandWeight {
+			if x <= w {
+				return b
+			}
+			x -= w
+		}
+		return len(brandWeight) - 1
+	}
+	// choose returns preferred with probability p, else uniform.
+	choose := func(preferred, n int, p float64) int {
+		if rng.Float64() < p {
+			return preferred
+		}
+		return rng.IntN(n)
+	}
+
+	for i := 0; i < CamerasSize; i++ {
+		b := pickBrand()
+		h := houses[b]
+		line := h.lines[rng.IntN(len(h.lines))]
+		// Generation: later generations have more megapixels and zoom.
+		gen := rng.Float64()
+		mp := int(gen * float64(len(cameraMegapixels)))
+		if mp >= len(cameraMegapixels) {
+			mp = len(cameraMegapixels) - 1
+		}
+		zoomBase := int(gen * float64(len(cameraZooms)))
+		zoom := choose(zoomBase, len(cameraZooms), 0.7)
+		if zoom >= len(cameraZooms) {
+			zoom = len(cameraZooms) - 1
+		}
+		p := object.Point{
+			float64(b),
+			float64(line),
+			float64(mp),
+			float64(zoom),
+			float64(choose(h.iface, len(cameraInterfaces), 0.75)),
+			float64(choose(h.batt, len(cameraBatteries), 0.7)),
+			float64(choose(h.sto, len(cameraStorages), 0.7)),
+		}
+		ds.Points = append(ds.Points, p)
+		ds.Labels = append(ds.Labels, fmt.Sprintf("%s %s-%d",
+			cameraBrands[b], cameraLines[line], 100+i))
+	}
+	return ds
+}
+
+// CameraString renders one camera as a readable spec line.
+func CameraString(ds *object.Dataset, id int) string {
+	return fmt.Sprintf("%-22s %4s MP  zoom %-5s  %-12s %-10s %s",
+		ds.Label(id),
+		ds.ValueString(id, CamMegapixels),
+		ds.ValueString(id, CamZoom),
+		ds.ValueString(id, CamInterface),
+		ds.ValueString(id, CamBattery),
+		ds.ValueString(id, CamStorage))
+}

@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func TestUniformInUnitCube(t *testing.T) {
+	for _, d := range []int{2, 5, 10} {
+		ds, err := Uniform(1000, d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Len() != 1000 || ds.Dim() != d {
+			t.Fatalf("dims: n=%d d=%d", ds.Len(), ds.Dim())
+		}
+		assertInUnitCube(t, ds)
+	}
+}
+
+func TestClusteredInUnitCube(t *testing.T) {
+	ds, err := Clustered(2000, 3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2000 || ds.Dim() != 3 {
+		t.Fatalf("dims: n=%d d=%d", ds.Len(), ds.Dim())
+	}
+	assertInUnitCube(t, ds)
+}
+
+func TestClusteredIsDenserThanUniform(t *testing.T) {
+	// Clustered data must have substantially more close pairs: the paper
+	// relies on clustered solutions being smaller than uniform ones.
+	u, _ := Uniform(1500, 2, 3)
+	c, _ := Clustered(1500, 2, 0, 3)
+	m := object.Euclidean{}
+	count := func(ds *object.Dataset) int {
+		n := 0
+		for i := 0; i < ds.Len(); i++ {
+			for j := i + 1; j < ds.Len(); j++ {
+				if m.Dist(ds.Points[i], ds.Points[j]) <= 0.02 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	cu, cc := count(u), count(c)
+	if cc <= 2*cu {
+		t.Errorf("clustered close pairs %d not well above uniform %d", cc, cu)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, _ := Clustered(500, 2, 5, 42)
+	b, _ := Clustered(500, 2, 5, 42)
+	c, _ := Clustered(500, 2, 5, 43)
+	for i := range a.Points {
+		if !a.Points[i].Equal(b.Points[i]) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	same := true
+	for i := range a.Points {
+		if !a.Points[i].Equal(c.Points[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := Uniform(0, 2, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Clustered(10, 0, 2, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestCitiesShape(t *testing.T) {
+	ds := Cities(7)
+	if ds.Len() != CitiesSize {
+		t.Fatalf("cities size %d, want %d", ds.Len(), CitiesSize)
+	}
+	if ds.Dim() != 2 {
+		t.Fatalf("cities dim %d", ds.Dim())
+	}
+	assertInUnitCube(t, ds)
+	if len(ds.Labels) != ds.Len() {
+		t.Fatal("missing labels")
+	}
+	// The metro cores must be dramatically denser than the overall
+	// average: count points within 0.05 of the densest point.
+	m := object.Euclidean{}
+	athens := ds.Points[0] // first generated point is in the metro core
+	dense := 0
+	for _, p := range ds.Points {
+		if m.Dist(athens, p) <= 0.05 {
+			dense++
+		}
+	}
+	if dense < 300 {
+		t.Errorf("metro core only has %d points within 0.05", dense)
+	}
+}
+
+func TestCamerasShape(t *testing.T) {
+	ds := Cameras(7)
+	if ds.Len() != CamerasSize {
+		t.Fatalf("cameras size %d, want %d", ds.Len(), CamerasSize)
+	}
+	if ds.Dim() != 7 {
+		t.Fatalf("cameras dim %d", ds.Dim())
+	}
+	// Every coordinate must be a valid category code.
+	for id, p := range ds.Points {
+		for dim, v := range p {
+			if v != float64(int(v)) || int(v) < 0 || int(v) >= len(ds.Values[dim]) {
+				t.Fatalf("camera %d dim %d: invalid code %g", id, dim, v)
+			}
+		}
+	}
+	// Brand correlation: same-brand cameras must be closer on average
+	// under Hamming than different-brand ones.
+	m := object.Hamming{}
+	var sameSum, diffSum float64
+	var sameN, diffN int
+	for i := 0; i < ds.Len(); i++ {
+		for j := i + 1; j < ds.Len(); j++ {
+			d := m.Dist(ds.Points[i], ds.Points[j])
+			if ds.Points[i][CamBrand] == ds.Points[j][CamBrand] {
+				sameSum += d
+				sameN++
+			} else {
+				diffSum += d
+				diffN++
+			}
+		}
+	}
+	if sameSum/float64(sameN) >= diffSum/float64(diffN) {
+		t.Error("same-brand cameras not closer than different-brand ones")
+	}
+	if CameraString(ds, 0) == "" {
+		t.Error("empty camera string")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "clustered", "cities", "cameras"} {
+		ds, m, err := ByName(name, 500, 2, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Len() == 0 || m == nil {
+			t.Fatalf("%s: empty dataset or nil metric", name)
+		}
+	}
+	if _, _, err := ByName("nope", 0, 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	// Defaults: n=10000, d=2 for synthetic.
+	ds, _, err := ByName("uniform", 0, 0, 1)
+	if err != nil || ds.Len() != 10000 || ds.Dim() != 2 {
+		t.Errorf("defaults wrong: n=%d d=%d err=%v", ds.Len(), ds.Dim(), err)
+	}
+}
+
+func assertInUnitCube(t *testing.T, ds *object.Dataset) {
+	t.Helper()
+	for id, p := range ds.Points {
+		for dim, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("point %d dim %d: %g outside [0,1]", id, dim, v)
+			}
+		}
+	}
+}

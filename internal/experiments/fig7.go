@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+// Fig7 reproduces Figure 7 for one dataset: M-tree node accesses of
+// Basic-DisC and Grey-Greedy-DisC with and without the pruning rule, plus
+// Greedy-C (to which pruning does not apply), across the radius sweep.
+func Fig7(cfg Config, datasetName string) (*stats.Table, error) {
+	w, err := cfg.load(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	algorithms := []runner{runBasic, runBasicPruned, runGreyGreedy, runGreyGreedyPruned, runGreedyC}
+	return accessSweep(cfg, w, fmt.Sprintf("Figure 7 — node accesses (%s)", datasetName), algorithms)
+}
+
+// Fig8 reproduces Figure 8 for one dataset: node accesses of the pruned
+// Greedy-DisC family (Grey, White, Lazy-Grey, Lazy-White) next to pruned
+// Basic-DisC.
+func Fig8(cfg Config, datasetName string) (*stats.Table, error) {
+	w, err := cfg.load(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	algorithms := []runner{runBasicPruned, runGreyGreedyPruned, runWhiteGreedyPruned, runLazyGreyPruned, runLazyWhitePruned}
+	return accessSweep(cfg, w, fmt.Sprintf("Figure 8 — node accesses, pruned variants (%s)", datasetName), algorithms)
+}
+
+// accessSweep measures node accesses for each algorithm across the radius
+// sweep and renders one series per algorithm.
+func accessSweep(cfg Config, w *workload, title string, algorithms []runner) (*stats.Table, error) {
+	radii := cfg.radii(w.name)
+	series := make([]*stats.Series, len(algorithms))
+	for i, rn := range algorithms {
+		series[i] = &stats.Series{Name: rn.name}
+		for _, r := range radii {
+			run, _, err := cfg.execute(w, rn, r)
+			if err != nil {
+				return nil, err
+			}
+			series[i].Add(r, float64(run.accesses))
+		}
+	}
+	tab := stats.SeriesTable(title, "radius", series...)
+	printTables(cfg.out(), tab)
+	return tab, nil
+}
+
+// Fig7All runs Fig7 over all four datasets (Figure 7(a)-(d)).
+func Fig7All(cfg Config) ([]*stats.Table, error) {
+	return sweepAll(cfg, Fig7)
+}
+
+// Fig8All runs Fig8 over all four datasets (Figure 8(a)-(d)).
+func Fig8All(cfg Config) ([]*stats.Table, error) {
+	return sweepAll(cfg, Fig8)
+}
+
+func sweepAll(cfg Config, f func(Config, string) (*stats.Table, error)) ([]*stats.Table, error) {
+	var tabs []*stats.Table
+	for _, name := range []string{"uniform", "clustered", "cities", "cameras"} {
+		t, err := f(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, t)
+	}
+	return tabs, nil
+}

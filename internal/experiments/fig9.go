@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/dataset"
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+// Fig9Cardinality reproduces Figure 9(a)-(b): Greedy-DisC solution size
+// and node accesses on the Clustered dataset as cardinality grows from
+// 5000 to 15000, one series per radius.
+func Fig9Cardinality(cfg Config) ([]*stats.Table, error) {
+	sizes := []int{5000, 10000, 15000}
+	if cfg.Quick {
+		sizes = []int{1000, 2000, 3000}
+	}
+	radii := cfg.radii("clustered")
+
+	sizeSeries := make([]*stats.Series, len(radii))
+	accSeries := make([]*stats.Series, len(radii))
+	for i, r := range radii {
+		name := fmt.Sprintf("r=%g", r)
+		sizeSeries[i] = &stats.Series{Name: name}
+		accSeries[i] = &stats.Series{Name: name}
+	}
+	for _, n := range sizes {
+		ds, err := dataset.Clustered(n, cfg.dim(), 0, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		w := &workload{name: "clustered", ds: ds, metric: object.Euclidean{}}
+		for i, r := range radii {
+			run, _, err := cfg.execute(w, runGreyGreedyPruned, r)
+			if err != nil {
+				return nil, err
+			}
+			sizeSeries[i].Add(float64(n), float64(run.size))
+			accSeries[i].Add(float64(n), float64(run.accesses))
+		}
+	}
+	tabs := []*stats.Table{
+		stats.SeriesTable("Figure 9(a) — solution size vs cardinality (clustered)", "n", sizeSeries...),
+		stats.SeriesTable("Figure 9(b) — node accesses vs cardinality (clustered)", "n", accSeries...),
+	}
+	printTables(cfg.out(), tabs...)
+	return tabs, nil
+}
+
+// Fig9Dimensionality reproduces Figure 9(c)-(d): Greedy-DisC solution
+// size and node accesses on the Clustered dataset as dimensionality grows
+// from 2 to 10.
+func Fig9Dimensionality(cfg Config) ([]*stats.Table, error) {
+	dims := []int{2, 4, 6, 8, 10}
+	if cfg.Quick {
+		dims = []int{2, 6, 10}
+	}
+	radii := cfg.radii("clustered")
+
+	sizeSeries := make([]*stats.Series, len(radii))
+	accSeries := make([]*stats.Series, len(radii))
+	for i, r := range radii {
+		name := fmt.Sprintf("r=%g", r)
+		sizeSeries[i] = &stats.Series{Name: name}
+		accSeries[i] = &stats.Series{Name: name}
+	}
+	for _, d := range dims {
+		ds, err := dataset.Clustered(cfg.n(), d, 0, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		w := &workload{name: "clustered", ds: ds, metric: object.Euclidean{}}
+		for i, r := range radii {
+			run, _, err := cfg.execute(w, runGreyGreedyPruned, r)
+			if err != nil {
+				return nil, err
+			}
+			sizeSeries[i].Add(float64(d), float64(run.size))
+			accSeries[i].Add(float64(d), float64(run.accesses))
+		}
+	}
+	tabs := []*stats.Table{
+		stats.SeriesTable("Figure 9(c) — solution size vs dimensionality (clustered)", "d", sizeSeries...),
+		stats.SeriesTable("Figure 9(d) — node accesses vs dimensionality (clustered)", "d", accSeries...),
+	}
+	printTables(cfg.out(), tabs...)
+	return tabs, nil
+}

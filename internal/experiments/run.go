@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one named experiment with the given configuration.
+type Runner func(cfg Config) error
+
+// Registry maps experiment names (as accepted by cmd/discbench) to their
+// runners. Multi-dataset experiments run all their datasets.
+var Registry = map[string]Runner{
+	"table3": func(cfg Config) error { _, err := Table3All(cfg); return err },
+	"fig6": func(cfg Config) error {
+		_, err := Fig6(cfg)
+		return err
+	},
+	"fig7":     func(cfg Config) error { _, err := Fig7All(cfg); return err },
+	"fig8":     func(cfg Config) error { _, err := Fig8All(cfg); return err },
+	"fig9card": func(cfg Config) error { _, err := Fig9Cardinality(cfg); return err },
+	"fig9dim":  func(cfg Config) error { _, err := Fig9Dimensionality(cfg); return err },
+	"fig10": func(cfg Config) error {
+		for _, ds := range []string{"uniform", "clustered"} {
+			if _, err := Fig10(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"zoomin": func(cfg Config) error {
+		for _, ds := range []string{"clustered", "cities"} {
+			if _, err := ZoomIn(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"zoomout": func(cfg Config) error {
+		for _, ds := range []string{"clustered", "cities"} {
+			if _, err := ZoomOut(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"capacity": func(cfg Config) error { _, err := Capacity(cfg); return err },
+	"fastc": func(cfg Config) error {
+		for _, ds := range []string{"uniform", "clustered"} {
+			if _, err := FastCAblation(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"bottomup": func(cfg Config) error {
+		_, err := BottomUp(cfg, "clustered")
+		return err
+	},
+	"buildinit": func(cfg Config) error {
+		_, err := BuildInit(cfg, "clustered")
+		return err
+	},
+}
+
+// Names returns the registered experiment names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes a registered experiment by name.
+func Run(name string, cfg Config) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(cfg)
+}
+
+// RunAll executes every registered experiment in name order.
+func RunAll(cfg Config) error {
+	for _, name := range Names() {
+		fmt.Fprintf(cfg.out(), "=== %s ===\n", name)
+		if err := Run(name, cfg); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+// Table3 reproduces Table 3 of the paper for one dataset: the solution
+// sizes of Basic-DisC, (Grey-)Greedy-DisC, the two lazy Greedy variants
+// and Greedy-C across the radius sweep.
+func Table3(cfg Config, datasetName string) (*stats.Table, error) {
+	w, err := cfg.load(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	radii := cfg.radii(datasetName)
+	algorithms := []runner{runBasic, runGreyGreedyPruned, runLazyGreyPruned, runLazyWhitePruned, runGreedyC}
+	labels := []string{"B-DisC", "G-DisC", "L-Gr-G-DisC", "L-Wh-G-DisC", "G-C"}
+
+	headers := []string{"algorithm"}
+	for _, r := range radii {
+		headers = append(headers, fmt.Sprintf("r=%g", r))
+	}
+	tab := stats.NewTable(fmt.Sprintf("Table 3 — solution size (%s, n=%d)", datasetName, w.ds.Len()), headers...)
+
+	for i, rn := range algorithms {
+		cells := []any{labels[i]}
+		for _, r := range radii {
+			run, _, err := cfg.execute(w, rn, r)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, run.size)
+		}
+		tab.AddRow(cells...)
+	}
+	printTables(cfg.out(), tab)
+	return tab, nil
+}
+
+// Table3All runs Table3 for all four datasets, like the paper's 3(a)-3(d).
+func Table3All(cfg Config) ([]*stats.Table, error) {
+	var tabs []*stats.Table
+	for _, name := range []string{"uniform", "clustered", "cities", "cameras"} {
+		t, err := Table3(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, t)
+	}
+	return tabs, nil
+}

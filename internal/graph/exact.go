@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// MaxExactVertices bounds the instance size the exponential exact solvers
+// accept.
+const MaxExactVertices = 26
+
+// MinIndependentDominatingSet computes a minimum independent dominating
+// set — the paper's optimum S* — by exhaustive search over vertex subsets
+// in increasing cardinality, using bitmask domination closures. It is
+// exponential and restricted to at most MaxExactVertices vertices; tests
+// use it to validate Theorem 1 (|S| ≤ B|S*|) and Theorem 2 (Greedy-C ≤
+// lnΔ · |S*|).
+func (g *Graph) MinIndependentDominatingSet() []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	if n > MaxExactVertices {
+		panic("graph: instance too large for exact MIDS")
+	}
+	closed := g.closedMasks()
+	full := uint32(1)<<uint(n) - 1
+
+	var best []int
+	var cur []int
+	bestSize := n + 1
+
+	// Branch on the lowest-indexed undominated vertex: any dominating
+	// set must contain it or one of its neighbours. Independence is
+	// enforced by tracking forbidden vertices (neighbours of chosen).
+	var rec func(dominated uint32, forbidden uint32)
+	rec = func(dominated, forbidden uint32) {
+		if len(cur) >= bestSize {
+			return
+		}
+		if dominated == full {
+			bestSize = len(cur)
+			best = append(best[:0], cur...)
+			return
+		}
+		v := bits.TrailingZeros32(^dominated)
+		// Candidates: v and its neighbours, skipping forbidden ones.
+		cands := []int{v}
+		cands = append(cands, g.Adj[v]...)
+		for _, c := range cands {
+			bit := uint32(1) << uint(c)
+			if forbidden&bit != 0 {
+				continue
+			}
+			// Choosing c forbids c's neighbours (independence).
+			var nf uint32
+			for _, w := range g.Adj[c] {
+				nf |= uint32(1) << uint(w)
+			}
+			cur = append(cur, c)
+			rec(dominated|closed[c], forbidden|bit|nf)
+			cur = cur[:len(cur)-1]
+		}
+		// Note: v itself must be dominated eventually; every dominating
+		// set contains a member of N+[v], so the loop above is complete.
+	}
+	rec(0, 0)
+	sort.Ints(best)
+	return best
+}
+
+func (g *Graph) closedMasks() []uint32 {
+	masks := make([]uint32, g.N())
+	for v := range g.Adj {
+		m := uint32(1) << uint(v)
+		for _, w := range g.Adj[v] {
+			m |= uint32(1) << uint(w)
+		}
+		masks[v] = m
+	}
+	return masks
+}
+
+// MaxIndependentNeighbors returns B, the maximum over vertices of the
+// size of a largest independent subset of the vertex's neighbourhood
+// (the bound parameter of Theorem 1). Exponential in the neighbourhood
+// size; intended for small test instances.
+func (g *Graph) MaxIndependentNeighbors() int {
+	best := 0
+	for v := range g.Adj {
+		if b := g.maxIndependentSubset(g.Adj[v]); b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+func (g *Graph) maxIndependentSubset(verts []int) int {
+	if len(verts) > MaxExactVertices {
+		panic("graph: neighbourhood too large for exact independent set")
+	}
+	best := 0
+	n := len(verts)
+	for mask := uint32(0); mask < uint32(1)<<uint(n); mask++ {
+		sz := bits.OnesCount32(mask)
+		if sz <= best {
+			continue
+		}
+		ok := true
+	pairs:
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<uint(j)) == 0 {
+					continue
+				}
+				if g.HasEdge(verts[i], verts[j]) {
+					ok = false
+					break pairs
+				}
+			}
+		}
+		if ok {
+			best = sz
+		}
+	}
+	return best
+}
+
+// OptimalMaxMin returns the k-subset of pts maximising the minimum
+// pairwise distance (the exact MaxMin optimum of Lemma 7) together with
+// that distance. Exhaustive over k-subsets; restricted to small inputs.
+func OptimalMaxMin(pts []object.Point, m object.Metric, k int) ([]int, float64) {
+	n := len(pts)
+	if k <= 0 || k > n {
+		return nil, 0
+	}
+	if k == 1 {
+		return []int{0}, math.Inf(1)
+	}
+	if n > MaxExactVertices {
+		panic("graph: instance too large for exact MaxMin")
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = m.Dist(pts[i], pts[j])
+		}
+	}
+	var best []int
+	bestMin := -1.0
+	idx := make([]int, k)
+	var rec func(start, depth int, curMin float64)
+	rec = func(start, depth int, curMin float64) {
+		if depth == k {
+			if curMin > bestMin {
+				bestMin = curMin
+				best = append(best[:0], idx...)
+			}
+			return
+		}
+		for v := start; v <= n-(k-depth); v++ {
+			nm := curMin
+			ok := true
+			for i := 0; i < depth; i++ {
+				d := dist[idx[i]][v]
+				if d <= bestMin {
+					ok = false
+					break
+				}
+				if d < nm {
+					nm = d
+				}
+			}
+			if !ok {
+				continue
+			}
+			idx[depth] = v
+			rec(v+1, depth+1, nm)
+		}
+	}
+	rec(0, 0, math.Inf(1))
+	sort.Ints(best)
+	return best, bestMin
+}

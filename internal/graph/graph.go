@@ -1,0 +1,130 @@
+// Package graph provides the graph-theoretic substrate of the paper
+// (Section 2.2): the graph G_{P,r} whose vertices are objects and whose
+// edges connect objects within distance r, together with checkers for
+// independence and domination and exact solvers used by the test suite to
+// validate the heuristics' approximation bounds (Theorems 1 and 2,
+// Lemma 7).
+package graph
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// Graph is an undirected graph in adjacency-list form over vertices
+// 0..n-1.
+type Graph struct {
+	Adj [][]int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Adj) }
+
+// Build constructs G_{P,r}: vertex per object, edge iff dist ≤ r.
+// O(n^2) distance computations; intended for analysis and tests.
+func Build(pts []object.Point, m object.Metric, r float64) *Graph {
+	n := len(pts)
+	g := &Graph{Adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.Dist(pts[i], pts[j]) <= r {
+				g.Adj[i] = append(g.Adj[i], j)
+				g.Adj[j] = append(g.Adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.Adj[v]) }
+
+// MaxDegree returns Δ, the maximum degree (Theorem 2's bound parameter).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.Adj {
+		if d := len(g.Adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether (u,v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsIndependent reports whether no two vertices of set share an edge.
+func (g *Graph) IsIndependent(set []int) bool {
+	in := g.member(set)
+	for _, v := range set {
+		for _, w := range g.Adj[v] {
+			if in[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDominating reports whether every vertex is in set or adjacent to a
+// member of set.
+func (g *Graph) IsDominating(set []int) bool {
+	in := g.member(set)
+	for v := range g.Adj {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Adj[v] {
+			if in[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether set is independent and no vertex
+// can be added without breaking independence. By Lemma 1 this is
+// equivalent to IsIndependent && IsDominating.
+func (g *Graph) IsMaximalIndependent(set []int) bool {
+	return g.IsIndependent(set) && g.IsDominating(set)
+}
+
+func (g *Graph) member(set []int) []bool {
+	in := make([]bool, len(g.Adj))
+	for _, v := range set {
+		in[v] = true
+	}
+	return in
+}
+
+// Validate checks adjacency symmetry and bounds; used by tests.
+func (g *Graph) Validate() error {
+	for v, ns := range g.Adj {
+		for _, w := range ns {
+			if w < 0 || w >= len(g.Adj) {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
+			}
+			if w == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if !g.HasEdge(w, v) {
+				return fmt.Errorf("graph: asymmetric edge %d-%d", v, w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package mtree
+
+import (
+	"math"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// queryOpts bundles the variations of a range query.
+type queryOpts struct {
+	// pruned skips subtrees with no white objects (the paper's pruning
+	// rule) and reports only white objects. Requires coverage tracking.
+	pruned bool
+	// exclude is an object id omitted from the result (-1 for none);
+	// range queries around an object must not report the object itself.
+	exclude int
+}
+
+// RangeQuery returns all objects within distance r of q, with their
+// distances, in ascending id order is NOT guaranteed; callers that need
+// determinism must sort. Every visited node counts as one access.
+func (t *Tree) RangeQuery(q object.Point, r float64) []object.Neighbor {
+	return t.rangeSearch(q, r, queryOpts{exclude: -1})
+}
+
+// RangeQueryAround returns the neighbours of object id within distance r,
+// excluding the object itself.
+func (t *Tree) RangeQueryAround(id int, r float64) []object.Neighbor {
+	return t.rangeSearch(t.pts[id], r, queryOpts{exclude: id})
+}
+
+// RangeQueryPruned behaves like RangeQueryAround but applies the paper's
+// pruning rule: subtrees without white objects are skipped entirely and
+// only white objects are reported. Coverage tracking must be enabled.
+func (t *Tree) RangeQueryPruned(id int, r float64) []object.Neighbor {
+	t.requireTracking()
+	return t.rangeSearch(t.pts[id], r, queryOpts{pruned: true, exclude: id})
+}
+
+// RangeQueryPointPruned is the pruned range query for an arbitrary centre.
+func (t *Tree) RangeQueryPointPruned(q object.Point, r float64) []object.Neighbor {
+	t.requireTracking()
+	return t.rangeSearch(q, r, queryOpts{pruned: true, exclude: -1})
+}
+
+func (t *Tree) requireTracking() {
+	if !t.tracking {
+		panic("mtree: pruned query requires coverage tracking (EnableTracking)")
+	}
+}
+
+func (t *Tree) rangeSearch(q object.Point, r float64, opts queryOpts) []object.Neighbor {
+	var out []object.Neighbor
+	t.searchNode(t.root, q, r, math.NaN(), opts, &out)
+	return out
+}
+
+// searchNode processes one node. dqParent is the precomputed distance from
+// q to the node's pivot (NaN when unknown, e.g. at the root), enabling the
+// triangle-inequality shortcut on each entry's stored parent distance.
+func (t *Tree) searchNode(n *node, q object.Point, r float64, dqParent float64, opts queryOpts, out *[]object.Neighbor) {
+	t.touch(n)
+	cheap := !math.IsNaN(dqParent)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			if opts.pruned && !t.white[e.id] {
+				continue
+			}
+			if e.id == opts.exclude {
+				continue
+			}
+			if cheap && math.Abs(dqParent-e.dparent) > r {
+				continue
+			}
+			if d := t.cfg.Metric.Dist(q, e.pt); d <= r {
+				*out = append(*out, object.Neighbor{ID: e.id, Dist: d})
+			}
+			continue
+		}
+		if opts.pruned && e.child.whiteCount == 0 {
+			continue
+		}
+		if cheap && math.Abs(dqParent-e.dparent) > r+e.radius {
+			continue
+		}
+		if d := t.cfg.Metric.Dist(q, e.pt); d <= r+e.radius {
+			t.searchNode(e.child, q, r, d, opts, out)
+		}
+	}
+}
+
+// RangeQueryBottomUp answers a range query around object id by starting at
+// the object's leaf and climbing towards the root, searching sibling
+// subtrees at each level. With stopAtGrey set the climb stops at the first
+// grey (fully covered) ancestor, which is the approximate query used by
+// the Fast-C heuristic: it may miss neighbours stored in distant leaves.
+func (t *Tree) RangeQueryBottomUp(id int, r float64, stopAtGrey, pruned bool) []object.Neighbor {
+	if pruned {
+		t.requireTracking()
+	}
+	opts := queryOpts{pruned: pruned, exclude: id}
+	q := t.pts[id]
+	cur := t.loc[id].leaf
+	var out []object.Neighbor
+	var dqp float64 = math.NaN()
+	if cur.pivot != nil {
+		dqp = t.cfg.Metric.Dist(q, cur.pivot)
+	}
+	t.searchLeafOnly(cur, q, r, dqp, opts, &out)
+	for cur.parent != nil {
+		parent := cur.parent
+		// Fast-C's early stop: once an ancestor is grey (no white
+		// objects below it) and its region already contains the whole
+		// query ball, climbing further can only find objects stored in
+		// overlapping siblings — rare in a low-overlap tree — so the
+		// search ends here. The containment guard keeps the
+		// approximation from collapsing for query balls much larger
+		// than the local regions.
+		if stopAtGrey && t.tracking && parent.whiteCount == 0 &&
+			parent.pivot != nil && t.cfg.Metric.Dist(q, parent.pivot)+r <= parent.radius {
+			break
+		}
+		t.touch(parent)
+		var dqParent float64 = math.NaN()
+		if parent.pivot != nil {
+			dqParent = t.cfg.Metric.Dist(q, parent.pivot)
+		}
+		cheap := !math.IsNaN(dqParent)
+		for i := range parent.entries {
+			e := &parent.entries[i]
+			if e.child == cur {
+				continue
+			}
+			if opts.pruned && e.child.whiteCount == 0 {
+				continue
+			}
+			if cheap && math.Abs(dqParent-e.dparent) > r+e.radius {
+				continue
+			}
+			if d := t.cfg.Metric.Dist(q, e.pt); d <= r+e.radius {
+				t.searchNode(e.child, q, r, d, opts, &out)
+			}
+		}
+		cur = parent
+	}
+	return out
+}
+
+// searchLeafOnly scans the entries of a single leaf without recursion.
+func (t *Tree) searchLeafOnly(n *node, q object.Point, r float64, dqParent float64, opts queryOpts, out *[]object.Neighbor) {
+	t.touch(n)
+	cheap := !math.IsNaN(dqParent)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if opts.pruned && !t.white[e.id] {
+			continue
+		}
+		if e.id == opts.exclude {
+			continue
+		}
+		if cheap && math.Abs(dqParent-e.dparent) > r {
+			continue
+		}
+		if d := t.cfg.Metric.Dist(q, e.pt); d <= r {
+			*out = append(*out, object.Neighbor{ID: e.id, Dist: d})
+		}
+	}
+}
+
+// ScanIDs returns all object ids in leaf-chain (left-to-right) order, the
+// locality-preserving order Basic-DisC processes objects in. Each leaf
+// visited counts as one node access.
+func (t *Tree) ScanIDs() []int {
+	ids := make([]int, 0, t.size)
+	for l := t.firstLeaf; l != nil; l = l.next {
+		t.touch(l)
+		for i := range l.entries {
+			ids = append(ids, l.entries[i].id)
+		}
+	}
+	return ids
+}
+
+// LeafOrderIndex returns, for every object id, its rank in the leaf scan
+// order. No accesses are charged; this is derived bookkeeping.
+func (t *Tree) LeafOrderIndex() []int {
+	rank := make([]int, len(t.pts))
+	pos := 0
+	for l := t.firstLeaf; l != nil; l = l.next {
+		for i := range l.entries {
+			rank[l.entries[i].id] = pos
+			pos++
+		}
+	}
+	return rank
+}

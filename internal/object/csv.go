@@ -1,0 +1,77 @@
+package object
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises the dataset. The first column is the label (possibly
+// empty), followed by one column per coordinate. A header row with
+// attribute names is emitted when available.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	dim := d.Dim()
+	header := make([]string, 0, dim+1)
+	header = append(header, "label")
+	for i := 0; i < dim; i++ {
+		if i < len(d.AttrNames) {
+			header = append(header, d.AttrNames[i])
+		} else {
+			header = append(header, fmt.Sprintf("x%d", i))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("object: write csv header: %w", err)
+	}
+	row := make([]string, dim+1)
+	for id, p := range d.Points {
+		if id < len(d.Labels) {
+			row[0] = d.Labels[id]
+		} else {
+			row[0] = ""
+		}
+		for i, v := range p {
+			row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("object: write csv row %d: %w", id, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("object: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("object: read csv: empty input")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "label" {
+		return nil, fmt.Errorf("object: read csv: malformed header %v", header)
+	}
+	d := &Dataset{AttrNames: append([]string(nil), header[1:]...)}
+	for n, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("object: read csv: row %d has %d fields, want %d", n+1, len(rec), len(header))
+		}
+		p := make(Point, len(rec)-1)
+		for i, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("object: read csv: row %d col %d: %w", n+1, i+1, err)
+			}
+			p[i] = v
+		}
+		d.Points = append(d.Points, p)
+		d.Labels = append(d.Labels, rec[0])
+	}
+	return d, nil
+}

@@ -1,0 +1,111 @@
+package object
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset bundles a point collection with optional human-readable labels
+// and attribute names. Labels[i] describes Points[i] (e.g. a city or camera
+// name); AttrNames describe the coordinates. Values, when non-nil, maps a
+// categorical coordinate value back to its string form:
+// Values[dim][int(code)] is the display string for that code.
+type Dataset struct {
+	Name      string
+	Points    []Point
+	Labels    []string
+	AttrNames []string
+	Values    [][]string
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return len(d.Points) }
+
+// Dim returns the dimensionality of the dataset (0 when empty).
+func (d *Dataset) Dim() int {
+	if len(d.Points) == 0 {
+		return 0
+	}
+	return len(d.Points[0])
+}
+
+// Label returns the label of object id, or a synthetic "#id" when labels
+// are absent.
+func (d *Dataset) Label(id int) string {
+	if id >= 0 && id < len(d.Labels) && d.Labels[id] != "" {
+		return d.Labels[id]
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// ValueString renders coordinate dim of object id, using the categorical
+// value table when available.
+func (d *Dataset) ValueString(id, dim int) string {
+	v := d.Points[id][dim]
+	if dim < len(d.Values) && d.Values[dim] != nil {
+		if k := int(v); k >= 0 && k < len(d.Values[dim]) {
+			return d.Values[dim][k]
+		}
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Bounds returns per-dimension [min, max] over all points.
+func (d *Dataset) Bounds() (lo, hi Point) {
+	dim := d.Dim()
+	lo = make(Point, dim)
+	hi = make(Point, dim)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	for _, p := range d.Points {
+		for i, v := range p {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Normalize rescales every dimension to [0, 1] in place, mirroring the
+// paper's preprocessing of the Cities dataset. Constant dimensions map
+// to 0.
+func (d *Dataset) Normalize() {
+	lo, hi := d.Bounds()
+	for _, p := range d.Points {
+		for i := range p {
+			span := hi[i] - lo[i]
+			if span <= 0 {
+				p[i] = 0
+				continue
+			}
+			p[i] = (p[i] - lo[i]) / span
+		}
+	}
+}
+
+// Subset returns a new dataset containing only the objects with the given
+// ids, in order. Labels and attribute metadata are carried over.
+func (d *Dataset) Subset(ids []int) *Dataset {
+	sub := &Dataset{
+		Name:      d.Name,
+		AttrNames: d.AttrNames,
+		Values:    d.Values,
+		Points:    make([]Point, 0, len(ids)),
+	}
+	if d.Labels != nil {
+		sub.Labels = make([]string, 0, len(ids))
+	}
+	for _, id := range ids {
+		sub.Points = append(sub.Points, d.Points[id])
+		if d.Labels != nil {
+			sub.Labels = append(sub.Labels, d.Labels[id])
+		}
+	}
+	return sub
+}

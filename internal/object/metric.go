@@ -1,0 +1,117 @@
+package object
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric is a distance function over points. Implementations must satisfy
+// the metric axioms (non-negativity, identity, symmetry, triangle
+// inequality); the M-tree relies on the triangle inequality for pruning.
+type Metric interface {
+	// Dist returns the distance between a and b. Both points must share
+	// the metric's expected dimensionality; behaviour is undefined (but
+	// never a panic beyond slice bounds) otherwise.
+	Dist(a, b Point) float64
+	// Name returns a short, stable identifier such as "euclidean".
+	Name() string
+}
+
+// Euclidean is the L2 metric used by the paper for all numeric datasets.
+type Euclidean struct{}
+
+// Dist returns sqrt(sum((a_i-b_i)^2)).
+func (Euclidean) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Manhattan is the L1 metric (paper Lemma 3 / Lemma 4(ii)).
+type Manhattan struct{}
+
+// Dist returns sum(|a_i-b_i|).
+func (Manhattan) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "manhattan" }
+
+// Chebyshev is the L∞ metric, provided for completeness.
+type Chebyshev struct{}
+
+// Dist returns max(|a_i-b_i|).
+func (Chebyshev) Dist(a, b Point) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Name implements Metric.
+func (Chebyshev) Name() string { return "chebyshev" }
+
+// Hamming counts the coordinates on which two points differ. It is the
+// metric the paper uses for the categorical Cameras dataset, where each
+// coordinate holds a category code.
+type Hamming struct{}
+
+// Dist returns the number of differing coordinates.
+func (Hamming) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		if a[i] != b[i] {
+			s++
+		}
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Hamming) Name() string { return "hamming" }
+
+// MetricByName resolves a metric from its Name(). It recognises
+// "euclidean", "manhattan", "chebyshev" and "hamming".
+func MetricByName(name string) (Metric, error) {
+	switch name {
+	case "euclidean", "l2":
+		return Euclidean{}, nil
+	case "manhattan", "l1":
+		return Manhattan{}, nil
+	case "chebyshev", "linf":
+		return Chebyshev{}, nil
+	case "hamming":
+		return Hamming{}, nil
+	default:
+		return nil, fmt.Errorf("object: unknown metric %q", name)
+	}
+}
+
+// MaxPairwiseDist returns the largest pairwise distance in pts (the radius
+// at which a single object covers everything). O(n^2); intended for small
+// inputs and experiment setup.
+func MaxPairwiseDist(pts []Point, m Metric) float64 {
+	var best float64
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := m.Dist(pts[i], pts[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}

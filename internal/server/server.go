@@ -1,0 +1,379 @@
+// Package server exposes DisC diversification as an HTTP service
+// (stdlib net/http only): upload a dataset, request diverse subsets at
+// any radius, and zoom results in or out interactively — the usage mode
+// the paper's introduction motivates, where each user adapts the
+// diversification degree of a shared query result.
+//
+// API (JSON everywhere):
+//
+//	POST /v1/datasets                     upload {name, metric, points, labels?}
+//	GET  /v1/datasets                     list datasets
+//	GET  /v1/datasets/{name}              dataset info
+//	POST /v1/datasets/{name}/select      {radius, algorithm?} -> result
+//	GET  /v1/results/{id}                 re-fetch a result
+//	POST /v1/results/{id}/zoom           {radius} -> adapted result
+//	POST /v1/results/{id}/localzoom      {center, radius} -> local view
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	disc "github.com/discdiversity/disc"
+)
+
+// Server is the HTTP handler. Create with New; it is safe for concurrent
+// use.
+type Server struct {
+	mux sync.Mutex
+
+	datasets map[string]*datasetState
+	results  map[string]*resultState
+	nextID   int
+}
+
+type datasetState struct {
+	name   string
+	metric string
+	div    *disc.Diversifier
+	labels []string
+	dim    int
+	size   int
+}
+
+type resultState struct {
+	id      string
+	dataset *datasetState
+	res     *disc.Result
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{
+		datasets: make(map[string]*datasetState),
+		results:  make(map[string]*resultState),
+	}
+}
+
+// Handler returns the routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/select", s.handleSelect)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleGetResult)
+	mux.HandleFunc("POST /v1/results/{id}/zoom", s.handleZoom)
+	mux.HandleFunc("POST /v1/results/{id}/localzoom", s.handleLocalZoom)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+type createDatasetRequest struct {
+	Name   string      `json:"name"`
+	Metric string      `json:"metric"`
+	Points [][]float64 `json:"points"`
+	Labels []string    `json:"labels,omitempty"`
+}
+
+type datasetInfo struct {
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
+	Size   int    `json:"size"`
+	Dim    int    `json:"dim"`
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req createDatasetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "dataset name required")
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "points required")
+		return
+	}
+	if req.Labels != nil && len(req.Labels) != len(req.Points) {
+		writeError(w, http.StatusBadRequest, "%d labels for %d points", len(req.Labels), len(req.Points))
+		return
+	}
+	metricName := req.Metric
+	if metricName == "" {
+		metricName = "euclidean"
+	}
+	metric, err := disc.MetricByName(metricName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pts := make([]disc.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = disc.Point(p)
+	}
+	div, err := disc.New(pts, disc.WithMetric(metric))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	if _, exists := s.datasets[req.Name]; exists {
+		writeError(w, http.StatusConflict, "dataset %q already exists", req.Name)
+		return
+	}
+	ds := &datasetState{
+		name:   req.Name,
+		metric: metricName,
+		div:    div,
+		labels: req.Labels,
+		dim:    len(pts[0]),
+		size:   len(pts),
+	}
+	s.datasets[req.Name] = ds
+	writeJSON(w, http.StatusCreated, datasetInfo{Name: ds.name, Metric: ds.metric, Size: ds.size, Dim: ds.dim})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	infos := make([]datasetInfo, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		infos = append(infos, datasetInfo{Name: ds.name, Metric: ds.metric, Size: ds.size, Dim: ds.dim})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	ds, ok := s.datasets[r.PathValue("name")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetInfo{Name: ds.name, Metric: ds.metric, Size: ds.size, Dim: ds.dim})
+}
+
+type selectRequest struct {
+	Radius    float64 `json:"radius"`
+	Algorithm string  `json:"algorithm,omitempty"`
+}
+
+type resultBody struct {
+	ID        string   `json:"id"`
+	Dataset   string   `json:"dataset"`
+	Radius    float64  `json:"radius"`
+	Algorithm string   `json:"algorithm"`
+	Size      int      `json:"size"`
+	IDs       []int    `json:"ids"`
+	Labels    []string `json:"labels,omitempty"`
+	Accesses  int64    `json:"accesses"`
+}
+
+func algorithmByName(name string) (disc.Algorithm, error) {
+	switch name {
+	case "", "greedy":
+		return disc.AlgorithmGreedy, nil
+	case "basic":
+		return disc.AlgorithmBasic, nil
+	case "white-greedy":
+		return disc.AlgorithmGreedyWhite, nil
+	case "lazy-grey":
+		return disc.AlgorithmLazyGrey, nil
+	case "lazy-white":
+		return disc.AlgorithmLazyWhite, nil
+	case "coverage":
+		return disc.AlgorithmCoverage, nil
+	case "fast-coverage":
+		return disc.AlgorithmFastCoverage, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	alg, err := algorithmByName(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	ds, ok := s.datasets[r.PathValue("name")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		return
+	}
+	res, err := ds.div.Select(req.Radius, disc.WithAlgorithm(alg))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs := s.storeResultLocked(ds, res)
+	writeJSON(w, http.StatusCreated, s.resultBodyLocked(rs))
+}
+
+// storeResultLocked registers a result and assigns it an id. Caller holds
+// the lock.
+func (s *Server) storeResultLocked(ds *datasetState, res *disc.Result) *resultState {
+	s.nextID++
+	rs := &resultState{id: "r" + strconv.Itoa(s.nextID), dataset: ds, res: res}
+	s.results[rs.id] = rs
+	return rs
+}
+
+func (s *Server) resultBodyLocked(rs *resultState) resultBody {
+	ids := rs.res.SortedIDs()
+	body := resultBody{
+		ID:        rs.id,
+		Dataset:   rs.dataset.name,
+		Radius:    rs.res.Radius(),
+		Algorithm: rs.res.Algorithm(),
+		Size:      rs.res.Size(),
+		IDs:       ids,
+		Accesses:  rs.res.Accesses(),
+	}
+	if rs.dataset.labels != nil {
+		body.Labels = make([]string, len(ids))
+		for i, id := range ids {
+			body.Labels[i] = rs.dataset.labels[id]
+		}
+	}
+	return body
+}
+
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	rs, ok := s.results[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown result %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.resultBodyLocked(rs))
+}
+
+type zoomRequest struct {
+	Radius float64 `json:"radius"`
+}
+
+func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
+	var req zoomRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	rs, ok := s.results[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown result %q", r.PathValue("id"))
+		return
+	}
+	var zoomed *disc.Result
+	var err error
+	switch {
+	case req.Radius < rs.res.Radius():
+		zoomed, err = rs.dataset.div.ZoomIn(rs.res, req.Radius)
+	case req.Radius > rs.res.Radius():
+		zoomed, err = rs.dataset.div.ZoomOut(rs.res, req.Radius, disc.ZoomOutGreedyLargest)
+	default:
+		writeError(w, http.StatusBadRequest, "radius %g equals the current radius", req.Radius)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	nrs := s.storeResultLocked(rs.dataset, zoomed)
+	writeJSON(w, http.StatusCreated, s.resultBodyLocked(nrs))
+}
+
+type localZoomRequest struct {
+	Center int     `json:"center"`
+	Radius float64 `json:"radius"`
+}
+
+type localZoomBody struct {
+	Center          int      `json:"center"`
+	LocalRadius     float64  `json:"localRadius"`
+	RegionSize      int      `json:"regionSize"`
+	Added           []int    `json:"added"`
+	Removed         []int    `json:"removed"`
+	Representatives []int    `json:"representatives"`
+	Labels          []string `json:"labels,omitempty"`
+}
+
+func (s *Server) handleLocalZoom(w http.ResponseWriter, r *http.Request) {
+	var req localZoomRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	rs, ok := s.results[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown result %q", r.PathValue("id"))
+		return
+	}
+	var lz *disc.LocalZoom
+	var err error
+	switch {
+	case req.Radius < rs.res.Radius():
+		lz, err = rs.dataset.div.LocalZoomIn(rs.res, req.Center, req.Radius)
+	case req.Radius > rs.res.Radius():
+		lz, err = rs.dataset.div.LocalZoomOut(rs.res, req.Center, req.Radius)
+	default:
+		writeError(w, http.StatusBadRequest, "radius %g equals the current radius", req.Radius)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := localZoomBody{
+		Center:          lz.Center,
+		LocalRadius:     lz.LocalRadius,
+		RegionSize:      len(lz.Region),
+		Added:           lz.Added,
+		Removed:         lz.Removed,
+		Representatives: lz.Representatives,
+	}
+	if rs.dataset.labels != nil {
+		body.Labels = make([]string, len(lz.Representatives))
+		for i, id := range lz.Representatives {
+			body.Labels[i] = rs.dataset.labels[id]
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}

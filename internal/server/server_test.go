@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d, want %d (%v)", method, url, resp.StatusCode, wantStatus, e)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func uploadPoints(t *testing.T, ts *httptest.Server, name string, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	points := make([][]float64, n)
+	labels := make([]string, n)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+		labels[i] = fmt.Sprintf("obj-%d", i)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": name, "metric": "euclidean", "points": points, "labels": labels},
+		http.StatusCreated, nil)
+}
+
+type result struct {
+	ID        string   `json:"id"`
+	Dataset   string   `json:"dataset"`
+	Radius    float64  `json:"radius"`
+	Algorithm string   `json:"algorithm"`
+	Size      int      `json:"size"`
+	IDs       []int    `json:"ids"`
+	Labels    []string `json:"labels"`
+	Accesses  int64    `json:"accesses"`
+}
+
+func TestDatasetLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	uploadPoints(t, ts, "demo", 200)
+
+	var list []map[string]any
+	doJSON(t, "GET", ts.URL+"/v1/datasets", nil, http.StatusOK, &list)
+	if len(list) != 1 || list[0]["name"] != "demo" {
+		t.Fatalf("list = %v", list)
+	}
+	var info map[string]any
+	doJSON(t, "GET", ts.URL+"/v1/datasets/demo", nil, http.StatusOK, &info)
+	if info["size"].(float64) != 200 || info["dim"].(float64) != 2 {
+		t.Fatalf("info = %v", info)
+	}
+	// Duplicate name conflicts.
+	doJSON(t, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "demo", "points": [][]float64{{0, 0}}},
+		http.StatusConflict, nil)
+	// Unknown dataset 404s.
+	doJSON(t, "GET", ts.URL+"/v1/datasets/nope", nil, http.StatusNotFound, nil)
+}
+
+func TestCreateDatasetValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []map[string]any{
+		{"points": [][]float64{{1, 2}}}, // no name
+		{"name": "a"},                   // no points
+		{"name": "a", "points": [][]float64{{1, 2}}, "metric": "warp"},             // bad metric
+		{"name": "a", "points": [][]float64{{1, 2}}, "labels": []string{"x", "y"}}, // label mismatch
+		{"name": "a", "points": [][]float64{{1, 2}, {1}}},                          // ragged
+	}
+	for i, c := range cases {
+		doJSON(t, "POST", ts.URL+"/v1/datasets", c, http.StatusBadRequest, nil)
+		_ = i
+	}
+}
+
+func TestSelectAndFetch(t *testing.T) {
+	ts := newTestServer(t)
+	uploadPoints(t, ts, "demo", 300)
+
+	var res result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.15}, http.StatusCreated, &res)
+	if res.Size == 0 || res.Size != len(res.IDs) || res.Radius != 0.15 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(res.Labels) != res.Size || res.Labels[0] == "" {
+		t.Fatalf("labels missing: %+v", res.Labels)
+	}
+	var again result
+	doJSON(t, "GET", ts.URL+"/v1/results/"+res.ID, nil, http.StatusOK, &again)
+	if again.Size != res.Size || again.ID != res.ID {
+		t.Fatalf("refetch mismatch: %+v vs %+v", again, res)
+	}
+	// Unknown algorithm and bad radius.
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.1, "algorithm": "quantum"}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": -0.1}, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/v1/results/r999", nil, http.StatusNotFound, nil)
+}
+
+func TestSelectAllAlgorithms(t *testing.T) {
+	ts := newTestServer(t)
+	uploadPoints(t, ts, "demo", 150)
+	for _, alg := range []string{"greedy", "basic", "white-greedy", "lazy-grey", "lazy-white", "coverage", "fast-coverage"} {
+		var res result
+		doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+			map[string]any{"radius": 0.2, "algorithm": alg}, http.StatusCreated, &res)
+		if res.Size == 0 {
+			t.Errorf("%s: empty result", alg)
+		}
+	}
+}
+
+func TestZoomFlow(t *testing.T) {
+	ts := newTestServer(t)
+	uploadPoints(t, ts, "demo", 400)
+
+	var initial result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.2}, http.StatusCreated, &initial)
+
+	// Zoom in: superset of the initial representatives.
+	var finer result
+	doJSON(t, "POST", ts.URL+"/v1/results/"+initial.ID+"/zoom",
+		map[string]any{"radius": 0.1}, http.StatusCreated, &finer)
+	if finer.Size < initial.Size || finer.Radius != 0.1 {
+		t.Fatalf("zoom-in shrank: %+v", finer)
+	}
+	kept := make(map[int]bool)
+	for _, id := range finer.IDs {
+		kept[id] = true
+	}
+	for _, id := range initial.IDs {
+		if !kept[id] {
+			t.Errorf("representative %d dropped by zoom-in", id)
+		}
+	}
+	// Zoom out from the finer result.
+	var coarser result
+	doJSON(t, "POST", ts.URL+"/v1/results/"+finer.ID+"/zoom",
+		map[string]any{"radius": 0.3}, http.StatusCreated, &coarser)
+	if coarser.Size > finer.Size {
+		t.Fatalf("zoom-out grew: %+v", coarser)
+	}
+	// Equal radius is a client error.
+	doJSON(t, "POST", ts.URL+"/v1/results/"+finer.ID+"/zoom",
+		map[string]any{"radius": 0.1}, http.StatusBadRequest, nil)
+	// Zooming a coverage-only result is rejected.
+	var cov result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.2, "algorithm": "coverage"}, http.StatusCreated, &cov)
+	doJSON(t, "POST", ts.URL+"/v1/results/"+cov.ID+"/zoom",
+		map[string]any{"radius": 0.1}, http.StatusBadRequest, nil)
+}
+
+func TestLocalZoomFlow(t *testing.T) {
+	ts := newTestServer(t)
+	uploadPoints(t, ts, "demo", 400)
+	var initial result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.25}, http.StatusCreated, &initial)
+
+	var lz map[string]any
+	doJSON(t, "POST", ts.URL+"/v1/results/"+initial.ID+"/localzoom",
+		map[string]any{"center": initial.IDs[0], "radius": 0.08}, http.StatusOK, &lz)
+	if lz["center"].(float64) != float64(initial.IDs[0]) {
+		t.Fatalf("local zoom %v", lz)
+	}
+	reps := lz["representatives"].([]any)
+	if len(reps) < initial.Size {
+		t.Fatalf("local zoom-in lost representatives: %v", lz)
+	}
+	// Non-representative centre is a client error.
+	nonRep := -1
+	sel := make(map[int]bool)
+	for _, id := range initial.IDs {
+		sel[id] = true
+	}
+	for i := 0; i < 400; i++ {
+		if !sel[i] {
+			nonRep = i
+			break
+		}
+	}
+	doJSON(t, "POST", ts.URL+"/v1/results/"+initial.ID+"/localzoom",
+		map[string]any{"center": nonRep, "radius": 0.08}, http.StatusBadRequest, nil)
+}
+
+func TestHammingDatasetOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/v1/datasets",
+		map[string]any{
+			"name":   "cams",
+			"metric": "hamming",
+			"points": [][]float64{{0, 0, 0}, {0, 0, 1}, {1, 1, 1}, {2, 2, 2}},
+		},
+		http.StatusCreated, nil)
+	var res result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/cams/select",
+		map[string]any{"radius": 1}, http.StatusCreated, &res)
+	if res.Size < 2 {
+		t.Fatalf("hamming select: %+v", res)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

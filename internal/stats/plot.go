@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// ScatterPlot renders a 2-d point set as an ASCII grid, marking selected
+// objects — the textual analogue of the paper's Figures 1 and 6. Points
+// must lie in [0,1]^2 (coordinates are clamped otherwise). Unselected
+// objects render as '.', selected ones as '#'; empty cells as spaces.
+type ScatterPlot struct {
+	Width, Height int
+}
+
+// DefaultScatter is sized for a standard terminal.
+var DefaultScatter = ScatterPlot{Width: 72, Height: 28}
+
+// Render writes the plot of pts with the given selected ids to w.
+func (sp ScatterPlot) Render(w io.Writer, title string, pts []object.Point, selected []int) {
+	width, height := sp.Width, sp.Height
+	if width <= 0 {
+		width = DefaultScatter.Width
+	}
+	if height <= 0 {
+		height = DefaultScatter.Height
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(p object.Point, ch byte) {
+		if len(p) < 2 {
+			return
+		}
+		x := int(clamp(p[0]) * float64(width-1))
+		// Flip y so larger values render higher.
+		y := height - 1 - int(clamp(p[1])*float64(height-1))
+		// '#' (selected) always wins over '.'.
+		if grid[y][x] == '#' && ch == '.' {
+			return
+		}
+		grid[y][x] = ch
+	}
+	for _, p := range pts {
+		put(p, '.')
+	}
+	for _, id := range selected {
+		if id >= 0 && id < len(pts) {
+			put(pts[id], '#')
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	border := "+" + strings.Repeat("-", width) + "+"
+	fmt.Fprintln(w, border)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	fmt.Fprintln(w, border)
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func TestScatterPlotRender(t *testing.T) {
+	pts := []object.Point{{0, 0}, {1, 1}, {0.5, 0.5}}
+	var buf bytes.Buffer
+	ScatterPlot{Width: 11, Height: 5}.Render(&buf, "title", pts, []int{1})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if len(lines) != 1+1+5+1 { // title + top border + rows + bottom border
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("missing glyphs:\n%s", out)
+	}
+	// Selected point (1,1) renders in the top-right; unselected (0,0)
+	// bottom-left.
+	top := lines[2]
+	bottom := lines[len(lines)-2]
+	if top[len(top)-2] != '#' {
+		t.Errorf("top-right should be '#':\n%s", out)
+	}
+	if bottom[1] != '.' {
+		t.Errorf("bottom-left should be '.':\n%s", out)
+	}
+}
+
+func TestScatterPlotSelectedWinsOverDot(t *testing.T) {
+	// Two coincident points, one selected: the cell must show '#'
+	// regardless of draw order.
+	pts := []object.Point{{0.5, 0.5}, {0.5, 0.5}}
+	var buf bytes.Buffer
+	ScatterPlot{Width: 9, Height: 3}.Render(&buf, "", pts, []int{0})
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("selected marker overwritten")
+	}
+}
+
+func TestScatterPlotClampsOutOfRange(t *testing.T) {
+	pts := []object.Point{{-1, 2}, {3, -5}}
+	var buf bytes.Buffer
+	// Must not panic; points clamp to the border.
+	ScatterPlot{Width: 7, Height: 3}.Render(&buf, "", pts, nil)
+	if !strings.Contains(buf.String(), ".") {
+		t.Error("clamped points not rendered")
+	}
+}
+
+func TestScatterPlotDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	ScatterPlot{}.Render(&buf, "", []object.Point{{0.5, 0.5}}, nil)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != DefaultScatter.Height+2 {
+		t.Errorf("default height not applied: %d lines", len(lines))
+	}
+}

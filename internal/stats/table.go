@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders aligned plain-text tables in the style of the paper's
+// Table 3: a header row, a rule, and value rows with right-aligned cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Fprint writes the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		pad(&b, h, widths[i], i == 0)
+	}
+	fmt.Fprintln(w, b.String())
+	b.Reset()
+	total := 0
+	for i, wd := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		b.Reset()
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			pad(&b, c, width, i == 0)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+func pad(b *strings.Builder, s string, width int, left bool) {
+	if len(s) >= width {
+		b.WriteString(s)
+		return
+	}
+	spaces := strings.Repeat(" ", width-len(s))
+	if left {
+		b.WriteString(s)
+		b.WriteString(spaces)
+	} else {
+		b.WriteString(spaces)
+		b.WriteString(s)
+	}
+}
+
+// Series is a named sequence of (x, y) measurements, the unit of the
+// paper's figures.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// SeriesTable renders several series sharing the same x values as a
+// table: one row per x, one column per series.
+func SeriesTable(title, xName string, series ...*Series) *Table {
+	headers := []string{xName}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].X {
+		cells := []any{trimFloat(series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				cells = append(cells, trimFloat(s.Y[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,318 @@
+// Package vptree implements a vantage-point tree, a binary metric-space
+// index. The paper's future work calls for "implementations using
+// different data structures"; the VP-tree is the natural alternative to
+// the M-tree: simpler and pointer-light, at the cost of being static
+// (bulk-built) and having no leaf chain.
+//
+// Every node stores one object, the distance median to its subtree
+// (the vantage radius), and an inside/outside child. Range queries use
+// the triangle inequality on the vantage radius; node accesses are
+// counted per visited node, comparably to the M-tree's measure. The tree
+// also supports the paper's pruning rule: per-subtree white counts let
+// queries skip fully covered regions.
+package vptree
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+type node struct {
+	id              int
+	radius          float64 // median distance of subtree objects to this vantage point
+	inside, outside *node
+	parent          *node
+	whiteCount      int
+}
+
+// Tree is a static vantage-point tree over a fixed point slice.
+type Tree struct {
+	metric   object.Metric
+	pts      []object.Point
+	root     *node
+	nodeOf   []*node
+	accesses int64
+	tracking bool
+	white    []bool
+}
+
+// Build constructs a VP-tree over pts. The seed drives vantage-point
+// sampling; a fixed seed makes construction deterministic.
+func Build(pts []object.Point, m object.Metric, seed uint64) (*Tree, error) {
+	if _, err := object.ValidatePoints(pts); err != nil {
+		return nil, fmt.Errorf("vptree: %w", err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("vptree: nil metric")
+	}
+	t := &Tree{
+		metric: m,
+		pts:    pts,
+		nodeOf: make([]*node, len(pts)),
+	}
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x853c49e6748fea9b))
+	t.root = t.build(ids, rng, nil)
+	return t, nil
+}
+
+// build recursively constructs the subtree over ids.
+func (t *Tree) build(ids []int, rng *rand.Rand, parent *node) *node {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Vantage point: random member (deterministic via seeded rng).
+	vi := rng.IntN(len(ids))
+	ids[0], ids[vi] = ids[vi], ids[0]
+	v := ids[0]
+	n := &node{id: v, parent: parent}
+	t.nodeOf[v] = n
+	rest := ids[1:]
+	if len(rest) == 0 {
+		return n
+	}
+	type distID struct {
+		d  float64
+		id int
+	}
+	ds := make([]distID, len(rest))
+	for i, id := range rest {
+		ds[i] = distID{t.metric.Dist(t.pts[v], t.pts[id]), id}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].d != ds[j].d {
+			return ds[i].d < ds[j].d
+		}
+		return ds[i].id < ds[j].id
+	})
+	mid := len(ds) / 2
+	n.radius = ds[mid].d
+	inside := make([]int, 0, mid+1)
+	outside := make([]int, 0, len(ds)-mid)
+	for _, x := range ds {
+		if x.d < n.radius || (x.d == n.radius && len(inside) <= mid) {
+			inside = append(inside, x.id)
+		} else {
+			outside = append(outside, x.id)
+		}
+	}
+	n.inside = t.build(inside, rng, n)
+	n.outside = t.build(outside, rng, n)
+	return n
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Metric returns the distance function.
+func (t *Tree) Metric() object.Metric { return t.metric }
+
+// Point returns the coordinates of object id.
+func (t *Tree) Point(id int) object.Point { return t.pts[id] }
+
+// Accesses returns the cumulative node-access counter.
+func (t *Tree) Accesses() int64 { return t.accesses }
+
+// ResetAccesses zeroes the counter.
+func (t *Tree) ResetAccesses() { t.accesses = 0 }
+
+// RangeQuery returns all objects within r of q.
+func (t *Tree) RangeQuery(q object.Point, r float64) []object.Neighbor {
+	var out []object.Neighbor
+	t.search(t.root, q, r, -1, false, &out)
+	return out
+}
+
+// RangeQueryAround returns the neighbours of object id within r,
+// excluding id.
+func (t *Tree) RangeQueryAround(id int, r float64) []object.Neighbor {
+	var out []object.Neighbor
+	t.search(t.root, t.pts[id], r, id, false, &out)
+	return out
+}
+
+// RangeQueryPruned applies the pruning rule: subtrees without white
+// objects are skipped and only white objects are reported. Requires
+// EnableTracking.
+func (t *Tree) RangeQueryPruned(id int, r float64) []object.Neighbor {
+	if !t.tracking {
+		panic("vptree: pruned query requires EnableTracking")
+	}
+	var out []object.Neighbor
+	t.search(t.root, t.pts[id], r, id, true, &out)
+	return out
+}
+
+func (t *Tree) search(n *node, q object.Point, r float64, exclude int, pruned bool, out *[]object.Neighbor) {
+	if n == nil {
+		return
+	}
+	if pruned && n.whiteCount == 0 {
+		return
+	}
+	t.accesses++
+	d := t.metric.Dist(q, t.pts[n.id])
+	if d <= r && n.id != exclude && (!pruned || t.white[n.id]) {
+		*out = append(*out, object.Neighbor{ID: n.id, Dist: d})
+	}
+	// Triangle-inequality bounds on the vantage radius.
+	if d-r <= n.radius {
+		t.search(n.inside, q, r, exclude, pruned, out)
+	}
+	if d+r >= n.radius {
+		t.search(n.outside, q, r, exclude, pruned, out)
+	}
+}
+
+// ScanOrder returns all ids in in-order traversal (inside, vantage,
+// outside), a locality-ish order analogous to the M-tree leaf scan. Each
+// visited node counts as one access.
+func (t *Tree) ScanOrder() []int {
+	ids := make([]int, 0, len(t.pts))
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		t.accesses++
+		walk(n.inside)
+		ids = append(ids, n.id)
+		walk(n.outside)
+	}
+	walk(t.root)
+	return ids
+}
+
+// EnableTracking switches the pruning rule on with every object white.
+func (t *Tree) EnableTracking() {
+	t.white = make([]bool, len(t.pts))
+	for i := range t.white {
+		t.white[i] = true
+	}
+	t.tracking = true
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		n.whiteCount = 1 + walk(n.inside) + walk(n.outside)
+		return n.whiteCount
+	}
+	walk(t.root)
+}
+
+// ResetTracking re-initialises tracking with a custom white set.
+func (t *Tree) ResetTracking(white []bool) {
+	t.white = append([]bool(nil), white...)
+	t.tracking = true
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		c := walk(n.inside) + walk(n.outside)
+		if t.white[n.id] {
+			c++
+		}
+		n.whiteCount = c
+		return c
+	}
+	walk(t.root)
+}
+
+// Tracking reports whether the pruning rule is active.
+func (t *Tree) Tracking() bool { return t.tracking }
+
+// IsWhite reports whether id is still uncovered (tracking only).
+func (t *Tree) IsWhite(id int) bool { return t.tracking && t.white[id] }
+
+// Cover marks id as covered, updating subtree white counts.
+func (t *Tree) Cover(id int) {
+	if !t.tracking || !t.white[id] {
+		return
+	}
+	t.white[id] = false
+	for n := t.nodeOf[id]; n != nil; n = n.parent {
+		n.whiteCount--
+	}
+}
+
+// Depth returns the height of the tree (for diagnostics).
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		in, out := walk(n.inside), walk(n.outside)
+		if in > out {
+			return in + 1
+		}
+		return out + 1
+	}
+	return walk(t.root)
+}
+
+// Validate checks structural invariants: every object appears exactly
+// once, node-of pointers are consistent, and subtree membership respects
+// the vantage radii. Intended for tests.
+func (t *Tree) Validate() error {
+	seen := make([]bool, len(t.pts))
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		if seen[n.id] {
+			return fmt.Errorf("vptree: object %d appears twice", n.id)
+		}
+		seen[n.id] = true
+		if t.nodeOf[n.id] != n {
+			return fmt.Errorf("vptree: nodeOf[%d] broken", n.id)
+		}
+		// All inside descendants are within radius of the vantage point;
+		// all outside descendants at >= radius.
+		var check func(m *node, inside bool) error
+		check = func(m *node, inside bool) error {
+			if m == nil {
+				return nil
+			}
+			d := t.metric.Dist(t.pts[n.id], t.pts[m.id])
+			if inside && d > n.radius {
+				return fmt.Errorf("vptree: object %d at %g outside vantage radius %g of %d", m.id, d, n.radius, n.id)
+			}
+			if !inside && d < n.radius {
+				return fmt.Errorf("vptree: object %d at %g inside vantage radius %g of %d", m.id, d, n.radius, n.id)
+			}
+			if err := check(m.inside, inside); err != nil {
+				return err
+			}
+			return check(m.outside, inside)
+		}
+		if err := check(n.inside, true); err != nil {
+			return err
+		}
+		if err := check(n.outside, false); err != nil {
+			return err
+		}
+		if err := walk(n.inside); err != nil {
+			return err
+		}
+		return walk(n.outside)
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	for id, s := range seen {
+		if !s {
+			return fmt.Errorf("vptree: object %d missing", id)
+		}
+	}
+	return nil
+}

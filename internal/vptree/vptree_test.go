@@ -1,0 +1,214 @@
+package vptree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func randomPoints(n, d int, seed uint64) []object.Point {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	pts := make([]object.Point, n)
+	for i := range pts {
+		p := make(object.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func buildTree(t *testing.T, pts []object.Point, m object.Metric) *Tree {
+	t.Helper()
+	tr, err := Build(pts, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 256, 999} {
+		pts := randomPoints(n, 2, uint64(n))
+		tr := buildTree(t, pts, object.Euclidean{})
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil, object.Euclidean{}, 1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Build(randomPoints(4, 2, 1), nil, 1); err == nil {
+		t.Error("nil metric accepted")
+	}
+	if _, err := Build([]object.Point{{1, 2}, {1}}, object.Euclidean{}, 1); err == nil {
+		t.Error("ragged accepted")
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	metrics := []object.Metric{object.Euclidean{}, object.Manhattan{}, object.Hamming{}}
+	for mi, m := range metrics {
+		pts := randomPoints(400, 3, uint64(mi)+20)
+		if m.Name() == "hamming" {
+			// Coarse categorical grid.
+			for _, p := range pts {
+				for j := range p {
+					p[j] = float64(int(p[j] * 4))
+				}
+			}
+		}
+		tr := buildTree(t, pts, m)
+		rng := rand.New(rand.NewPCG(4, 4))
+		for trial := 0; trial < 40; trial++ {
+			id := rng.IntN(len(pts))
+			r := rng.Float64() * 2
+			got := neighborIDs(tr.RangeQueryAround(id, r))
+			var want []int
+			for j := range pts {
+				if j != id && m.Dist(pts[id], pts[j]) <= r {
+					want = append(want, j)
+				}
+			}
+			sort.Ints(want)
+			if !equalIDs(got, want) {
+				t.Fatalf("%s trial %d: got %d want %d neighbours", m.Name(), trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestScanOrderCoversAll(t *testing.T) {
+	pts := randomPoints(333, 2, 5)
+	tr := buildTree(t, pts, object.Euclidean{})
+	ids := tr.ScanOrder()
+	if len(ids) != len(pts) {
+		t.Fatalf("scan %d ids", len(ids))
+	}
+	seen := make([]bool, len(pts))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("id %d twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPrunedQueryWhiteOnly(t *testing.T) {
+	pts := randomPoints(300, 2, 6)
+	m := object.Euclidean{}
+	tr := buildTree(t, pts, m)
+	tr.EnableTracking()
+	rng := rand.New(rand.NewPCG(2, 2))
+	for id := range pts {
+		if rng.Float64() < 0.6 {
+			tr.Cover(id)
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		id := rng.IntN(len(pts))
+		got := neighborIDs(tr.RangeQueryPruned(id, 0.2))
+		var want []int
+		for j := range pts {
+			if j != id && tr.IsWhite(j) && m.Dist(pts[id], pts[j]) <= 0.2 {
+				want = append(want, j)
+			}
+		}
+		sort.Ints(want)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestPruningReducesAccesses(t *testing.T) {
+	pts := randomPoints(2000, 2, 7)
+	m := object.Euclidean{}
+	full := buildTree(t, pts, m)
+	pruned := buildTree(t, pts, m)
+	pruned.EnableTracking()
+	for id := 0; id < 1800; id++ {
+		pruned.Cover(id)
+	}
+	full.ResetAccesses()
+	pruned.ResetAccesses()
+	for id := 1800; id < 1900; id++ {
+		full.RangeQueryAround(id, 0.05)
+		pruned.RangeQueryPruned(id, 0.05)
+	}
+	if pruned.Accesses() >= full.Accesses() {
+		t.Errorf("pruned %d >= full %d", pruned.Accesses(), full.Accesses())
+	}
+}
+
+func TestPrunedQueryPanicsWithoutTracking(t *testing.T) {
+	tr := buildTree(t, randomPoints(10, 2, 8), object.Euclidean{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.RangeQueryPruned(0, 0.1)
+}
+
+func TestResetTracking(t *testing.T) {
+	pts := randomPoints(100, 2, 9)
+	tr := buildTree(t, pts, object.Euclidean{})
+	white := make([]bool, len(pts))
+	for i := 0; i < 30; i++ {
+		white[i] = true
+	}
+	tr.ResetTracking(white)
+	count := 0
+	for id := range pts {
+		if tr.IsWhite(id) {
+			count++
+		}
+	}
+	if count != 30 {
+		t.Errorf("white count %d, want 30", count)
+	}
+	tr.Cover(5)
+	tr.Cover(5) // idempotent
+	if tr.IsWhite(5) {
+		t.Error("cover failed")
+	}
+}
+
+func TestDepthIsLogarithmic(t *testing.T) {
+	pts := randomPoints(4096, 2, 10)
+	tr := buildTree(t, pts, object.Euclidean{})
+	if d := tr.Depth(); d > 40 { // median splits: expect ~12-20
+		t.Errorf("depth %d too large for 4096 points", d)
+	}
+}
+
+func neighborIDs(ns []object.Neighbor) []int {
+	ids := make([]int, 0, len(ns))
+	for _, nb := range ns {
+		ids = append(ids, nb.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package disc
+
+import (
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+// Result is a computed diverse subset together with the bookkeeping
+// needed to zoom it to other radii. Results are immutable snapshots: the
+// zoom methods return new Results.
+type Result struct {
+	div          *Diversifier
+	sol          *core.Solution
+	coverageOnly bool
+	multiRadii   []float64 // non-nil for SelectMultiRadius results
+}
+
+// IDs returns the selected objects in selection order (a copy).
+func (r *Result) IDs() []int {
+	return append([]int(nil), r.sol.IDs...)
+}
+
+// SortedIDs returns the selected objects in ascending id order.
+func (r *Result) SortedIDs() []int { return r.sol.SortedIDs() }
+
+// Size returns the number of selected objects.
+func (r *Result) Size() int { return r.sol.Size() }
+
+// Radius returns the radius the result was computed for.
+func (r *Result) Radius() float64 { return r.sol.Radius }
+
+// Algorithm returns the name of the heuristic that produced the result.
+func (r *Result) Algorithm() string { return r.sol.Algorithm }
+
+// Accesses returns the index cost consumed computing this result: M-tree
+// node accesses for tree-indexed diversifiers, objects examined for
+// linear-scan ones.
+func (r *Result) Accesses() int64 { return r.sol.Accesses }
+
+// Contains reports whether object id was selected.
+func (r *Result) Contains(id int) bool { return r.sol.Contains(id) }
+
+// Points returns the coordinates of the selected objects, in selection
+// order.
+func (r *Result) Points() []Point {
+	pts := make([]Point, 0, r.sol.Size())
+	for _, id := range r.sol.IDs {
+		pts = append(pts, r.div.points[id])
+	}
+	return pts
+}
+
+// CoverageOnly reports whether the result only guarantees coverage (an
+// r-C subset from AlgorithmCoverage / AlgorithmFastCoverage) rather than
+// full DisC diversity.
+func (r *Result) CoverageOnly() bool { return r.coverageOnly }
+
+// DistanceToRepresentative returns the distance from object id to its
+// closest representative (0 if id is itself selected). When the result
+// was computed with pruning the value may be an upper bound; zooming
+// methods repair this automatically.
+func (r *Result) DistanceToRepresentative(id int) float64 {
+	return r.sol.DistBlack[id]
+}
+
+// Jaccard returns the Jaccard distance between the selections of two
+// results: 0 for identical sets, 1 for disjoint ones.
+func (r *Result) Jaccard(other *Result) float64 {
+	return stats.Jaccard(r.sol.IDs, other.sol.IDs)
+}

@@ -1,0 +1,99 @@
+package disc
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/core"
+)
+
+// Stream maintains an r-DisC diverse subset of a changing object stream —
+// the online version of the problem the paper lists as future work.
+// Objects are added one at a time and may later be removed; after every
+// operation the representative set is a valid r-DisC diverse subset of
+// the live objects.
+//
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	online *core.OnlineDisC
+}
+
+type streamOptions struct {
+	metric   Metric
+	capacity int
+}
+
+// StreamOption configures NewStream.
+type StreamOption func(*streamOptions) error
+
+// StreamMetric sets the distance function (default Euclidean).
+func StreamMetric(m Metric) StreamOption {
+	return func(o *streamOptions) error {
+		if m == nil {
+			return fmt.Errorf("disc: nil metric")
+		}
+		o.metric = m
+		return nil
+	}
+}
+
+// StreamCapacity sets the backing M-tree node capacity (default 50).
+func StreamCapacity(capacity int) StreamOption {
+	return func(o *streamOptions) error {
+		if capacity < 4 {
+			return fmt.Errorf("disc: stream capacity %d below minimum 4", capacity)
+		}
+		o.capacity = capacity
+		return nil
+	}
+}
+
+// NewStream creates an empty online maintainer for radius r.
+func NewStream(r float64, opts ...StreamOption) (*Stream, error) {
+	o := streamOptions{metric: Euclidean(), capacity: 50}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	online, err := core.NewOnlineDisC(o.metric, r, o.capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{online: online}, nil
+}
+
+// Add indexes a new object, returning its assigned id and whether it
+// became a representative.
+func (s *Stream) Add(p Point) (id int, selected bool, err error) {
+	return s.online.Add(p)
+}
+
+// Remove retracts a previously added object; retracting a representative
+// repairs coverage locally.
+func (s *Stream) Remove(id int) error { return s.online.Remove(id) }
+
+// Radius returns the maintained diversification radius.
+func (s *Stream) Radius() float64 { return s.online.Radius() }
+
+// Len returns the number of live objects.
+func (s *Stream) Len() int { return s.online.Len() }
+
+// Size returns the number of current representatives.
+func (s *Stream) Size() int { return s.online.Size() }
+
+// Representatives returns the current representative ids in ascending
+// order.
+func (s *Stream) Representatives() []int { return s.online.Representatives() }
+
+// IsRepresentative reports whether live object id is currently selected.
+func (s *Stream) IsRepresentative(id int) bool { return s.online.IsRepresentative(id) }
+
+// Point returns the coordinates of object id (including retracted ones).
+func (s *Stream) Point(id int) Point { return s.online.Point(id) }
+
+// Accesses returns cumulative index node accesses.
+func (s *Stream) Accesses() int64 { return s.online.Accesses() }
+
+// Verify checks the DisC invariants over the live objects by direct
+// distance computation (O(n·|S|); for tests and debugging).
+func (s *Stream) Verify() error { return s.online.Verify() }

@@ -1,0 +1,63 @@
+package disc
+
+import (
+	"io"
+
+	"github.com/discdiversity/disc/internal/dataset"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// Point is a vector in d-dimensional space; for categorical data each
+// coordinate holds a category code (compare with Hamming()).
+type Point = object.Point
+
+// Metric is a distance function satisfying the metric axioms; the M-tree
+// index relies on the triangle inequality.
+type Metric = object.Metric
+
+// Neighbor pairs an object ID with its distance from a query object.
+type Neighbor = object.Neighbor
+
+// Dataset bundles points with optional labels and attribute metadata.
+type Dataset = object.Dataset
+
+// Euclidean returns the L2 metric (the library default).
+func Euclidean() Metric { return object.Euclidean{} }
+
+// Manhattan returns the L1 metric.
+func Manhattan() Metric { return object.Manhattan{} }
+
+// Chebyshev returns the L∞ metric.
+func Chebyshev() Metric { return object.Chebyshev{} }
+
+// Hamming returns the categorical metric counting differing coordinates,
+// suited to datasets whose coordinates are category codes.
+func Hamming() Metric { return object.Hamming{} }
+
+// MetricByName resolves "euclidean", "manhattan", "chebyshev" or
+// "hamming" (plus the aliases "l1", "l2", "linf").
+func MetricByName(name string) (Metric, error) { return object.MetricByName(name) }
+
+// ReadCSV parses a dataset written by Dataset.WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) { return object.ReadCSV(r) }
+
+// UniformDataset generates n points uniformly distributed in [0,1]^d,
+// deterministically for a given seed.
+func UniformDataset(n, d int, seed uint64) (*Dataset, error) {
+	return dataset.Uniform(n, d, seed)
+}
+
+// ClusteredDataset generates n points forming hyperspherical clusters of
+// different sizes in [0,1]^d (clusters <= 0 selects a default of 10).
+func ClusteredDataset(n, d, clusters int, seed uint64) (*Dataset, error) {
+	return dataset.Clustered(n, d, clusters, seed)
+}
+
+// CitiesDataset returns the 5922-point geographic workload modelled on
+// the paper's Greek cities collection (see DESIGN.md for the
+// substitution).
+func CitiesDataset(seed uint64) *Dataset { return dataset.Cities(seed) }
+
+// CamerasDataset returns the 579-camera categorical workload modelled on
+// the paper's Acme camera database; use Hamming() with it.
+func CamerasDataset(seed uint64) *Dataset { return dataset.Cameras(seed) }
