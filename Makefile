@@ -1,0 +1,24 @@
+# Shared entry points for CI (.github/workflows/ci.yml) and humans.
+GO ?= go
+
+.PHONY: build test lint bench
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full suite with the race detector
+test:
+	$(GO) test -race ./...
+
+## lint: go vet plus the gofmt gate CI enforces
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+## bench: one-iteration smoke pass over every benchmark
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -timeout 25m ./...

@@ -20,6 +20,7 @@ import (
 	"github.com/discdiversity/disc/internal/experiments"
 	"github.com/discdiversity/disc/internal/mtree"
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/rtree"
 )
 
 func benchConfig() experiments.Config {
@@ -197,6 +198,103 @@ func BenchmarkZoomOut(b *testing.B) {
 		if _, err := d.ZoomOut(res, 0.1, disc.ZoomOutGreedyLargest); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- engine comparison on large synthetic clusters ---
+//
+// The paper-style comparison the R-tree/coverage-graph work targets:
+// the same pruned Greedy-DisC selection on 50k clustered points, per
+// index backend. Index construction is excluded from the selection
+// benchmarks (measured separately below), mirroring the paper's
+// node-access experiments.
+
+const (
+	engineBenchN = 50_000
+	engineBenchR = 0.0025
+)
+
+func benchGreedySelect(b *testing.B, e core.Engine) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedyDisC(e, engineBenchR, core.GreedyOptions{Update: core.UpdateGrey, Pruned: true})
+	}
+}
+
+// BenchmarkGreedyDisC_MTree is the single-threaded M-tree baseline.
+func BenchmarkGreedyDisC_MTree(b *testing.B) {
+	pts := benchPoints(engineBenchN)
+	cfg := mtree.Config{Capacity: 50, Metric: object.Euclidean{}, Policy: mtree.MinOverlap}
+	e, err := core.BuildTreeEngine(cfg, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGreedySelect(b, e)
+}
+
+// BenchmarkGreedyDisC_RTree runs the same selection on the bulk-loaded
+// R-tree.
+func BenchmarkGreedyDisC_RTree(b *testing.B) {
+	pts := benchPoints(engineBenchN)
+	e, err := core.BuildRTreeEngine(pts, object.Euclidean{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGreedySelect(b, e)
+}
+
+// BenchmarkGreedyDisC_ParallelGraph runs the same selection on the
+// materialised coverage graph: every neighbourhood query is an array
+// lookup and the initial counts are free.
+func BenchmarkGreedyDisC_ParallelGraph(b *testing.B) {
+	pts := benchPoints(engineBenchN)
+	e, err := core.BuildParallelGraphEngine(pts, object.Euclidean{}, engineBenchR, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGreedySelect(b, e)
+}
+
+// BenchmarkParallelGraphBuild measures the sharded coverage-graph
+// construction itself (R-tree build + one range query per object across
+// all cores).
+func BenchmarkParallelGraphBuild(b *testing.B) {
+	pts := benchPoints(engineBenchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildParallelGraphEngine(pts, object.Euclidean{}, engineBenchR, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTreeBuild measures the STR bulk load on the same 50k points.
+func BenchmarkRTreeBuild(b *testing.B) {
+	pts := benchPoints(engineBenchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtree.Build(pts, object.Euclidean{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTreeRangeQuery mirrors BenchmarkMTreeRangeQuery on the
+// R-tree.
+func BenchmarkRTreeRangeQuery(b *testing.B) {
+	pts := benchPoints(5000)
+	tree, err := rtree.Build(pts, object.Euclidean{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RangeQueryAround(i%len(pts), 0.05)
 	}
 }
 

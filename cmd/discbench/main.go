@@ -29,6 +29,7 @@ func main() {
 		n        = flag.Int("n", 10000, "synthetic dataset cardinality")
 		dim      = flag.Int("dim", 2, "synthetic dataset dimensionality")
 		capacity = flag.Int("capacity", 50, "M-tree node capacity")
+		workers  = flag.Int("parallelism", 0, "coverage-graph build workers (0 = all cores)")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast run")
 	)
 	flag.Parse()
@@ -47,12 +48,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Seed:     *seed,
-		N:        *n,
-		Dim:      *dim,
-		Capacity: *capacity,
-		Quick:    *quick,
-		Out:      os.Stdout,
+		Seed:        *seed,
+		N:           *n,
+		Dim:         *dim,
+		Capacity:    *capacity,
+		Parallelism: *workers,
+		Quick:       *quick,
+		Out:         os.Stdout,
 	}
 
 	start := time.Now()

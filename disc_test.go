@@ -21,6 +21,13 @@ func randomPoints(n, d int, seed uint64) []disc.Point {
 	return pts
 }
 
+// weirdMetric is a valid metric that does not declare coordinate-wise
+// monotonicity, so box-pruning indexes must refuse it.
+type weirdMetric struct{}
+
+func (weirdMetric) Dist(a, b disc.Point) float64 { return disc.Euclidean().Dist(a, b) }
+func (weirdMetric) Name() string                 { return "weird" }
+
 func newDiversifier(t *testing.T, pts []disc.Point, opts ...disc.Option) *disc.Diversifier {
 	t.Helper()
 	d, err := disc.New(pts, opts...)
@@ -52,7 +59,13 @@ func TestSelectAllAlgorithmsVerify(t *testing.T) {
 		disc.AlgorithmLazyGrey, disc.AlgorithmLazyWhite,
 		disc.AlgorithmCoverage, disc.AlgorithmFastCoverage,
 	}
-	for _, engineOpts := range [][]disc.Option{nil, {disc.WithLinearScan()}} {
+	for _, engineOpts := range [][]disc.Option{
+		nil,
+		{disc.WithLinearScan()},
+		{disc.WithVPTree()},
+		{disc.WithIndex(disc.IndexRTree)},
+		{disc.WithIndex(disc.IndexCoverageGraph), disc.WithParallelism(4)},
+	} {
 		d := newDiversifier(t, pts, engineOpts...)
 		for _, a := range algorithms {
 			res, err := d.Select(0.08, disc.WithAlgorithm(a))
@@ -71,6 +84,115 @@ func TestSelectAllAlgorithmsVerify(t *testing.T) {
 			if got := res.Points(); len(got) != res.Size() {
 				t.Errorf("%v: %d points for %d ids", a, len(got), res.Size())
 			}
+		}
+	}
+}
+
+func TestIndexBackendsIdenticalSelections(t *testing.T) {
+	pts := randomPoints(600, 2, 17)
+	indexes := []disc.Index{
+		disc.IndexMTree, disc.IndexLinearScan, disc.IndexVPTree,
+		disc.IndexRTree, disc.IndexCoverageGraph,
+	}
+	var want []int
+	for _, ix := range indexes {
+		d := newDiversifier(t, pts, disc.WithIndex(ix))
+		if d.Indexed() != ix {
+			t.Fatalf("%v: Indexed() = %v", ix, d.Indexed())
+		}
+		res, err := d.Select(0.07)
+		if err != nil {
+			t.Fatalf("%v: %v", ix, err)
+		}
+		if err := d.Verify(res); err != nil {
+			t.Fatalf("%v: %v", ix, err)
+		}
+		ids := res.IDs()
+		if want == nil {
+			want = ids
+			continue
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("%v: %d representatives, want %d", ix, len(ids), len(want))
+		}
+		for i := range want {
+			if ids[i] != want[i] {
+				t.Fatalf("%v: selection differs from mtree at position %d", ix, i)
+			}
+		}
+	}
+}
+
+func TestCoverageGraphZoomAndReuse(t *testing.T) {
+	pts := randomPoints(500, 2, 18)
+	d := newDiversifier(t, pts, disc.WithIndex(disc.IndexCoverageGraph))
+	res, err := d.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selecting at the same radius reuses the graph; a different radius
+	// rebuilds it. Either way results must verify.
+	again, err := d.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(again); err != nil {
+		t.Fatal(err)
+	}
+	finer, err := d.ZoomIn(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(finer); err != nil {
+		t.Fatal(err)
+	}
+	coarser, err := d.ZoomOut(res, 0.2, disc.ZoomOutGreedyLargest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(coarser); err != nil {
+		t.Fatal(err)
+	}
+	other, err := d.Select(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(other); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexOptionValidation(t *testing.T) {
+	pts := randomPoints(20, 2, 19)
+	if _, err := disc.New(pts, disc.WithLinearScan(), disc.WithVPTree()); err == nil {
+		t.Error("conflicting index selections accepted")
+	}
+	if _, err := disc.New(pts, disc.WithIndex(disc.IndexRTree), disc.WithIndex(disc.IndexRTree)); err != nil {
+		t.Errorf("repeated identical index rejected: %v", err)
+	}
+	if _, err := disc.New(pts, disc.WithIndex(disc.Index(42))); err == nil {
+		t.Error("unknown index accepted")
+	}
+	if _, err := disc.New(pts, disc.WithParallelism(-1)); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	// Box-pruning backends must reject metrics that do not implement
+	// the CoordinatewiseMonotone marker.
+	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexRTree)); err == nil {
+		t.Error("IndexRTree accepted a non-coordinate-wise-monotone metric")
+	}
+	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexCoverageGraph)); err == nil {
+		t.Error("IndexCoverageGraph accepted a non-coordinate-wise-monotone metric")
+	}
+	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexVPTree)); err != nil {
+		t.Errorf("metric-only index rejected a custom metric: %v", err)
+	}
+	for _, ix := range []disc.Index{
+		disc.IndexMTree, disc.IndexLinearScan, disc.IndexVPTree,
+		disc.IndexRTree, disc.IndexCoverageGraph,
+	} {
+		if ix.String() == "" {
+			t.Errorf("index %d: empty String()", int(ix))
 		}
 	}
 }

@@ -64,17 +64,23 @@ func (a Algorithm) String() string {
 // It is safe for sequential reuse across any number of Select and zoom
 // calls; it is not safe for concurrent use.
 type Diversifier struct {
-	points []Point
-	metric Metric
+	points      []Point
+	metric      Metric
+	index       Index
+	parallelism int
+	// engine answers neighbourhood queries. For IndexCoverageGraph it is
+	// (re)built lazily per selection radius and is nil before the first
+	// Select; every other index is built once in New.
 	engine core.Engine
 }
 
 type options struct {
-	metric     Metric
-	capacity   int
-	linearScan bool
-	vpTree     bool
-	seed       uint64
+	metric      Metric
+	capacity    int
+	index       Index
+	indexSet    bool
+	parallelism int
+	seed        uint64
 }
 
 // Option configures New.
@@ -103,24 +109,49 @@ func WithMTreeCapacity(capacity int) Option {
 	}
 }
 
-// WithLinearScan replaces the M-tree with an exact linear-scan index:
-// no build cost, best for small inputs.
-func WithLinearScan() Option {
+// WithIndex selects the neighbourhood-search backend (default
+// IndexMTree). Greedy selections are identical across all index
+// choices; only build and query cost differ.
+func WithIndex(ix Index) Option {
+	return func(o *options) error { return o.setIndex(ix) }
+}
+
+// WithParallelism sets the worker count IndexCoverageGraph uses to build
+// the coverage graph (default GOMAXPROCS). Other indexes ignore it.
+func WithParallelism(workers int) Option {
 	return func(o *options) error {
-		o.linearScan = true
+		if workers < 0 {
+			return fmt.Errorf("disc: negative parallelism %d", workers)
+		}
+		o.parallelism = workers
 		return nil
 	}
 }
 
-// WithVPTree replaces the M-tree with a vantage-point tree: a simpler
-// static metric index that also supports the pruning rule. Greedy
-// selections are identical across all index choices; only the access
-// cost differs.
+// WithLinearScan is shorthand for WithIndex(IndexLinearScan): an exact
+// linear-scan index with no build cost, best for small inputs.
+func WithLinearScan() Option {
+	return func(o *options) error { return o.setIndex(IndexLinearScan) }
+}
+
+// WithVPTree is shorthand for WithIndex(IndexVPTree): a simpler static
+// metric index that also supports the pruning rule.
 func WithVPTree() Option {
-	return func(o *options) error {
-		o.vpTree = true
-		return nil
+	return func(o *options) error { return o.setIndex(IndexVPTree) }
+}
+
+func (o *options) setIndex(ix Index) error {
+	switch ix {
+	case IndexMTree, IndexLinearScan, IndexVPTree, IndexRTree, IndexCoverageGraph:
+	default:
+		return fmt.Errorf("disc: unknown index %v", ix)
 	}
+	if o.indexSet && o.index != ix {
+		return fmt.Errorf("disc: conflicting index selections %v and %v", o.index, ix)
+	}
+	o.index = ix
+	o.indexSet = true
+	return nil
 }
 
 // WithSeed seeds the index construction (only random split policies
@@ -147,23 +178,32 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 	if _, err := object.ValidatePoints(points); err != nil {
 		return nil, fmt.Errorf("disc: %w", err)
 	}
-	if o.linearScan && o.vpTree {
-		return nil, fmt.Errorf("disc: WithLinearScan and WithVPTree are mutually exclusive")
-	}
-	d := &Diversifier{points: points, metric: o.metric}
-	switch {
-	case o.linearScan:
+	d := &Diversifier{points: points, metric: o.metric, index: o.index, parallelism: o.parallelism}
+	switch o.index {
+	case IndexLinearScan:
 		e, err := core.NewFlatEngine(points, o.metric)
 		if err != nil {
 			return nil, err
 		}
 		d.engine = e
-	case o.vpTree:
+	case IndexVPTree:
 		e, err := core.BuildVPEngine(points, o.metric, o.seed)
 		if err != nil {
 			return nil, err
 		}
 		d.engine = e
+	case IndexRTree:
+		e, err := core.BuildRTreeEngine(points, o.metric, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = e
+	case IndexCoverageGraph:
+		// Built lazily: the coverage graph needs the selection radius.
+		// Fail fast on a metric its R-tree substrate would reject.
+		if _, ok := o.metric.(object.CoordinatewiseMonotone); !ok {
+			return nil, fmt.Errorf("disc: metric %q is not coordinate-wise monotone; IndexCoverageGraph's R-tree would prune unsoundly (see disc.CoordinatewiseMonotone)", o.metric.Name())
+		}
 	default:
 		cfg := mtree.Config{Capacity: o.capacity, Metric: o.metric, Policy: mtree.MinOverlap, Seed: o.seed}
 		e, err := core.BuildTreeEngine(cfg, points)
@@ -173,6 +213,40 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 		d.engine = e
 	}
 	return d, nil
+}
+
+// Indexed returns the backend this diversifier queries.
+func (d *Diversifier) Indexed() Index { return d.index }
+
+// engineForRadius returns the engine answering queries at radius r. For
+// IndexCoverageGraph the materialised graph is (re)built at r when
+// rebuild is set and the cached graph was built for a different radius;
+// with rebuild unset (the zoom and extension paths) the cached graph is
+// reused — it answers any radius exactly, falling back to its R-tree for
+// radii beyond its build radius.
+func (d *Diversifier) engineForRadius(r float64, rebuild bool) (core.Engine, error) {
+	if d.index != IndexCoverageGraph {
+		return d.engine, nil
+	}
+	if g, ok := d.engine.(*core.ParallelGraphEngine); ok {
+		if !rebuild || g.Radius() == r {
+			return d.engine, nil
+		}
+		// Radius changed: rebuild the adjacency lists, keeping the
+		// packed R-tree (it depends only on points and metric).
+		ng, err := g.Rebuild(r)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = ng
+		return ng, nil
+	}
+	g, err := core.BuildParallelGraphEngine(d.points, d.metric, r, d.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	d.engine = g
+	return g, nil
 }
 
 // NewFromDataset is New over ds.Points.
@@ -221,25 +295,35 @@ func (d *Diversifier) Select(r float64, opts ...SelectOption) (*Result, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	// Validate before engineForRadius: an unknown algorithm must not pay
+	// for a coverage-graph build.
+	switch o.algorithm {
+	case AlgorithmGreedy, AlgorithmBasic, AlgorithmGreedyWhite, AlgorithmLazyGrey,
+		AlgorithmLazyWhite, AlgorithmCoverage, AlgorithmFastCoverage:
+	default:
+		return nil, fmt.Errorf("disc: unknown algorithm %v", o.algorithm)
+	}
 	pruned := !o.noPrune
+	e, err := d.engineForRadius(r, true)
+	if err != nil {
+		return nil, err
+	}
 	var sol *core.Solution
 	switch o.algorithm {
 	case AlgorithmBasic:
-		sol = core.BasicDisC(d.engine, r, pruned)
+		sol = core.BasicDisC(e, r, pruned)
 	case AlgorithmGreedy:
-		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateGrey, Pruned: pruned})
+		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateGrey, Pruned: pruned})
 	case AlgorithmGreedyWhite:
-		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateWhite, Pruned: pruned})
+		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateWhite, Pruned: pruned})
 	case AlgorithmLazyGrey:
-		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateLazyGrey, Pruned: pruned})
+		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateLazyGrey, Pruned: pruned})
 	case AlgorithmLazyWhite:
-		sol = core.GreedyDisC(d.engine, r, core.GreedyOptions{Update: core.UpdateLazyWhite, Pruned: pruned})
+		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateLazyWhite, Pruned: pruned})
 	case AlgorithmCoverage:
-		sol = core.GreedyC(d.engine, r)
+		sol = core.GreedyC(e, r)
 	case AlgorithmFastCoverage:
-		sol = core.FastC(d.engine, r)
-	default:
-		return nil, fmt.Errorf("disc: unknown algorithm %v", o.algorithm)
+		sol = core.FastC(e, r)
 	}
 	return &Result{div: d, sol: sol, coverageOnly: o.algorithm == AlgorithmCoverage || o.algorithm == AlgorithmFastCoverage}, nil
 }

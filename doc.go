@@ -43,15 +43,47 @@
 // and AlgorithmCoverage / AlgorithmFastCoverage for coverage-only (r-C)
 // subsets that drop the dissimilarity requirement.
 //
-// # Index engines
+// # Index backends
 //
-// Neighbourhood queries run either on an M-tree (default; scales to large
-// result sets and reports node accesses, the paper's cost measure) or on a
-// linear scan (WithLinearScan; exact reference, best for small inputs).
+// Every selection heuristic spends its time asking an index "who is
+// within r?", so the choice of backend (WithIndex) is the main
+// performance lever. All backends produce identical greedy selections;
+// they differ only in build cost, query cost and metric support:
 //
-// The subpackages under internal implement the substrates: the M-tree
-// index, the algorithm engine, dataset generators, baseline diversifiers
-// (MaxMin, MaxSum, k-medoids) and the full experiment harness that
-// regenerates every table and figure of the paper (see DESIGN.md and
-// EXPERIMENTS.md).
+//   - IndexMTree (default): the paper's M-tree. Works with any metric,
+//     reports node accesses (the paper's cost measure), supports
+//     bottom-up queries and build-time neighbourhood counting.
+//   - IndexLinearScan: exact scan with zero build cost. Best for small
+//     inputs and the correctness reference everything is validated
+//     against.
+//   - IndexVPTree: a static vantage-point tree; cheaper to build than
+//     the M-tree, any metric.
+//   - IndexRTree: a bulk-loaded (STR-packed) R-tree with near-100% node
+//     utilisation and a fast deterministic build. Prunes on bounding
+//     boxes, so it requires a coordinate-wise monotone metric — all
+//     built-in metrics (Euclidean, Manhattan, Chebyshev, Hamming)
+//     qualify.
+//   - IndexCoverageGraph: materialises the entire r-coverage graph once
+//     per selection radius with a sharded worker pool (WithParallelism,
+//     default all cores), then answers every neighbourhood query in
+//     O(degree) and hands Greedy-DisC its initial counts for free. The
+//     fastest choice when one radius is queried repeatedly — exactly
+//     the access pattern of the DisC heuristics. Radii other than the
+//     build radius remain correct: smaller ones filter the adjacency
+//     lists, larger ones fall back to the R-tree underneath.
+//
+// The subpackages under internal implement the substrates: the M-tree,
+// VP-tree and R-tree indexes, the algorithm engine (including the
+// parallel coverage-graph engine), dataset generators, baseline
+// diversifiers (MaxMin, MaxSum, k-medoids) and the full experiment
+// harness that regenerates every table and figure of the paper (see
+// DESIGN.md and EXPERIMENTS.md; `discbench -exp engines` compares the
+// backends head to head).
+//
+// # Development
+//
+// The Makefile carries the shared entry points CI runs on every push:
+// `make build`, `make test` (race detector on), `make lint` (go vet and
+// the gofmt gate) and `make bench` (a one-iteration smoke pass over
+// every benchmark so they cannot bit-rot).
 package disc

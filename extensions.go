@@ -18,7 +18,16 @@ func (d *Diversifier) SelectWeighted(r float64, weights []float64) (*Result, err
 	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 		return nil, fmt.Errorf("disc: invalid radius %g", r)
 	}
-	sol, err := core.WeightedGreedyDisC(d.engine, r, weights)
+	// Validate before engineForRadius: a bad weights slice must not pay
+	// for a coverage-graph build.
+	if len(weights) != d.Len() {
+		return nil, fmt.Errorf("disc: %d weights for %d objects", len(weights), d.Len())
+	}
+	e, err := d.engineForRadius(r, true)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.WeightedGreedyDisC(e, r, weights)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +47,27 @@ func (r *Result) TotalWeight(weights []float64) float64 {
 // (the zoom semantics of a radius vector are undefined); recompute with
 // scaled radii instead.
 func (d *Diversifier) SelectMultiRadius(radii []float64) (*Result, error) {
-	sol, err := core.MultiRadiusDisC(d.engine, radii, true)
+	// Validate before engineForRadius: a bad radii slice must not pay
+	// for a coverage-graph build.
+	if len(radii) != d.Len() {
+		return nil, fmt.Errorf("disc: %d radii for %d objects", len(radii), d.Len())
+	}
+	// A coverage graph built for the largest per-object radius answers
+	// every smaller one exactly.
+	var rmax float64
+	for _, r := range radii {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("disc: invalid radius %g", r)
+		}
+		if r > rmax {
+			rmax = r
+		}
+	}
+	e, err := d.engineForRadius(rmax, true)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.MultiRadiusDisC(e, radii, true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,3 @@
+module github.com/discdiversity/disc
+
+go 1.22

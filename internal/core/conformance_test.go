@@ -8,6 +8,9 @@ import (
 )
 
 // allEngines builds every engine implementation over the same points.
+// The parallel graph engine is built for radius 0.2: conformance queries
+// at or below that radius exercise its materialised-graph path, larger
+// ones its R-tree fallback path — both must agree with brute force.
 func allEngines(t *testing.T, pts []object.Point, m object.Metric) map[string]Engine {
 	t.Helper()
 	engines := map[string]Engine{
@@ -19,6 +22,16 @@ func allEngines(t *testing.T, pts []object.Point, m object.Metric) map[string]En
 		t.Fatal(err)
 	}
 	engines["vptree"] = vp
+	rt, err := BuildRTreeEngine(pts, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["rtree"] = rt
+	g, err := BuildParallelGraphEngine(pts, m, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["graph"] = g
 	return engines
 }
 

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/rtree"
+)
+
+// ParallelGraphEngine materialises the full r-coverage graph (the
+// r-neighbourhood graph the paper reduces DisC diversity to) once, using
+// every core, and then answers Neighbors in O(degree): the repeated range
+// queries that dominate Basic-DisC and the Greedy-DisC family become
+// array lookups. Construction shards the ID space across a worker pool;
+// each worker runs concurrency-safe range queries against a shared
+// bulk-loaded R-tree and writes its adjacency slots directly, so the
+// merge is lock-free (one writer per slot).
+//
+// The graph is exact for any query radius up to the build radius
+// (adjacency lists are filtered by distance); larger radii fall back to
+// the underlying R-tree, so every Engine call stays correct at any
+// radius — only the cost differs. Because |N_r(p)| is known for every p
+// after the build, the engine also implements CountingEngine and makes
+// Greedy-DisC's initialisation pass free.
+//
+// The access counter charges one unit per adjacency entry examined
+// (minimum one per lookup), mirroring the flat engine's objects-examined
+// measure; build and fallback queries charge R-tree node accesses.
+// Like every other engine it is not safe for concurrent use after
+// construction.
+type ParallelGraphEngine struct {
+	tree    *rtree.Tree
+	radius  float64
+	workers int
+	adj     [][]object.Neighbor // sorted by id; excludes self
+	counts  []int               // len(adj[i]), for CountingEngine
+	scan    []int
+
+	accesses int64
+	tracking bool
+	white    []bool
+}
+
+var (
+	_ Engine         = (*ParallelGraphEngine)(nil)
+	_ CoverageEngine = (*ParallelGraphEngine)(nil)
+	_ CountingEngine = (*ParallelGraphEngine)(nil)
+)
+
+// BuildParallelGraphEngine builds the r-coverage graph of pts under m
+// with the given worker count (<= 0 selects GOMAXPROCS). The build cost
+// in R-tree node accesses is left on the counter, matching
+// BuildTreeEngine; callers measuring query cost only should
+// ResetAccesses first.
+func BuildParallelGraphEngine(pts []object.Point, m object.Metric, r float64, workers int) (*ParallelGraphEngine, error) {
+	tree, err := rtree.Build(pts, m, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: graph engine: %w", err)
+	}
+	scan := tree.ScanOrder()
+	tree.ResetAccesses() // query costs are accounted on the engine
+	return buildGraph(tree, scan, r, workers)
+}
+
+// Rebuild returns an engine over the same points with the adjacency
+// lists rebuilt for a different radius, reusing the already packed
+// R-tree (the tree depends only on points and metric). The R-tree is
+// shared with the receiver, which must be discarded afterwards.
+func (g *ParallelGraphEngine) Rebuild(r float64) (*ParallelGraphEngine, error) {
+	return buildGraph(g.tree, g.scan, r, g.workers)
+}
+
+// buildGraph materialises the coverage graph at radius r over an
+// existing tree with a sharded worker pool.
+func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*ParallelGraphEngine, error) {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return nil, fmt.Errorf("core: graph engine: invalid radius %g", r)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := tree.Len()
+	if workers > n {
+		workers = n
+	}
+	g := &ParallelGraphEngine{
+		tree:    tree,
+		radius:  r,
+		workers: workers,
+		adj:     make([][]object.Neighbor, n),
+		counts:  make([]int, n),
+		scan:    scan,
+	}
+
+	var total int64
+	var wg sync.WaitGroup
+	shard := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * shard
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var acc int64
+			for id := lo; id < hi; id++ {
+				ns := sortNeighbors(tree.RangeQueryAroundInto(id, r, &acc))
+				g.adj[id] = ns
+				g.counts[id] = len(ns)
+			}
+			atomic.AddInt64(&total, acc)
+		}(lo, hi)
+	}
+	wg.Wait()
+	g.accesses = total
+	return g, nil
+}
+
+// Radius returns the radius the coverage graph was built for.
+func (g *ParallelGraphEngine) Radius() float64 { return g.radius }
+
+// Workers returns the parallelism used during construction.
+func (g *ParallelGraphEngine) Workers() int { return g.workers }
+
+// Degree returns |N_r(id)| at the build radius.
+func (g *ParallelGraphEngine) Degree(id int) int { return len(g.adj[id]) }
+
+// Size implements Engine.
+func (g *ParallelGraphEngine) Size() int { return g.tree.Len() }
+
+// Metric implements Engine.
+func (g *ParallelGraphEngine) Metric() object.Metric { return g.tree.Metric() }
+
+// Point implements Engine.
+func (g *ParallelGraphEngine) Point(id int) object.Point { return g.tree.Point(id) }
+
+// charge records an adjacency lookup that examined n entries.
+func (g *ParallelGraphEngine) charge(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.accesses += int64(n)
+}
+
+// Neighbors implements Engine. Radii up to the build radius are answered
+// from the materialised graph; larger radii fall back to the R-tree.
+func (g *ParallelGraphEngine) Neighbors(id int, r float64) []object.Neighbor {
+	switch {
+	case r == g.radius:
+		g.charge(len(g.adj[id]))
+		return append([]object.Neighbor(nil), g.adj[id]...)
+	case r < g.radius:
+		g.charge(len(g.adj[id]))
+		var out []object.Neighbor
+		for _, nb := range g.adj[id] {
+			if nb.Dist <= r {
+				out = append(out, nb)
+			}
+		}
+		return out
+	default:
+		return sortNeighbors(g.tree.RangeQueryAroundInto(id, r, &g.accesses))
+	}
+}
+
+// NeighborsOfPoint implements Engine via the R-tree (arbitrary points
+// have no slot in the graph).
+func (g *ParallelGraphEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
+	return sortNeighbors(g.tree.RangeQueryInto(q, r, &g.accesses))
+}
+
+// ScanOrder implements Engine via the STR leaf order captured at build
+// time.
+func (g *ParallelGraphEngine) ScanOrder() []int {
+	return append([]int(nil), g.scan...)
+}
+
+// Accesses implements Engine.
+func (g *ParallelGraphEngine) Accesses() int64 { return g.accesses }
+
+// ResetAccesses implements Engine.
+func (g *ParallelGraphEngine) ResetAccesses() { g.accesses = 0 }
+
+// InitialCounts implements CountingEngine: the build already knows every
+// neighbourhood size, so Greedy-DisC initialisation costs nothing.
+func (g *ParallelGraphEngine) InitialCounts() ([]int, float64, bool) {
+	return g.counts, g.radius, true
+}
+
+// StartCoverage implements CoverageEngine. The white set is mirrored
+// into the R-tree so that fallback queries for radii beyond the build
+// radius prune covered subtrees too.
+func (g *ParallelGraphEngine) StartCoverage(white []bool) {
+	g.white = make([]bool, g.tree.Len())
+	if white == nil {
+		for i := range g.white {
+			g.white[i] = true
+		}
+	} else {
+		copy(g.white, white)
+	}
+	g.tracking = true
+	g.tree.ResetTracking(g.white)
+}
+
+// Cover implements CoverageEngine.
+func (g *ParallelGraphEngine) Cover(id int) {
+	if g.tracking && g.white[id] {
+		g.white[id] = false
+		g.tree.Cover(id)
+	}
+}
+
+// IsWhite implements CoverageEngine.
+func (g *ParallelGraphEngine) IsWhite(id int) bool { return g.tracking && g.white[id] }
+
+// NeighborsWhite implements CoverageEngine: an adjacency scan that keeps
+// only still-white neighbours.
+func (g *ParallelGraphEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
+	if !g.tracking {
+		panic("core: NeighborsWhite without StartCoverage")
+	}
+	if r > g.radius {
+		return sortNeighbors(g.tree.RangeQueryPrunedInto(id, r, &g.accesses))
+	}
+	g.charge(len(g.adj[id]))
+	var out []object.Neighbor
+	for _, nb := range g.adj[id] {
+		if g.white[nb.ID] && nb.Dist <= r {
+			out = append(out, nb)
+		}
+	}
+	return out
+}

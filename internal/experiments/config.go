@@ -26,6 +26,9 @@ type Config struct {
 	Dim int
 	// Capacity is the M-tree node capacity (paper default 50).
 	Capacity int
+	// Parallelism is the worker count for the parallel coverage-graph
+	// build in the engines experiment (0 = GOMAXPROCS).
+	Parallelism int
 	// Quick trims sweeps for fast runs (benchmarks, smoke tests).
 	Quick bool
 	// Out receives the rendered tables; nil discards them.

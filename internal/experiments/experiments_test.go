@@ -16,6 +16,29 @@ func quickConfig() Config {
 	return cfg
 }
 
+func TestEnginesExperimentSizesAgree(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Parallelism = 4
+	tab, err := Engines(cfg, "clustered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 engines x 3 quick radii; the greedy solution size at a given
+	// radius must be identical on every engine (deterministic greedy).
+	if len(tab.Rows) != 15 {
+		t.Fatalf("expected 15 rows, got %d", len(tab.Rows))
+	}
+	sizeAt := map[string]string{}
+	for _, row := range tab.Rows {
+		key := row[1] // radius column
+		if want, ok := sizeAt[key]; ok && row[2] != want {
+			t.Errorf("engine %s at r=%s: size %s, other engines got %s", row[0], key, row[2], want)
+		} else {
+			sizeAt[key] = row[2]
+		}
+	}
+}
+
 func TestRadiiPerDataset(t *testing.T) {
 	if got := Radii("uniform"); len(got) != 7 || got[0] != 0.01 || got[6] != 0.07 {
 		t.Errorf("uniform radii %v", got)

@@ -45,6 +45,14 @@ var Registry = map[string]Runner{
 		return nil
 	},
 	"capacity": func(cfg Config) error { _, err := Capacity(cfg); return err },
+	"engines": func(cfg Config) error {
+		for _, ds := range []string{"uniform", "clustered"} {
+			if _, err := Engines(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
 	"fastc": func(cfg Config) error {
 		for _, ds := range []string{"uniform", "clustered"} {
 			if _, err := FastCAblation(cfg, ds); err != nil {

@@ -1,0 +1,456 @@
+// Package rtree implements a bulk-loaded R-tree, the spatial index the
+// paper's future work motivates as an alternative to the M-tree. The tree
+// is packed bottom-up with the Sort-Tile-Recursive (STR) algorithm in the
+// spirit of compact R-tree libraries such as tidwall/pair-rtree: objects
+// are tiled into slabs dimension by dimension, consecutive runs become
+// leaves, and parent levels are packed over the leaf order. The result is
+// a static, pointer-free tree stored in two flat slices with ~100% node
+// utilisation and uniform leaf depth.
+//
+// Range queries prune a subtree when the minimum distance from the query
+// point to the subtree's bounding box exceeds the radius. That minimum
+// distance is computed by clamping the query point into the box, which is
+// a valid lower bound for every coordinate-wise monotone metric — all the
+// built-in metrics (Euclidean, Manhattan, Chebyshev and Hamming) qualify.
+// Build enforces this by rejecting metrics that do not implement the
+// object.CoordinatewiseMonotone marker.
+//
+// Like the M-tree and VP-tree, the R-tree supports the paper's pruning
+// rule through per-subtree white counts, and counts one access per node
+// visited. The *Into query variants take an external access counter and
+// touch no shared state, so a fully built tree can serve range queries
+// from many goroutines at once — the property the parallel coverage-graph
+// builder in internal/core relies on.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// DefaultLeafCapacity is used when Build is given a non-positive
+// capacity. It matches common R-tree fanouts and keeps leaf scans short.
+const DefaultLeafCapacity = 32
+
+// node is one R-tree node. Leaves reference a run of t.items; internal
+// nodes reference a run of child nodes (children are always packed
+// consecutively by construction, so a first/count pair suffices).
+type node struct {
+	min, max object.Point
+	parent   int32
+	first    int32 // leaf: offset into items; internal: first child index
+	count    int32
+	leaf     bool
+	white    int32 // white descendants while tracking is enabled
+}
+
+// Tree is a static, bulk-loaded R-tree over a fixed point slice.
+type Tree struct {
+	pts     []object.Point
+	metric  object.Metric
+	dim     int
+	leafCap int
+	nodes   []node
+	items   []int32 // object ids grouped per leaf, in STR order
+	leafOf  []int32 // id -> index of the leaf holding it
+	root    int32
+
+	accesses int64
+	tracking bool
+	white    []bool
+}
+
+// Build packs an R-tree over pts with the given leaf capacity (<= 0
+// selects DefaultLeafCapacity). Construction is deterministic: ties in
+// the STR sort are broken by object id.
+func Build(pts []object.Point, m object.Metric, leafCap int) (*Tree, error) {
+	d, err := object.ValidatePoints(pts)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("rtree: nil metric")
+	}
+	if _, ok := m.(object.CoordinatewiseMonotone); !ok {
+		return nil, fmt.Errorf("rtree: metric %q is not coordinate-wise monotone; box pruning would be unsound (implement object.CoordinatewiseMonotone to opt in)", m.Name())
+	}
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCapacity
+	}
+	if leafCap < 2 {
+		leafCap = 2
+	}
+	t := &Tree{
+		pts:     pts,
+		metric:  m,
+		dim:     d,
+		leafCap: leafCap,
+		items:   make([]int32, len(pts)),
+		leafOf:  make([]int32, len(pts)),
+	}
+	for i := range t.items {
+		t.items[i] = int32(i)
+	}
+	t.tile(t.items, 0)
+	t.pack()
+	return t, nil
+}
+
+// tile recursively orders ids with Sort-Tile-Recursive: sort on the
+// current dimension, cut into slabs sized so that every slab holds a
+// near-equal share of the eventual leaves, and recurse on the next
+// dimension inside each slab. After tiling, consecutive leafCap-runs of
+// ids are spatially coherent leaves.
+func (t *Tree) tile(ids []int32, dim int) {
+	if len(ids) <= t.leafCap {
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if t.pts[a][dim] != t.pts[b][dim] {
+			return t.pts[a][dim] < t.pts[b][dim]
+		}
+		return a < b
+	})
+	if dim == t.dim-1 {
+		return
+	}
+	nLeaves := (len(ids) + t.leafCap - 1) / t.leafCap
+	rem := float64(t.dim - dim)
+	leavesPerSlab := int(math.Ceil(math.Pow(float64(nLeaves), (rem-1)/rem)))
+	slabSize := leavesPerSlab * t.leafCap
+	for lo := 0; lo < len(ids); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		t.tile(ids[lo:hi], dim+1)
+	}
+}
+
+// pack builds the node levels bottom-up over the tiled item order.
+func (t *Tree) pack() {
+	// Leaves.
+	var level []int32
+	for lo := 0; lo < len(t.items); lo += t.leafCap {
+		hi := lo + t.leafCap
+		if hi > len(t.items) {
+			hi = len(t.items)
+		}
+		ni := int32(len(t.nodes))
+		n := node{parent: -1, first: int32(lo), count: int32(hi - lo), leaf: true}
+		n.min, n.max = t.mbrOfItems(t.items[lo:hi])
+		t.nodes = append(t.nodes, n)
+		for _, id := range t.items[lo:hi] {
+			t.leafOf[id] = ni
+		}
+		level = append(level, ni)
+	}
+	// Internal levels: children of one parent are consecutive in t.nodes
+	// by construction, so parents store a first/count pair.
+	for len(level) > 1 {
+		var next []int32
+		for lo := 0; lo < len(level); lo += t.leafCap {
+			hi := lo + t.leafCap
+			if hi > len(level) {
+				hi = len(level)
+			}
+			pi := int32(len(t.nodes))
+			p := node{parent: -1, first: level[lo], count: int32(hi - lo)}
+			p.min, p.max = t.mbrOfNodes(level[lo:hi])
+			t.nodes = append(t.nodes, p)
+			for _, ci := range level[lo:hi] {
+				t.nodes[ci].parent = pi
+			}
+			next = append(next, pi)
+		}
+		level = next
+	}
+	t.root = level[0]
+}
+
+func (t *Tree) mbrOfItems(ids []int32) (object.Point, object.Point) {
+	min := t.pts[ids[0]].Clone()
+	max := t.pts[ids[0]].Clone()
+	for _, id := range ids[1:] {
+		for j, v := range t.pts[id] {
+			if v < min[j] {
+				min[j] = v
+			}
+			if v > max[j] {
+				max[j] = v
+			}
+		}
+	}
+	return min, max
+}
+
+func (t *Tree) mbrOfNodes(nis []int32) (object.Point, object.Point) {
+	min := t.nodes[nis[0]].min.Clone()
+	max := t.nodes[nis[0]].max.Clone()
+	for _, ni := range nis[1:] {
+		n := &t.nodes[ni]
+		for j := range min {
+			if n.min[j] < min[j] {
+				min[j] = n.min[j]
+			}
+			if n.max[j] > max[j] {
+				max[j] = n.max[j]
+			}
+		}
+	}
+	return min, max
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Metric returns the distance function.
+func (t *Tree) Metric() object.Metric { return t.metric }
+
+// Point returns the coordinates of object id.
+func (t *Tree) Point(id int) object.Point { return t.pts[id] }
+
+// LeafCapacity returns the packing fanout.
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// Accesses returns the cumulative node-access counter.
+func (t *Tree) Accesses() int64 { return t.accesses }
+
+// ResetAccesses zeroes the counter.
+func (t *Tree) ResetAccesses() { t.accesses = 0 }
+
+// minDist lower-bounds the distance from q to any point inside the
+// node's box by clamping q into the box. scratch must have dim entries
+// and is overwritten.
+func (t *Tree) minDist(q object.Point, n *node, scratch object.Point) float64 {
+	for j, v := range q {
+		switch {
+		case v < n.min[j]:
+			scratch[j] = n.min[j]
+		case v > n.max[j]:
+			scratch[j] = n.max[j]
+		default:
+			scratch[j] = v
+		}
+	}
+	return t.metric.Dist(q, scratch)
+}
+
+// RangeQuery returns all objects within r of q.
+func (t *Tree) RangeQuery(q object.Point, r float64) []object.Neighbor {
+	return t.RangeQueryInto(q, r, &t.accesses)
+}
+
+// RangeQueryAround returns the neighbours of object id within r,
+// excluding id itself.
+func (t *Tree) RangeQueryAround(id int, r float64) []object.Neighbor {
+	return t.RangeQueryAroundInto(id, r, &t.accesses)
+}
+
+// RangeQueryInto is RangeQuery charging node accesses to an external
+// counter. It touches no shared tree state, so concurrent calls on a
+// built tree are safe as long as each goroutine supplies its own counter.
+func (t *Tree) RangeQueryInto(q object.Point, r float64, acc *int64) []object.Neighbor {
+	var out []object.Neighbor
+	t.search(t.root, q, r, -1, false, make(object.Point, t.dim), acc, &out)
+	return out
+}
+
+// RangeQueryAroundInto is the concurrency-safe form of RangeQueryAround.
+func (t *Tree) RangeQueryAroundInto(id int, r float64, acc *int64) []object.Neighbor {
+	var out []object.Neighbor
+	t.search(t.root, t.pts[id], r, id, false, make(object.Point, t.dim), acc, &out)
+	return out
+}
+
+// RangeQueryPruned applies the paper's pruning rule: subtrees without
+// white objects are skipped and only white objects are reported.
+// Requires EnableTracking or ResetTracking.
+func (t *Tree) RangeQueryPruned(id int, r float64) []object.Neighbor {
+	return t.RangeQueryPrunedInto(id, r, &t.accesses)
+}
+
+// RangeQueryPrunedInto is RangeQueryPruned charging an external counter.
+// Unlike the unpruned Into variants it reads the shared white state, so
+// it must not run concurrently with Cover or tracking resets.
+func (t *Tree) RangeQueryPrunedInto(id int, r float64, acc *int64) []object.Neighbor {
+	if !t.tracking {
+		panic("rtree: pruned query requires EnableTracking")
+	}
+	var out []object.Neighbor
+	t.search(t.root, t.pts[id], r, id, true, make(object.Point, t.dim), acc, &out)
+	return out
+}
+
+func (t *Tree) search(ni int32, q object.Point, r float64, exclude int, pruned bool, scratch object.Point, acc *int64, out *[]object.Neighbor) {
+	n := &t.nodes[ni]
+	*acc++
+	if n.leaf {
+		for _, id := range t.items[n.first : n.first+n.count] {
+			if int(id) == exclude || (pruned && !t.white[id]) {
+				continue
+			}
+			if d := t.metric.Dist(q, t.pts[id]); d <= r {
+				*out = append(*out, object.Neighbor{ID: int(id), Dist: d})
+			}
+		}
+		return
+	}
+	for ci := n.first; ci < n.first+n.count; ci++ {
+		c := &t.nodes[ci]
+		if pruned && c.white == 0 {
+			continue
+		}
+		if t.minDist(q, c, scratch) <= r {
+			t.search(ci, q, r, exclude, pruned, scratch, acc, out)
+		}
+	}
+}
+
+// ScanOrder returns all ids in leaf (STR) order, a locality-preserving
+// order analogous to the M-tree leaf chain. Each leaf visited counts as
+// one access.
+func (t *Tree) ScanOrder() []int {
+	ids := make([]int, len(t.items))
+	for i, id := range t.items {
+		ids[i] = int(id)
+	}
+	t.accesses += int64((len(t.items) + t.leafCap - 1) / t.leafCap)
+	return ids
+}
+
+// EnableTracking switches the pruning rule on with every object white.
+func (t *Tree) EnableTracking() {
+	white := make([]bool, len(t.pts))
+	for i := range white {
+		white[i] = true
+	}
+	t.ResetTracking(white)
+}
+
+// ResetTracking re-initialises tracking with a custom white set.
+func (t *Tree) ResetTracking(white []bool) {
+	t.white = append([]bool(nil), white...)
+	t.tracking = true
+	// Children precede parents in t.nodes, so one forward pass suffices.
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		n.white = 0
+		if n.leaf {
+			for _, id := range t.items[n.first : n.first+n.count] {
+				if t.white[id] {
+					n.white++
+				}
+			}
+		} else {
+			for ci := n.first; ci < n.first+n.count; ci++ {
+				n.white += t.nodes[ci].white
+			}
+		}
+	}
+}
+
+// Tracking reports whether the pruning rule is active.
+func (t *Tree) Tracking() bool { return t.tracking }
+
+// IsWhite reports whether id is still uncovered (tracking only).
+func (t *Tree) IsWhite(id int) bool { return t.tracking && t.white[id] }
+
+// Cover marks id as covered, updating subtree white counts.
+func (t *Tree) Cover(id int) {
+	if !t.tracking || !t.white[id] {
+		return
+	}
+	t.white[id] = false
+	for ni := t.leafOf[id]; ni != -1; ni = t.nodes[ni].parent {
+		t.nodes[ni].white--
+	}
+}
+
+// Depth returns the number of levels (1 for a single-leaf tree). STR
+// packing guarantees every leaf sits at the same depth.
+func (t *Tree) Depth() int {
+	depth := 1
+	for ni := t.root; !t.nodes[ni].leaf; ni = t.nodes[ni].first {
+		depth++
+	}
+	return depth
+}
+
+// NumNodes returns the total node count (for diagnostics).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Validate checks structural invariants: the item order is a permutation,
+// every bounding box contains its descendants, parent/child links agree,
+// leaves share one depth, and white counts (when tracking) match the
+// white set. Intended for tests.
+func (t *Tree) Validate() error {
+	seen := make([]bool, len(t.pts))
+	for _, id := range t.items {
+		if seen[id] {
+			return fmt.Errorf("rtree: object %d appears twice", id)
+		}
+		seen[id] = true
+	}
+	for id, s := range seen {
+		if !s {
+			return fmt.Errorf("rtree: object %d missing", id)
+		}
+	}
+	wantLeafDepth := t.Depth()
+	var walk func(ni int32, depth int) error
+	walk = func(ni int32, depth int) error {
+		n := &t.nodes[ni]
+		if n.leaf {
+			if depth != wantLeafDepth {
+				return fmt.Errorf("rtree: leaf %d at depth %d, want %d", ni, depth, wantLeafDepth)
+			}
+			white := int32(0)
+			for _, id := range t.items[n.first : n.first+n.count] {
+				if t.leafOf[id] != ni {
+					return fmt.Errorf("rtree: leafOf[%d] broken", id)
+				}
+				for j, v := range t.pts[id] {
+					if v < n.min[j] || v > n.max[j] {
+						return fmt.Errorf("rtree: object %d escapes leaf %d box", id, ni)
+					}
+				}
+				if t.tracking && t.white[id] {
+					white++
+				}
+			}
+			if t.tracking && white != n.white {
+				return fmt.Errorf("rtree: leaf %d white count %d, want %d", ni, n.white, white)
+			}
+			return nil
+		}
+		white := int32(0)
+		for ci := n.first; ci < n.first+n.count; ci++ {
+			c := &t.nodes[ci]
+			if c.parent != ni {
+				return fmt.Errorf("rtree: node %d parent %d, want %d", ci, c.parent, ni)
+			}
+			for j := range c.min {
+				if c.min[j] < n.min[j] || c.max[j] > n.max[j] {
+					return fmt.Errorf("rtree: child %d escapes node %d box", ci, ni)
+				}
+			}
+			white += c.white
+			if err := walk(ci, depth+1); err != nil {
+				return err
+			}
+		}
+		if t.tracking && white != n.white {
+			return fmt.Errorf("rtree: node %d white count %d, want %d", ni, n.white, white)
+		}
+		return nil
+	}
+	if t.nodes[t.root].parent != -1 {
+		return fmt.Errorf("rtree: root has a parent")
+	}
+	return walk(t.root, 1)
+}

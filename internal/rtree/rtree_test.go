@@ -1,0 +1,251 @@
+package rtree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func randomPoints(n, d int, seed uint64) []object.Point {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	pts := make([]object.Point, n)
+	for i := range pts {
+		p := make(object.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func build(t *testing.T, pts []object.Point, m object.Metric, leafCap int) *Tree {
+	t.Helper()
+	tr, err := Build(pts, m, leafCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildValidate(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 32, 33, 500} {
+		for _, d := range []int{1, 2, 3, 5} {
+			for _, cap := range []int{0, 2, 4, 16} {
+				tr := build(t, randomPoints(n, d, uint64(n*d)+1), object.Euclidean{}, cap)
+				if tr.Len() != n {
+					t.Fatalf("n=%d d=%d cap=%d: Len=%d", n, d, cap, tr.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	metrics := []object.Metric{object.Euclidean{}, object.Manhattan{}, object.Chebyshev{}}
+	pts := randomPoints(400, 3, 11)
+	for _, m := range metrics {
+		tr := build(t, pts, m, 8)
+		for _, id := range []int{0, 57, 399} {
+			for _, r := range []float64{0.01, 0.1, 0.5, 1.5} {
+				got := map[int]float64{}
+				for _, nb := range tr.RangeQueryAround(id, r) {
+					got[nb.ID] = nb.Dist
+				}
+				want := map[int]float64{}
+				for j := range pts {
+					if j != id {
+						if d := m.Dist(pts[id], pts[j]); d <= r {
+							want[j] = d
+						}
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s id=%d r=%g: %d neighbours, want %d", m.Name(), id, r, len(got), len(want))
+				}
+				for j, d := range want {
+					if got[j] != d {
+						t.Fatalf("%s id=%d r=%g: neighbour %d dist %g want %g", m.Name(), id, r, j, got[j], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeQueryHamming(t *testing.T) {
+	// Categorical points: the clamp mindist must stay a lower bound.
+	rng := rand.New(rand.NewPCG(5, 6))
+	pts := make([]object.Point, 300)
+	for i := range pts {
+		p := make(object.Point, 4)
+		for j := range p {
+			p[j] = float64(rng.IntN(5))
+		}
+		pts[i] = p
+	}
+	m := object.Hamming{}
+	tr := build(t, pts, m, 8)
+	for _, r := range []float64{0, 1, 2, 4} {
+		for _, id := range []int{3, 150} {
+			got := len(tr.RangeQueryAround(id, r))
+			want := 0
+			for j := range pts {
+				if j != id && m.Dist(pts[id], pts[j]) <= r {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("hamming id=%d r=%g: %d neighbours, want %d", id, r, got, want)
+			}
+		}
+	}
+}
+
+func TestScanOrderPermutation(t *testing.T) {
+	tr := build(t, randomPoints(257, 2, 3), object.Euclidean{}, 8)
+	order := tr.ScanOrder()
+	sorted := append([]int(nil), order...)
+	sort.Ints(sorted)
+	for i, id := range sorted {
+		if id != i {
+			t.Fatalf("scan order is not a permutation")
+		}
+	}
+}
+
+func TestPrunedQueries(t *testing.T) {
+	pts := randomPoints(300, 2, 9)
+	m := object.Euclidean{}
+	tr := build(t, pts, m, 8)
+	tr.EnableTracking()
+	// Cover a random half and compare the pruned query with a filtered
+	// brute force.
+	rng := rand.New(rand.NewPCG(10, 11))
+	for i := 0; i < 150; i++ {
+		tr.Cover(rng.IntN(len(pts)))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 120, 299} {
+		got := map[int]bool{}
+		for _, nb := range tr.RangeQueryPruned(id, 0.2) {
+			got[nb.ID] = true
+		}
+		for j := range pts {
+			want := j != id && tr.IsWhite(j) && m.Dist(pts[id], pts[j]) <= 0.2
+			if got[j] != want {
+				t.Fatalf("pruned id=%d: neighbour %d reported=%v want %v", id, j, got[j], want)
+			}
+		}
+	}
+	// Covering everything makes every pruned query empty without
+	// touching any subtree below the root.
+	for id := range pts {
+		tr.Cover(id)
+	}
+	tr.ResetAccesses()
+	if got := tr.RangeQueryPruned(7, 0.5); len(got) != 0 {
+		t.Fatalf("fully covered: got %d neighbours", len(got))
+	}
+	if tr.Accesses() != 1 {
+		t.Fatalf("fully covered query accessed %d nodes, want 1 (root only)", tr.Accesses())
+	}
+}
+
+func TestResetTrackingCustomWhite(t *testing.T) {
+	pts := randomPoints(100, 2, 13)
+	tr := build(t, pts, object.Euclidean{}, 4)
+	white := make([]bool, len(pts))
+	for i := 0; i < len(pts); i += 2 {
+		white[i] = true
+	}
+	tr.ResetTracking(white)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range tr.RangeQueryPruned(1, 0.4) {
+		if nb.ID%2 != 0 {
+			t.Fatalf("pruned query reported covered object %d", nb.ID)
+		}
+	}
+}
+
+func TestConcurrentIntoQueries(t *testing.T) {
+	pts := randomPoints(500, 2, 21)
+	m := object.Euclidean{}
+	tr := build(t, pts, m, 16)
+	want := make([][]object.Neighbor, len(pts))
+	var seq int64
+	for id := range pts {
+		want[id] = tr.RangeQueryAroundInto(id, 0.1, &seq)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var acc int64
+			for id := w; id < len(pts); id += 8 {
+				got := tr.RangeQueryAroundInto(id, 0.1, &acc)
+				if len(got) != len(want[id]) {
+					t.Errorf("id=%d: %d neighbours, want %d", id, len(got), len(want[id]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestAccessCounting(t *testing.T) {
+	tr := build(t, randomPoints(300, 2, 30), object.Euclidean{}, 8)
+	tr.ResetAccesses()
+	if tr.Accesses() != 0 {
+		t.Fatal("reset failed")
+	}
+	tr.RangeQueryAround(0, 0.2)
+	if tr.Accesses() == 0 {
+		t.Fatal("query charged nothing")
+	}
+	// A tiny-radius query must visit far fewer nodes than the tree holds.
+	tr.ResetAccesses()
+	tr.RangeQueryAround(0, 1e-9)
+	if got := tr.Accesses(); got >= int64(tr.NumNodes()) {
+		t.Fatalf("point query accessed %d of %d nodes — no pruning", got, tr.NumNodes())
+	}
+}
+
+// nonMonotoneMetric is a Metric that does not implement the
+// CoordinatewiseMonotone marker; box pruning would be unsound for it.
+// (It must not embed a built-in metric — that would promote the marker
+// method.)
+type nonMonotoneMetric struct{}
+
+func (nonMonotoneMetric) Dist(a, b object.Point) float64 { return object.Euclidean{}.Dist(a, b) }
+func (nonMonotoneMetric) Name() string                   { return "custom" }
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, object.Euclidean{}, 8); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	if _, err := Build(randomPoints(10, 2, 1), nil, 8); err == nil {
+		t.Fatal("nil metric accepted")
+	}
+	if _, err := Build([]object.Point{{1, 2}, {1}}, object.Euclidean{}, 8); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestBuildRejectsNonMonotoneMetric(t *testing.T) {
+	if _, err := Build(randomPoints(10, 2, 1), nonMonotoneMetric{}, 8); err == nil {
+		t.Fatal("non-coordinate-wise-monotone metric accepted")
+	}
+}

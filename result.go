@@ -32,9 +32,11 @@ func (r *Result) Radius() float64 { return r.sol.Radius }
 // Algorithm returns the name of the heuristic that produced the result.
 func (r *Result) Algorithm() string { return r.sol.Algorithm }
 
-// Accesses returns the index cost consumed computing this result: M-tree
-// node accesses for tree-indexed diversifiers, objects examined for
-// linear-scan ones.
+// Accesses returns the index cost consumed computing this result, in
+// the backend's own unit: tree node accesses for IndexMTree, IndexVPTree
+// and IndexRTree, objects examined for IndexLinearScan, and adjacency
+// entries examined (plus R-tree node accesses on fallback queries) for
+// IndexCoverageGraph. Compare across backends with that caveat.
 func (r *Result) Accesses() int64 { return r.sol.Accesses }
 
 // Contains reports whether object id was selected.

@@ -1,6 +1,7 @@
 package disc
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/discdiversity/disc/internal/dataset"
@@ -18,8 +19,63 @@ type Metric = object.Metric
 // Neighbor pairs an object ID with its distance from a query object.
 type Neighbor = object.Neighbor
 
+// CoordinatewiseMonotone marks metrics safe for box-pruning indexes
+// (IndexRTree, IndexCoverageGraph): the distance must never decrease
+// when a single coordinate of one argument moves away from the other's.
+// All built-in metrics implement it; custom metrics opt in by adding an
+// empty CoordinatewiseMonotone() method — only when the property truly
+// holds, otherwise the R-tree prunes true neighbours.
+type CoordinatewiseMonotone = object.CoordinatewiseMonotone
+
 // Dataset bundles points with optional labels and attribute metadata.
 type Dataset = object.Dataset
+
+// Index selects the neighbourhood-search backend a Diversifier queries.
+// All backends return identical selections under the deterministic
+// greedy algorithms; they differ only in build cost, query cost and
+// metric support. See the "Index backends" section of the package
+// documentation for guidance.
+type Index int
+
+const (
+	// IndexMTree is the paper's M-tree (default): a dynamic metric index
+	// that works with any metric and reports node accesses, the paper's
+	// cost measure.
+	IndexMTree Index = iota
+	// IndexLinearScan scans all points per query: no build cost, exact,
+	// best for small inputs.
+	IndexLinearScan
+	// IndexVPTree is a static vantage-point tree: a simpler metric index
+	// with cheaper construction than the M-tree.
+	IndexVPTree
+	// IndexRTree is a bulk-loaded (STR-packed) R-tree: near-100% node
+	// utilisation and fast deterministic builds. Restricted to
+	// coordinate-wise monotone metrics; every built-in metric qualifies.
+	IndexRTree
+	// IndexCoverageGraph materialises the full r-coverage graph once per
+	// radius using all cores (see WithParallelism), then answers every
+	// neighbourhood query in O(degree). The best choice when one radius
+	// is queried repeatedly, as the greedy heuristics do.
+	IndexCoverageGraph
+)
+
+// String implements fmt.Stringer.
+func (ix Index) String() string {
+	switch ix {
+	case IndexMTree:
+		return "mtree"
+	case IndexLinearScan:
+		return "flat"
+	case IndexVPTree:
+		return "vptree"
+	case IndexRTree:
+		return "rtree"
+	case IndexCoverageGraph:
+		return "coverage-graph"
+	default:
+		return fmt.Sprintf("index(%d)", int(ix))
+	}
+}
 
 // Euclidean returns the L2 metric (the library default).
 func Euclidean() Metric { return object.Euclidean{} }

@@ -49,7 +49,11 @@ func (d *Diversifier) ZoomIn(res *Result, r float64) (*Result, error) {
 	if err := d.own(res); err != nil {
 		return nil, err
 	}
-	sol, err := core.ZoomIn(d.engine, res.sol.Clone(), r, true, true)
+	e, err := d.engineForRadius(r, false)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.ZoomIn(e, res.sol.Clone(), r, true, true)
 	if err != nil {
 		return nil, err
 	}
@@ -66,11 +70,15 @@ func (d *Diversifier) ZoomOut(res *Result, r float64, variant ZoomOutVariant) (*
 	if err != nil {
 		return nil, err
 	}
+	e, err := d.engineForRadius(r, false)
+	if err != nil {
+		return nil, err
+	}
 	prev := res.sol.Clone()
 	if !prev.DistBlackExact {
-		core.RecomputeDistBlack(d.engine, prev)
+		core.RecomputeDistBlack(e, prev)
 	}
-	sol, err := core.ZoomOut(d.engine, prev, r, cv)
+	sol, err := core.ZoomOut(e, prev, r, cv)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +109,11 @@ func (d *Diversifier) LocalZoomIn(res *Result, center int, r float64) (*LocalZoo
 	if err := d.own(res); err != nil {
 		return nil, err
 	}
-	lr, err := core.LocalZoomIn(d.engine, res.sol.Clone(), center, r, true)
+	e, err := d.engineForRadius(r, false)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := core.LocalZoomIn(e, res.sol.Clone(), center, r, true)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +127,11 @@ func (d *Diversifier) LocalZoomOut(res *Result, center int, r float64) (*LocalZo
 	if err := d.own(res); err != nil {
 		return nil, err
 	}
-	lr, err := core.LocalZoomOut(d.engine, res.sol.Clone(), center, r)
+	e, err := d.engineForRadius(r, false)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := core.LocalZoomOut(e, res.sol.Clone(), center, r)
 	if err != nil {
 		return nil, err
 	}
