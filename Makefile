@@ -1,7 +1,7 @@
 # Shared entry points for CI (.github/workflows/ci.yml) and humans.
 GO ?= go
 
-.PHONY: build test lint bench
+.PHONY: build test lint bench bench-guard
 
 ## build: compile every package and command
 build:
@@ -22,3 +22,16 @@ lint:
 ## bench: one-iteration smoke pass over every benchmark
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -timeout 25m ./...
+
+## bench-guard: vet + compile-and-run gate over the selection and
+## steady-state neighbour-query benchmarks with allocation reporting.
+## Fails on any build or vet regression in the bench files; the output
+## (bench-guard.txt) is uploaded as a CI artifact so the repo's perf
+## trajectory is inspectable per commit. Also runs the zero-allocation
+## regression tests, which carry a !race build tag and are therefore
+## invisible to `make test`.
+bench-guard:
+	$(GO) vet ./...
+	$(GO) test ./internal/core -run ZeroAlloc -v -count=1
+	@$(GO) test -run '^$$' -bench='Select|Neighbors|GreedyDisC' -benchtime=1x -benchmem -timeout 20m ./... > bench-guard.txt 2>&1; \
+	status=$$?; cat bench-guard.txt; exit $$status

@@ -298,6 +298,78 @@ func BenchmarkRTreeRangeQuery(b *testing.B) {
 	}
 }
 
+// --- steady-state neighbour queries (the zero-allocation path) ---
+//
+// One reusable destination buffer, one query per iteration: the loop the
+// DisC heuristics spend their lives in. With the buffer at its
+// high-water capacity every engine must report 0 allocs/op.
+
+func benchNeighborsAppend(b *testing.B, e core.Engine, r float64) {
+	b.Helper()
+	buf := make([]object.Neighbor, 0, 4096)
+	n := e.Size()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.NeighborsAppend(buf[:0], i%n, r)
+	}
+}
+
+// BenchmarkNeighborsAppend_MTree measures the reusable-buffer range query
+// on the M-tree.
+func BenchmarkNeighborsAppend_MTree(b *testing.B) {
+	pts := benchPoints(5000)
+	cfg := mtree.Config{Capacity: 50, Metric: object.Euclidean{}, Policy: mtree.MinOverlap}
+	e, err := core.BuildTreeEngine(cfg, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNeighborsAppend(b, e, 0.05)
+}
+
+// BenchmarkNeighborsAppend_RTree mirrors the M-tree benchmark on the
+// bulk-loaded R-tree.
+func BenchmarkNeighborsAppend_RTree(b *testing.B) {
+	pts := benchPoints(5000)
+	e, err := core.BuildRTreeEngine(pts, object.Euclidean{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNeighborsAppend(b, e, 0.05)
+}
+
+// BenchmarkNeighborsAppend_VPTree mirrors it on the VP-tree.
+func BenchmarkNeighborsAppend_VPTree(b *testing.B) {
+	pts := benchPoints(5000)
+	e, err := core.BuildVPEngine(pts, object.Euclidean{}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNeighborsAppend(b, e, 0.05)
+}
+
+// BenchmarkNeighborsAppend_Graph answers from the materialised coverage
+// graph (O(degree) adjacency copy).
+func BenchmarkNeighborsAppend_Graph(b *testing.B) {
+	pts := benchPoints(5000)
+	e, err := core.BuildParallelGraphEngine(pts, object.Euclidean{}, 0.05, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNeighborsAppend(b, e, 0.05)
+}
+
+// BenchmarkNeighborsAppend_Flat scans the contiguous flat storage with
+// the compiled kernel.
+func BenchmarkNeighborsAppend_Flat(b *testing.B) {
+	pts := benchPoints(5000)
+	e, err := core.NewFlatEngine(pts, object.Euclidean{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNeighborsAppend(b, e, 0.05)
+}
+
 // BenchmarkFlatEngineSelect contrasts the linear-scan engine.
 func BenchmarkFlatEngineSelect(b *testing.B) {
 	pts := benchPoints(3000)

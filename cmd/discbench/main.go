@@ -9,6 +9,11 @@
 //	discbench -exp all               # everything (slow; paper-scale)
 //	discbench -exp fig7 -quick       # reduced sweep for a fast look
 //	discbench -list                  # show available experiments
+//
+// The "perf" experiment additionally supports machine-readable output —
+// the format of the repo's BENCH_*.json trajectory snapshots:
+//
+//	discbench -exp perf -n 50000 -r 0.0025 -format=json > BENCH.json
 package main
 
 import (
@@ -30,9 +35,16 @@ func main() {
 		dim      = flag.Int("dim", 2, "synthetic dataset dimensionality")
 		capacity = flag.Int("capacity", 50, "M-tree node capacity")
 		workers  = flag.Int("parallelism", 0, "coverage-graph build workers (0 = all cores)")
+		radius   = flag.Float64("r", 0, "query radius for single-radius experiments (0 = dataset default)")
+		format   = flag.String("format", "text", "output format: text or json (perf experiment)")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast run")
 	)
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "discbench: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -53,6 +65,8 @@ func main() {
 		Dim:         *dim,
 		Capacity:    *capacity,
 		Parallelism: *workers,
+		Radius:      *radius,
+		Format:      *format,
 		Quick:       *quick,
 		Out:         os.Stdout,
 	}
@@ -68,5 +82,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+	if *format != "json" {
+		fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
 }

@@ -72,13 +72,35 @@
 //     build radius remain correct: smaller ones filter the adjacency
 //     lists, larger ones fall back to the R-tree underneath.
 //
+// # The zero-allocation query path
+//
+// Internally, every distance in the query path goes through a kernel
+// compiled once per (metric, dimensionality) pair — dimension-
+// specialised, and for Euclidean comparing squared distances against r²
+// so that misses never pay a square root. The static backends (linear
+// scan, R-tree, VP-tree, coverage graph) additionally store coordinates
+// in one contiguous row-major array; the M-tree keeps its dynamic
+// per-node layout and gains the kernels only. Every neighbourhood query
+// also has a buffer-reusing form (NeighborsAppend-style) that extends a
+// caller-owned slice, and the selection/zoom algorithms thread one
+// scratch buffer per query role through their loops: in steady state a
+// selection performs zero allocations per query.
+//
+// Buffer-reuse contract: a slice returned by an appending query aliases
+// the destination buffer, so its contents are invalidated by the next
+// appending call that reuses the same buffer (the algorithms' internal
+// scratch is reused on every iteration). Callers that retain a
+// neighbourhood across queries must copy it out. The allocating forms
+// (Neighbors, NeighborsWhite) return fresh slices and are unaffected.
+//
 // The subpackages under internal implement the substrates: the M-tree,
 // VP-tree and R-tree indexes, the algorithm engine (including the
 // parallel coverage-graph engine), dataset generators, baseline
 // diversifiers (MaxMin, MaxSum, k-medoids) and the full experiment
 // harness that regenerates every table and figure of the paper (see
 // DESIGN.md and EXPERIMENTS.md; `discbench -exp engines` compares the
-// backends head to head).
+// backends head to head, and `discbench -exp perf -format=json` emits a
+// machine-readable performance snapshot).
 //
 // # Development
 //

@@ -1,0 +1,63 @@
+//go:build !race
+
+package core
+
+// Alloc-count assertions are meaningful only without the race detector's
+// instrumentation, hence the build tag; `go test -race` skips this file.
+
+import (
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// TestNeighborsAppendZeroAlloc pins the zero-allocation contract of the
+// steady-state query loop: once the destination buffer has grown to the
+// working-set high-water mark, NeighborsAppend and NeighborsWhiteAppend
+// allocate nothing on any engine.
+func TestNeighborsAppendZeroAlloc(t *testing.T) {
+	pts := randomPoints(600, 2, 99)
+	m := object.Euclidean{}
+	const r = 0.15
+	for name, e := range allEngines(t, pts, m) {
+		buf := make([]object.Neighbor, 0, len(pts))
+		id := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = e.NeighborsAppend(buf[:0], id, r)
+			id = (id + 7) % len(pts)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: NeighborsAppend allocates %.1f/op in steady state", name, allocs)
+		}
+		cov := e.(CoverageEngine)
+		cov.StartCoverage(nil)
+		allocs = testing.AllocsPerRun(200, func() {
+			buf = cov.NeighborsWhiteAppend(buf[:0], id, r)
+			id = (id + 7) % len(pts)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: NeighborsWhiteAppend allocates %.1f/op in steady state", name, allocs)
+		}
+	}
+}
+
+// TestLazyHeapZeroAlloc: pushes within capacity and pops must not
+// allocate (the former container/heap implementation boxed every item).
+func TestLazyHeapZeroAlloc(t *testing.T) {
+	h := newLazyHeap(1024)
+	counts := make([]int, 256)
+	for i := range counts {
+		counts[i] = i % 17
+		h.push(i, counts[i])
+	}
+	valid := func(id, key int) bool { return counts[id] == key }
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		h.push(i%256, counts[i%256])
+		h.popValid(valid)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("lazyHeap allocates %.1f/op", allocs)
+	}
+}

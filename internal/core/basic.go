@@ -1,7 +1,5 @@
 package core
 
-import "github.com/discdiversity/disc/internal/object"
-
 // BasicDisC computes an r-DisC diverse subset with the paper's baseline
 // heuristic (Section 2.3): repeatedly take an arbitrary white object —
 // here the next white object in the engine's locality-preserving scan
@@ -24,6 +22,7 @@ func BasicDisC(e Engine, r float64, pruned bool) *Solution {
 	s := newSolution(n, r, name)
 	start := e.Accesses()
 
+	var sc queryScratch
 	for _, pi := range e.ScanOrder() {
 		if s.Colors[pi] != White {
 			continue
@@ -31,14 +30,11 @@ func BasicDisC(e Engine, r float64, pruned bool) *Solution {
 		s.selectBlack(pi)
 		if usePrune {
 			cov.Cover(pi)
-		}
-		var ns []object.Neighbor
-		if usePrune {
-			ns = cov.NeighborsWhite(pi, r)
+			sc.ns = cov.NeighborsWhiteAppend(sc.ns[:0], pi, r)
 		} else {
-			ns = e.Neighbors(pi, r)
+			sc.ns = e.NeighborsAppend(sc.ns[:0], pi, r)
 		}
-		for _, nb := range ns {
+		for _, nb := range sc.ns {
 			if s.Colors[nb.ID] == White {
 				s.Colors[nb.ID] = Grey
 				if usePrune {

@@ -68,6 +68,70 @@ func TestEngineConformanceNeighbors(t *testing.T) {
 	}
 }
 
+// TestEngineConformanceNeighborsAppend: for every engine, the
+// buffer-reusing query forms must return exactly what the allocating
+// forms return (same neighbours, same distances, same order), must
+// append after any existing content, and must leave that content
+// untouched — the zero-allocation path cannot be allowed to drift from
+// the reference path.
+func TestEngineConformanceNeighborsAppend(t *testing.T) {
+	pts := randomPoints(400, 3, 86)
+	m := object.Euclidean{}
+	equalNeighbors := func(a, b []object.Neighbor) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	sentinel := object.Neighbor{ID: -7, Dist: -1}
+	for name, e := range allEngines(t, pts, m) {
+		buf := make([]object.Neighbor, 0, 8) // deliberately small: must grow correctly
+		for _, id := range []int{0, 11, 399} {
+			for _, r := range []float64{0.05, 0.2, 0.9} {
+				want := e.Neighbors(id, r)
+				buf = append(buf[:0], sentinel)
+				got := e.NeighborsAppend(buf, id, r)
+				if len(got) == 0 || got[0] != sentinel {
+					t.Fatalf("%s id=%d r=%g: NeighborsAppend clobbered existing content", name, id, r)
+				}
+				if !equalNeighbors(want, got[1:]) {
+					t.Fatalf("%s id=%d r=%g: NeighborsAppend=%v want %v", name, id, r, got[1:], want)
+				}
+				buf = got[:0]
+			}
+		}
+		cov, ok := e.(CoverageEngine)
+		if !ok {
+			t.Fatalf("%s: expected CoverageEngine", name)
+		}
+		cov.StartCoverage(nil)
+		for _, id := range []int{3, 42} {
+			cov.Cover((id + 13) % len(pts)) // perturb the white set
+			for _, r := range []float64{0.1, 0.5} {
+				want := cov.NeighborsWhite(id, r)
+				got := cov.NeighborsWhiteAppend([]object.Neighbor{sentinel}, id, r)
+				if len(got) == 0 || got[0] != sentinel || !equalNeighbors(want, got[1:]) {
+					t.Fatalf("%s id=%d r=%g: NeighborsWhiteAppend=%v want %v", name, id, r, got[1:], want)
+				}
+			}
+		}
+		if bu, ok := e.(BottomUpEngine); ok {
+			for _, stop := range []bool{false, true} {
+				want := bu.NeighborsBottomUp(9, 0.2, stop)
+				got := bu.NeighborsBottomUpAppend([]object.Neighbor{sentinel}, 9, 0.2, stop)
+				if len(got) == 0 || got[0] != sentinel || !equalNeighbors(want, got[1:]) {
+					t.Fatalf("%s stop=%v: NeighborsBottomUpAppend drifted", name, stop)
+				}
+			}
+		}
+	}
+}
+
 // TestEngineConformanceScanOrder: the scan order must be a permutation.
 func TestEngineConformanceScanOrder(t *testing.T) {
 	pts := randomPoints(200, 2, 81)

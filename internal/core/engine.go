@@ -9,10 +9,23 @@
 // the paper's node-access experiments). With deterministic tie-breaking
 // both engines return identical solutions, which the test suite exploits
 // to cross-validate the index.
+//
+// # Buffer reuse
+//
+// Every neighbourhood query has two forms: an allocating convenience
+// form (Neighbors, NeighborsWhite) and an appending form
+// (NeighborsAppend, NeighborsWhiteAppend) that extends a caller-owned
+// buffer and allocates nothing once the buffer has grown to the working
+// set's high-water mark. The selection and zoom algorithms hold one
+// scratch buffer per query role and reuse it across iterations, which is
+// what makes their steady-state query loops allocation-free. Results
+// appended into a reused buffer are invalidated by the next appending
+// call on the same buffer; callers that need to retain a neighbourhood
+// must copy it out.
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/discdiversity/disc/internal/object"
 )
@@ -27,8 +40,14 @@ type Engine interface {
 	// Point returns the coordinates of object id.
 	Point(id int) object.Point
 	// Neighbors returns every object within distance r of object id,
-	// excluding id itself, with distances.
+	// excluding id itself, with distances. Equivalent to
+	// NeighborsAppend(nil, id, r).
 	Neighbors(id int, r float64) []object.Neighbor
+	// NeighborsAppend appends every object within distance r of object
+	// id (excluding id itself) to dst and returns the extended slice. It
+	// performs no allocation when dst has sufficient capacity, and
+	// reports neighbours in the same order as Neighbors.
+	NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor
 	// NeighborsOfPoint returns every object within distance r of an
 	// arbitrary point.
 	NeighborsOfPoint(q object.Point, r float64) []object.Neighbor
@@ -57,8 +76,24 @@ type CoverageEngine interface {
 	// IsWhite reports whether id is still uncovered.
 	IsWhite(id int) bool
 	// NeighborsWhite returns the white objects within distance r of id,
-	// pruning fully covered regions.
+	// pruning fully covered regions. Equivalent to
+	// NeighborsWhiteAppend(nil, id, r).
 	NeighborsWhite(id int, r float64) []object.Neighbor
+	// NeighborsWhiteAppend is the buffer-reusing form of NeighborsWhite.
+	NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor
+}
+
+// WhiteCounter is implemented by engines that can recount the white
+// neighbourhood of an object directly — in O(degree) packed-bitset tests
+// over a materialised adjacency list — instead of the caller deriving
+// the count from per-pair distance evaluations. The White-update
+// strategies of Greedy-DisC use it to refresh candidate counts.
+type WhiteCounter interface {
+	CoverageEngine
+	// WhiteCount returns |{white objects within r of id}|, excluding id.
+	// ok is false when the engine cannot answer from materialised state
+	// (the caller must fall back to distance computations).
+	WhiteCount(id int, r float64) (count int, ok bool)
 }
 
 // BottomUpEngine is implemented by engines that can answer neighbourhood
@@ -70,6 +105,9 @@ type BottomUpEngine interface {
 	// NeighborsBottomUp answers Neighbors(id, r) bottom-up. With
 	// stopAtGrey set the result may be incomplete.
 	NeighborsBottomUp(id int, r float64, stopAtGrey bool) []object.Neighbor
+	// NeighborsBottomUpAppend is the buffer-reusing form of
+	// NeighborsBottomUp.
+	NeighborsBottomUpAppend(dst []object.Neighbor, id int, r float64, stopAtGrey bool) []object.Neighbor
 }
 
 // CountingEngine is implemented by engines that computed the initial
@@ -84,8 +122,18 @@ type CountingEngine interface {
 }
 
 // sortNeighbors orders a neighbour list by id so algorithm behaviour is
-// independent of index traversal order.
+// independent of index traversal order. It sorts in place without
+// allocating.
 func sortNeighbors(ns []object.Neighbor) []object.Neighbor {
-	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	slices.SortFunc(ns, func(a, b object.Neighbor) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return ns
 }

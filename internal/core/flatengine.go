@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/object"
 )
 
@@ -12,11 +13,15 @@ import (
 // building an index would dominate. Its access counter counts objects
 // examined, so pruning (skipping covered objects) is visible in the cost
 // the same way skipped subtrees are for the tree engine.
+//
+// Coordinates live in a contiguous object.FlatDataset and every scan
+// goes through the compiled distance kernel: candidates are filtered on
+// the squared-distance surrogate (for Euclidean) and no interface
+// dispatch happens per object. The white set is a packed bitset.
 type FlatEngine struct {
-	pts      []object.Point
-	metric   object.Metric
+	flat     *object.FlatDataset
 	accesses int64
-	white    []bool
+	white    bitset.Set
 	tracking bool
 }
 
@@ -25,59 +30,47 @@ var (
 	_ CoverageEngine = (*FlatEngine)(nil)
 )
 
-// NewFlatEngine creates a flat engine over pts. The slice is not copied
-// and must not be mutated while the engine is in use.
+// NewFlatEngine creates a flat engine over pts. The coordinates are
+// copied into flat storage; later mutation of pts does not affect the
+// engine.
 func NewFlatEngine(pts []object.Point, m object.Metric) (*FlatEngine, error) {
-	if _, err := object.ValidatePoints(pts); err != nil {
+	flat, err := object.Flatten(pts, m)
+	if err != nil {
 		return nil, fmt.Errorf("core: flat engine: %w", err)
 	}
-	if m == nil {
-		return nil, fmt.Errorf("core: flat engine: nil metric")
-	}
-	return &FlatEngine{pts: pts, metric: m}, nil
+	return &FlatEngine{flat: flat}, nil
 }
 
 // Size implements Engine.
-func (f *FlatEngine) Size() int { return len(f.pts) }
+func (f *FlatEngine) Size() int { return f.flat.Len() }
 
 // Metric implements Engine.
-func (f *FlatEngine) Metric() object.Metric { return f.metric }
+func (f *FlatEngine) Metric() object.Metric { return f.flat.Metric() }
 
 // Point implements Engine.
-func (f *FlatEngine) Point(id int) object.Point { return f.pts[id] }
+func (f *FlatEngine) Point(id int) object.Point { return f.flat.Point(id) }
 
 // Neighbors implements Engine by scanning every object.
 func (f *FlatEngine) Neighbors(id int, r float64) []object.Neighbor {
-	q := f.pts[id]
-	var out []object.Neighbor
-	for j, p := range f.pts {
-		f.accesses++
-		if j == id {
-			continue
-		}
-		if d := f.metric.Dist(q, p); d <= r {
-			out = append(out, object.Neighbor{ID: j, Dist: d})
-		}
-	}
-	return out
+	return f.NeighborsAppend(nil, id, r)
+}
+
+// NeighborsAppend implements Engine.
+func (f *FlatEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	f.accesses += int64(f.flat.Len())
+	return f.flat.AppendRange(dst, f.flat.Row(id), r, id)
 }
 
 // NeighborsOfPoint implements Engine.
 func (f *FlatEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
-	var out []object.Neighbor
-	for j, p := range f.pts {
-		f.accesses++
-		if d := f.metric.Dist(q, p); d <= r {
-			out = append(out, object.Neighbor{ID: j, Dist: d})
-		}
-	}
-	return out
+	f.accesses += int64(f.flat.Len())
+	return f.flat.AppendRange(nil, q, r, -1)
 }
 
 // ScanOrder implements Engine; the flat engine has no locality structure,
 // so the order is plain id order.
 func (f *FlatEngine) ScanOrder() []int {
-	ids := make([]int, len(f.pts))
+	ids := make([]int, f.flat.Len())
 	for i := range ids {
 		ids[i] = i
 	}
@@ -92,13 +85,11 @@ func (f *FlatEngine) ResetAccesses() { f.accesses = 0 }
 
 // StartCoverage implements CoverageEngine.
 func (f *FlatEngine) StartCoverage(white []bool) {
-	f.white = make([]bool, len(f.pts))
 	if white == nil {
-		for i := range f.white {
-			f.white[i] = true
-		}
+		f.white.Reset(f.flat.Len())
+		f.white.Fill()
 	} else {
-		copy(f.white, white)
+		f.white.CopyBools(white)
 	}
 	f.tracking = true
 }
@@ -106,29 +97,46 @@ func (f *FlatEngine) StartCoverage(white []bool) {
 // Cover implements CoverageEngine.
 func (f *FlatEngine) Cover(id int) {
 	if f.tracking {
-		f.white[id] = false
+		f.white.Clear(id)
 	}
 }
 
 // IsWhite implements CoverageEngine.
-func (f *FlatEngine) IsWhite(id int) bool { return f.tracking && f.white[id] }
+func (f *FlatEngine) IsWhite(id int) bool { return f.tracking && f.white.Test(id) }
 
 // NeighborsWhite implements CoverageEngine. Covered objects are skipped
 // and, analogously to grey M-tree subtrees, not charged as accesses.
 func (f *FlatEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
+	return f.NeighborsWhiteAppend(nil, id, r)
+}
+
+// NeighborsWhiteAppend implements CoverageEngine. The loop mirrors
+// FlatDataset.AppendRange (surrogate filter against the widened
+// threshold, Finish only on candidates) with the white-bit test and
+// per-object access accounting woven in; it is kept inline rather than
+// funnelled through a predicate callback so the steady-state query stays
+// allocation-free — keep the two in sync when the surrogate protocol
+// changes.
+func (f *FlatEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	if !f.tracking {
 		panic("core: NeighborsWhite without StartCoverage")
 	}
-	q := f.pts[id]
-	var out []object.Neighbor
-	for j, p := range f.pts {
-		if !f.white[j] || j == id {
+	k := f.flat.Kernel()
+	rawR := k.RawThreshold(r)
+	coords := f.flat.Coords()
+	dim := f.flat.Dim()
+	q := f.flat.Row(id)
+	n := f.flat.Len()
+	for j, off := 0, 0; j < n; j, off = j+1, off+dim {
+		if !f.white.Test(j) || j == id {
 			continue
 		}
 		f.accesses++
-		if d := f.metric.Dist(q, p); d <= r {
-			out = append(out, object.Neighbor{ID: j, Dist: d})
+		if raw := k.Raw(coords[off:off+dim:off+dim], q); raw <= rawR {
+			if d := k.Finish(raw); d <= r {
+				dst = append(dst, object.Neighbor{ID: j, Dist: d})
+			}
 		}
 	}
-	return out
+	return dst
 }

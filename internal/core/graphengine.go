@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/rtree"
 )
@@ -17,15 +18,19 @@ import (
 // queries that dominate Basic-DisC and the Greedy-DisC family become
 // array lookups. Construction shards the ID space across a worker pool;
 // each worker runs concurrency-safe range queries against a shared
-// bulk-loaded R-tree and writes its adjacency slots directly, so the
-// merge is lock-free (one writer per slot).
+// bulk-loaded R-tree — reusing one query buffer, one box-clamp scratch
+// and a chunked adjacency arena per worker, so the build allocates per
+// arena block rather than per point — and writes its adjacency slots
+// directly, so the merge is lock-free (one writer per slot).
 //
 // The graph is exact for any query radius up to the build radius
 // (adjacency lists are filtered by distance); larger radii fall back to
 // the underlying R-tree, so every Engine call stays correct at any
 // radius — only the cost differs. Because |N_r(p)| is known for every p
 // after the build, the engine also implements CountingEngine and makes
-// Greedy-DisC's initialisation pass free.
+// Greedy-DisC's initialisation pass free; the packed white bitset lets
+// it also implement WhiteCounter, refreshing white-neighbourhood counts
+// with O(degree) bit tests.
 //
 // The access counter charges one unit per adjacency entry examined
 // (minimum one per lookup), mirroring the flat engine's objects-examined
@@ -40,15 +45,20 @@ type ParallelGraphEngine struct {
 	counts  []int               // len(adj[i]), for CountingEngine
 	scan    []int
 
+	// clamp is the box-clamp scratch for single-threaded fallback
+	// queries at radii beyond the build radius.
+	clamp []float64
+
 	accesses int64
 	tracking bool
-	white    []bool
+	white    bitset.Set
 }
 
 var (
 	_ Engine         = (*ParallelGraphEngine)(nil)
 	_ CoverageEngine = (*ParallelGraphEngine)(nil)
 	_ CountingEngine = (*ParallelGraphEngine)(nil)
+	_ WhiteCounter   = (*ParallelGraphEngine)(nil)
 )
 
 // BuildParallelGraphEngine builds the r-coverage graph of pts under m
@@ -74,6 +84,10 @@ func (g *ParallelGraphEngine) Rebuild(r float64) (*ParallelGraphEngine, error) {
 	return buildGraph(g.tree, g.scan, r, g.workers)
 }
 
+// arenaChunk is the adjacency-arena block size (entries) each build
+// worker allocates at a time.
+const arenaChunk = 1 << 14
+
 // buildGraph materialises the coverage graph at radius r over an
 // existing tree with a sharded worker pool.
 func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*ParallelGraphEngine, error) {
@@ -94,6 +108,7 @@ func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*Parallel
 		adj:     make([][]object.Neighbor, n),
 		counts:  make([]int, n),
 		scan:    scan,
+		clamp:   make([]float64, tree.Dim()),
 	}
 
 	var total int64
@@ -112,10 +127,26 @@ func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*Parallel
 		go func(lo, hi int) {
 			defer wg.Done()
 			var acc int64
+			// Per-worker reusable buffers: every query lands in scratch
+			// and is then packed into the current arena block, so the
+			// loop allocates only when a block fills up (or scratch
+			// grows to a new high-water mark).
+			clamp := make([]float64, tree.Dim())
+			scratch := make([]object.Neighbor, 0, 64)
+			var arena []object.Neighbor
 			for id := lo; id < hi; id++ {
-				ns := sortNeighbors(tree.RangeQueryAroundInto(id, r, &acc))
-				g.adj[id] = ns
-				g.counts[id] = len(ns)
+				scratch = sortNeighbors(tree.AppendRangeQueryAroundInto(scratch[:0], id, r, &acc, clamp))
+				if len(scratch) > cap(arena)-len(arena) {
+					size := arenaChunk
+					if len(scratch) > size {
+						size = len(scratch)
+					}
+					arena = make([]object.Neighbor, 0, size)
+				}
+				start := len(arena)
+				arena = append(arena, scratch...)
+				g.adj[id] = arena[start:len(arena):len(arena)]
+				g.counts[id] = len(scratch)
 			}
 			atomic.AddInt64(&total, acc)
 		}(lo, hi)
@@ -154,21 +185,28 @@ func (g *ParallelGraphEngine) charge(n int) {
 // Neighbors implements Engine. Radii up to the build radius are answered
 // from the materialised graph; larger radii fall back to the R-tree.
 func (g *ParallelGraphEngine) Neighbors(id int, r float64) []object.Neighbor {
+	return g.NeighborsAppend(nil, id, r)
+}
+
+// NeighborsAppend implements Engine.
+func (g *ParallelGraphEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	switch {
 	case r == g.radius:
 		g.charge(len(g.adj[id]))
-		return append([]object.Neighbor(nil), g.adj[id]...)
+		return append(dst, g.adj[id]...)
 	case r < g.radius:
 		g.charge(len(g.adj[id]))
-		var out []object.Neighbor
 		for _, nb := range g.adj[id] {
 			if nb.Dist <= r {
-				out = append(out, nb)
+				dst = append(dst, nb)
 			}
 		}
-		return out
+		return dst
 	default:
-		return sortNeighbors(g.tree.RangeQueryAroundInto(id, r, &g.accesses))
+		start := len(dst)
+		dst = g.tree.AppendRangeQueryAroundInto(dst, id, r, &g.accesses, g.clamp)
+		sortNeighbors(dst[start:])
+		return dst
 	}
 }
 
@@ -200,44 +238,78 @@ func (g *ParallelGraphEngine) InitialCounts() ([]int, float64, bool) {
 // into the R-tree so that fallback queries for radii beyond the build
 // radius prune covered subtrees too.
 func (g *ParallelGraphEngine) StartCoverage(white []bool) {
-	g.white = make([]bool, g.tree.Len())
 	if white == nil {
-		for i := range g.white {
-			g.white[i] = true
-		}
+		g.white.Reset(g.tree.Len())
+		g.white.Fill()
+		g.tree.EnableTracking()
 	} else {
-		copy(g.white, white)
+		g.white.CopyBools(white)
+		g.tree.ResetTracking(white)
 	}
 	g.tracking = true
-	g.tree.ResetTracking(g.white)
 }
 
 // Cover implements CoverageEngine.
 func (g *ParallelGraphEngine) Cover(id int) {
-	if g.tracking && g.white[id] {
-		g.white[id] = false
+	if g.tracking && g.white.Test(id) {
+		g.white.Clear(id)
 		g.tree.Cover(id)
 	}
 }
 
 // IsWhite implements CoverageEngine.
-func (g *ParallelGraphEngine) IsWhite(id int) bool { return g.tracking && g.white[id] }
+func (g *ParallelGraphEngine) IsWhite(id int) bool { return g.tracking && g.white.Test(id) }
 
 // NeighborsWhite implements CoverageEngine: an adjacency scan that keeps
 // only still-white neighbours.
 func (g *ParallelGraphEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
+	return g.NeighborsWhiteAppend(nil, id, r)
+}
+
+// NeighborsWhiteAppend implements CoverageEngine.
+func (g *ParallelGraphEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	if !g.tracking {
 		panic("core: NeighborsWhite without StartCoverage")
 	}
 	if r > g.radius {
-		return sortNeighbors(g.tree.RangeQueryPrunedInto(id, r, &g.accesses))
+		start := len(dst)
+		dst = g.tree.AppendRangeQueryPrunedInto(dst, id, r, &g.accesses, g.clamp)
+		sortNeighbors(dst[start:])
+		return dst
 	}
 	g.charge(len(g.adj[id]))
-	var out []object.Neighbor
 	for _, nb := range g.adj[id] {
-		if g.white[nb.ID] && nb.Dist <= r {
-			out = append(out, nb)
+		if g.white.Test(nb.ID) && nb.Dist <= r {
+			dst = append(dst, nb)
 		}
 	}
-	return out
+	return dst
+}
+
+// WhiteCount implements WhiteCounter: at radii covered by the
+// materialised graph, |white ∩ N_r(id)| is a popcount-style sweep of
+// packed bit tests over the adjacency list — no distance evaluation.
+// No accesses are charged: the caller's fallback (direct metric
+// evaluations in Greedy-DisC's White-update refresh) is likewise
+// uncharged, keeping the paper-style access tables comparable across
+// engines and strategies.
+func (g *ParallelGraphEngine) WhiteCount(id int, r float64) (int, bool) {
+	if !g.tracking || r > g.radius {
+		return 0, false
+	}
+	cnt := 0
+	if r == g.radius {
+		for _, nb := range g.adj[id] {
+			if g.white.Test(nb.ID) {
+				cnt++
+			}
+		}
+		return cnt, true
+	}
+	for _, nb := range g.adj[id] {
+		if nb.Dist <= r && g.white.Test(nb.ID) {
+			cnt++
+		}
+	}
+	return cnt, true
 }

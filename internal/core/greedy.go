@@ -49,6 +49,17 @@ type GreedyOptions struct {
 	Pruned bool
 }
 
+// queryScratch holds the per-run reusable neighbour buffers the
+// selection and zoom algorithms thread through their query loops: one
+// buffer per concurrently-live role, so the steady-state loop performs
+// no allocation once each buffer has reached its high-water capacity.
+// Contents are invalidated by the next query into the same buffer.
+type queryScratch struct {
+	ns   []object.Neighbor // primary neighbourhood of the selected object
+	grey []object.Neighbor // objects newly greyed by the selection
+	upd  []object.Neighbor // count-maintenance queries
+}
+
 // GreedyDisC computes an r-DisC diverse subset with Algorithm 1 of the
 // paper: repeatedly select the white object covering the most white
 // objects. The white-neighbourhood sizes live in the priority structure
@@ -69,7 +80,8 @@ func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
 	s := newSolution(n, r, name)
 	start := e.Accesses()
 
-	nw := initialWhiteCounts(e, r)
+	var sc queryScratch
+	nw := initialWhiteCounts(e, r, &sc)
 	h := newLazyHeap(n)
 	for id, c := range nw {
 		h.push(id, c)
@@ -85,18 +97,15 @@ func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
 		s.selectBlack(pi)
 		if usePrune {
 			cov.Cover(pi)
-		}
-		var ns []object.Neighbor
-		if usePrune {
-			ns = cov.NeighborsWhite(pi, r)
+			sc.ns = cov.NeighborsWhiteAppend(sc.ns[:0], pi, r)
 		} else {
-			ns = e.Neighbors(pi, r)
+			sc.ns = e.NeighborsAppend(sc.ns[:0], pi, r)
 		}
-		newGrey := make([]object.Neighbor, 0, len(ns))
-		for _, nb := range ns {
+		sc.grey = sc.grey[:0]
+		for _, nb := range sc.ns {
 			if s.Colors[nb.ID] == White {
 				s.Colors[nb.ID] = Grey
-				newGrey = append(newGrey, nb)
+				sc.grey = append(sc.grey, nb)
 				if usePrune {
 					cov.Cover(nb.ID)
 				}
@@ -105,7 +114,7 @@ func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
 				s.DistBlack[nb.ID] = nb.Dist
 			}
 		}
-		updateWhiteCounts(e, cov, usePrune, s, r, opts.Update, pi, newGrey, nw, h)
+		updateWhiteCounts(e, cov, usePrune, s, r, opts.Update, pi, sc.grey, nw, h, &sc)
 	}
 
 	s.DistBlackExact = !usePrune
@@ -132,8 +141,9 @@ func greedyName(opts GreedyOptions) string {
 }
 
 // initialWhiteCounts returns |N_r(p)| per object, using build-time counts
-// when available and issuing one range query per object otherwise.
-func initialWhiteCounts(e Engine, r float64) []int {
+// when available and issuing one range query per object (into the shared
+// scratch buffer) otherwise.
+func initialWhiteCounts(e Engine, r float64, sc *queryScratch) []int {
 	if ce, ok := e.(CountingEngine); ok {
 		if counts, cr, have := ce.InitialCounts(); have && cr == r {
 			return append([]int(nil), counts...)
@@ -141,19 +151,21 @@ func initialWhiteCounts(e Engine, r float64) []int {
 	}
 	nw := make([]int, e.Size())
 	for id := range nw {
-		nw[id] = len(e.Neighbors(id, r))
+		sc.ns = e.NeighborsAppend(sc.ns[:0], id, r)
+		nw[id] = len(sc.ns)
 	}
 	return nw
 }
 
 // updateWhiteCounts applies the chosen maintenance strategy after pi was
-// selected and newGrey turned grey.
-func updateWhiteCounts(e Engine, cov CoverageEngine, usePrune bool, s *Solution, r float64, strategy UpdateStrategy, pi int, newGrey []object.Neighbor, nw []int, h *lazyHeap) {
-	whiteNeighbors := func(id int, radius float64) []object.Neighbor {
+// selected and newGrey turned grey. newGrey aliases sc.grey; the queries
+// issued here land in sc.upd, never in sc.ns or sc.grey.
+func updateWhiteCounts(e Engine, cov CoverageEngine, usePrune bool, s *Solution, r float64, strategy UpdateStrategy, pi int, newGrey []object.Neighbor, nw []int, h *lazyHeap, sc *queryScratch) {
+	whiteNeighbors := func(dst []object.Neighbor, id int, radius float64) []object.Neighbor {
 		if usePrune {
-			return cov.NeighborsWhite(id, radius)
+			return cov.NeighborsWhiteAppend(dst, id, radius)
 		}
-		return e.Neighbors(id, radius)
+		return e.NeighborsAppend(dst, id, radius)
 	}
 	switch strategy {
 	case UpdateGrey, UpdateLazyGrey:
@@ -162,7 +174,8 @@ func updateWhiteCounts(e Engine, cov CoverageEngine, usePrune bool, s *Solution,
 			radius = r / 2
 		}
 		for _, gj := range newGrey {
-			for _, nk := range whiteNeighbors(gj.ID, radius) {
+			sc.upd = whiteNeighbors(sc.upd[:0], gj.ID, radius)
+			for _, nk := range sc.upd {
 				if s.Colors[nk.ID] == White {
 					nw[nk.ID]--
 					h.push(nk.ID, nw[nk.ID])
@@ -174,10 +187,29 @@ func updateWhiteCounts(e Engine, cov CoverageEngine, usePrune bool, s *Solution,
 		if strategy == UpdateLazyWhite {
 			radius = 1.5 * r
 		}
+		sc.upd = whiteNeighbors(sc.upd[:0], pi, radius)
+		// Exact-count runs on engines with a materialised adjacency can
+		// refresh each candidate's count with packed bit tests instead
+		// of |newGrey| distance evaluations. The recount equals the
+		// decremented count — the objects that left the white set this
+		// round are exactly pi (never within r of a still-white
+		// candidate, or it would have been greyed) and newGrey — so
+		// selections are identical either way.
+		wc, canRecount := e.(WhiteCounter)
+		canRecount = canRecount && strategy == UpdateWhite && usePrune
 		m := e.Metric()
-		for _, wk := range whiteNeighbors(pi, radius) {
+		for _, wk := range sc.upd {
 			if s.Colors[wk.ID] != White {
 				continue
+			}
+			if canRecount {
+				if cnt, ok := wc.WhiteCount(wk.ID, r); ok {
+					if cnt != nw[wk.ID] {
+						nw[wk.ID] = cnt
+						h.push(wk.ID, cnt)
+					}
+					continue
+				}
 			}
 			cnt := 0
 			for _, gj := range newGrey {

@@ -2,6 +2,10 @@ package core
 
 import "github.com/discdiversity/disc/internal/object"
 
+// neighborsFunc is a buffer-reusing neighbourhood query: it appends the
+// neighbours of id to dst and returns the extended slice.
+type neighborsFunc func(dst []object.Neighbor, id int) []object.Neighbor
+
 // GreedyC computes an r-C diverse subset: the coverage condition of
 // Definition 1 without requiring independence. It modifies Greedy-DisC so
 // that both white and grey objects are candidates, always selecting the
@@ -9,7 +13,9 @@ import "github.com/discdiversity/disc/internal/object"
 // relaxed). The paper's pruning rule is not applicable because grey
 // objects and nodes must stay reachable to keep their counts current.
 func GreedyC(e Engine, r float64) *Solution {
-	full := func(id int) []object.Neighbor { return e.Neighbors(id, r) }
+	full := func(dst []object.Neighbor, id int) []object.Neighbor {
+		return e.NeighborsAppend(dst, id, r)
+	}
 	return greedyCoverage(e, r, "Greedy-C", full, full)
 }
 
@@ -31,19 +37,24 @@ func FastC(e Engine, r float64) *Solution {
 	bu, hasBU := e.(BottomUpEngine)
 	cov, hasCov := e.(CoverageEngine)
 	if !hasBU || !hasCov {
-		full := func(id int) []object.Neighbor { return e.Neighbors(id, r) }
+		full := func(dst []object.Neighbor, id int) []object.Neighbor {
+			return e.NeighborsAppend(dst, id, r)
+		}
 		return greedyCoverage(e, r, "Fast-C", full, full)
 	}
 	cov.StartCoverage(nil)
-	q := func(id int) []object.Neighbor { return bu.NeighborsBottomUp(id, r, true) }
+	q := func(dst []object.Neighbor, id int) []object.Neighbor {
+		return bu.NeighborsBottomUpAppend(dst, id, r, true)
+	}
 	return greedyCoverage(e, r, "Fast-C", q, q)
 }
 
 // greedyCoverage is the shared loop of GreedyC and FastC. colorNeighbors
 // retrieves the neighbourhood used to colour objects grey when a
 // candidate is selected; updateNeighbors (possibly approximate) is used
-// to maintain candidate counts.
-func greedyCoverage(e Engine, r float64, name string, colorNeighbors, updateNeighbors func(id int) []object.Neighbor) *Solution {
+// to maintain candidate counts. Both append into the run's scratch
+// buffers.
+func greedyCoverage(e Engine, r float64, name string, colorNeighbors, updateNeighbors neighborsFunc) *Solution {
 	n := e.Size()
 	s := newSolution(n, r, name)
 	cov, hasCov := e.(CoverageEngine)
@@ -51,7 +62,8 @@ func greedyCoverage(e Engine, r float64, name string, colorNeighbors, updateNeig
 
 	// nw[id] = number of *white* objects in N_r(id); every non-black
 	// object is a candidate keyed by it.
-	nw := initialWhiteCounts(e, r)
+	var sc queryScratch
+	nw := initialWhiteCounts(e, r, &sc)
 	h := newLazyHeap(n)
 	for id, c := range nw {
 		h.push(id, c)
@@ -83,12 +95,12 @@ func greedyCoverage(e Engine, r float64, name string, colorNeighbors, updateNeig
 		if wasWhite {
 			cover(pc)
 		}
-		ns := colorNeighbors(pc)
-		newGrey := make([]object.Neighbor, 0, len(ns))
-		for _, nb := range ns {
+		sc.ns = colorNeighbors(sc.ns[:0], pc)
+		sc.grey = sc.grey[:0]
+		for _, nb := range sc.ns {
 			if s.Colors[nb.ID] == White {
 				s.Colors[nb.ID] = Grey
-				newGrey = append(newGrey, nb)
+				sc.grey = append(sc.grey, nb)
 				cover(nb.ID)
 			}
 			if nb.Dist < s.DistBlack[nb.ID] {
@@ -97,18 +109,20 @@ func greedyCoverage(e Engine, r float64, name string, colorNeighbors, updateNeig
 		}
 
 		// Every object that left the white state (pc if it was white,
-		// plus newGrey) decrements the count of each of its non-black
-		// neighbours. pc's neighbourhood was just retrieved; reuse it.
+		// plus the newly greyed) decrements the count of each of its
+		// non-black neighbours. pc's neighbourhood was just retrieved;
+		// reuse it.
 		if wasWhite {
-			for _, nb := range ns {
+			for _, nb := range sc.ns {
 				if s.Colors[nb.ID] != Black {
 					nw[nb.ID]--
 					h.push(nb.ID, nw[nb.ID])
 				}
 			}
 		}
-		for _, gj := range newGrey {
-			for _, nk := range updateNeighbors(gj.ID) {
+		for _, gj := range sc.grey {
+			sc.upd = updateNeighbors(sc.upd[:0], gj.ID)
+			for _, nk := range sc.upd {
 				if s.Colors[nk.ID] != Black {
 					nw[nk.ID]--
 					h.push(nk.ID, nw[nk.ID])

@@ -65,10 +65,11 @@ func LocalZoomIn(e Engine, prev *Solution, center int, rNew float64, greedy bool
 		}
 	}
 
+	var buf []object.Neighbor
 	neighborsInRegion := func(id int) []object.Neighbor {
-		ns := e.Neighbors(id, rNew)
-		kept := ns[:0]
-		for _, nb := range ns {
+		buf = e.NeighborsAppend(buf[:0], id, rNew)
+		kept := buf[:0]
+		for _, nb := range buf {
 			if inRegion[nb.ID] {
 				kept = append(kept, nb)
 			}
@@ -182,8 +183,10 @@ func LocalZoomOut(e Engine, prev *Solution, center int, rNew float64) (*LocalRes
 	}
 	uncovered := make(map[int]bool)
 	m := e.Metric()
+	var buf []object.Neighbor
 	for _, b := range res.Removed {
-		for _, nb := range e.Neighbors(b, prev.Radius) {
+		buf = e.NeighborsAppend(buf[:0], b, prev.Radius)
+		for _, nb := range buf {
 			if kept[nb.ID] || uncovered[nb.ID] {
 				continue
 			}
@@ -206,7 +209,8 @@ func LocalZoomOut(e Engine, prev *Solution, center int, rNew float64) (*LocalRes
 		res.Added = append(res.Added, pi)
 		kept[pi] = true
 		delete(uncovered, pi)
-		for _, nb := range e.Neighbors(pi, prev.Radius) {
+		buf = e.NeighborsAppend(buf[:0], pi, prev.Radius)
+		for _, nb := range buf {
 			delete(uncovered, nb.ID)
 		}
 	}

@@ -47,6 +47,11 @@ func (re *RTreeEngine) Neighbors(id int, r float64) []object.Neighbor {
 	return re.tree.RangeQueryAround(id, r)
 }
 
+// NeighborsAppend implements Engine.
+func (re *RTreeEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return re.tree.AppendRangeQueryAround(dst, id, r)
+}
+
 // NeighborsOfPoint implements Engine.
 func (re *RTreeEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
 	return re.tree.RangeQuery(q, r)
@@ -79,4 +84,9 @@ func (re *RTreeEngine) IsWhite(id int) bool { return re.tree.IsWhite(id) }
 // NeighborsWhite implements CoverageEngine.
 func (re *RTreeEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
 	return re.tree.RangeQueryPruned(id, r)
+}
+
+// NeighborsWhiteAppend implements CoverageEngine.
+func (re *RTreeEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return re.tree.AppendRangeQueryPruned(dst, id, r)
 }

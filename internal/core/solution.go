@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+
+	"github.com/discdiversity/disc/internal/object"
 )
 
 // Color is the tri-state coloring the paper's algorithms use: white
@@ -113,9 +115,11 @@ func RecomputeDistBlack(e Engine, s *Solution) {
 	for i := range s.DistBlack {
 		s.DistBlack[i] = math.Inf(1)
 	}
+	var buf []object.Neighbor
 	for _, b := range s.IDs {
 		s.DistBlack[b] = 0
-		for _, nb := range e.Neighbors(b, s.Radius) {
+		buf = e.NeighborsAppend(buf[:0], b, s.Radius)
+		for _, nb := range buf {
 			if nb.Dist < s.DistBlack[nb.ID] {
 				s.DistBlack[nb.ID] = nb.Dist
 			}

@@ -82,6 +82,11 @@ func (te *TreeEngine) Neighbors(id int, r float64) []object.Neighbor {
 	return te.tree.RangeQueryAround(id, r)
 }
 
+// NeighborsAppend implements Engine.
+func (te *TreeEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return te.tree.AppendRangeQueryAround(dst, id, r)
+}
+
 // NeighborsOfPoint implements Engine.
 func (te *TreeEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
 	return te.tree.RangeQuery(q, r)
@@ -116,9 +121,19 @@ func (te *TreeEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
 	return te.tree.RangeQueryPruned(id, r)
 }
 
+// NeighborsWhiteAppend implements CoverageEngine.
+func (te *TreeEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return te.tree.AppendRangeQueryPruned(dst, id, r)
+}
+
 // NeighborsBottomUp implements BottomUpEngine.
 func (te *TreeEngine) NeighborsBottomUp(id int, r float64, stopAtGrey bool) []object.Neighbor {
 	return te.tree.RangeQueryBottomUp(id, r, stopAtGrey, false)
+}
+
+// NeighborsBottomUpAppend implements BottomUpEngine.
+func (te *TreeEngine) NeighborsBottomUpAppend(dst []object.Neighbor, id int, r float64, stopAtGrey bool) []object.Neighbor {
+	return te.tree.AppendRangeQueryBottomUp(dst, id, r, stopAtGrey, false)
 }
 
 // InitialCounts implements CountingEngine.

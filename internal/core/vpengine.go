@@ -44,6 +44,11 @@ func (ve *VPEngine) Neighbors(id int, r float64) []object.Neighbor {
 	return ve.tree.RangeQueryAround(id, r)
 }
 
+// NeighborsAppend implements Engine.
+func (ve *VPEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return ve.tree.AppendRangeQueryAround(dst, id, r)
+}
+
 // NeighborsOfPoint implements Engine.
 func (ve *VPEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
 	return ve.tree.RangeQuery(q, r)
@@ -76,4 +81,9 @@ func (ve *VPEngine) IsWhite(id int) bool { return ve.tree.IsWhite(id) }
 // NeighborsWhite implements CoverageEngine.
 func (ve *VPEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
 	return ve.tree.RangeQueryPruned(id, r)
+}
+
+// NeighborsWhiteAppend implements CoverageEngine.
+func (ve *VPEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return ve.tree.AppendRangeQueryPruned(dst, id, r)
 }

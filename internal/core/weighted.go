@@ -49,12 +49,14 @@ func WeightedGreedyDisC(e Engine, r float64, weights []float64) (*Solution, erro
 
 	s := newSolution(n, r, "Weighted-Greedy-DisC")
 	start := e.Accesses()
+	var buf []object.Neighbor
 	for _, pi := range order {
 		if s.Colors[pi] != White {
 			continue
 		}
 		s.selectBlack(pi)
-		for _, nb := range e.Neighbors(pi, r) {
+		buf = e.NeighborsAppend(buf[:0], pi, r)
+		for _, nb := range buf {
 			if s.Colors[nb.ID] == White {
 				s.Colors[nb.ID] = Grey
 			}
@@ -81,9 +83,16 @@ func TotalWeight(s *Solution, weights []float64) float64 {
 // radii: q is a neighbour of p when dist(p,q) <= max(rad(p), rad(q)).
 // One engine query at the maximum radius is filtered down.
 func MultiRadiusNeighbors(e Engine, id int, radii []float64, maxRad float64) []object.Neighbor {
-	ns := e.Neighbors(id, maxRad)
-	kept := ns[:0]
-	for _, nb := range ns {
+	return appendMultiRadiusNeighbors(nil, e, id, radii, maxRad)
+}
+
+// appendMultiRadiusNeighbors is the buffer-reusing form: the query lands
+// in dst (which is fully overwritten from index 0) and is filtered in
+// place.
+func appendMultiRadiusNeighbors(dst []object.Neighbor, e Engine, id int, radii []float64, maxRad float64) []object.Neighbor {
+	dst = e.NeighborsAppend(dst[:0], id, maxRad)
+	kept := dst[:0]
+	for _, nb := range dst {
 		if nb.Dist <= maxFloat(radii[id], radii[nb.ID]) {
 			kept = append(kept, nb)
 		}
@@ -117,19 +126,21 @@ func MultiRadiusDisC(e Engine, radii []float64, greedy bool) (*Solution, error) 
 	s := newSolution(n, maxRad, name)
 	start := e.Accesses()
 
-	colorFrom := func(pi int) []object.Neighbor {
-		ns := MultiRadiusNeighbors(e, pi, radii, maxRad)
-		newGrey := make([]object.Neighbor, 0, len(ns))
-		for _, nb := range ns {
+	var sc queryScratch
+	// colorFrom queries into sc.ns and leaves the newly greyed objects
+	// in sc.grey.
+	colorFrom := func(pi int) {
+		sc.ns = appendMultiRadiusNeighbors(sc.ns, e, pi, radii, maxRad)
+		sc.grey = sc.grey[:0]
+		for _, nb := range sc.ns {
 			if s.Colors[nb.ID] == White {
 				s.Colors[nb.ID] = Grey
-				newGrey = append(newGrey, nb)
+				sc.grey = append(sc.grey, nb)
 			}
 			if nb.Dist < s.DistBlack[nb.ID] {
 				s.DistBlack[nb.ID] = nb.Dist
 			}
 		}
-		return newGrey
 	}
 
 	if !greedy {
@@ -143,7 +154,8 @@ func MultiRadiusDisC(e Engine, radii []float64, greedy bool) (*Solution, error) 
 	} else {
 		nw := make([]int, n)
 		for id := 0; id < n; id++ {
-			nw[id] = len(MultiRadiusNeighbors(e, id, radii, maxRad))
+			sc.upd = appendMultiRadiusNeighbors(sc.upd, e, id, radii, maxRad)
+			nw[id] = len(sc.upd)
 		}
 		h := newLazyHeap(n)
 		for id, c := range nw {
@@ -157,9 +169,10 @@ func MultiRadiusDisC(e Engine, radii []float64, greedy bool) (*Solution, error) 
 				break
 			}
 			s.selectBlack(pi)
-			newGrey := colorFrom(pi)
-			for _, gj := range newGrey {
-				for _, nk := range MultiRadiusNeighbors(e, gj.ID, radii, maxRad) {
+			colorFrom(pi)
+			for _, gj := range sc.grey {
+				sc.upd = appendMultiRadiusNeighbors(sc.upd, e, gj.ID, radii, maxRad)
+				for _, nk := range sc.upd {
 					if s.Colors[nk.ID] == White {
 						nw[nk.ID]--
 						h.push(nk.ID, nw[nk.ID])

@@ -65,19 +65,22 @@ func ZoomIn(e Engine, prev *Solution, rNew float64, greedy, pruned bool) (*Solut
 	}
 	start := e.Accesses()
 
-	neighbors := func(id int, r float64) []object.Neighbor {
+	var sc queryScratch
+	neighbors := func(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 		if usePrune {
-			return cov.NeighborsWhite(id, r)
+			return cov.NeighborsWhiteAppend(dst, id, r)
 		}
-		return e.Neighbors(id, r)
+		return e.NeighborsAppend(dst, id, r)
 	}
-	colorNeighbors := func(pi int) []object.Neighbor {
-		ns := neighbors(pi, rNew)
-		newGrey := make([]object.Neighbor, 0, len(ns))
-		for _, nb := range ns {
+	// colorNeighbors queries into sc.ns and leaves the newly greyed
+	// objects in sc.grey.
+	colorNeighbors := func(pi int) {
+		sc.ns = neighbors(sc.ns[:0], pi, rNew)
+		sc.grey = sc.grey[:0]
+		for _, nb := range sc.ns {
 			if s.Colors[nb.ID] == White {
 				s.Colors[nb.ID] = Grey
-				newGrey = append(newGrey, nb)
+				sc.grey = append(sc.grey, nb)
 				if usePrune {
 					cov.Cover(nb.ID)
 				}
@@ -86,7 +89,6 @@ func ZoomIn(e Engine, prev *Solution, rNew float64, greedy, pruned bool) (*Solut
 				s.DistBlack[nb.ID] = nb.Dist
 			}
 		}
-		return newGrey
 	}
 
 	if !greedy {
@@ -108,7 +110,8 @@ func ZoomIn(e Engine, prev *Solution, rNew float64, greedy, pruned bool) (*Solut
 			if s.Colors[id] != White {
 				continue
 			}
-			for _, nb := range neighbors(id, rNew) {
+			sc.upd = neighbors(sc.upd[:0], id, rNew)
+			for _, nb := range sc.upd {
 				if s.Colors[nb.ID] == White {
 					nw[id]++
 				}
@@ -126,9 +129,10 @@ func ZoomIn(e Engine, prev *Solution, rNew float64, greedy, pruned bool) (*Solut
 			if usePrune {
 				cov.Cover(pi)
 			}
-			newGrey := colorNeighbors(pi)
-			for _, gj := range newGrey {
-				for _, nk := range neighbors(gj.ID, rNew) {
+			colorNeighbors(pi)
+			for _, gj := range sc.grey {
+				sc.upd = neighbors(sc.upd[:0], gj.ID, rNew)
+				for _, nk := range sc.upd {
 					if s.Colors[nk.ID] == White {
 						nw[nk.ID]--
 						h.push(nk.ID, nw[nk.ID])

@@ -81,11 +81,12 @@ func ZoomOut(e Engine, prev *Solution, rNew float64, variant ZoomOutVariant) (*S
 		}
 	}
 
+	var sc queryScratch
 	switch variant {
 	case ZoomOutPlain:
-		zoomOutPassOnePlain(e, s, prev, rNew, colorNeighbors)
+		zoomOutPassOnePlain(e, s, prev, rNew, colorNeighbors, &sc)
 	case ZoomOutGreedyC:
-		zoomOutPassOneWhiteKey(e, s, prev, rNew, colorNeighbors)
+		zoomOutPassOneWhiteKey(e, s, prev, rNew, colorNeighbors, &sc)
 	default:
 		zoomOutPassOneRedKey(e, s, prev, rNew, variant == ZoomOutGreedyA, colorNeighbors)
 	}
@@ -97,10 +98,11 @@ func ZoomOut(e Engine, prev *Solution, rNew float64, variant ZoomOutVariant) (*S
 				continue
 			}
 			s.selectBlack(pi)
-			colorNeighbors(e.Neighbors(pi, rNew))
+			sc.ns = e.NeighborsAppend(sc.ns[:0], pi, rNew)
+			colorNeighbors(sc.ns)
 		}
 	} else {
-		zoomOutPassTwoGreedy(e, s, rNew, colorNeighbors)
+		zoomOutPassTwoGreedy(e, s, rNew, colorNeighbors, &sc)
 	}
 
 	s.DistBlackExact = true
@@ -109,7 +111,7 @@ func ZoomOut(e Engine, prev *Solution, rNew float64, variant ZoomOutVariant) (*S
 }
 
 // zoomOutPassOnePlain processes the old representatives in scan order.
-func zoomOutPassOnePlain(e Engine, s *Solution, prev *Solution, rNew float64, colorNeighbors func([]object.Neighbor)) {
+func zoomOutPassOnePlain(e Engine, s *Solution, prev *Solution, rNew float64, colorNeighbors func([]object.Neighbor), sc *queryScratch) {
 	rank := scanRank(e)
 	reds := append([]int(nil), prev.IDs...)
 	sort.Slice(reds, func(i, j int) bool { return rank[reds[i]] < rank[reds[j]] })
@@ -118,7 +120,8 @@ func zoomOutPassOnePlain(e Engine, s *Solution, prev *Solution, rNew float64, co
 			continue // covered by an earlier selection
 		}
 		s.selectBlack(pi)
-		colorNeighbors(e.Neighbors(pi, rNew))
+		sc.ns = e.NeighborsAppend(sc.ns[:0], pi, rNew)
+		colorNeighbors(sc.ns)
 	}
 }
 
@@ -181,28 +184,30 @@ func zoomOutPassOneRedKey(e Engine, s *Solution, prev *Solution, rNew float64, l
 
 // zoomOutPassOneWhiteKey implements variation (c): each round recomputes,
 // with fresh range queries, how many still-white objects every remaining
-// red would cover, then selects the maximum.
-func zoomOutPassOneWhiteKey(e Engine, s *Solution, prev *Solution, rNew float64, colorNeighbors func([]object.Neighbor)) {
+// red would cover, then selects the maximum. Candidate neighbourhoods
+// land in sc.ns; the running best is copied into sc.grey so the two
+// buffers never alias.
+func zoomOutPassOneWhiteKey(e Engine, s *Solution, prev *Solution, rNew float64, colorNeighbors func([]object.Neighbor), sc *queryScratch) {
 	reds := append([]int(nil), prev.IDs...)
 	sort.Ints(reds)
 	remaining := len(reds)
 	for remaining > 0 {
 		best := -1
 		bestKey := -1
-		var bestNS []object.Neighbor
 		for _, pi := range reds {
 			if s.Colors[pi] != Red {
 				continue
 			}
-			ns := e.Neighbors(pi, rNew)
+			sc.ns = e.NeighborsAppend(sc.ns[:0], pi, rNew)
 			k := 0
-			for _, nb := range ns {
+			for _, nb := range sc.ns {
 				if s.Colors[nb.ID] == White {
 					k++
 				}
 			}
 			if k > bestKey {
-				best, bestKey, bestNS = pi, k, ns
+				best, bestKey = pi, k
+				sc.grey = append(sc.grey[:0], sc.ns...)
 			}
 		}
 		if best == -1 {
@@ -210,18 +215,18 @@ func zoomOutPassOneWhiteKey(e Engine, s *Solution, prev *Solution, rNew float64,
 		}
 		s.selectBlack(best)
 		remaining--
-		for _, nb := range bestNS {
+		for _, nb := range sc.grey {
 			if s.Colors[nb.ID] == Red {
 				remaining--
 			}
 		}
-		colorNeighbors(bestNS)
+		colorNeighbors(sc.grey)
 	}
 }
 
 // zoomOutPassTwoGreedy covers the remaining whites by descending
 // white-neighbourhood size (Algorithm 3, lines 12-19).
-func zoomOutPassTwoGreedy(e Engine, s *Solution, rNew float64, colorNeighbors func([]object.Neighbor)) {
+func zoomOutPassTwoGreedy(e Engine, s *Solution, rNew float64, colorNeighbors func([]object.Neighbor), sc *queryScratch) {
 	n := e.Size()
 	nw := make([]int, n)
 	h := newLazyHeap(64)
@@ -231,7 +236,8 @@ func zoomOutPassTwoGreedy(e Engine, s *Solution, rNew float64, colorNeighbors fu
 			continue
 		}
 		any = true
-		for _, nb := range e.Neighbors(id, rNew) {
+		sc.upd = e.NeighborsAppend(sc.upd[:0], id, rNew)
+		for _, nb := range sc.upd {
 			if s.Colors[nb.ID] == White {
 				nw[id]++
 			}
@@ -249,16 +255,17 @@ func zoomOutPassTwoGreedy(e Engine, s *Solution, rNew float64, colorNeighbors fu
 			return
 		}
 		s.selectBlack(pi)
-		ns := e.Neighbors(pi, rNew)
-		newGrey := make([]object.Neighbor, 0, len(ns))
-		for _, nb := range ns {
+		sc.ns = e.NeighborsAppend(sc.ns[:0], pi, rNew)
+		sc.grey = sc.grey[:0]
+		for _, nb := range sc.ns {
 			if s.Colors[nb.ID] == White {
-				newGrey = append(newGrey, nb)
+				sc.grey = append(sc.grey, nb)
 			}
 		}
-		colorNeighbors(ns)
-		for _, gj := range newGrey {
-			for _, nk := range e.Neighbors(gj.ID, rNew) {
+		colorNeighbors(sc.ns)
+		for _, gj := range sc.grey {
+			sc.upd = e.NeighborsAppend(sc.upd[:0], gj.ID, rNew)
+			for _, nk := range sc.upd {
 				if s.Colors[nk.ID] == White {
 					nw[nk.ID]--
 					h.push(nk.ID, nw[nk.ID])

@@ -29,6 +29,12 @@ type Config struct {
 	// Parallelism is the worker count for the parallel coverage-graph
 	// build in the engines experiment (0 = GOMAXPROCS).
 	Parallelism int
+	// Radius overrides the query radius for single-radius experiments
+	// (perf); 0 selects the middle of the dataset's standard sweep.
+	Radius float64
+	// Format selects the output encoding where an experiment supports
+	// more than one ("text" is the default; perf also accepts "json").
+	Format string
 	// Quick trims sweeps for fast runs (benchmarks, smoke tests).
 	Quick bool
 	// Out receives the rendered tables; nil discards them.

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+// PerfEngine is one engine's measurement in a performance snapshot:
+// build cost, a repeated pruned Greedy-DisC selection (wall time and
+// allocation profile per op) and the steady-state reusable-buffer
+// neighbour query.
+type PerfEngine struct {
+	Engine            string  `json:"engine"`
+	BuildMS           float64 `json:"build_ms"`
+	SelectNsOp        int64   `json:"select_ns_op"`
+	SelectMSOp        float64 `json:"select_ms_op"`
+	SelectAllocsOp    int64   `json:"select_allocs_op"`
+	SelectBytesOp     int64   `json:"select_bytes_op"`
+	NeighborsNsOp     int64   `json:"neighbors_ns_op"`
+	NeighborsAllocsOp int64   `json:"neighbors_allocs_op"`
+	SolutionSize      int     `json:"solution_size"`
+	Accesses          int64   `json:"accesses"`
+}
+
+// PerfSnapshot is the machine-readable result of the "perf" experiment —
+// the repo's benchmark trajectory format (see BENCH_PR2.json).
+type PerfSnapshot struct {
+	Dataset    string       `json:"dataset"`
+	N          int          `json:"n"`
+	Dim        int          `json:"dim"`
+	Radius     float64      `json:"radius"`
+	Seed       uint64       `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	Algorithm  string       `json:"algorithm"`
+	Engines    []PerfEngine `json:"engines"`
+}
+
+// measure runs f repeatedly until budget elapses (always at least once)
+// and reports per-iteration wall time, heap allocations and bytes. A
+// deliberate fixed-budget stand-in for testing.Benchmark (which would
+// also work in a non-test binary): the snapshot's total runtime stays
+// bounded and deterministic even when one engine is orders of magnitude
+// slower than another, at the cost of slightly coarser numbers than
+// `go test -bench` calibration.
+func measure(f func(), budget time.Duration) (nsOp, allocsOp, bytesOp int64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	iters := int64(0)
+	for {
+		f()
+		iters++
+		if time.Since(start) >= budget {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed.Nanoseconds() / iters,
+		int64(m1.Mallocs-m0.Mallocs) / iters,
+		int64(m1.TotalAlloc-m0.TotalAlloc) / iters
+}
+
+// perfRadius picks the snapshot radius: the explicit cfg.Radius when
+// set, otherwise the middle of the dataset's standard sweep.
+func (c Config) perfRadius(datasetName string) float64 {
+	if c.Radius > 0 {
+		return c.Radius
+	}
+	rs := Radii(datasetName)
+	return rs[len(rs)/2]
+}
+
+// Perf measures all five index backends on the same pruned Greedy-DisC
+// workload and returns the snapshot. The linear-scan engine is skipped
+// above 20k objects, where a single quadratic selection would dominate
+// the whole snapshot's runtime; the JSON then records the four indexed
+// engines.
+func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
+	w, err := cfg.load(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	pts := w.ds.Points
+	workers := cfg.parallelism()
+	r := cfg.perfRadius(datasetName)
+	snap := &PerfSnapshot{
+		Dataset:    datasetName,
+		N:          len(pts),
+		Dim:        w.ds.Dim(),
+		Radius:     r,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Algorithm:  "Grey-Greedy-DisC (Pruned)",
+	}
+
+	builders := []struct {
+		name  string
+		build func() (core.Engine, error)
+	}{
+		{"flat", func() (core.Engine, error) { return core.NewFlatEngine(pts, w.metric) }},
+		{"mtree", func() (core.Engine, error) {
+			return core.BuildTreeEngine(cfg.treeConfig(w.metric), pts)
+		}},
+		{"vptree", func() (core.Engine, error) { return core.BuildVPEngine(pts, w.metric, cfg.Seed) }},
+		{"rtree", func() (core.Engine, error) { return core.BuildRTreeEngine(pts, w.metric, 0) }},
+		{"graph", func() (core.Engine, error) {
+			return core.BuildParallelGraphEngine(pts, w.metric, r, workers)
+		}},
+	}
+
+	for _, b := range builders {
+		if b.name == "flat" && len(pts) > 20000 {
+			continue
+		}
+		buildStart := time.Now()
+		e, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf: %s: %w", b.name, err)
+		}
+		buildMS := time.Since(buildStart)
+
+		pe := PerfEngine{Engine: b.name, BuildMS: float64(buildMS.Microseconds()) / 1000}
+
+		var sol *core.Solution
+		pe.SelectNsOp, pe.SelectAllocsOp, pe.SelectBytesOp = measure(func() {
+			e.ResetAccesses()
+			sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateGrey, Pruned: true})
+		}, 2*time.Second)
+		pe.SelectMSOp = float64(pe.SelectNsOp) / 1e6
+		pe.SolutionSize = sol.Size()
+		pe.Accesses = sol.Accesses
+
+		buf := make([]object.Neighbor, 0, 4096)
+		id := 0
+		pe.NeighborsNsOp, pe.NeighborsAllocsOp, _ = measure(func() {
+			buf = e.NeighborsAppend(buf[:0], id, r)
+			id = (id + 1) % len(pts)
+		}, 200*time.Millisecond)
+
+		snap.Engines = append(snap.Engines, pe)
+	}
+	return snap, nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *PerfSnapshot) WriteJSON(cfg Config) error {
+	enc := json.NewEncoder(cfg.out())
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Table renders the snapshot as a plain-text table (the -format=text
+// view of the perf experiment).
+func (s *PerfSnapshot) Table() *stats.Table {
+	tab := stats.NewTable(
+		fmt.Sprintf("Perf snapshot — %s (n=%d, r=%g, %s, GOMAXPROCS=%d)",
+			s.Dataset, s.N, s.Radius, s.Algorithm, s.GoMaxProcs),
+		"engine", "build ms", "select ms/op", "allocs/op", "B/op", "nbr ns/op", "nbr allocs/op", "size", "accesses")
+	for _, e := range s.Engines {
+		tab.AddRow(e.Engine,
+			fmt.Sprintf("%.1f", e.BuildMS),
+			fmt.Sprintf("%.2f", e.SelectMSOp),
+			e.SelectAllocsOp, e.SelectBytesOp,
+			e.NeighborsNsOp, e.NeighborsAllocsOp,
+			e.SolutionSize, e.Accesses)
+	}
+	return tab
+}

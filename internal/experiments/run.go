@@ -65,6 +65,17 @@ var Registry = map[string]Runner{
 		_, err := BottomUp(cfg, "clustered")
 		return err
 	},
+	"perf": func(cfg Config) error {
+		snap, err := Perf(cfg, "clustered")
+		if err != nil {
+			return err
+		}
+		if cfg.Format == "json" {
+			return snap.WriteJSON(cfg)
+		}
+		printTables(cfg.out(), snap.Table())
+		return nil
+	},
 	"buildinit": func(cfg Config) error {
 		_, err := BuildInit(cfg, "clustered")
 		return err

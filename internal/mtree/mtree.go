@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/object"
 )
 
@@ -164,8 +165,13 @@ type Tree struct {
 	loc       []locator // object id -> leaf position
 	pts       []object.Point
 	rng       *rand.Rand
-	tracking  bool   // coverage (white-count) tracking enabled
-	white     []bool // per-object uncovered flag (tracking only)
+	tracking  bool       // coverage (white-count) tracking enabled
+	white     bitset.Set // per-object uncovered flag (tracking only)
+	// kern is the distance kernel compiled once the dimensionality is
+	// known (at New for a non-empty universe, at the first Add
+	// otherwise); query paths use it instead of Metric interface
+	// dispatch.
+	kern object.Kernel
 }
 
 // New creates an empty tree. The points slice provides the universe of
@@ -196,6 +202,9 @@ func New(cfg Config, pts []object.Point) (*Tree, error) {
 	}
 	for i := range t.loc {
 		t.loc[i].idx = -1
+	}
+	if len(pts) > 0 {
+		t.kern = object.CompileKernel(cfg.Metric, len(pts[0]))
 	}
 	return t, nil
 }
@@ -251,8 +260,11 @@ func (t *Tree) Add(p object.Point) (int, error) {
 	id := len(t.pts)
 	t.pts = append(t.pts, p)
 	t.loc = append(t.loc, locator{idx: -1})
+	if !t.kern.Compiled() {
+		t.kern = object.CompileKernel(t.cfg.Metric, len(p))
+	}
 	if t.tracking {
-		t.white = append(t.white, false) // Insert marks it white
+		t.white.Grow(len(t.pts)) // Insert marks it white
 	}
 	return id, t.Insert(id)
 }
@@ -271,7 +283,7 @@ func (t *Tree) Insert(id int) error {
 	for !n.leaf {
 		best := t.chooseSubtree(n, p)
 		e := &n.entries[best]
-		d := t.cfg.Metric.Dist(e.pt, p)
+		d := t.kern.Dist(e.pt, p)
 		if d > e.radius {
 			e.radius = d
 			e.child.radius = d
@@ -281,13 +293,13 @@ func (t *Tree) Insert(id int) error {
 	}
 	var dp float64
 	if n.pivot != nil {
-		dp = t.cfg.Metric.Dist(n.pivot, p)
+		dp = t.kern.Dist(n.pivot, p)
 	}
 	n.entries = append(n.entries, entry{pt: p, id: id, dparent: dp})
 	t.loc[id] = locator{leaf: n, idx: len(n.entries) - 1}
 	t.size++
 	if t.tracking {
-		t.white[id] = true
+		t.white.Set(id)
 		for m := n; m != nil; m = m.parent {
 			m.whiteCount++
 		}
@@ -306,7 +318,7 @@ func (t *Tree) chooseSubtree(n *node, p object.Point) int {
 	bestInDist, bestEnlarge := math.Inf(1), math.Inf(1)
 	for i := range n.entries {
 		e := &n.entries[i]
-		d := t.cfg.Metric.Dist(e.pt, p)
+		d := t.kern.Dist(e.pt, p)
 		if d <= e.radius {
 			if d < bestInDist {
 				bestInDist = d

@@ -16,31 +16,57 @@ type queryOpts struct {
 	exclude int
 }
 
+// All query distance work goes through the tree's compiled kernel
+// (object.Kernel): routing decisions need the true distance (it feeds
+// the triangle-inequality bounds), while leaf entries are filtered on
+// the surrogate distance against a widened threshold so that misses
+// never pay the Euclidean square root. Results are bit-identical to
+// evaluating the Metric interface directly.
+//
+// Every query has an Append* form that extends a caller-owned buffer and
+// performs no allocation when the buffer has capacity; the plain forms
+// are Append* with a nil buffer.
+
 // RangeQuery returns all objects within distance r of q, with their
 // distances, in ascending id order is NOT guaranteed; callers that need
 // determinism must sort. Every visited node counts as one access.
 func (t *Tree) RangeQuery(q object.Point, r float64) []object.Neighbor {
-	return t.rangeSearch(q, r, queryOpts{exclude: -1})
+	return t.AppendRangeQuery(nil, q, r)
+}
+
+// AppendRangeQuery is the buffer-reusing form of RangeQuery.
+func (t *Tree) AppendRangeQuery(dst []object.Neighbor, q object.Point, r float64) []object.Neighbor {
+	return t.rangeSearch(dst, q, r, queryOpts{exclude: -1})
 }
 
 // RangeQueryAround returns the neighbours of object id within distance r,
 // excluding the object itself.
 func (t *Tree) RangeQueryAround(id int, r float64) []object.Neighbor {
-	return t.rangeSearch(t.pts[id], r, queryOpts{exclude: id})
+	return t.AppendRangeQueryAround(nil, id, r)
+}
+
+// AppendRangeQueryAround is the buffer-reusing form of RangeQueryAround.
+func (t *Tree) AppendRangeQueryAround(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return t.rangeSearch(dst, t.pts[id], r, queryOpts{exclude: id})
 }
 
 // RangeQueryPruned behaves like RangeQueryAround but applies the paper's
 // pruning rule: subtrees without white objects are skipped entirely and
 // only white objects are reported. Coverage tracking must be enabled.
 func (t *Tree) RangeQueryPruned(id int, r float64) []object.Neighbor {
+	return t.AppendRangeQueryPruned(nil, id, r)
+}
+
+// AppendRangeQueryPruned is the buffer-reusing form of RangeQueryPruned.
+func (t *Tree) AppendRangeQueryPruned(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	t.requireTracking()
-	return t.rangeSearch(t.pts[id], r, queryOpts{pruned: true, exclude: id})
+	return t.rangeSearch(dst, t.pts[id], r, queryOpts{pruned: true, exclude: id})
 }
 
 // RangeQueryPointPruned is the pruned range query for an arbitrary centre.
 func (t *Tree) RangeQueryPointPruned(q object.Point, r float64) []object.Neighbor {
 	t.requireTracking()
-	return t.rangeSearch(q, r, queryOpts{pruned: true, exclude: -1})
+	return t.rangeSearch(nil, q, r, queryOpts{pruned: true, exclude: -1})
 }
 
 func (t *Tree) requireTracking() {
@@ -49,22 +75,21 @@ func (t *Tree) requireTracking() {
 	}
 }
 
-func (t *Tree) rangeSearch(q object.Point, r float64, opts queryOpts) []object.Neighbor {
-	var out []object.Neighbor
-	t.searchNode(t.root, q, r, math.NaN(), opts, &out)
-	return out
+func (t *Tree) rangeSearch(dst []object.Neighbor, q object.Point, r float64, opts queryOpts) []object.Neighbor {
+	return t.searchNode(t.root, q, r, t.kern.RawThreshold(r), math.NaN(), opts, dst)
 }
 
 // searchNode processes one node. dqParent is the precomputed distance from
 // q to the node's pivot (NaN when unknown, e.g. at the root), enabling the
 // triangle-inequality shortcut on each entry's stored parent distance.
-func (t *Tree) searchNode(n *node, q object.Point, r float64, dqParent float64, opts queryOpts, out *[]object.Neighbor) {
+// rawR is the query radius on the kernel's surrogate scale.
+func (t *Tree) searchNode(n *node, q object.Point, r, rawR float64, dqParent float64, opts queryOpts, dst []object.Neighbor) []object.Neighbor {
 	t.touch(n)
 	cheap := !math.IsNaN(dqParent)
 	for i := range n.entries {
 		e := &n.entries[i]
 		if n.leaf {
-			if opts.pruned && !t.white[e.id] {
+			if opts.pruned && !t.white.Test(e.id) {
 				continue
 			}
 			if e.id == opts.exclude {
@@ -73,21 +98,31 @@ func (t *Tree) searchNode(n *node, q object.Point, r float64, dqParent float64, 
 			if cheap && math.Abs(dqParent-e.dparent) > r {
 				continue
 			}
-			if d := t.cfg.Metric.Dist(q, e.pt); d <= r {
-				*out = append(*out, object.Neighbor{ID: e.id, Dist: d})
+			if raw := t.kern.Raw(q, e.pt); raw <= rawR {
+				if d := t.kern.Finish(raw); d <= r {
+					dst = append(dst, object.Neighbor{ID: e.id, Dist: d})
+				}
 			}
 			continue
 		}
 		if opts.pruned && e.child.whiteCount == 0 {
 			continue
 		}
-		if cheap && math.Abs(dqParent-e.dparent) > r+e.radius {
+		rr := r + e.radius
+		if cheap && math.Abs(dqParent-e.dparent) > rr {
 			continue
 		}
-		if d := t.cfg.Metric.Dist(q, e.pt); d <= r+e.radius {
-			t.searchNode(e.child, q, r, d, opts, out)
+		// Routing entries are filtered on the surrogate too: the square
+		// root is paid only when the ball actually intersects and the
+		// subtree is entered (the true distance then seeds the child's
+		// parent-distance shortcut).
+		if raw := t.kern.Raw(q, e.pt); raw <= t.kern.RawThreshold(rr) {
+			if d := t.kern.Finish(raw); d <= rr {
+				dst = t.searchNode(e.child, q, r, rawR, d, opts, dst)
+			}
 		}
 	}
+	return dst
 }
 
 // RangeQueryBottomUp answers a range query around object id by starting at
@@ -96,18 +131,24 @@ func (t *Tree) searchNode(n *node, q object.Point, r float64, dqParent float64, 
 // grey (fully covered) ancestor, which is the approximate query used by
 // the Fast-C heuristic: it may miss neighbours stored in distant leaves.
 func (t *Tree) RangeQueryBottomUp(id int, r float64, stopAtGrey, pruned bool) []object.Neighbor {
+	return t.AppendRangeQueryBottomUp(nil, id, r, stopAtGrey, pruned)
+}
+
+// AppendRangeQueryBottomUp is the buffer-reusing form of
+// RangeQueryBottomUp.
+func (t *Tree) AppendRangeQueryBottomUp(dst []object.Neighbor, id int, r float64, stopAtGrey, pruned bool) []object.Neighbor {
 	if pruned {
 		t.requireTracking()
 	}
 	opts := queryOpts{pruned: pruned, exclude: id}
 	q := t.pts[id]
+	rawR := t.kern.RawThreshold(r)
 	cur := t.loc[id].leaf
-	var out []object.Neighbor
 	var dqp float64 = math.NaN()
 	if cur.pivot != nil {
-		dqp = t.cfg.Metric.Dist(q, cur.pivot)
+		dqp = t.kern.Dist(q, cur.pivot)
 	}
-	t.searchLeafOnly(cur, q, r, dqp, opts, &out)
+	dst = t.searchLeafOnly(cur, q, r, rawR, dqp, opts, dst)
 	for cur.parent != nil {
 		parent := cur.parent
 		// Fast-C's early stop: once an ancestor is grey (no white
@@ -118,13 +159,13 @@ func (t *Tree) RangeQueryBottomUp(id int, r float64, stopAtGrey, pruned bool) []
 		// approximation from collapsing for query balls much larger
 		// than the local regions.
 		if stopAtGrey && t.tracking && parent.whiteCount == 0 &&
-			parent.pivot != nil && t.cfg.Metric.Dist(q, parent.pivot)+r <= parent.radius {
+			parent.pivot != nil && t.kern.Dist(q, parent.pivot)+r <= parent.radius {
 			break
 		}
 		t.touch(parent)
 		var dqParent float64 = math.NaN()
 		if parent.pivot != nil {
-			dqParent = t.cfg.Metric.Dist(q, parent.pivot)
+			dqParent = t.kern.Dist(q, parent.pivot)
 		}
 		cheap := !math.IsNaN(dqParent)
 		for i := range parent.entries {
@@ -135,25 +176,28 @@ func (t *Tree) RangeQueryBottomUp(id int, r float64, stopAtGrey, pruned bool) []
 			if opts.pruned && e.child.whiteCount == 0 {
 				continue
 			}
-			if cheap && math.Abs(dqParent-e.dparent) > r+e.radius {
+			rr := r + e.radius
+			if cheap && math.Abs(dqParent-e.dparent) > rr {
 				continue
 			}
-			if d := t.cfg.Metric.Dist(q, e.pt); d <= r+e.radius {
-				t.searchNode(e.child, q, r, d, opts, &out)
+			if raw := t.kern.Raw(q, e.pt); raw <= t.kern.RawThreshold(rr) {
+				if d := t.kern.Finish(raw); d <= rr {
+					dst = t.searchNode(e.child, q, r, rawR, d, opts, dst)
+				}
 			}
 		}
 		cur = parent
 	}
-	return out
+	return dst
 }
 
 // searchLeafOnly scans the entries of a single leaf without recursion.
-func (t *Tree) searchLeafOnly(n *node, q object.Point, r float64, dqParent float64, opts queryOpts, out *[]object.Neighbor) {
+func (t *Tree) searchLeafOnly(n *node, q object.Point, r, rawR float64, dqParent float64, opts queryOpts, dst []object.Neighbor) []object.Neighbor {
 	t.touch(n)
 	cheap := !math.IsNaN(dqParent)
 	for i := range n.entries {
 		e := &n.entries[i]
-		if opts.pruned && !t.white[e.id] {
+		if opts.pruned && !t.white.Test(e.id) {
 			continue
 		}
 		if e.id == opts.exclude {
@@ -162,10 +206,13 @@ func (t *Tree) searchLeafOnly(n *node, q object.Point, r float64, dqParent float
 		if cheap && math.Abs(dqParent-e.dparent) > r {
 			continue
 		}
-		if d := t.cfg.Metric.Dist(q, e.pt); d <= r {
-			*out = append(*out, object.Neighbor{ID: e.id, Dist: d})
+		if raw := t.kern.Raw(q, e.pt); raw <= rawR {
+			if d := t.kern.Finish(raw); d <= r {
+				dst = append(dst, object.Neighbor{ID: e.id, Dist: d})
+			}
 		}
 	}
+	return dst
 }
 
 // ScanIDs returns all object ids in leaf-chain (left-to-right) order, the

@@ -94,7 +94,7 @@ func (t *Tree) finishNode(n *node) float64 {
 		}
 		if n.leaf {
 			t.loc[e.id] = locator{leaf: n, idx: i}
-			if t.tracking && t.white[e.id] {
+			if t.tracking && t.white.Test(e.id) {
 				white++
 			}
 		} else {

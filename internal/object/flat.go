@@ -1,0 +1,87 @@
+package object
+
+import "fmt"
+
+// FlatDataset stores the coordinates of n points in a single contiguous
+// row-major []float64 (stride = Dim) together with a Kernel compiled for
+// the metric. Compared with a []Point — a slice of independently
+// heap-allocated vectors — the flat layout keeps sequential scans inside
+// one cache-friendly allocation and makes every row access a bounds-check
+// rather than a pointer chase. It is the storage the zero-allocation
+// query path is built on.
+type FlatDataset struct {
+	coords []float64
+	n, dim int
+	kern   Kernel
+}
+
+// Flatten copies pts into flat storage and compiles the distance kernel
+// for m. The original points are not retained.
+func Flatten(pts []Point, m Metric) (*FlatDataset, error) {
+	dim, err := ValidatePoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("object: flatten: nil metric")
+	}
+	coords := make([]float64, len(pts)*dim)
+	for i, p := range pts {
+		copy(coords[i*dim:(i+1)*dim], p)
+	}
+	return &FlatDataset{coords: coords, n: len(pts), dim: dim, kern: CompileKernel(m, dim)}, nil
+}
+
+// Len returns the number of points.
+func (f *FlatDataset) Len() int { return f.n }
+
+// Dim returns the dimensionality.
+func (f *FlatDataset) Dim() int { return f.dim }
+
+// Kernel returns the compiled distance kernel.
+func (f *FlatDataset) Kernel() *Kernel { return &f.kern }
+
+// Metric returns the metric the kernel was compiled for.
+func (f *FlatDataset) Metric() Metric { return f.kern.metric }
+
+// Row returns the coordinates of point id as a subslice of the flat
+// storage. The caller must not modify or grow it.
+func (f *FlatDataset) Row(id int) []float64 {
+	off := id * f.dim
+	return f.coords[off : off+f.dim : off+f.dim]
+}
+
+// Point is Row typed as a Point, for Engine interoperability. Zero-copy.
+func (f *FlatDataset) Point(id int) Point { return Point(f.Row(id)) }
+
+// Coords exposes the backing storage (read-only by convention) for
+// callers that iterate rows by offset without per-row slicing.
+func (f *FlatDataset) Coords() []float64 { return f.coords }
+
+// Dist returns the true distance between points i and j.
+func (f *FlatDataset) Dist(i, j int) float64 { return f.kern.dist(f.Row(i), f.Row(j)) }
+
+// DistToPoint returns the true distance between point i and an arbitrary
+// query vector q (len(q) must equal Dim).
+func (f *FlatDataset) DistToPoint(i int, q []float64) float64 { return f.kern.dist(f.Row(i), q) }
+
+// AppendRange appends to dst every point within r of q, excluding the
+// point with id exclude (-1 for none), in ascending id order, and returns
+// the extended slice. It evaluates the surrogate distance against the
+// widened threshold first, so misses never pay the square root.
+func (f *FlatDataset) AppendRange(dst []Neighbor, q []float64, r float64, exclude int) []Neighbor {
+	rawR := f.kern.RawThreshold(r)
+	raw := f.kern.raw
+	dim := f.dim
+	for id, off := 0, 0; id < f.n; id, off = id+1, off+dim {
+		if id == exclude {
+			continue
+		}
+		if s := raw(f.coords[off:off+dim:off+dim], q); s <= rawR {
+			if d := f.kern.Finish(s); d <= r {
+				dst = append(dst, Neighbor{ID: id, Dist: d})
+			}
+		}
+	}
+	return dst
+}

@@ -7,6 +7,13 @@
 // a static, pointer-free tree stored in two flat slices with ~100% node
 // utilisation and uniform leaf depth.
 //
+// Coordinates are additionally stored in a contiguous row-major
+// object.FlatDataset, and every distance in the query path goes through
+// the dataset's compiled kernel: leaf scans evaluate the squared-distance
+// surrogate against r² and only pay the square root on hits, and no
+// query allocates when the caller supplies a reusable destination buffer
+// (the Append* variants).
+//
 // Range queries prune a subtree when the minimum distance from the query
 // point to the subtree's bounding box exceeds the radius. That minimum
 // distance is computed by clamping the query point into the box, which is
@@ -17,10 +24,11 @@
 //
 // Like the M-tree and VP-tree, the R-tree supports the paper's pruning
 // rule through per-subtree white counts, and counts one access per node
-// visited. The *Into query variants take an external access counter and
-// touch no shared state, so a fully built tree can serve range queries
-// from many goroutines at once — the property the parallel coverage-graph
-// builder in internal/core relies on.
+// visited. The *Into query variants take an external access counter plus
+// a caller-owned clamp buffer and touch no shared state, so a fully built
+// tree can serve range queries from many goroutines at once — the
+// property the parallel coverage-graph builder in internal/core relies
+// on.
 package rtree
 
 import (
@@ -28,6 +36,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/object"
 )
 
@@ -47,9 +56,15 @@ type node struct {
 	white    int32 // white descendants while tracking is enabled
 }
 
-// Tree is a static, bulk-loaded R-tree over a fixed point slice.
+// Tree is a static, bulk-loaded R-tree over a fixed point slice. After
+// construction the only coordinate storage retained is the contiguous
+// FlatDataset; the caller's []Point is released so the index does not
+// double the coordinate footprint.
 type Tree struct {
+	// pts is non-nil only during Build (tiling and packing read it);
+	// queries and accessors go through flat.
 	pts     []object.Point
+	flat    *object.FlatDataset
 	metric  object.Metric
 	dim     int
 	leafCap int
@@ -58,9 +73,13 @@ type Tree struct {
 	leafOf  []int32 // id -> index of the leaf holding it
 	root    int32
 
+	// clamp is the box-clamp scratch for the single-goroutine query API;
+	// concurrent callers pass their own buffer to the *Into variants.
+	clamp []float64
+
 	accesses int64
 	tracking bool
-	white    []bool
+	white    bitset.Set
 }
 
 // Build packs an R-tree over pts with the given leaf capacity (<= 0
@@ -83,19 +102,26 @@ func Build(pts []object.Point, m object.Metric, leafCap int) (*Tree, error) {
 	if leafCap < 2 {
 		leafCap = 2
 	}
+	flat, err := object.Flatten(pts, m)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
 	t := &Tree{
 		pts:     pts,
+		flat:    flat,
 		metric:  m,
 		dim:     d,
 		leafCap: leafCap,
 		items:   make([]int32, len(pts)),
 		leafOf:  make([]int32, len(pts)),
+		clamp:   make([]float64, d),
 	}
 	for i := range t.items {
 		t.items[i] = int32(i)
 	}
 	t.tile(t.items, 0)
 	t.pack()
+	t.pts = nil // flat storage is the single coordinate copy from here on
 	return t, nil
 }
 
@@ -206,13 +232,19 @@ func (t *Tree) mbrOfNodes(nis []int32) (object.Point, object.Point) {
 }
 
 // Len returns the number of indexed objects.
-func (t *Tree) Len() int { return len(t.pts) }
+func (t *Tree) Len() int { return t.flat.Len() }
+
+// Dim returns the dimensionality of the indexed points.
+func (t *Tree) Dim() int { return t.dim }
 
 // Metric returns the distance function.
 func (t *Tree) Metric() object.Metric { return t.metric }
 
-// Point returns the coordinates of object id.
-func (t *Tree) Point(id int) object.Point { return t.pts[id] }
+// Point returns the coordinates of object id (flat storage row).
+func (t *Tree) Point(id int) object.Point { return t.flat.Point(id) }
+
+// Flat exposes the contiguous coordinate storage and compiled kernel.
+func (t *Tree) Flat() *object.FlatDataset { return t.flat }
 
 // LeafCapacity returns the packing fanout.
 func (t *Tree) LeafCapacity() int { return t.leafCap }
@@ -223,92 +255,135 @@ func (t *Tree) Accesses() int64 { return t.accesses }
 // ResetAccesses zeroes the counter.
 func (t *Tree) ResetAccesses() { t.accesses = 0 }
 
-// minDist lower-bounds the distance from q to any point inside the
-// node's box by clamping q into the box. scratch must have dim entries
-// and is overwritten.
-func (t *Tree) minDist(q object.Point, n *node, scratch object.Point) float64 {
-	for j, v := range q {
-		switch {
-		case v < n.min[j]:
-			scratch[j] = n.min[j]
-		case v > n.max[j]:
-			scratch[j] = n.max[j]
-		default:
-			scratch[j] = v
-		}
-	}
-	return t.metric.Dist(q, scratch)
-}
-
 // RangeQuery returns all objects within r of q.
 func (t *Tree) RangeQuery(q object.Point, r float64) []object.Neighbor {
-	return t.RangeQueryInto(q, r, &t.accesses)
+	return t.AppendRangeQuery(nil, q, r)
 }
 
 // RangeQueryAround returns the neighbours of object id within r,
 // excluding id itself.
 func (t *Tree) RangeQueryAround(id int, r float64) []object.Neighbor {
-	return t.RangeQueryAroundInto(id, r, &t.accesses)
+	return t.AppendRangeQueryAround(nil, id, r)
+}
+
+// AppendRangeQuery appends all objects within r of q to dst and returns
+// the extended slice; with a capacious dst it performs no allocation.
+// Like every non-Into query it uses the tree's internal scratch, so it
+// must not run concurrently with other queries.
+func (t *Tree) AppendRangeQuery(dst []object.Neighbor, q object.Point, r float64) []object.Neighbor {
+	return t.appendSearch(dst, q, r, -1, false, &t.accesses, t.clamp)
+}
+
+// AppendRangeQueryAround is the buffer-reusing form of RangeQueryAround.
+func (t *Tree) AppendRangeQueryAround(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return t.appendSearch(dst, t.flat.Row(id), r, id, false, &t.accesses, t.clamp)
+}
+
+// AppendRangeQueryPruned is the buffer-reusing form of RangeQueryPruned.
+func (t *Tree) AppendRangeQueryPruned(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	if !t.tracking {
+		panic("rtree: pruned query requires EnableTracking")
+	}
+	return t.appendSearch(dst, t.flat.Row(id), r, id, true, &t.accesses, t.clamp)
 }
 
 // RangeQueryInto is RangeQuery charging node accesses to an external
 // counter. It touches no shared tree state, so concurrent calls on a
 // built tree are safe as long as each goroutine supplies its own counter.
 func (t *Tree) RangeQueryInto(q object.Point, r float64, acc *int64) []object.Neighbor {
-	var out []object.Neighbor
-	t.search(t.root, q, r, -1, false, make(object.Point, t.dim), acc, &out)
-	return out
+	return t.appendSearch(nil, q, r, -1, false, acc, make([]float64, t.dim))
 }
 
 // RangeQueryAroundInto is the concurrency-safe form of RangeQueryAround.
 func (t *Tree) RangeQueryAroundInto(id int, r float64, acc *int64) []object.Neighbor {
-	var out []object.Neighbor
-	t.search(t.root, t.pts[id], r, id, false, make(object.Point, t.dim), acc, &out)
-	return out
+	return t.appendSearch(nil, t.flat.Row(id), r, id, false, acc, make([]float64, t.dim))
+}
+
+// AppendRangeQueryAroundInto is the zero-allocation concurrent query: it
+// appends to the caller's dst, charges the caller's counter and clamps
+// into the caller's scratch (len >= Dim). Each goroutine must own all
+// three. This is the query the sharded coverage-graph build issues.
+func (t *Tree) AppendRangeQueryAroundInto(dst []object.Neighbor, id int, r float64, acc *int64, clamp []float64) []object.Neighbor {
+	return t.appendSearch(dst, t.flat.Row(id), r, id, false, acc, clamp)
 }
 
 // RangeQueryPruned applies the paper's pruning rule: subtrees without
 // white objects are skipped and only white objects are reported.
 // Requires EnableTracking or ResetTracking.
 func (t *Tree) RangeQueryPruned(id int, r float64) []object.Neighbor {
-	return t.RangeQueryPrunedInto(id, r, &t.accesses)
+	return t.AppendRangeQueryPruned(nil, id, r)
 }
 
 // RangeQueryPrunedInto is RangeQueryPruned charging an external counter.
-// Unlike the unpruned Into variants it reads the shared white state, so
-// it must not run concurrently with Cover or tracking resets.
+// It reads the shared white state, so it must not run concurrently with
+// Cover or tracking resets; concurrent pruned queries against a static
+// white set are safe (each call allocates its own clamp scratch — use
+// AppendRangeQueryPrunedInto with a caller-owned buffer to avoid that).
 func (t *Tree) RangeQueryPrunedInto(id int, r float64, acc *int64) []object.Neighbor {
+	return t.AppendRangeQueryPrunedInto(nil, id, r, acc, make([]float64, t.dim))
+}
+
+// AppendRangeQueryPrunedInto is the buffer-reusing form of
+// RangeQueryPrunedInto: the caller owns dst, the access counter and the
+// clamp scratch (len >= Dim), so concurrent pruned queries against a
+// static white set stay safe.
+func (t *Tree) AppendRangeQueryPrunedInto(dst []object.Neighbor, id int, r float64, acc *int64, clamp []float64) []object.Neighbor {
 	if !t.tracking {
 		panic("rtree: pruned query requires EnableTracking")
 	}
-	var out []object.Neighbor
-	t.search(t.root, t.pts[id], r, id, true, make(object.Point, t.dim), acc, &out)
-	return out
+	return t.appendSearch(dst, t.flat.Row(id), r, id, true, acc, clamp)
 }
 
-func (t *Tree) search(ni int32, q object.Point, r float64, exclude int, pruned bool, scratch object.Point, acc *int64, out *[]object.Neighbor) {
+// appendSearch runs the recursive box search. All distance work goes
+// through the compiled kernel: boxes and leaf entries are filtered on the
+// surrogate distance against the widened threshold, and the square root
+// is evaluated only for reported hits.
+func (t *Tree) appendSearch(dst []object.Neighbor, q []float64, r float64, exclude int, pruned bool, acc *int64, clamp []float64) []object.Neighbor {
+	k := t.flat.Kernel()
+	rawR := k.RawThreshold(r)
+	return t.search(t.root, q, r, rawR, exclude, pruned, clamp, acc, dst)
+}
+
+func (t *Tree) search(ni int32, q []float64, r, rawR float64, exclude int, pruned bool, clamp []float64, acc *int64, dst []object.Neighbor) []object.Neighbor {
 	n := &t.nodes[ni]
 	*acc++
+	k := t.flat.Kernel()
 	if n.leaf {
 		for _, id := range t.items[n.first : n.first+n.count] {
-			if int(id) == exclude || (pruned && !t.white[id]) {
+			if int(id) == exclude || (pruned && !t.white.Test(int(id))) {
 				continue
 			}
-			if d := t.metric.Dist(q, t.pts[id]); d <= r {
-				*out = append(*out, object.Neighbor{ID: int(id), Dist: d})
+			if raw := k.Raw(q, t.flat.Row(int(id))); raw <= rawR {
+				if d := k.Finish(raw); d <= r {
+					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
+				}
 			}
 		}
-		return
+		return dst
 	}
 	for ci := n.first; ci < n.first+n.count; ci++ {
 		c := &t.nodes[ci]
 		if pruned && c.white == 0 {
 			continue
 		}
-		if t.minDist(q, c, scratch) <= r {
-			t.search(ci, q, r, exclude, pruned, scratch, acc, out)
+		// Clamping q into the child's box lower-bounds the distance to
+		// every point inside it; the surrogate comparison is conservative
+		// (RawThreshold), so no true neighbour's subtree is skipped.
+		for j, v := range q {
+			switch {
+			case v < c.min[j]:
+				clamp[j] = c.min[j]
+			case v > c.max[j]:
+				clamp[j] = c.max[j]
+			default:
+				clamp[j] = v
+			}
+		}
+		if k.Raw(q, clamp) <= rawR {
+			dst = t.search(ci, q, r, rawR, exclude, pruned, clamp, acc, dst)
 		}
 	}
+	return dst
 }
 
 // ScanOrder returns all ids in leaf (STR) order, a locality-preserving
@@ -325,24 +400,29 @@ func (t *Tree) ScanOrder() []int {
 
 // EnableTracking switches the pruning rule on with every object white.
 func (t *Tree) EnableTracking() {
-	white := make([]bool, len(t.pts))
-	for i := range white {
-		white[i] = true
-	}
-	t.ResetTracking(white)
+	t.white.Reset(t.flat.Len())
+	t.white.Fill()
+	t.tracking = true
+	t.refreshWhiteCounts()
 }
 
 // ResetTracking re-initialises tracking with a custom white set.
 func (t *Tree) ResetTracking(white []bool) {
-	t.white = append([]bool(nil), white...)
+	t.white.CopyBools(white)
 	t.tracking = true
-	// Children precede parents in t.nodes, so one forward pass suffices.
+	t.refreshWhiteCounts()
+}
+
+// refreshWhiteCounts recomputes per-node white counters from the packed
+// white set. Children precede parents in t.nodes, so one forward pass
+// suffices.
+func (t *Tree) refreshWhiteCounts() {
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		n.white = 0
 		if n.leaf {
 			for _, id := range t.items[n.first : n.first+n.count] {
-				if t.white[id] {
+				if t.white.Test(int(id)) {
 					n.white++
 				}
 			}
@@ -358,14 +438,14 @@ func (t *Tree) ResetTracking(white []bool) {
 func (t *Tree) Tracking() bool { return t.tracking }
 
 // IsWhite reports whether id is still uncovered (tracking only).
-func (t *Tree) IsWhite(id int) bool { return t.tracking && t.white[id] }
+func (t *Tree) IsWhite(id int) bool { return t.tracking && t.white.Test(id) }
 
 // Cover marks id as covered, updating subtree white counts.
 func (t *Tree) Cover(id int) {
-	if !t.tracking || !t.white[id] {
+	if !t.tracking || !t.white.Test(id) {
 		return
 	}
-	t.white[id] = false
+	t.white.Clear(id)
 	for ni := t.leafOf[id]; ni != -1; ni = t.nodes[ni].parent {
 		t.nodes[ni].white--
 	}
@@ -389,7 +469,7 @@ func (t *Tree) NumNodes() int { return len(t.nodes) }
 // leaves share one depth, and white counts (when tracking) match the
 // white set. Intended for tests.
 func (t *Tree) Validate() error {
-	seen := make([]bool, len(t.pts))
+	seen := make([]bool, t.flat.Len())
 	for _, id := range t.items {
 		if seen[id] {
 			return fmt.Errorf("rtree: object %d appears twice", id)
@@ -414,12 +494,12 @@ func (t *Tree) Validate() error {
 				if t.leafOf[id] != ni {
 					return fmt.Errorf("rtree: leafOf[%d] broken", id)
 				}
-				for j, v := range t.pts[id] {
+				for j, v := range t.flat.Row(int(id)) {
 					if v < n.min[j] || v > n.max[j] {
 						return fmt.Errorf("rtree: object %d escapes leaf %d box", id, ni)
 					}
 				}
-				if t.tracking && t.white[id] {
+				if t.tracking && t.white.Test(int(id)) {
 					white++
 				}
 			}

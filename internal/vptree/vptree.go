@@ -17,6 +17,7 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/object"
 )
 
@@ -28,15 +29,20 @@ type node struct {
 	whiteCount      int
 }
 
-// Tree is a static vantage-point tree over a fixed point slice.
+// Tree is a static vantage-point tree over a fixed point slice. Queries
+// read coordinates from a contiguous object.FlatDataset and evaluate
+// distances through its compiled kernel rather than the Metric
+// interface; the Append* query variants reuse caller-owned buffers and
+// perform no allocation.
 type Tree struct {
 	metric   object.Metric
 	pts      []object.Point
+	flat     *object.FlatDataset
 	root     *node
 	nodeOf   []*node
 	accesses int64
 	tracking bool
-	white    []bool
+	white    bitset.Set
 }
 
 // Build constructs a VP-tree over pts. The seed drives vantage-point
@@ -48,17 +54,25 @@ func Build(pts []object.Point, m object.Metric, seed uint64) (*Tree, error) {
 	if m == nil {
 		return nil, fmt.Errorf("vptree: nil metric")
 	}
+	flat, err := object.Flatten(pts, m)
+	if err != nil {
+		return nil, fmt.Errorf("vptree: %w", err)
+	}
 	t := &Tree{
 		metric: m,
 		pts:    pts,
+		flat:   flat,
 		nodeOf: make([]*node, len(pts)),
 	}
+	// pts is read only while building; afterwards the contiguous flat
+	// storage is the single coordinate copy.
 	ids := make([]int, len(pts))
 	for i := range ids {
 		ids[i] = i
 	}
 	rng := rand.New(rand.NewPCG(seed, seed^0x853c49e6748fea9b))
 	t.root = t.build(ids, rng, nil)
+	t.pts = nil
 	return t, nil
 }
 
@@ -108,13 +122,16 @@ func (t *Tree) build(ids []int, rng *rand.Rand, parent *node) *node {
 }
 
 // Len returns the number of indexed objects.
-func (t *Tree) Len() int { return len(t.pts) }
+func (t *Tree) Len() int { return t.flat.Len() }
 
 // Metric returns the distance function.
 func (t *Tree) Metric() object.Metric { return t.metric }
 
-// Point returns the coordinates of object id.
-func (t *Tree) Point(id int) object.Point { return t.pts[id] }
+// Point returns the coordinates of object id (flat storage row).
+func (t *Tree) Point(id int) object.Point { return t.flat.Point(id) }
+
+// Flat exposes the contiguous coordinate storage and compiled kernel.
+func (t *Tree) Flat() *object.FlatDataset { return t.flat }
 
 // Accesses returns the cumulative node-access counter.
 func (t *Tree) Accesses() int64 { return t.accesses }
@@ -124,57 +141,71 @@ func (t *Tree) ResetAccesses() { t.accesses = 0 }
 
 // RangeQuery returns all objects within r of q.
 func (t *Tree) RangeQuery(q object.Point, r float64) []object.Neighbor {
-	var out []object.Neighbor
-	t.search(t.root, q, r, -1, false, &out)
-	return out
+	return t.AppendRangeQuery(nil, q, r)
+}
+
+// AppendRangeQuery appends all objects within r of q to dst and returns
+// the extended slice; with a capacious dst it performs no allocation.
+func (t *Tree) AppendRangeQuery(dst []object.Neighbor, q object.Point, r float64) []object.Neighbor {
+	return t.search(t.root, q, r, -1, false, dst)
 }
 
 // RangeQueryAround returns the neighbours of object id within r,
 // excluding id.
 func (t *Tree) RangeQueryAround(id int, r float64) []object.Neighbor {
-	var out []object.Neighbor
-	t.search(t.root, t.pts[id], r, id, false, &out)
-	return out
+	return t.AppendRangeQueryAround(nil, id, r)
+}
+
+// AppendRangeQueryAround is the buffer-reusing form of RangeQueryAround.
+func (t *Tree) AppendRangeQueryAround(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return t.search(t.root, t.flat.Row(id), r, id, false, dst)
 }
 
 // RangeQueryPruned applies the pruning rule: subtrees without white
 // objects are skipped and only white objects are reported. Requires
 // EnableTracking.
 func (t *Tree) RangeQueryPruned(id int, r float64) []object.Neighbor {
+	return t.AppendRangeQueryPruned(nil, id, r)
+}
+
+// AppendRangeQueryPruned is the buffer-reusing form of RangeQueryPruned.
+func (t *Tree) AppendRangeQueryPruned(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	if !t.tracking {
 		panic("vptree: pruned query requires EnableTracking")
 	}
-	var out []object.Neighbor
-	t.search(t.root, t.pts[id], r, id, true, &out)
-	return out
+	return t.search(t.root, t.flat.Row(id), r, id, true, dst)
 }
 
-func (t *Tree) search(n *node, q object.Point, r float64, exclude int, pruned bool, out *[]object.Neighbor) {
+func (t *Tree) search(n *node, q []float64, r float64, exclude int, pruned bool, dst []object.Neighbor) []object.Neighbor {
 	if n == nil {
-		return
+		return dst
 	}
 	if pruned && n.whiteCount == 0 {
-		return
+		return dst
 	}
 	t.accesses++
-	d := t.metric.Dist(q, t.pts[n.id])
-	if d <= r && n.id != exclude && (!pruned || t.white[n.id]) {
-		*out = append(*out, object.Neighbor{ID: n.id, Dist: d})
+	// The true distance is needed for the triangle bounds below, so the
+	// squared-surrogate shortcut does not apply here; the kernel still
+	// removes the interface dispatch and reads contiguous rows.
+	d := t.flat.Kernel().Dist(q, t.flat.Row(n.id))
+	if d <= r && n.id != exclude && (!pruned || t.white.Test(n.id)) {
+		dst = append(dst, object.Neighbor{ID: n.id, Dist: d})
 	}
 	// Triangle-inequality bounds on the vantage radius.
 	if d-r <= n.radius {
-		t.search(n.inside, q, r, exclude, pruned, out)
+		dst = t.search(n.inside, q, r, exclude, pruned, dst)
 	}
 	if d+r >= n.radius {
-		t.search(n.outside, q, r, exclude, pruned, out)
+		dst = t.search(n.outside, q, r, exclude, pruned, dst)
 	}
+	return dst
 }
 
 // ScanOrder returns all ids in in-order traversal (inside, vantage,
 // outside), a locality-ish order analogous to the M-tree leaf scan. Each
 // visited node counts as one access.
 func (t *Tree) ScanOrder() []int {
-	ids := make([]int, 0, len(t.pts))
+	ids := make([]int, 0, t.flat.Len())
 	var walk func(n *node)
 	walk = func(n *node) {
 		if n == nil {
@@ -191,10 +222,8 @@ func (t *Tree) ScanOrder() []int {
 
 // EnableTracking switches the pruning rule on with every object white.
 func (t *Tree) EnableTracking() {
-	t.white = make([]bool, len(t.pts))
-	for i := range t.white {
-		t.white[i] = true
-	}
+	t.white.Reset(t.flat.Len())
+	t.white.Fill()
 	t.tracking = true
 	var walk func(n *node) int
 	walk = func(n *node) int {
@@ -209,7 +238,7 @@ func (t *Tree) EnableTracking() {
 
 // ResetTracking re-initialises tracking with a custom white set.
 func (t *Tree) ResetTracking(white []bool) {
-	t.white = append([]bool(nil), white...)
+	t.white.CopyBools(white)
 	t.tracking = true
 	var walk func(n *node) int
 	walk = func(n *node) int {
@@ -217,7 +246,7 @@ func (t *Tree) ResetTracking(white []bool) {
 			return 0
 		}
 		c := walk(n.inside) + walk(n.outside)
-		if t.white[n.id] {
+		if t.white.Test(n.id) {
 			c++
 		}
 		n.whiteCount = c
@@ -230,14 +259,14 @@ func (t *Tree) ResetTracking(white []bool) {
 func (t *Tree) Tracking() bool { return t.tracking }
 
 // IsWhite reports whether id is still uncovered (tracking only).
-func (t *Tree) IsWhite(id int) bool { return t.tracking && t.white[id] }
+func (t *Tree) IsWhite(id int) bool { return t.tracking && t.white.Test(id) }
 
 // Cover marks id as covered, updating subtree white counts.
 func (t *Tree) Cover(id int) {
-	if !t.tracking || !t.white[id] {
+	if !t.tracking || !t.white.Test(id) {
 		return
 	}
-	t.white[id] = false
+	t.white.Clear(id)
 	for n := t.nodeOf[id]; n != nil; n = n.parent {
 		n.whiteCount--
 	}
@@ -263,7 +292,7 @@ func (t *Tree) Depth() int {
 // once, node-of pointers are consistent, and subtree membership respects
 // the vantage radii. Intended for tests.
 func (t *Tree) Validate() error {
-	seen := make([]bool, len(t.pts))
+	seen := make([]bool, t.flat.Len())
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n == nil {
@@ -283,7 +312,7 @@ func (t *Tree) Validate() error {
 			if m == nil {
 				return nil
 			}
-			d := t.metric.Dist(t.pts[n.id], t.pts[m.id])
+			d := t.metric.Dist(t.flat.Point(n.id), t.flat.Point(m.id))
 			if inside && d > n.radius {
 				return fmt.Errorf("vptree: object %d at %g outside vantage radius %g of %d", m.id, d, n.radius, n.id)
 			}
