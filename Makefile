@@ -1,6 +1,17 @@
 # Shared entry points for CI (.github/workflows/ci.yml) and humans.
 GO ?= go
 
+# bench-guard workload: must match the checked-in BENCH_PR3.json
+# baseline (cmd/benchguard refuses to compare differing workloads).
+BENCH_N ?= 50000
+BENCH_R ?= 0.0025
+# Allowed relative regression before bench-guard fails (0.25 = +25%).
+# The baseline was measured on this repo's single-core dev container;
+# wall-clock comparisons only hold on comparable hardware, so raise the
+# tolerance (or re-measure BENCH_PR3.json) when running on slower or
+# noisier runners.
+BENCH_TOLERANCE ?= 0.25
+
 .PHONY: build test lint bench bench-guard
 
 ## build: compile every package and command
@@ -24,14 +35,19 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -timeout 25m ./...
 
 ## bench-guard: vet + compile-and-run gate over the selection and
-## steady-state neighbour-query benchmarks with allocation reporting.
-## Fails on any build or vet regression in the bench files; the output
-## (bench-guard.txt) is uploaded as a CI artifact so the repo's perf
-## trajectory is inspectable per commit. Also runs the zero-allocation
-## regression tests, which carry a !race build tag and are therefore
-## invisible to `make test`.
+## steady-state neighbour-query benchmarks with allocation reporting,
+## plus the perf-snapshot regression gate: the canonical 50k workload is
+## re-measured (bench-current.json) and diffed against the checked-in
+## BENCH_PR3.json by cmd/benchguard, failing on any Select/Build metric
+## more than BENCH_TOLERANCE (default +25%) over the baseline. Both
+## outputs are uploaded as CI artifacts so the repo's perf trajectory is
+## inspectable per commit. Also runs the zero-allocation regression
+## tests, which carry a !race build tag and are therefore invisible to
+## `make test`.
 bench-guard:
 	$(GO) vet ./...
 	$(GO) test ./internal/core -run ZeroAlloc -v -count=1
 	@$(GO) test -run '^$$' -bench='Select|Neighbors|GreedyDisC' -benchtime=1x -benchmem -timeout 20m ./... > bench-guard.txt 2>&1; \
 	status=$$?; cat bench-guard.txt; exit $$status
+	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > bench-current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_PR3.json -current bench-current.json -tolerance $(BENCH_TOLERANCE)

@@ -1,0 +1,127 @@
+// Command benchguard diffs a freshly measured perf snapshot (the JSON
+// emitted by `discbench -exp perf -format=json`) against the repo's
+// checked-in baseline (BENCH_PR3.json) and fails when any guarded
+// metric regressed beyond the tolerance. CI runs it inside `make
+// bench-guard`, so a commit that slows an index build or a selection
+// by more than the tolerance fails the pipeline instead of silently
+// eroding the repo's perf trajectory.
+//
+// Guarded metrics, per engine: build_ms and select_ms_op. Improvements
+// and new engines never fail; an engine present in the baseline but
+// missing from the current snapshot does, since losing a measurement is
+// how a regression hides.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_PR3.json -current bench-current.json [-tolerance 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/discdiversity/disc/internal/experiments"
+)
+
+func load(path string) (*experiments.PerfSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap experiments.PerfSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// metric is one guarded measurement of an engine.
+type metric struct {
+	name string
+	get  func(experiments.PerfEngine) float64
+}
+
+var guarded = []metric{
+	{"build_ms", func(e experiments.PerfEngine) float64 { return e.BuildMS }},
+	{"select_ms_op", func(e experiments.PerfEngine) float64 { return e.SelectMSOp }},
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR3.json", "checked-in baseline snapshot")
+		currentPath  = flag.String("current", "", "freshly measured snapshot to check")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current required")
+		os.Exit(2)
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: negative tolerance")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if base.N != cur.N || base.Radius != cur.Radius || base.Dataset != cur.Dataset ||
+		base.Dim != cur.Dim || base.Seed != cur.Seed {
+		fmt.Fprintf(os.Stderr, "benchguard: workloads differ (baseline %s n=%d dim=%d r=%g seed=%d, current %s n=%d dim=%d r=%g seed=%d); refusing to compare\n",
+			base.Dataset, base.N, base.Dim, base.Radius, base.Seed,
+			cur.Dataset, cur.N, cur.Dim, cur.Radius, cur.Seed)
+		os.Exit(2)
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		// Parallel builds scale with cores, so wall-clock loses meaning
+		// across core counts — a regression could hide behind extra
+		// parallelism.
+		fmt.Fprintf(os.Stderr, "benchguard: GOMAXPROCS differs (baseline %d, current %d); refusing to compare\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+		os.Exit(2)
+	}
+
+	current := map[string]experiments.PerfEngine{}
+	for _, e := range cur.Engines {
+		current[e.Engine] = e
+	}
+	regressions := 0
+	for _, b := range base.Engines {
+		c, ok := current[b.Engine]
+		if !ok {
+			fmt.Printf("FAIL %-8s missing from current snapshot\n", b.Engine)
+			regressions++
+			continue
+		}
+		for _, m := range guarded {
+			was, now := m.get(b), m.get(c)
+			limit := was * (1 + *tolerance)
+			status := "ok  "
+			if now > limit && was > 0 {
+				status = "FAIL"
+				regressions++
+			}
+			pct := 0.0
+			if was > 0 {
+				pct = 100 * (now - was) / was
+			}
+			fmt.Printf("%s %-8s %-12s %10.2f -> %10.2f (limit %.2f, %+.1f%%)\n",
+				status, b.Engine, m.name, was, now, limit, pct)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed beyond %.0f%% of %s\n",
+			regressions, 100**tolerance, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: all guarded metrics within %.0f%% of %s\n", 100**tolerance, *baselinePath)
+}

@@ -2,6 +2,7 @@ package disc_test
 
 import (
 	"math/rand/v2"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -92,7 +93,7 @@ func TestIndexBackendsIdenticalSelections(t *testing.T) {
 	pts := randomPoints(600, 2, 17)
 	indexes := []disc.Index{
 		disc.IndexMTree, disc.IndexLinearScan, disc.IndexVPTree,
-		disc.IndexRTree, disc.IndexCoverageGraph,
+		disc.IndexRTree, disc.IndexCoverageGraph, disc.IndexGrid,
 	}
 	var want []int
 	for _, ix := range indexes {
@@ -187,13 +188,84 @@ func TestIndexOptionValidation(t *testing.T) {
 	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexVPTree)); err != nil {
 		t.Errorf("metric-only index rejected a custom metric: %v", err)
 	}
+	// The grid needs a metric dominating per-coordinate differences:
+	// Hamming (and custom metrics) must fail at New, not at Select.
+	if _, err := disc.New(pts, disc.WithMetric(disc.Hamming()), disc.WithIndex(disc.IndexGrid)); err == nil {
+		t.Error("IndexGrid accepted the Hamming metric")
+	}
 	for _, ix := range []disc.Index{
 		disc.IndexMTree, disc.IndexLinearScan, disc.IndexVPTree,
-		disc.IndexRTree, disc.IndexCoverageGraph,
+		disc.IndexRTree, disc.IndexCoverageGraph, disc.IndexGrid,
 	} {
 		if ix.String() == "" {
 			t.Errorf("index %d: empty String()", int(ix))
 		}
+	}
+}
+
+func TestIndexByNameAndWithIndexName(t *testing.T) {
+	pts := randomPoints(50, 2, 21)
+	for _, name := range disc.SupportedIndexNames() {
+		ix, err := disc.IndexByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.String() != name {
+			t.Fatalf("IndexByName(%q) = %v", name, ix)
+		}
+		d, err := disc.New(pts, disc.WithIndexName(name))
+		if err != nil {
+			t.Fatalf("WithIndexName(%q): %v", name, err)
+		}
+		if d.Indexed() != ix {
+			t.Fatalf("WithIndexName(%q): Indexed() = %v", name, d.Indexed())
+		}
+	}
+	// Unknown names fail when the option is parsed — before any index
+	// or engine work — and the error teaches the supported list.
+	_, err := disc.New(pts, disc.WithIndexName("kdtree"))
+	if err == nil {
+		t.Fatal("unknown index name accepted")
+	}
+	for _, name := range disc.SupportedIndexNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list supported index %q", err, name)
+		}
+	}
+}
+
+func TestGridIndexZoomAndRebucket(t *testing.T) {
+	pts := randomPoints(500, 2, 22)
+	d := newDiversifier(t, pts, disc.WithIndex(disc.IndexGrid))
+	res, err := d.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(res); err != nil {
+		t.Fatal(err)
+	}
+	// Zoom-in reuses the bucketing; a coarser Select re-buckets; both
+	// must verify.
+	finer, err := d.ZoomIn(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(finer); err != nil {
+		t.Fatal(err)
+	}
+	coarser, err := d.ZoomOut(res, 0.2, disc.ZoomOutGreedyLargest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(coarser); err != nil {
+		t.Fatal(err)
+	}
+	wide, err := d.Select(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(wide); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -3,8 +3,10 @@ package disc
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/mtree"
 	"github.com/discdiversity/disc/internal/object"
 )
@@ -68,9 +70,10 @@ type Diversifier struct {
 	metric      Metric
 	index       Index
 	parallelism int
-	// engine answers neighbourhood queries. For IndexCoverageGraph it is
-	// (re)built lazily per selection radius and is nil before the first
-	// Select; every other index is built once in New.
+	// engine answers neighbourhood queries. The radius-dependent
+	// backends (IndexCoverageGraph, IndexGrid) are (re)built lazily per
+	// selection radius and are nil before the first Select; every other
+	// index is built once in New.
 	engine core.Engine
 }
 
@@ -111,9 +114,25 @@ func WithMTreeCapacity(capacity int) Option {
 
 // WithIndex selects the neighbourhood-search backend (default
 // IndexMTree). Greedy selections are identical across all index
-// choices; only build and query cost differ.
+// choices; only build and query cost differ. Unknown values are
+// rejected when New parses its options, with the supported backends
+// listed in the error.
 func WithIndex(ix Index) Option {
 	return func(o *options) error { return o.setIndex(ix) }
+}
+
+// WithIndexName is WithIndex resolved from a backend name ("mtree",
+// "flat", "vptree", "rtree", "coverage-graph", "grid") — the form
+// configuration files and command lines carry. Unknown names fail
+// eagerly with the supported list in the error (see IndexByName).
+func WithIndexName(name string) Option {
+	return func(o *options) error {
+		ix, err := IndexByName(name)
+		if err != nil {
+			return err
+		}
+		return o.setIndex(ix)
+	}
 }
 
 // WithParallelism sets the worker count IndexCoverageGraph uses to build
@@ -142,9 +161,9 @@ func WithVPTree() Option {
 
 func (o *options) setIndex(ix Index) error {
 	switch ix {
-	case IndexMTree, IndexLinearScan, IndexVPTree, IndexRTree, IndexCoverageGraph:
+	case IndexMTree, IndexLinearScan, IndexVPTree, IndexRTree, IndexCoverageGraph, IndexGrid:
 	default:
-		return fmt.Errorf("disc: unknown index %v", ix)
+		return fmt.Errorf("disc: unknown index %v (supported: %s)", ix, strings.Join(SupportedIndexNames(), ", "))
 	}
 	if o.indexSet && o.index != ix {
 		return fmt.Errorf("disc: conflicting index selections %v and %v", o.index, ix)
@@ -204,6 +223,12 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 		if _, ok := o.metric.(object.CoordinatewiseMonotone); !ok {
 			return nil, fmt.Errorf("disc: metric %q is not coordinate-wise monotone; IndexCoverageGraph's R-tree would prune unsoundly (see disc.CoordinatewiseMonotone)", o.metric.Name())
 		}
+	case IndexGrid:
+		// Built lazily: the grid buckets at the selection radius. Fail
+		// fast on a metric the cell-ring scan cannot serve.
+		if !grid.Supports(o.metric) {
+			return nil, fmt.Errorf("disc: metric %q does not dominate per-coordinate differences; IndexGrid's cell scan would miss true neighbours (use Euclidean, Manhattan or Chebyshev)", o.metric.Name())
+		}
 	default:
 		cfg := mtree.Config{Capacity: o.capacity, Metric: o.metric, Policy: mtree.MinOverlap, Seed: o.seed}
 		e, err := core.BuildTreeEngine(cfg, points)
@@ -218,35 +243,55 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 // Indexed returns the backend this diversifier queries.
 func (d *Diversifier) Indexed() Index { return d.index }
 
-// engineForRadius returns the engine answering queries at radius r. For
-// IndexCoverageGraph the materialised graph is (re)built at r when
-// rebuild is set and the cached graph was built for a different radius;
-// with rebuild unset (the zoom and extension paths) the cached graph is
-// reused — it answers any radius exactly, falling back to its R-tree for
-// radii beyond its build radius.
+// engineForRadius returns the engine answering queries at radius r. The
+// radius-dependent backends are (re)built lazily: for
+// IndexCoverageGraph the materialised graph is rebuilt at r when
+// rebuild is set and the cached graph was built for a different radius
+// — reusing the packed R-tree always, and the grid occupancy whenever
+// the new radius still fits its cell side (zooming in re-joins without
+// re-bucketing). For IndexGrid only the O(n) bucketing is radius-
+// dependent; it is reused as long as one cell ring covers r and
+// coarsened otherwise. With rebuild unset (the zoom and extension
+// paths) the cached engine is reused — both backends answer any radius
+// exactly, only the cost differs.
 func (d *Diversifier) engineForRadius(r float64, rebuild bool) (core.Engine, error) {
-	if d.index != IndexCoverageGraph {
-		return d.engine, nil
-	}
-	if g, ok := d.engine.(*core.ParallelGraphEngine); ok {
-		if !rebuild || g.Radius() == r {
-			return d.engine, nil
+	switch d.index {
+	case IndexCoverageGraph:
+		if g, ok := d.engine.(*core.ParallelGraphEngine); ok {
+			if !rebuild || g.Radius() == r {
+				return d.engine, nil
+			}
+			ng, err := g.Rebuild(r)
+			if err != nil {
+				return nil, err
+			}
+			d.engine = ng
+			return ng, nil
 		}
-		// Radius changed: rebuild the adjacency lists, keeping the
-		// packed R-tree (it depends only on points and metric).
-		ng, err := g.Rebuild(r)
+		g, err := core.BuildParallelGraphEngine(d.points, d.metric, r, d.parallelism)
 		if err != nil {
 			return nil, err
 		}
-		d.engine = ng
-		return ng, nil
+		d.engine = g
+		return g, nil
+	case IndexGrid:
+		if e, ok := d.engine.(*core.GridEngine); ok {
+			if rebuild {
+				if err := e.EnsureRadius(r); err != nil {
+					return nil, err
+				}
+			}
+			return e, nil
+		}
+		e, err := core.BuildGridEngine(d.points, d.metric, r)
+		if err != nil {
+			return nil, err
+		}
+		d.engine = e
+		return e, nil
+	default:
+		return d.engine, nil
 	}
-	g, err := core.BuildParallelGraphEngine(d.points, d.metric, r, d.parallelism)
-	if err != nil {
-		return nil, err
-	}
-	d.engine = g
-	return g, nil
 }
 
 // NewFromDataset is New over ds.Points.

@@ -63,14 +63,40 @@
 //     boxes, so it requires a coordinate-wise monotone metric — all
 //     built-in metrics (Euclidean, Manhattan, Chebyshev, Hamming)
 //     qualify.
+//   - IndexGrid: a uniform-grid spatial hash bucketed at the selection
+//     radius (cell side = r), answering a query by scanning only the ±1
+//     ring of cells. Bucketing is one O(n) counting sort — the cheapest
+//     build of any backend — so it shines when the radius changes often
+//     or datasets are short-lived; larger radii stay exact by scanning
+//     more rings until a coarser re-bucket. Restricted to metrics whose
+//     distance dominates every per-coordinate difference (Euclidean,
+//     Manhattan, Chebyshev — not Hamming), and degrades on sparse data
+//     at large radii, where cells hold many non-neighbours the R-tree's
+//     tighter boxes would prune.
 //   - IndexCoverageGraph: materialises the entire r-coverage graph once
-//     per selection radius with a sharded worker pool (WithParallelism,
-//     default all cores), then answers every neighbourhood query in
+//     per selection radius, then answers every neighbourhood query in
 //     O(degree) and hands Greedy-DisC its initial counts for free. The
 //     fastest choice when one radius is queried repeatedly — exactly
-//     the access pattern of the DisC heuristics. Radii other than the
-//     build radius remain correct: smaller ones filter the adjacency
-//     lists, larger ones fall back to the R-tree underneath.
+//     the access pattern of the DisC heuristics. For grid-supported
+//     metrics the graph is built by a cell-pair ε-join over the grid
+//     (each candidate pair evaluated once, both edge directions
+//     emitted, no tree traversal — O(n + candidate pairs)), sharded
+//     over a worker pool (WithParallelism, default all cores); other
+//     metrics fall back to parallel R-tree range queries. The adjacency
+//     is stored as CSR (one offsets array plus one packed, exactly
+//     sized neighbour array), so steady-state memory equals the edge
+//     count. Radii other than the build radius remain correct: smaller
+//     ones filter the adjacency lists (reusing the grid occupancy on
+//     Rebuild), larger ones fall back to the R-tree underneath.
+//
+// Rule of thumb: pick the coverage graph when you will run whole
+// selections (thousands of queries) at each radius and can afford the
+// one-off join; pick the grid when builds must be instant — frequent
+// re-radiusing, streaming refreshes, zooming exploration — or memory
+// for a materialised graph is tight; pick the R-tree when the metric
+// qualifies but the workload mixes radii and arbitrary-point queries;
+// dense data (radius well above the point spacing) favours the graph,
+// sparse data and tiny radii favour grid or R-tree queries on demand.
 //
 // # The zero-allocation query path
 //

@@ -19,7 +19,7 @@ func (d *Diversifier) SelectWeighted(r float64, weights []float64) (*Result, err
 		return nil, fmt.Errorf("disc: invalid radius %g", r)
 	}
 	// Validate before engineForRadius: a bad weights slice must not pay
-	// for a coverage-graph build.
+	// for a lazy index (re)build (coverage graph or grid).
 	if len(weights) != d.Len() {
 		return nil, fmt.Errorf("disc: %d weights for %d objects", len(weights), d.Len())
 	}
@@ -48,12 +48,13 @@ func (r *Result) TotalWeight(weights []float64) float64 {
 // scaled radii instead.
 func (d *Diversifier) SelectMultiRadius(radii []float64) (*Result, error) {
 	// Validate before engineForRadius: a bad radii slice must not pay
-	// for a coverage-graph build.
+	// for a lazy index (re)build (coverage graph or grid).
 	if len(radii) != d.Len() {
 		return nil, fmt.Errorf("disc: %d radii for %d objects", len(radii), d.Len())
 	}
-	// A coverage graph built for the largest per-object radius answers
-	// every smaller one exactly.
+	// An engine prepared for the largest per-object radius answers every
+	// smaller one exactly: the coverage graph filters its adjacency
+	// lists, the grid scans within its (sufficient) cell ring.
 	var rmax float64
 	for _, r := range radii {
 		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {

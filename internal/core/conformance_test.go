@@ -8,9 +8,10 @@ import (
 )
 
 // allEngines builds every engine implementation over the same points.
-// The parallel graph engine is built for radius 0.2: conformance queries
-// at or below that radius exercise its materialised-graph path, larger
-// ones its R-tree fallback path — both must agree with brute force.
+// The parallel graph engine and the grid engine are built for radius
+// 0.2: conformance queries at or below that radius exercise the
+// materialised-graph / single-ring paths, larger ones the R-tree
+// fallback and multi-ring scans — all must agree with brute force.
 func allEngines(t *testing.T, pts []object.Point, m object.Metric) map[string]Engine {
 	t.Helper()
 	engines := map[string]Engine{
@@ -32,6 +33,11 @@ func allEngines(t *testing.T, pts []object.Point, m object.Metric) map[string]En
 		t.Fatal(err)
 	}
 	engines["graph"] = g
+	ge, err := BuildGridEngine(pts, m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["grid"] = ge
 	return engines
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/discdiversity/disc/internal/bitset"
+	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/rtree"
 )
@@ -16,36 +17,52 @@ import (
 // r-neighbourhood graph the paper reduces DisC diversity to) once, using
 // every core, and then answers Neighbors in O(degree): the repeated range
 // queries that dominate Basic-DisC and the Greedy-DisC family become
-// array lookups. Construction shards the ID space across a worker pool;
-// each worker runs concurrency-safe range queries against a shared
-// bulk-loaded R-tree — reusing one query buffer, one box-clamp scratch
-// and a chunked adjacency arena per worker, so the build allocates per
-// arena block rather than per point — and writes its adjacency slots
-// directly, so the merge is lock-free (one writer per slot).
+// array lookups.
+//
+// Construction runs a uniform-grid cell-pair ε-join (internal/grid)
+// whenever the metric supports it (the Lp family — see grid.Supports):
+// points are counting-sorted into cells of side r, each cell is joined
+// with its forward neighbour cells only, and every candidate pair is
+// evaluated once with both edge directions emitted — roughly half the
+// distance evaluations of a per-point range query, with no tree at all,
+// for an O(n + candidate pairs) build. Queries at radii beyond the
+// build radius are answered exactly by multi-ring grid scans, so the
+// grid path never touches an R-tree. Metrics the grid cannot serve
+// instead shard the ID space across a worker pool running
+// concurrency-safe range queries against a shared bulk-loaded R-tree,
+// which then also backs beyond-radius queries. Either way the adjacency
+// lands in a CSR layout (one offsets array plus one packed, exactly
+// sized neighbour array), so the steady-state memory is precisely the
+// edge count and walking many adjacency lists scans two contiguous
+// allocations.
 //
 // The graph is exact for any query radius up to the build radius
 // (adjacency lists are filtered by distance); larger radii fall back to
-// the underlying R-tree, so every Engine call stays correct at any
-// radius — only the cost differs. Because |N_r(p)| is known for every p
-// after the build, the engine also implements CountingEngine and makes
-// Greedy-DisC's initialisation pass free; the packed white bitset lets
-// it also implement WhiteCounter, refreshing white-neighbourhood counts
-// with O(degree) bit tests.
+// the substrate (grid scan or R-tree), so every Engine call stays
+// correct at any radius — only the cost differs. Because |N_r(p)| is
+// known for every p after the build, the engine also implements
+// CountingEngine and makes Greedy-DisC's initialisation pass free; the
+// packed white bitset lets it also implement WhiteCounter, refreshing
+// white-neighbourhood counts with O(degree) bit tests.
 //
 // The access counter charges one unit per adjacency entry examined
 // (minimum one per lookup), mirroring the flat engine's objects-examined
-// measure; build and fallback queries charge R-tree node accesses.
-// Like every other engine it is not safe for concurrent use after
-// construction.
+// measure; grid builds and grid fallback scans charge one unit per
+// candidate examined, and R-tree builds and fallback queries charge
+// R-tree node accesses. Like every other engine it is not safe for
+// concurrent use after construction.
 type ParallelGraphEngine struct {
-	tree    *rtree.Tree
+	flat    *object.FlatDataset
+	tree    *rtree.Tree   // substrate of the R-tree path; nil on the grid path
+	hash    *grid.Grid    // substrate of the grid path; nil on the R-tree path
+	scratch *grid.Scratch // grid-path scratch for beyond-radius ring scans
 	radius  float64
 	workers int
-	adj     [][]object.Neighbor // sorted by id; excludes self
-	counts  []int               // len(adj[i]), for CountingEngine
+	csr     *grid.CSR // adjacency rows sorted by id; exclude self
+	counts  []int     // csr.Degree(i), for CountingEngine
 	scan    []int
 
-	// clamp is the box-clamp scratch for single-threaded fallback
+	// clamp is the box-clamp scratch for single-threaded R-tree fallback
 	// queries at radii beyond the build radius.
 	clamp []float64
 
@@ -63,54 +80,114 @@ var (
 
 // BuildParallelGraphEngine builds the r-coverage graph of pts under m
 // with the given worker count (<= 0 selects GOMAXPROCS). The build cost
-// in R-tree node accesses is left on the counter, matching
-// BuildTreeEngine; callers measuring query cost only should
-// ResetAccesses first.
+// is left on the counter, matching BuildTreeEngine; callers measuring
+// query cost only should ResetAccesses first.
 func BuildParallelGraphEngine(pts []object.Point, m object.Metric, r float64, workers int) (*ParallelGraphEngine, error) {
+	if grid.Supports(m) {
+		flat, err := object.Flatten(pts, m)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph engine: %w", err)
+		}
+		return buildGraph(flat, nil, nil, nil, r, workers)
+	}
 	tree, err := rtree.Build(pts, m, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: graph engine: %w", err)
 	}
 	scan := tree.ScanOrder()
 	tree.ResetAccesses() // query costs are accounted on the engine
-	return buildGraph(tree, scan, r, workers)
+	return buildGraph(tree.Flat(), tree, nil, scan, r, workers)
 }
 
 // Rebuild returns an engine over the same points with the adjacency
-// lists rebuilt for a different radius, reusing the already packed
-// R-tree (the tree depends only on points and metric). The R-tree is
-// shared with the receiver, which must be discarded afterwards.
+// lists rebuilt for a different radius, reusing the radius-independent
+// substrate: the packed R-tree always, and on the grid path the grid
+// occupancy whenever the new radius still fits its cell side — so
+// zooming in re-joins without re-bucketing and zooming out pays only an
+// O(n) re-bucket. The substrate is shared with the receiver, which must
+// be discarded afterwards.
 func (g *ParallelGraphEngine) Rebuild(r float64) (*ParallelGraphEngine, error) {
-	return buildGraph(g.tree, g.scan, r, g.workers)
+	return buildGraph(g.flat, g.tree, g.hash, g.scan, r, g.workers)
 }
 
-// arenaChunk is the adjacency-arena block size (entries) each build
-// worker allocates at a time.
+// arenaChunk is the adjacency-arena block size (entries) each R-tree
+// build worker allocates at a time; the arenas are transient and
+// compacted into the exactly-sized CSR when the workers finish.
 const arenaChunk = 1 << 14
 
-// buildGraph materialises the coverage graph at radius r over an
-// existing tree with a sharded worker pool.
-func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*ParallelGraphEngine, error) {
+// buildGraph materialises the coverage graph at radius r, via the grid
+// ε-join when tree is nil (hash, when non-nil, is reused as long as its
+// cell side covers r) and via sharded R-tree range queries otherwise.
+func buildGraph(flat *object.FlatDataset, tree *rtree.Tree, hash *grid.Grid, scan []int, r float64, workers int) (*ParallelGraphEngine, error) {
 	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 		return nil, fmt.Errorf("core: graph engine: invalid radius %g", r)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := tree.Len()
+	n := flat.Len()
 	if workers > n {
 		workers = n
 	}
 	g := &ParallelGraphEngine{
+		flat:    flat,
 		tree:    tree,
 		radius:  r,
 		workers: workers,
-		adj:     make([][]object.Neighbor, n),
-		counts:  make([]int, n),
 		scan:    scan,
-		clamp:   make([]float64, tree.Dim()),
 	}
 
+	if tree == nil {
+		// Reuse the occupancy only while the cell side suits the new
+		// radius: a much finer radius would turn the ±1-ring join into
+		// a near-all-pairs scan, far costlier than the O(n) re-bucket
+		// it saves (see grid.Suits). The bucketing radius itself is
+		// always reused — on sparse data the cell-count cap coarsens
+		// cells beyond Suits' bound and a re-bucket would reproduce the
+		// same grid.
+		if hash == nil || !(hash.Radius() == r || hash.Suits(r)) {
+			var err error
+			hash, err = grid.Build(flat, r)
+			if err != nil {
+				return nil, fmt.Errorf("core: graph engine: %w", err)
+			}
+			g.scan = nil // cell order changed with the bucketing
+		}
+		csr, examined, err := grid.Join(hash, r, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph engine: %w", err)
+		}
+		g.hash = hash
+		g.scratch = grid.NewScratch(flat.Dim())
+		g.csr = csr
+		g.accesses = examined
+		if g.scan == nil {
+			g.scan = hash.ScanOrder()
+		}
+	} else {
+		g.clamp = make([]float64, tree.Dim())
+		var err error
+		g.csr, g.accesses, err = rtreeJoin(tree, r, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph engine: %w", err)
+		}
+	}
+	g.counts = make([]int, n)
+	for i := range g.counts {
+		g.counts[i] = g.csr.Degree(i)
+	}
+	return g, nil
+}
+
+// rtreeJoin materialises the adjacency with one concurrency-safe R-tree
+// range query per point, sharding the ID space across a worker pool.
+// Each worker reuses one query buffer and one box-clamp scratch and
+// packs results into a chunked arena, so the query loop allocates per
+// arena block rather than per point; the arenas are then compacted into
+// the exactly-sized CSR and released.
+func rtreeJoin(tree *rtree.Tree, r float64, workers int) (*grid.CSR, int64, error) {
+	n := tree.Len()
+	adj := make([][]object.Neighbor, n) // transient: compacted below
 	var total int64
 	var wg sync.WaitGroup
 	shard := (n + workers - 1) / workers
@@ -127,10 +204,6 @@ func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*Parallel
 		go func(lo, hi int) {
 			defer wg.Done()
 			var acc int64
-			// Per-worker reusable buffers: every query lands in scratch
-			// and is then packed into the current arena block, so the
-			// loop allocates only when a block fills up (or scratch
-			// grows to a new high-water mark).
 			clamp := make([]float64, tree.Dim())
 			scratch := make([]object.Neighbor, 0, 64)
 			var arena []object.Neighbor
@@ -145,15 +218,27 @@ func buildGraph(tree *rtree.Tree, scan []int, r float64, workers int) (*Parallel
 				}
 				start := len(arena)
 				arena = append(arena, scratch...)
-				g.adj[id] = arena[start:len(arena):len(arena)]
-				g.counts[id] = len(scratch)
+				adj[id] = arena[start:len(arena):len(arena)]
 			}
 			atomic.AddInt64(&total, acc)
 		}(lo, hi)
 	}
 	wg.Wait()
-	g.accesses = total
-	return g, nil
+
+	csr := &grid.CSR{Offsets: make([]int32, n+1)}
+	var edges int64
+	for id, row := range adj {
+		edges += int64(len(row))
+		if edges > math.MaxInt32 {
+			return nil, 0, fmt.Errorf("coverage graph exceeds %d adjacency entries", math.MaxInt32)
+		}
+		csr.Offsets[id+1] = int32(edges)
+	}
+	csr.Nbrs = make([]object.Neighbor, edges)
+	for id, row := range adj {
+		copy(csr.Nbrs[csr.Offsets[id]:], row)
+	}
+	return csr, total, nil
 }
 
 // Radius returns the radius the coverage graph was built for.
@@ -163,16 +248,20 @@ func (g *ParallelGraphEngine) Radius() float64 { return g.radius }
 func (g *ParallelGraphEngine) Workers() int { return g.workers }
 
 // Degree returns |N_r(id)| at the build radius.
-func (g *ParallelGraphEngine) Degree(id int) int { return len(g.adj[id]) }
+func (g *ParallelGraphEngine) Degree(id int) int { return g.csr.Degree(id) }
+
+// GridJoined reports whether the adjacency was built by the grid ε-join
+// (as opposed to per-point R-tree queries).
+func (g *ParallelGraphEngine) GridJoined() bool { return g.hash != nil }
 
 // Size implements Engine.
-func (g *ParallelGraphEngine) Size() int { return g.tree.Len() }
+func (g *ParallelGraphEngine) Size() int { return g.flat.Len() }
 
 // Metric implements Engine.
-func (g *ParallelGraphEngine) Metric() object.Metric { return g.tree.Metric() }
+func (g *ParallelGraphEngine) Metric() object.Metric { return g.flat.Metric() }
 
 // Point implements Engine.
-func (g *ParallelGraphEngine) Point(id int) object.Point { return g.tree.Point(id) }
+func (g *ParallelGraphEngine) Point(id int) object.Point { return g.flat.Point(id) }
 
 // charge records an adjacency lookup that examined n entries.
 func (g *ParallelGraphEngine) charge(n int) {
@@ -183,7 +272,7 @@ func (g *ParallelGraphEngine) charge(n int) {
 }
 
 // Neighbors implements Engine. Radii up to the build radius are answered
-// from the materialised graph; larger radii fall back to the R-tree.
+// from the materialised graph; larger radii fall back to the substrate.
 func (g *ParallelGraphEngine) Neighbors(id int, r float64) []object.Neighbor {
 	return g.NeighborsAppend(nil, id, r)
 }
@@ -192,16 +281,20 @@ func (g *ParallelGraphEngine) Neighbors(id int, r float64) []object.Neighbor {
 func (g *ParallelGraphEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	switch {
 	case r == g.radius:
-		g.charge(len(g.adj[id]))
-		return append(dst, g.adj[id]...)
+		row := g.csr.Row(id)
+		g.charge(len(row))
+		return append(dst, row...)
 	case r < g.radius:
-		g.charge(len(g.adj[id]))
-		for _, nb := range g.adj[id] {
+		row := g.csr.Row(id)
+		g.charge(len(row))
+		for _, nb := range row {
 			if nb.Dist <= r {
 				dst = append(dst, nb)
 			}
 		}
 		return dst
+	case g.hash != nil:
+		return g.hash.AppendRange(dst, g.flat.Row(id), r, id, &g.accesses, g.scratch)
 	default:
 		start := len(dst)
 		dst = g.tree.AppendRangeQueryAroundInto(dst, id, r, &g.accesses, g.clamp)
@@ -210,14 +303,18 @@ func (g *ParallelGraphEngine) NeighborsAppend(dst []object.Neighbor, id int, r f
 	}
 }
 
-// NeighborsOfPoint implements Engine via the R-tree (arbitrary points
+// NeighborsOfPoint implements Engine via the substrate (arbitrary points
 // have no slot in the graph).
 func (g *ParallelGraphEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
+	if g.hash != nil {
+		return g.hash.AppendRange(nil, q, r, -1, &g.accesses, g.scratch)
+	}
 	return sortNeighbors(g.tree.RangeQueryInto(q, r, &g.accesses))
 }
 
-// ScanOrder implements Engine via the STR leaf order captured at build
-// time.
+// ScanOrder implements Engine: the STR leaf order on the R-tree path,
+// cell order on the grid path — both locality-preserving, captured at
+// build time.
 func (g *ParallelGraphEngine) ScanOrder() []int {
 	return append([]int(nil), g.scan...)
 }
@@ -234,17 +331,22 @@ func (g *ParallelGraphEngine) InitialCounts() ([]int, float64, bool) {
 	return g.counts, g.radius, true
 }
 
-// StartCoverage implements CoverageEngine. The white set is mirrored
-// into the R-tree so that fallback queries for radii beyond the build
-// radius prune covered subtrees too.
+// StartCoverage implements CoverageEngine. On the R-tree path the white
+// set is mirrored into the tree so that fallback queries for radii
+// beyond the build radius prune covered subtrees too; the grid path
+// filters its fallback scans with the bitset directly.
 func (g *ParallelGraphEngine) StartCoverage(white []bool) {
 	if white == nil {
-		g.white.Reset(g.tree.Len())
+		g.white.Reset(g.flat.Len())
 		g.white.Fill()
-		g.tree.EnableTracking()
+		if g.tree != nil {
+			g.tree.EnableTracking()
+		}
 	} else {
 		g.white.CopyBools(white)
-		g.tree.ResetTracking(white)
+		if g.tree != nil {
+			g.tree.ResetTracking(white)
+		}
 	}
 	g.tracking = true
 }
@@ -253,7 +355,9 @@ func (g *ParallelGraphEngine) StartCoverage(white []bool) {
 func (g *ParallelGraphEngine) Cover(id int) {
 	if g.tracking && g.white.Test(id) {
 		g.white.Clear(id)
-		g.tree.Cover(id)
+		if g.tree != nil {
+			g.tree.Cover(id)
+		}
 	}
 }
 
@@ -272,13 +376,21 @@ func (g *ParallelGraphEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int
 		panic("core: NeighborsWhite without StartCoverage")
 	}
 	if r > g.radius {
+		if g.hash != nil {
+			// Multi-ring white-filtered cell scan; covered objects are
+			// neither examined nor charged, matching the flat engine's
+			// accounting (the graph path keeps no per-cell counts — the
+			// fallback is cold, a bitset test per candidate suffices).
+			return g.hash.AppendRangeWhite(dst, g.flat.Row(id), r, id, &g.white, nil, &g.accesses, g.scratch)
+		}
 		start := len(dst)
 		dst = g.tree.AppendRangeQueryPrunedInto(dst, id, r, &g.accesses, g.clamp)
 		sortNeighbors(dst[start:])
 		return dst
 	}
-	g.charge(len(g.adj[id]))
-	for _, nb := range g.adj[id] {
+	row := g.csr.Row(id)
+	g.charge(len(row))
+	for _, nb := range row {
 		if g.white.Test(nb.ID) && nb.Dist <= r {
 			dst = append(dst, nb)
 		}
@@ -297,16 +409,17 @@ func (g *ParallelGraphEngine) WhiteCount(id int, r float64) (int, bool) {
 	if !g.tracking || r > g.radius {
 		return 0, false
 	}
+	row := g.csr.Row(id)
 	cnt := 0
 	if r == g.radius {
-		for _, nb := range g.adj[id] {
+		for _, nb := range row {
 			if g.white.Test(nb.ID) {
 				cnt++
 			}
 		}
 		return cnt, true
 	}
-	for _, nb := range g.adj[id] {
+	for _, nb := range row {
 		if nb.Dist <= r && g.white.Test(nb.ID) {
 			cnt++
 		}

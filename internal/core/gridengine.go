@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/bitset"
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// GridEngine answers neighbourhood queries from a uniform-grid spatial
+// hash (internal/grid): a query scans only the cells a radius can reach
+// — the ±1 ring for radii up to the bucketing radius — and verifies
+// candidates with the compiled kernel, so results are bit-identical to
+// the flat scan at a fraction of its cost. There is no per-radius build
+// beyond the O(n) counting-sort bucketing, which makes the grid the
+// cheapest index to (re)construct; radii above the bucketing radius stay
+// exact by scanning proportionally more cell rings (see EnsureRadius for
+// re-bucketing coarser).
+//
+// The grid prunes on per-coordinate differences and therefore requires a
+// metric whose distance dominates every coordinate gap (Euclidean,
+// Manhattan, Chebyshev — see grid.Supports). The access counter charges
+// one unit per candidate examined, mirroring the flat engine; the
+// paper's pruning rule (CoverageEngine) skips fully covered cells via
+// per-cell white counts, analogously to grey subtree pruning.
+type GridEngine struct {
+	grid    *grid.Grid
+	scratch *grid.Scratch
+
+	accesses int64
+	tracking bool
+	white    bitset.Set
+	// cellWhite[c] counts the still-white points bucketed in cell c;
+	// NeighborsWhite skips cells at zero without examining their points.
+	cellWhite []int32
+}
+
+var (
+	_ Engine         = (*GridEngine)(nil)
+	_ CoverageEngine = (*GridEngine)(nil)
+)
+
+// BuildGridEngine buckets pts for query radius r. The coordinates are
+// copied into flat storage; later mutation of pts does not affect the
+// engine.
+func BuildGridEngine(pts []object.Point, m object.Metric, r float64) (*GridEngine, error) {
+	flat, err := object.Flatten(pts, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid engine: %w", err)
+	}
+	return newGridEngine(flat, r)
+}
+
+func newGridEngine(flat *object.FlatDataset, r float64) (*GridEngine, error) {
+	g, err := grid.Build(flat, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid engine: %w", err)
+	}
+	return &GridEngine{grid: g, scratch: grid.NewScratch(flat.Dim())}, nil
+}
+
+// Grid exposes the underlying spatial hash.
+func (e *GridEngine) Grid() *grid.Grid { return e.grid }
+
+// Radius returns the radius the grid was bucketed for.
+func (e *GridEngine) Radius() float64 { return e.grid.Radius() }
+
+// EnsureRadius re-buckets the grid when the current cell side no longer
+// suits r: when r exceeds what one ring covers (the zoom-out direction)
+// and also when r falls far below the cell side, where every query
+// would scan a ±1 ring holding mostly non-neighbours (see grid.Suits —
+// a halved radius still reuses the occupancy, the canonical zoom-in).
+// The bucketing radius itself always short-circuits: on sparse data the
+// cell-count cap can coarsen cells beyond Suits' 2r bound, and
+// re-bucketing would only reproduce the same grid on every selection.
+// Coverage state, when active, carries over.
+func (e *GridEngine) EnsureRadius(r float64) error {
+	if r == e.grid.Radius() || e.grid.Suits(r) {
+		return nil
+	}
+	g, err := grid.Build(e.grid.Flat(), r)
+	if err != nil {
+		return fmt.Errorf("core: grid engine: %w", err)
+	}
+	e.grid = g
+	if e.tracking {
+		e.recountCellWhite()
+	}
+	return nil
+}
+
+// recountCellWhite rebuilds the per-cell white counters from the white
+// bitset (after StartCoverage or a re-bucketing).
+func (e *GridEngine) recountCellWhite() {
+	n := e.grid.Flat().Len()
+	if cap(e.cellWhite) < e.grid.Cells() {
+		e.cellWhite = make([]int32, e.grid.Cells())
+	} else {
+		e.cellWhite = e.cellWhite[:e.grid.Cells()]
+		for i := range e.cellWhite {
+			e.cellWhite[i] = 0
+		}
+	}
+	for id := 0; id < n; id++ {
+		if e.white.Test(id) {
+			e.cellWhite[e.grid.CellOf(id)]++
+		}
+	}
+}
+
+// Size implements Engine.
+func (e *GridEngine) Size() int { return e.grid.Flat().Len() }
+
+// Metric implements Engine.
+func (e *GridEngine) Metric() object.Metric { return e.grid.Flat().Metric() }
+
+// Point implements Engine.
+func (e *GridEngine) Point(id int) object.Point { return e.grid.Flat().Point(id) }
+
+// Neighbors implements Engine.
+func (e *GridEngine) Neighbors(id int, r float64) []object.Neighbor {
+	return e.NeighborsAppend(nil, id, r)
+}
+
+// NeighborsAppend implements Engine via the cell-range scan.
+func (e *GridEngine) NeighborsAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	return e.grid.AppendRange(dst, e.grid.Flat().Row(id), r, id, &e.accesses, e.scratch)
+}
+
+// NeighborsOfPoint implements Engine; queries outside the bounding box
+// are handled by the scan's clamped cell range.
+func (e *GridEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
+	return e.grid.AppendRange(nil, q, r, -1, &e.accesses, e.scratch)
+}
+
+// ScanOrder implements Engine: cell order, which is locality-preserving
+// by construction (points of one cell are within a cell side of each
+// other).
+func (e *GridEngine) ScanOrder() []int { return e.grid.ScanOrder() }
+
+// Accesses implements Engine.
+func (e *GridEngine) Accesses() int64 { return e.accesses }
+
+// ResetAccesses implements Engine.
+func (e *GridEngine) ResetAccesses() { e.accesses = 0 }
+
+// StartCoverage implements CoverageEngine.
+func (e *GridEngine) StartCoverage(white []bool) {
+	if white == nil {
+		e.white.Reset(e.Size())
+		e.white.Fill()
+	} else {
+		e.white.CopyBools(white)
+	}
+	e.tracking = true
+	e.recountCellWhite()
+}
+
+// Cover implements CoverageEngine.
+func (e *GridEngine) Cover(id int) {
+	if e.tracking && e.white.Test(id) {
+		e.white.Clear(id)
+		e.cellWhite[e.grid.CellOf(id)]--
+	}
+}
+
+// IsWhite implements CoverageEngine.
+func (e *GridEngine) IsWhite(id int) bool { return e.tracking && e.white.Test(id) }
+
+// NeighborsWhite implements CoverageEngine.
+func (e *GridEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
+	return e.NeighborsWhiteAppend(nil, id, r)
+}
+
+// NeighborsWhiteAppend implements CoverageEngine via the white-filtered
+// cell scan: covered objects are neither examined nor charged, and
+// cells whose white count hit zero are skipped whole — the grid's
+// version of the paper's grey-subtree pruning.
+func (e *GridEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	if !e.tracking {
+		panic("core: NeighborsWhite without StartCoverage")
+	}
+	return e.grid.AppendRangeWhite(dst, e.grid.Flat().Row(id), r, id, &e.white, e.cellWhite, &e.accesses, e.scratch)
+}

@@ -29,22 +29,31 @@ func Engines(cfg Config, datasetName string) (*stats.Table, error) {
 		"engine", "r", "size", "build ms", "select ms", "accesses")
 
 	builders := []struct {
-		name string
-		// perRadius marks builders whose index depends on the query
-		// radius (the coverage graph); the others are built once and
-		// reused across the sweep, since ResetAccesses and the
-		// algorithm's StartCoverage reset all per-run state.
-		perRadius bool
-		build     func(r float64) (core.Engine, error)
+		name  string
+		build func(r float64) (core.Engine, error)
+		// rebuild, when non-nil, marks builders whose index depends on
+		// the query radius; it adapts the engine to the next radius of
+		// the sweep (the same path Diversifier takes), exercising the
+		// radius-reuse fast paths. The others are built once and reused,
+		// since ResetAccesses and the algorithm's StartCoverage reset
+		// all per-run state.
+		rebuild func(e core.Engine, r float64) (core.Engine, error)
 	}{
-		{"flat", false, func(float64) (core.Engine, error) { return core.NewFlatEngine(pts, w.metric) }},
-		{"mtree", false, func(float64) (core.Engine, error) {
+		{"flat", func(float64) (core.Engine, error) { return core.NewFlatEngine(pts, w.metric) }, nil},
+		{"mtree", func(float64) (core.Engine, error) {
 			return core.BuildTreeEngine(cfg.treeConfig(w.metric), pts)
-		}},
-		{"vptree", false, func(float64) (core.Engine, error) { return core.BuildVPEngine(pts, w.metric, cfg.Seed) }},
-		{"rtree", false, func(float64) (core.Engine, error) { return core.BuildRTreeEngine(pts, w.metric, 0) }},
-		{"graph", true, func(r float64) (core.Engine, error) {
+		}, nil},
+		{"vptree", func(float64) (core.Engine, error) { return core.BuildVPEngine(pts, w.metric, cfg.Seed) }, nil},
+		{"rtree", func(float64) (core.Engine, error) { return core.BuildRTreeEngine(pts, w.metric, 0) }, nil},
+		{"grid", func(r float64) (core.Engine, error) { return core.BuildGridEngine(pts, w.metric, r) },
+			func(e core.Engine, r float64) (core.Engine, error) {
+				ge := e.(*core.GridEngine)
+				return ge, ge.EnsureRadius(r)
+			}},
+		{"graph", func(r float64) (core.Engine, error) {
 			return core.BuildParallelGraphEngine(pts, w.metric, r, workers)
+		}, func(e core.Engine, r float64) (core.Engine, error) {
+			return e.(*core.ParallelGraphEngine).Rebuild(r)
 		}},
 	}
 
@@ -61,12 +70,10 @@ func Engines(cfg Config, datasetName string) (*stats.Table, error) {
 					return nil, err
 				}
 				buildMS = time.Since(buildStart)
-			case b.perRadius:
-				// Radius changed: rebuild adjacency over the shared
-				// R-tree, the same path Diversifier takes.
+			case b.rebuild != nil:
 				buildStart := time.Now()
 				var err error
-				e, err = e.(*core.ParallelGraphEngine).Rebuild(r)
+				e, err = b.rebuild(e, r)
 				if err != nil {
 					return nil, err
 				}

@@ -23,10 +23,10 @@ func TestEnginesExperimentSizesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 5 engines x 3 quick radii; the greedy solution size at a given
+	// 6 engines x 3 quick radii; the greedy solution size at a given
 	// radius must be identical on every engine (deterministic greedy).
-	if len(tab.Rows) != 15 {
-		t.Fatalf("expected 15 rows, got %d", len(tab.Rows))
+	if len(tab.Rows) != 18 {
+		t.Fatalf("expected 18 rows, got %d", len(tab.Rows))
 	}
 	sizeAt := map[string]string{}
 	for _, row := range tab.Rows {

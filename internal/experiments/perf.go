@@ -11,12 +11,14 @@ import (
 	"github.com/discdiversity/disc/internal/stats"
 )
 
-// PerfEngine is one engine's measurement in a performance snapshot:
-// build cost, a repeated pruned Greedy-DisC selection (wall time and
-// allocation profile per op) and the steady-state reusable-buffer
-// neighbour query.
+// PerfEngine is one engine's measurement in a performance snapshot: a
+// repeated index build (wall time per op — the metric the bench guard
+// diffs alongside select), a repeated pruned Greedy-DisC selection
+// (wall time and allocation profile per op) and the steady-state
+// reusable-buffer neighbour query.
 type PerfEngine struct {
 	Engine            string  `json:"engine"`
+	BuildNsOp         int64   `json:"build_ns_op"`
 	BuildMS           float64 `json:"build_ms"`
 	SelectNsOp        int64   `json:"select_ns_op"`
 	SelectMSOp        float64 `json:"select_ms_op"`
@@ -79,11 +81,12 @@ func (c Config) perfRadius(datasetName string) float64 {
 	return rs[len(rs)/2]
 }
 
-// Perf measures all five index backends on the same pruned Greedy-DisC
+// Perf measures all six index backends on the same pruned Greedy-DisC
 // workload and returns the snapshot. The linear-scan engine is skipped
 // above 20k objects, where a single quadratic selection would dominate
-// the whole snapshot's runtime; the JSON then records the four indexed
-// engines.
+// the whole snapshot's runtime; the JSON then records the five indexed
+// engines. Builds are measured like selections (repeated under a fixed
+// budget), since build time is a guarded metric of the snapshot.
 func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
 	w, err := cfg.load(datasetName)
 	if err != nil {
@@ -113,6 +116,7 @@ func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
 		}},
 		{"vptree", func() (core.Engine, error) { return core.BuildVPEngine(pts, w.metric, cfg.Seed) }},
 		{"rtree", func() (core.Engine, error) { return core.BuildRTreeEngine(pts, w.metric, 0) }},
+		{"grid", func() (core.Engine, error) { return core.BuildGridEngine(pts, w.metric, r) }},
 		{"graph", func() (core.Engine, error) {
 			return core.BuildParallelGraphEngine(pts, w.metric, r, workers)
 		}},
@@ -122,14 +126,18 @@ func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
 		if b.name == "flat" && len(pts) > 20000 {
 			continue
 		}
-		buildStart := time.Now()
+		// Surface build errors on a first build before spending the
+		// measurement budget; the measured rebuilds cannot fail after
+		// one build succeeded (same inputs).
 		e, err := b.build()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: perf: %s: %w", b.name, err)
 		}
-		buildMS := time.Since(buildStart)
-
-		pe := PerfEngine{Engine: b.name, BuildMS: float64(buildMS.Microseconds()) / 1000}
+		pe := PerfEngine{Engine: b.name}
+		pe.BuildNsOp, _, _ = measure(func() {
+			e, _ = b.build()
+		}, 500*time.Millisecond)
+		pe.BuildMS = float64(pe.BuildNsOp) / 1e6
 
 		var sol *core.Solution
 		pe.SelectNsOp, pe.SelectAllocsOp, pe.SelectBytesOp = measure(func() {

@@ -1,0 +1,411 @@
+// Package grid implements a uniform-grid spatial hash over an
+// object.FlatDataset, the substrate of the cell-pair ε-join that builds
+// the r-coverage graph in O(n + |edges|) and of the grid index engine in
+// internal/core.
+//
+// Points are bucketed by counting sort into a flat, contiguous
+// cell→points layout: one pass counts occupancy per cell, a prefix sum
+// turns the counts into offsets, and a second pass scatters the ids, so
+// every cell's members sit consecutively (and in ascending id order) in
+// one shared array. The cell side is the build radius r, widened by a
+// relative 2⁻²⁰ so that floating-point rounding in the coordinate→cell
+// mapping can never place two points within r of each other more than
+// one cell apart, and coarsened (doubled) until the total cell count
+// stays within a small multiple of n — which also bounds per-dimension
+// cell indexes far below the magnitude where that rounding analysis
+// would stop holding.
+//
+// The grid prunes on per-coordinate differences: a point within metric
+// distance r of a query must have every coordinate within r of the
+// query's, which holds exactly for the metrics whose distance dominates
+// each coordinate gap (the Lp family: Euclidean, Manhattan, Chebyshev —
+// not Hamming, where a differing coordinate contributes 1 regardless of
+// gap). Supports reports the property; Build enforces it. Candidate
+// cells are always re-checked with the dataset's compiled kernel, so
+// results are bit-identical to a brute-force scan.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/discdiversity/disc/internal/bitset"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// maxCellsPerPoint bounds the total cell count at maxCellsPerPoint·n (+ a
+// small constant for tiny inputs): below it the flat cell arrays stay a
+// small multiple of the point storage, above it the cell side doubles
+// until the grid fits. 8 cells per point keeps sub-r cells available for
+// sparse data without letting fine radii explode the directory.
+const maxCellsPerPoint = 8
+
+// maxCellsFloor is the minimum value of the total-cell cap, so tiny
+// inputs still get a useful directory.
+const maxCellsFloor = 1024
+
+// Supports reports whether the grid can answer exact range queries under
+// m: the metric's distance must dominate every per-coordinate difference
+// (|aᵢ-bᵢ| ≤ Dist(a,b)), which is what restricting a query to the ±1
+// cell neighbourhood relies on.
+func Supports(m object.Metric) bool {
+	switch m.(type) {
+	case object.Euclidean, object.Manhattan, object.Chebyshev:
+		return true
+	default:
+		return false
+	}
+}
+
+// Grid is a uniform spatial hash over a FlatDataset, bucketed for a
+// build radius r with cell side ≥ r. It is immutable after Build and
+// safe for concurrent reads (the ε-join workers rely on this).
+type Grid struct {
+	flat *object.FlatDataset
+	r    float64 // the radius the grid was bucketed for
+	cell float64 // cell side: r widened by 2⁻²⁰, then doubled to fit the cap
+
+	min    []float64 // bounding-box lower corner per dimension
+	nd     []int32   // cells per dimension
+	stride []int32   // flattened-index stride per dimension (stride[dim-1] = 1)
+	maxND  int32     // max(nd): the useful reach ceiling for huge radii
+	ncells int
+
+	start  []int32 // len ncells+1; cell c holds ids[start[c]:start[c+1]]
+	ids    []int32 // point ids grouped by cell, ascending id within a cell
+	cellOf []int32 // id -> flattened cell index
+}
+
+// Build buckets flat's points for radius r. The dataset is retained (not
+// copied); it must not change afterwards.
+func Build(flat *object.FlatDataset, r float64) (*Grid, error) {
+	if flat == nil || flat.Len() == 0 {
+		return nil, fmt.Errorf("grid: empty dataset")
+	}
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return nil, fmt.Errorf("grid: invalid radius %g", r)
+	}
+	if !Supports(flat.Metric()) {
+		return nil, fmt.Errorf("grid: metric %q does not dominate per-coordinate differences; the cell neighbourhood scan would miss true neighbours", flat.Metric().Name())
+	}
+	if flat.Len() > math.MaxInt32 {
+		return nil, fmt.Errorf("grid: %d points exceed the int32 id domain", flat.Len())
+	}
+	n, dim := flat.Len(), flat.Dim()
+	coords := flat.Coords()
+
+	g := &Grid{
+		flat:   flat,
+		r:      r,
+		min:    make([]float64, dim),
+		nd:     make([]int32, dim),
+		stride: make([]int32, dim),
+		cellOf: make([]int32, n),
+	}
+
+	// Bounding box.
+	max := make([]float64, dim)
+	copy(g.min, coords[:dim])
+	copy(max, coords[:dim])
+	for off := dim; off < len(coords); off += dim {
+		for i := 0; i < dim; i++ {
+			v := coords[off+i]
+			if v < g.min[i] {
+				g.min[i] = v
+			}
+			if v > max[i] {
+				max[i] = v
+			}
+		}
+	}
+
+	// Cell side: r widened so boundary rounding never pushes a true
+	// neighbour outside the ±1 cell ring, with a fallback for r = 0
+	// (only exact duplicates match then, and duplicates share a cell at
+	// any side length).
+	side := r + r*0x1p-20
+	if side <= 0 {
+		side = 1
+	}
+	capCells := maxCellsPerPoint * n
+	if capCells < maxCellsFloor {
+		capCells = maxCellsFloor
+	}
+	// Keep the directory inside the int32 index domain (with headroom
+	// for the stride products) no matter how large n grows.
+	if capCells > math.MaxInt32/4 {
+		capCells = math.MaxInt32 / 4
+	}
+	for {
+		total := 1
+		ok := true
+		for i := 0; i < dim; i++ {
+			nc := int((max[i]-g.min[i])/side) + 1
+			if nc < 1 {
+				nc = 1
+			}
+			g.nd[i] = int32(nc)
+			if total > capCells/nc { // overflow-safe total*nc > capCells
+				ok = false
+				break
+			}
+			total *= nc
+		}
+		if ok {
+			g.ncells = total
+			break
+		}
+		side *= 2
+	}
+	g.cell = side
+	g.stride[dim-1] = 1
+	for i := dim - 2; i >= 0; i-- {
+		g.stride[i] = g.stride[i+1] * g.nd[i+1]
+	}
+	for _, nc := range g.nd {
+		if nc > g.maxND {
+			g.maxND = nc
+		}
+	}
+
+	// Counting sort: occupancy, prefix sum, scatter. Scanning ids in
+	// ascending order keeps each cell's members id-sorted.
+	g.start = make([]int32, g.ncells+1)
+	for id, off := 0, 0; id < n; id, off = id+1, off+dim {
+		c := g.cellIndex(coords[off : off+dim : off+dim])
+		g.cellOf[id] = c
+		g.start[c+1]++
+	}
+	for c := 0; c < g.ncells; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	g.ids = make([]int32, n)
+	cursor := make([]int32, g.ncells)
+	copy(cursor, g.start[:g.ncells])
+	for id := 0; id < n; id++ {
+		c := g.cellOf[id]
+		g.ids[cursor[c]] = int32(id)
+		cursor[c]++
+	}
+	return g, nil
+}
+
+// cellIndex maps a coordinate row to its flattened cell index.
+func (g *Grid) cellIndex(row []float64) int32 {
+	var idx int32
+	for i, v := range row {
+		c := int32((v - g.min[i]) / g.cell)
+		if c < 0 {
+			c = 0
+		} else if c >= g.nd[i] {
+			c = g.nd[i] - 1
+		}
+		idx += c * g.stride[i]
+	}
+	return idx
+}
+
+// coordCell maps one coordinate to its (clamped) cell index along dim i.
+func (g *Grid) coordCell(i int, v float64) int32 {
+	c := int32((v - g.min[i]) / g.cell)
+	if c < 0 {
+		c = 0
+	} else if c >= g.nd[i] {
+		c = g.nd[i] - 1
+	}
+	return c
+}
+
+// Flat returns the dataset the grid was built over.
+func (g *Grid) Flat() *object.FlatDataset { return g.flat }
+
+// Radius returns the radius the grid was bucketed for.
+func (g *Grid) Radius() float64 { return g.r }
+
+// Cell returns the cell side length (≥ Radius, see Build).
+func (g *Grid) Cell() float64 { return g.cell }
+
+// Cells returns the total number of directory cells.
+func (g *Grid) Cells() int { return g.ncells }
+
+// CellOf returns the flattened cell index of point id.
+func (g *Grid) CellOf(id int) int { return int(g.cellOf[id]) }
+
+// ScanOrder appends the ids in cell order — a locality-preserving scan
+// order (points in the same or adjacent cells are close in the order).
+func (g *Grid) ScanOrder() []int {
+	order := make([]int, len(g.ids))
+	for i, id := range g.ids {
+		order[i] = int(id)
+	}
+	return order
+}
+
+// Scratch holds the per-query odometer state of a cell-range scan. One
+// Scratch serves any number of sequential queries on the same grid
+// dimensionality without allocating; concurrent queries need one each.
+type Scratch struct {
+	lo, hi, cur []int32
+}
+
+// NewScratch returns scan scratch for a grid of the given dimensionality.
+func NewScratch(dim int) *Scratch {
+	return &Scratch{lo: make([]int32, dim), hi: make([]int32, dim), cur: make([]int32, dim)}
+}
+
+// setup positions the scratch on the cell range covering radius rq
+// around q and returns the flattened index of the first cell. The range
+// is the centre cell ± reach per dimension, clamped to the directory;
+// reach = ⌊rq/cell⌋+1 is conservative (it absorbs both the exact
+// quotient landing on an integer and coordinate→cell rounding), and also
+// covers queries outside the bounding box, whose true neighbours can
+// only lie within reach cells of the clamped centre.
+func (g *Grid) setup(s *Scratch, q []float64, rq float64) int32 {
+	reach := g.maxND // covers the whole directory in every dimension
+	if f := rq / g.cell; f < float64(g.maxND-1) {
+		reach = int32(f) + 1
+	}
+	var first int32
+	for i := range q {
+		c := g.coordCell(i, q[i])
+		lo, hi := c-reach, c+reach
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= g.nd[i] {
+			hi = g.nd[i] - 1
+		}
+		s.lo[i], s.hi[i], s.cur[i] = lo, hi, lo
+		first += lo * g.stride[i]
+	}
+	return first
+}
+
+// next advances the odometer and returns the next flattened cell index,
+// or -1 when the range is exhausted.
+func (g *Grid) next(s *Scratch, idx int32) int32 {
+	return ringNext(s.cur, s.lo, s.hi, g.stride, idx)
+}
+
+// sortByID orders a neighbour list by id in place without allocating,
+// the canonical order every engine reports. Sorting adjacency rows is
+// the hottest post-join phase, so this is a hand-rolled median-of-three
+// quicksort with direct field comparisons (no comparator indirection)
+// and insertion sort for short ranges — several times faster than the
+// generic comparison sort on the short, nearly-run-sorted lists the
+// cell scans produce. IDs are unique per list, so pathological
+// equal-key partitions cannot arise.
+func sortByID(ns []object.Neighbor) {
+	for len(ns) > 16 {
+		// Median of three to the pivot position 0.
+		m, last := len(ns)/2, len(ns)-1
+		if ns[m].ID < ns[0].ID {
+			ns[m], ns[0] = ns[0], ns[m]
+		}
+		if ns[last].ID < ns[0].ID {
+			ns[last], ns[0] = ns[0], ns[last]
+		}
+		if ns[last].ID < ns[m].ID {
+			ns[last], ns[m] = ns[m], ns[last]
+		}
+		ns[0], ns[m] = ns[m], ns[0]
+		pivot := ns[0].ID
+		store := 0
+		for k := 1; k < len(ns); k++ {
+			if ns[k].ID < pivot {
+				store++
+				ns[store], ns[k] = ns[k], ns[store]
+			}
+		}
+		ns[0], ns[store] = ns[store], ns[0]
+		// Recurse on the smaller half, iterate on the larger.
+		if store < len(ns)-store-1 {
+			sortByID(ns[:store])
+			ns = ns[store+1:]
+		} else {
+			sortByID(ns[store+1:])
+			ns = ns[:store]
+		}
+	}
+	for i := 1; i < len(ns); i++ {
+		v := ns[i]
+		j := i - 1
+		for j >= 0 && ns[j].ID > v.ID {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = v
+	}
+}
+
+// AppendRange appends every point within rq of q (excluding id exclude;
+// -1 for none) to dst in ascending id order and returns the extended
+// slice, allocating only when dst must grow. Candidates come from the
+// cell range covering rq and are verified with the compiled kernel, so
+// distances are bit-identical to a brute-force scan. Each candidate
+// examined adds one to *examined when it is non-nil.
+func (g *Grid) AppendRange(dst []object.Neighbor, q []float64, rq float64, exclude int, examined *int64, s *Scratch) []object.Neighbor {
+	k := g.flat.Kernel()
+	rawR := k.RawThreshold(rq)
+	coords := g.flat.Coords()
+	dim := g.flat.Dim()
+	base := len(dst)
+	var acc int64
+	for c := g.setup(s, q, rq); c >= 0; c = g.next(s, c) {
+		for _, id := range g.ids[g.start[c]:g.start[c+1]] {
+			if int(id) == exclude {
+				continue
+			}
+			acc++
+			off := int(id) * dim
+			if raw := k.Raw(coords[off:off+dim:off+dim], q); raw <= rawR {
+				if d := k.Finish(raw); d <= rq {
+					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
+				}
+			}
+		}
+	}
+	if examined != nil {
+		*examined += acc
+	}
+	sortByID(dst[base:])
+	return dst
+}
+
+// AppendRangeWhite is AppendRange restricted to the ids whose bit is
+// set in white — the coverage engines' pruned query. Cleared ids are
+// neither examined nor charged, mirroring how the scan engines account
+// skipped covered objects; when cellWhite is non-nil it must hold the
+// per-cell count of set bits, and cells at zero are skipped without
+// visiting their points (the grid's version of the paper's grey-subtree
+// pruning).
+func (g *Grid) AppendRangeWhite(dst []object.Neighbor, q []float64, rq float64, exclude int, white *bitset.Set, cellWhite []int32, examined *int64, s *Scratch) []object.Neighbor {
+	k := g.flat.Kernel()
+	rawR := k.RawThreshold(rq)
+	coords := g.flat.Coords()
+	dim := g.flat.Dim()
+	base := len(dst)
+	var acc int64
+	for c := g.setup(s, q, rq); c >= 0; c = g.next(s, c) {
+		if cellWhite != nil && cellWhite[c] == 0 {
+			continue
+		}
+		for _, id := range g.ids[g.start[c]:g.start[c+1]] {
+			if int(id) == exclude || !white.Test(int(id)) {
+				continue
+			}
+			acc++
+			off := int(id) * dim
+			if raw := k.Raw(coords[off:off+dim:off+dim], q); raw <= rawR {
+				if d := k.Finish(raw); d <= rq {
+					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
+				}
+			}
+		}
+	}
+	if examined != nil {
+		*examined += acc
+	}
+	sortByID(dst[base:])
+	return dst
+}

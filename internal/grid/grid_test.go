@@ -1,0 +1,279 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func randomFlat(t *testing.T, n, dim int, m object.Metric, seed int64) *object.FlatDataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]object.Point, n)
+	for i := range pts {
+		p := make(object.Point, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	flat, err := object.Flatten(pts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat
+}
+
+func equalNeighbors(a, b []object.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// brute returns the reference neighbourhood: the flat dataset's own
+// linear scan, which reports ascending ids with kernel-exact distances.
+func brute(flat *object.FlatDataset, id int, r float64) []object.Neighbor {
+	return flat.AppendRange(nil, flat.Row(id), r, id)
+}
+
+// TestGridMatchesBruteForce: across random dimensionalities, metrics and
+// radii — including query radii above and below the bucketing radius —
+// the cell-range scan must return exactly the brute-force neighbour
+// list (same ids, same order, bit-identical distances).
+func TestGridMatchesBruteForce(t *testing.T) {
+	metrics := []object.Metric{object.Euclidean{}, object.Manhattan{}, object.Chebyshev{}}
+	rng := rand.New(rand.NewSource(17))
+	for dim := 1; dim <= 5; dim++ {
+		m := metrics[dim%len(metrics)]
+		n := 120 + rng.Intn(200)
+		flat := randomFlat(t, n, dim, m, int64(100+dim))
+		buildR := 0.02 + rng.Float64()*0.2
+		g, err := Build(flat, buildR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewScratch(dim)
+		for trial := 0; trial < 40; trial++ {
+			id := rng.Intn(n)
+			rq := rng.Float64() * 3 * buildR // exercises reach 1 and multi-ring scans
+			got := g.AppendRange(nil, flat.Row(id), rq, id, nil, s)
+			want := brute(flat, id, rq)
+			if !equalNeighbors(got, want) {
+				t.Fatalf("dim=%d metric=%s buildR=%g rq=%g id=%d: grid %v want %v",
+					dim, m.Name(), buildR, rq, id, got, want)
+			}
+		}
+	}
+}
+
+// TestGridBoundaryPoints: points placed on exact multiples of r — every
+// pair distance lands exactly on a cell boundary and many exactly on the
+// radius — must bucket and join without losing or inventing neighbours.
+func TestGridBoundaryPoints(t *testing.T) {
+	const r = 0.125 // exactly representable so k·r stays on the boundary
+	var pts []object.Point
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, object.Point{float64(i) * r, float64(j) * r})
+		}
+	}
+	flat, err := object.Flatten(pts, object.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(flat, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch(2)
+	for id := range pts {
+		for _, rq := range []float64{r / 2, r, 2 * r} {
+			got := g.AppendRange(nil, flat.Row(id), rq, id, nil, s)
+			want := brute(flat, id, rq)
+			if !equalNeighbors(got, want) {
+				t.Fatalf("id=%d rq=%g: grid %v want %v", id, rq, got, want)
+			}
+		}
+	}
+	// At rq = r every lattice point must see its 4-neighbourhood (the
+	// diagonal at r·√2 is outside): a direct sanity check that boundary
+	// distances are kept, not just brute-force agreement.
+	centre := 3*8 + 3
+	if got := g.AppendRange(nil, flat.Row(centre), r, centre, nil, s); len(got) != 4 {
+		t.Fatalf("lattice centre at rq=r has %d neighbours, want 4", len(got))
+	}
+}
+
+// TestGridAppendRangeOfPoint: queries around arbitrary points, including
+// points outside the bounding box, must match brute force.
+func TestGridAppendRangeOfPoint(t *testing.T) {
+	flat := randomFlat(t, 300, 3, object.Euclidean{}, 7)
+	g, err := Build(flat, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch(3)
+	queries := [][]float64{
+		{0.5, 0.5, 0.5},
+		{-0.3, 0.5, 0.2},  // below the box
+		{1.4, 1.4, 1.4},   // above the box
+		{0.5, -2.0, 0.5},  // far outside
+		{0.25, 0.25, 0.0}, // on the boundary
+	}
+	for _, q := range queries {
+		for _, rq := range []float64{0.05, 0.1, 0.6} {
+			got := g.AppendRange(nil, q, rq, -1, nil, s)
+			want := flat.AppendRange(nil, q, rq, -1)
+			if !equalNeighbors(got, want) {
+				t.Fatalf("q=%v rq=%g: grid %v want %v", q, rq, got, want)
+			}
+		}
+	}
+}
+
+// TestJoinMatchesBruteForce: every CSR row must equal the brute-force
+// neighbourhood at the join radius, for one and several workers.
+func TestJoinMatchesBruteForce(t *testing.T) {
+	for _, dim := range []int{1, 2, 4} {
+		flat := randomFlat(t, 250, dim, object.Euclidean{}, int64(20+dim))
+		const r = 0.15
+		g, err := Build(flat, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			csr, examined, err := Join(g, r, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if examined == 0 {
+				t.Fatalf("dim=%d workers=%d: join examined nothing", dim, workers)
+			}
+			for id := 0; id < flat.Len(); id++ {
+				if !equalNeighbors(csr.Row(id), brute(flat, id, r)) {
+					t.Fatalf("dim=%d workers=%d id=%d: row %v want %v",
+						dim, workers, id, csr.Row(id), brute(flat, id, r))
+				}
+			}
+		}
+	}
+}
+
+// TestJoinRadiusReuse: a grid bucketed for r must serve the join at
+// r' < r without re-bucketing (Covers reports it) and produce a CSR
+// identical to a from-scratch grid at r'; r' > r must demand
+// re-bucketing, after which the CSR again matches.
+func TestJoinRadiusReuse(t *testing.T) {
+	flat := randomFlat(t, 400, 2, object.Euclidean{}, 33)
+	const r = 0.12
+	g, err := Build(flat, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	equalCSR := func(a, b *CSR) bool {
+		if len(a.Offsets) != len(b.Offsets) || len(a.Nbrs) != len(b.Nbrs) {
+			return false
+		}
+		for i := range a.Offsets {
+			if a.Offsets[i] != b.Offsets[i] {
+				return false
+			}
+		}
+		return equalNeighbors(a.Nbrs, b.Nbrs)
+	}
+
+	// r/2: reuse the existing occupancy.
+	if !g.Covers(r / 2) {
+		t.Fatal("grid must cover r/2 without re-bucketing")
+	}
+	reused, _, err := Join(g, r/2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Build(flat, r/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := Join(fine, r/2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalCSR(reused, fresh) {
+		t.Fatal("reused-grid join at r/2 differs from a from-scratch build")
+	}
+
+	// 2r: the fine grid cannot serve it; a re-bucketed one can.
+	if g.Covers(2 * r) {
+		t.Fatal("grid must not claim to cover 2r")
+	}
+	if _, _, err := Join(g, 2*r, 1); err == nil {
+		t.Fatal("join beyond the cell side must be rejected")
+	}
+	coarse, err := Build(flat, 2*r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, _, err := Join(coarse, 2*r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < flat.Len(); id++ {
+		if !equalNeighbors(joined.Row(id), brute(flat, id, 2*r)) {
+			t.Fatalf("id=%d: re-bucketed join row differs from brute force", id)
+		}
+	}
+}
+
+// TestGridRejects: unsupported metrics, invalid radii and empty inputs
+// must fail loudly.
+func TestGridRejects(t *testing.T) {
+	flatHam, err := object.Flatten([]object.Point{{0, 1}, {1, 0}}, object.Hamming{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(flatHam, 1); err == nil {
+		t.Fatal("Hamming metric accepted; its distance does not dominate coordinate gaps")
+	}
+	flat := randomFlat(t, 10, 2, object.Euclidean{}, 1)
+	for _, r := range []float64{-1} {
+		if _, err := Build(flat, r); err == nil {
+			t.Fatalf("radius %g accepted", r)
+		}
+	}
+	if _, err := Build(nil, 0.1); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+// TestGridDuplicatesAndZeroRadius: co-located points share a cell at any
+// cell side, so an r = 0 grid still finds exact duplicates.
+func TestGridDuplicatesAndZeroRadius(t *testing.T) {
+	pts := []object.Point{{0.5, 0.5}, {0.5, 0.5}, {0.9, 0.1}, {0.5, 0.5}}
+	flat, err := object.Flatten(pts, object.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(flat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, _, err := Join(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []object.Neighbor{{ID: 1, Dist: 0}, {ID: 3, Dist: 0}}
+	if !equalNeighbors(csr.Row(0), want) {
+		t.Fatalf("duplicate row %v, want %v", csr.Row(0), want)
+	}
+	if csr.Degree(2) != 0 {
+		t.Fatalf("isolated point has degree %d", csr.Degree(2))
+	}
+}

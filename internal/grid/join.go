@@ -1,0 +1,300 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// CSR is a compressed-sparse-row adjacency: point id's neighbours are
+// Nbrs[Offsets[id]:Offsets[id+1]], sorted by id. One offsets array plus
+// one packed neighbour array replaces per-point slices, so walking many
+// adjacency lists in sequence stays inside two contiguous allocations
+// and the steady-state memory is exactly the edge count.
+type CSR struct {
+	Offsets []int32
+	Nbrs    []object.Neighbor
+}
+
+// Row returns the adjacency list of id. The slice aliases the packed
+// array and must not be modified.
+func (c *CSR) Row(id int) []object.Neighbor {
+	return c.Nbrs[c.Offsets[id]:c.Offsets[id+1]]
+}
+
+// Degree returns len(Row(id)) without slicing.
+func (c *CSR) Degree(id int) int {
+	return int(c.Offsets[id+1] - c.Offsets[id])
+}
+
+// edge is one undirected hit of the ε-join; it is scattered into the CSR
+// in both directions.
+type edge struct {
+	u, v int32
+	d    float64
+}
+
+// Covers reports whether the grid's bucketing can serve an ε-join (or a
+// single-ring neighbourhood scan) at radius r: the cell side must exceed
+// r by the same relative margin Build applies, so boundary rounding
+// cannot spread a true pair more than one cell apart.
+func (g *Grid) Covers(r float64) bool {
+	return r >= 0 && r+r*0x1p-20 <= g.cell
+}
+
+// Suits reports whether reusing this grid at radius r beats re-bucketing:
+// Covers(r) must hold and the cell side must stay within 2× of r.
+// Candidate-pair work in the ±1 ring grows like (cell/r)^d, so a cell
+// side far above r degenerates a re-join (or a per-query ring scan)
+// toward the all-pairs scan an O(n) re-bucket would avoid; the 2× bound
+// keeps the canonical halve-the-radius zoom-in inside the reuse path
+// (a freshly bucketed grid has cell ≈ r, so r' = r/2 sits exactly on
+// the bound) while capping the overhead at a small constant factor.
+func (g *Grid) Suits(r float64) bool {
+	return g.Covers(r) && g.cell <= 2*(r+r*0x1p-20)
+}
+
+// Join materialises the exact r-coverage graph of the grid's dataset as
+// a CSR adjacency using a cell-pair ε-join: every nonempty cell is
+// paired with itself and with its forward (higher-index) neighbours in
+// the ≤3^d ring, each candidate pair is evaluated once with the compiled
+// kernel, and each hit is recorded in both directions. Compared with one
+// range query per point this halves distance evaluations and does no
+// tree traversal — the build is O(n + candidate pairs).
+//
+// Cell ranges are sharded over workers (<= 0 selects 1); each worker
+// owns the pairs whose lower cell falls in its range and accumulates
+// private edge and degree buffers, so the only synchronisation is the
+// final merge. The returned examined count charges one access per
+// candidate considered per direction (two per pair), mirroring the
+// objects-examined measure of the scan engines. Join requires
+// Covers(r); callers holding a finer-bucketed grid must re-bucket first.
+func Join(g *Grid, r float64, workers int) (*CSR, int64, error) {
+	if !g.Covers(r) {
+		return nil, 0, fmt.Errorf("grid: join radius %g exceeds cell side %g; rebucket first", r, g.cell)
+	}
+	n := g.flat.Len()
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Shard cell ranges so each worker owns roughly n/workers points
+	// (cells are skewed; points are the work).
+	bounds := g.shardCells(workers)
+	workers = len(bounds) - 1
+
+	degs := make([][]int32, workers)
+	edgeLists := make([][]edge, workers)
+	examined := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			degs[w], edgeLists[w], examined[w] = g.joinRange(r, bounds[w], bounds[w+1])
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge: per-point degrees become CSR offsets, and each (worker,
+	// point) pair gets a reserved sub-range so the scatter needs no
+	// locks. degs[w][p] is rewritten in place from count to cursor.
+	offsets := make([]int32, n+1)
+	var total int64
+	for p := 0; p < n; p++ {
+		for w := 0; w < workers; w++ {
+			d := int64(degs[w][p])
+			degs[w][p] = int32(total)
+			total += d
+		}
+		if total > math.MaxInt32 {
+			return nil, 0, fmt.Errorf("grid: coverage graph exceeds %d adjacency entries", math.MaxInt32)
+		}
+		offsets[p+1] = int32(total)
+	}
+	nbrs := make([]object.Neighbor, total)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := degs[w]
+			for _, e := range edgeLists[w] {
+				nbrs[cur[e.u]] = object.Neighbor{ID: int(e.v), Dist: e.d}
+				cur[e.u]++
+				nbrs[cur[e.v]] = object.Neighbor{ID: int(e.u), Dist: e.d}
+				cur[e.v]++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Sort each adjacency row by id (hits arrive in cell-pair order) so
+	// the CSR reports neighbours in the engines' canonical order.
+	shard := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*shard, (w+1)*shard
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for p := lo; p < hi; p++ {
+				sortByID(nbrs[offsets[p]:offsets[p+1]])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var acc int64
+	for _, a := range examined {
+		acc += a
+	}
+	return &CSR{Offsets: offsets, Nbrs: nbrs}, acc, nil
+}
+
+// shardCells splits [0, ncells] into ≤ workers contiguous ranges of
+// roughly equal point counts, always ending cell-aligned.
+func (g *Grid) shardCells(workers int) []int32 {
+	n := len(g.ids)
+	bounds := make([]int32, 1, workers+1)
+	target := (n + workers - 1) / workers
+	next := target
+	for c := 0; c < g.ncells && len(bounds) < workers; c++ {
+		if int(g.start[c+1]) >= next {
+			bounds = append(bounds, int32(c+1))
+			next = int(g.start[c+1]) + target
+		}
+	}
+	if bounds[len(bounds)-1] != int32(g.ncells) {
+		bounds = append(bounds, int32(g.ncells))
+	}
+	return bounds
+}
+
+// joinRange runs the ε-join for the cells in [cLo, cHi), returning the
+// worker's degree counts, undirected edge list and examined count.
+func (g *Grid) joinRange(r float64, cLo, cHi int32) ([]int32, []edge, int64) {
+	n, dim := g.flat.Len(), g.flat.Dim()
+	k := g.flat.Kernel()
+	rawR := k.RawThreshold(r)
+	coords := g.flat.Coords()
+	deg := make([]int32, n)
+	var edges []edge
+	var acc int64
+
+	// Outer odometer: the coordinates of the current cell c.
+	cc := make([]int32, dim)
+	decompose(cc, cLo, g.stride)
+	// Inner odometer state for the forward-neighbour ring.
+	lo := make([]int32, dim)
+	hi := make([]int32, dim)
+	cur := make([]int32, dim)
+
+	for c := cLo; c < cHi; c, _ = c+1, advance(cc, g.nd) {
+		aStart, aEnd := g.start[c], g.start[c+1]
+		if aStart == aEnd {
+			continue
+		}
+		a := g.ids[aStart:aEnd]
+		// Same-cell pairs, each once (i < j; ids ascend within a cell).
+		for i := 0; i < len(a); i++ {
+			u := a[i]
+			uo := int(u) * dim
+			up := coords[uo : uo+dim : uo+dim]
+			for j := i + 1; j < len(a); j++ {
+				v := a[j]
+				acc += 2
+				vo := int(v) * dim
+				if raw := k.Raw(coords[vo:vo+dim:vo+dim], up); raw <= rawR {
+					if d := k.Finish(raw); d <= r {
+						edges = append(edges, edge{u, v, d})
+						deg[u]++
+						deg[v]++
+					}
+				}
+			}
+		}
+		// Forward neighbour cells: the ±1 ring around c, keeping only
+		// cells with a higher flattened index so every unordered cell
+		// pair is joined exactly once (by the worker owning the lower
+		// cell).
+		var nb int32
+		for i := 0; i < dim; i++ {
+			l, h := cc[i]-1, cc[i]+1
+			if l < 0 {
+				l = 0
+			}
+			if h >= g.nd[i] {
+				h = g.nd[i] - 1
+			}
+			lo[i], hi[i], cur[i] = l, h, l
+			nb += l * g.stride[i]
+		}
+		for ; nb >= 0; nb = ringNext(cur, lo, hi, g.stride, nb) {
+			if nb <= c {
+				continue
+			}
+			bStart, bEnd := g.start[nb], g.start[nb+1]
+			if bStart == bEnd {
+				continue
+			}
+			b := g.ids[bStart:bEnd]
+			for _, u := range a {
+				uo := int(u) * dim
+				up := coords[uo : uo+dim : uo+dim]
+				for _, v := range b {
+					acc += 2
+					vo := int(v) * dim
+					if raw := k.Raw(coords[vo:vo+dim:vo+dim], up); raw <= rawR {
+						if d := k.Finish(raw); d <= r {
+							edges = append(edges, edge{u, v, d})
+							deg[u]++
+							deg[v]++
+						}
+					}
+				}
+			}
+		}
+	}
+	return deg, edges, acc
+}
+
+// decompose writes the cell coordinates of flattened index c into cc.
+func decompose(cc []int32, c int32, stride []int32) {
+	for i := range cc {
+		cc[i] = c / stride[i]
+		c -= cc[i] * stride[i]
+	}
+}
+
+// advance increments cell coordinates cc by one in flattened order.
+func advance(cc []int32, nd []int32) bool {
+	for i := len(cc) - 1; i >= 0; i-- {
+		cc[i]++
+		if cc[i] < nd[i] {
+			return true
+		}
+		cc[i] = 0
+	}
+	return false
+}
+
+// ringNext advances the ring odometer and returns the next flattened
+// index, or -1 when exhausted.
+func ringNext(cur, lo, hi, stride []int32, idx int32) int32 {
+	for i := len(cur) - 1; i >= 0; i-- {
+		if cur[i] < hi[i] {
+			cur[i]++
+			return idx + stride[i]
+		}
+		idx -= (cur[i] - lo[i]) * stride[i]
+		cur[i] = lo[i]
+	}
+	return -1
+}

@@ -3,6 +3,7 @@ package disc
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/discdiversity/disc/internal/dataset"
 	"github.com/discdiversity/disc/internal/object"
@@ -55,8 +56,17 @@ const (
 	// IndexCoverageGraph materialises the full r-coverage graph once per
 	// radius using all cores (see WithParallelism), then answers every
 	// neighbourhood query in O(degree). The best choice when one radius
-	// is queried repeatedly, as the greedy heuristics do.
+	// is queried repeatedly, as the greedy heuristics do. For Lp metrics
+	// the graph is built by the grid ε-join (see IndexGrid) in
+	// O(n + candidate pairs).
 	IndexCoverageGraph
+	// IndexGrid is a uniform-grid spatial hash with cell side equal to
+	// the selection radius: queries scan only the ±1 cell ring, and the
+	// O(n) counting-sort bucketing makes it the cheapest index to
+	// (re)build. Restricted to metrics whose distance dominates every
+	// per-coordinate difference (Euclidean, Manhattan, Chebyshev — not
+	// Hamming).
+	IndexGrid
 )
 
 // String implements fmt.Stringer.
@@ -72,9 +82,40 @@ func (ix Index) String() string {
 		return "rtree"
 	case IndexCoverageGraph:
 		return "coverage-graph"
+	case IndexGrid:
+		return "grid"
 	default:
 		return fmt.Sprintf("index(%d)", int(ix))
 	}
+}
+
+// indexNames maps every supported backend to its String() name, in
+// display order; IndexByName and option errors derive from it so the
+// supported-name list can never drift from the Index constants.
+var indexNames = []Index{IndexMTree, IndexLinearScan, IndexVPTree, IndexRTree, IndexCoverageGraph, IndexGrid}
+
+// SupportedIndexNames returns the names IndexByName accepts, in display
+// order.
+func SupportedIndexNames() []string {
+	names := make([]string, len(indexNames))
+	for i, ix := range indexNames {
+		names[i] = ix.String()
+	}
+	return names
+}
+
+// IndexByName resolves an index backend from its String() name
+// ("mtree", "flat", "vptree", "rtree", "coverage-graph", "grid").
+// Unknown names fail immediately with the supported list in the error,
+// so misconfiguration surfaces when the option is parsed rather than at
+// Diversify time.
+func IndexByName(name string) (Index, error) {
+	for _, ix := range indexNames {
+		if name == ix.String() {
+			return ix, nil
+		}
+	}
+	return 0, fmt.Errorf("disc: unknown index %q (supported: %s)", name, strings.Join(SupportedIndexNames(), ", "))
 }
 
 // Euclidean returns the L2 metric (the library default).
