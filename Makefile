@@ -12,7 +12,7 @@ BENCH_R ?= 0.0025
 # noisier runners.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: build test lint bench bench-guard
+.PHONY: build test lint bench bench-guard snapshot-bench
 
 ## build: compile every package and command
 build:
@@ -51,3 +51,12 @@ bench-guard:
 	status=$$?; cat bench-guard.txt; exit $$status
 	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > bench-current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_PR3.json -current bench-current.json -tolerance $(BENCH_TOLERANCE)
+
+## snapshot-bench: measure cold-build vs snapshot-save vs warm-load on
+## the canonical 50k workload (the BENCH_PR4.json trajectory metric).
+## CI uploads the output alongside the bench-guard artifacts; refresh
+## the checked-in baseline with
+## `make snapshot-bench && cp snapshot-bench.json BENCH_PR4.json`.
+snapshot-bench:
+	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
+	@cat snapshot-bench.json

@@ -7,9 +7,12 @@
 // eroding the repo's perf trajectory.
 //
 // Guarded metrics, per engine: build_ms and select_ms_op. Improvements
-// and new engines never fail; an engine present in the baseline but
-// missing from the current snapshot does, since losing a measurement is
-// how a regression hides.
+// never fail. An engine present in the baseline but missing from the
+// current snapshot does fail, since losing a measurement is how a
+// regression hides; an engine present only in the current snapshot — a
+// newly added engine that has no baseline row yet — is tolerated with a
+// warning, so adding an engine never requires regenerating the baseline
+// in the same commit.
 //
 // Usage:
 //
@@ -20,7 +23,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"github.com/discdiversity/disc/internal/experiments"
 )
@@ -46,6 +51,58 @@ type metric struct {
 var guarded = []metric{
 	{"build_ms", func(e experiments.PerfEngine) float64 { return e.BuildMS }},
 	{"select_ms_op", func(e experiments.PerfEngine) float64 { return e.SelectMSOp }},
+}
+
+// compare diffs cur against base, printing one line per guarded metric
+// to w, and returns the number of regressed metrics (including baseline
+// engines missing from cur) and the number of warnings (engines present
+// in cur but absent from base — new engines with no baseline row yet,
+// which are tolerated).
+func compare(w io.Writer, base, cur *experiments.PerfSnapshot, tolerance float64) (regressions, warnings int) {
+	current := map[string]experiments.PerfEngine{}
+	for _, e := range cur.Engines {
+		current[e.Engine] = e
+	}
+	baseline := map[string]bool{}
+	for _, b := range base.Engines {
+		baseline[b.Engine] = true
+		c, ok := current[b.Engine]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %-8s missing from current snapshot\n", b.Engine)
+			regressions++
+			continue
+		}
+		for _, m := range guarded {
+			was, now := m.get(b), m.get(c)
+			limit := was * (1 + tolerance)
+			status := "ok  "
+			if now > limit && was > 0 {
+				status = "FAIL"
+				regressions++
+			}
+			pct := 0.0
+			if was > 0 {
+				pct = 100 * (now - was) / was
+			}
+			fmt.Fprintf(w, "%s %-8s %-12s %10.2f -> %10.2f (limit %.2f, %+.1f%%)\n",
+				status, b.Engine, m.name, was, now, limit, pct)
+		}
+	}
+	// Rows only the fresh snapshot has: newly added engines with no
+	// baseline yet. Warn so the gap is visible, but never fail — the
+	// baseline gains the row when it is next regenerated.
+	fresh := make([]string, 0, len(current))
+	for name := range current {
+		if !baseline[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Fprintf(w, "WARN %-8s not in baseline (new engine?); add a row on the next baseline refresh\n", name)
+		warnings++
+	}
+	return regressions, warnings
 }
 
 func main() {
@@ -90,34 +147,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	current := map[string]experiments.PerfEngine{}
-	for _, e := range cur.Engines {
-		current[e.Engine] = e
-	}
-	regressions := 0
-	for _, b := range base.Engines {
-		c, ok := current[b.Engine]
-		if !ok {
-			fmt.Printf("FAIL %-8s missing from current snapshot\n", b.Engine)
-			regressions++
-			continue
-		}
-		for _, m := range guarded {
-			was, now := m.get(b), m.get(c)
-			limit := was * (1 + *tolerance)
-			status := "ok  "
-			if now > limit && was > 0 {
-				status = "FAIL"
-				regressions++
-			}
-			pct := 0.0
-			if was > 0 {
-				pct = 100 * (now - was) / was
-			}
-			fmt.Printf("%s %-8s %-12s %10.2f -> %10.2f (limit %.2f, %+.1f%%)\n",
-				status, b.Engine, m.name, was, now, limit, pct)
-		}
-	}
+	regressions, _ := compare(os.Stdout, base, cur, *tolerance)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed beyond %.0f%% of %s\n",
 			regressions, 100**tolerance, *baselinePath)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/experiments"
+)
+
+func snap(engines ...experiments.PerfEngine) *experiments.PerfSnapshot {
+	return &experiments.PerfSnapshot{Dataset: "clustered", N: 100, Dim: 2, Radius: 0.1, Engines: engines}
+}
+
+func engine(name string, buildMS, selectMS float64) experiments.PerfEngine {
+	return experiments.PerfEngine{Engine: name, BuildMS: buildMS, SelectMSOp: selectMS}
+}
+
+// TestCompareNewEngineWarnsOnly: a row present in the current snapshot
+// but missing from the baseline — a newly added engine — must produce a
+// warning, never a regression.
+func TestCompareNewEngineWarnsOnly(t *testing.T) {
+	base := snap(engine("grid", 2, 130))
+	cur := snap(engine("grid", 2, 130), engine("hyper", 1, 10))
+	var out strings.Builder
+	regressions, warnings := compare(&out, base, cur, 0.25)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0 (new engines must not fail the guard)\n%s", regressions, out.String())
+	}
+	if warnings != 1 {
+		t.Fatalf("warnings = %d, want 1\n%s", warnings, out.String())
+	}
+	if !strings.Contains(out.String(), "WARN hyper") {
+		t.Fatalf("missing WARN line for the new engine:\n%s", out.String())
+	}
+}
+
+// TestCompareMissingEngineFails: losing a baseline engine's measurement
+// is how a regression hides, so it must fail.
+func TestCompareMissingEngineFails(t *testing.T) {
+	base := snap(engine("grid", 2, 130), engine("graph", 60, 65))
+	cur := snap(engine("grid", 2, 130))
+	var out strings.Builder
+	regressions, warnings := compare(&out, base, cur, 0.25)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if warnings != 0 {
+		t.Fatalf("warnings = %d, want 0\n%s", warnings, out.String())
+	}
+}
+
+// TestCompareRegressionBeyondTolerance: a guarded metric over the limit
+// fails; one within it does not.
+func TestCompareRegressionBeyondTolerance(t *testing.T) {
+	base := snap(engine("grid", 2, 100))
+	within := snap(engine("grid", 2, 124))
+	var out strings.Builder
+	if regressions, _ := compare(&out, base, within, 0.25); regressions != 0 {
+		t.Fatalf("within-tolerance run flagged %d regressions\n%s", regressions, out.String())
+	}
+	beyond := snap(engine("grid", 2, 126))
+	out.Reset()
+	if regressions, _ := compare(&out, base, beyond, 0.25); regressions != 1 {
+		t.Fatalf("beyond-tolerance run flagged %d regressions, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL grid") {
+		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+}

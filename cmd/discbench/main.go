@@ -10,10 +10,12 @@
 //	discbench -exp fig7 -quick       # reduced sweep for a fast look
 //	discbench -list                  # show available experiments
 //
-// The "perf" experiment additionally supports machine-readable output —
-// the format of the repo's BENCH_*.json trajectory snapshots:
+// The "perf" and "snapshot" experiments additionally support
+// machine-readable output — the format of the repo's BENCH_*.json
+// trajectory snapshots:
 //
 //	discbench -exp perf -n 50000 -r 0.0025 -format=json > BENCH.json
+//	discbench -exp snapshot -n 50000 -r 0.0025 -format=json > BENCH_SNAP.json
 package main
 
 import (

@@ -1,10 +1,18 @@
-// Command discgen generates the evaluation datasets to CSV files so they
-// can be inspected, plotted externally or fed back through discviz -csv.
+// Command discgen generates the evaluation datasets — as CSV files that
+// can be inspected, plotted externally or fed back through discviz -csv,
+// or directly as .discsnap binary snapshots that discserve -snapshot
+// warm-starts from (see the package documentation's Snapshots section).
 //
 // Usage:
 //
 //	discgen -dataset clustered -n 10000 -o clustered.csv
 //	discgen -dataset cameras -o cameras.csv
+//	discgen -dataset clustered -n 50000 -format snap -r 0.0025 -o clustered.discsnap
+//
+// With -format snap and -r > 0 the snapshot additionally carries the
+// prepared per-radius artifacts (grid occupancy and coverage-graph CSR
+// for grid-servable metrics), so loading it skips the index build for
+// selections at that radius.
 package main
 
 import (
@@ -12,7 +20,9 @@ import (
 	"fmt"
 	"os"
 
+	disc "github.com/discdiversity/disc"
 	"github.com/discdiversity/disc/internal/dataset"
+	"github.com/discdiversity/disc/internal/grid"
 )
 
 func main() {
@@ -21,11 +31,17 @@ func main() {
 		n      = flag.Int("n", 10000, "synthetic dataset cardinality")
 		dim    = flag.Int("dim", 2, "synthetic dataset dimensionality")
 		seed   = flag.Uint64("seed", 42, "dataset seed")
+		format = flag.String("format", "csv", "output format: csv or snap (.discsnap binary snapshot)")
+		radius = flag.Float64("r", 0, "snap only: also prepare index artifacts for this selection radius (0 = dataset only)")
 		out    = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
-	ds, _, err := dataset.ByName(*dsName, *n, *dim, *seed)
+	if *format != "csv" && *format != "snap" {
+		fail(fmt.Errorf("unknown format %q (want csv or snap)", *format))
+	}
+
+	ds, metric, err := dataset.ByName(*dsName, *n, *dim, *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -42,11 +58,37 @@ func main() {
 		}()
 		w = f
 	}
-	if err := ds.WriteCSV(w); err != nil {
+	if *format == "csv" {
+		if err := ds.WriteCSV(w); err != nil {
+			fail(err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %d points (%d dims) to %s\n", ds.Len(), ds.Dim(), *out)
+		}
+		return
+	}
+
+	// Snapshot emission: the coverage-graph backend when the metric is
+	// grid-servable (so a -r radius persists warm artifacts), the
+	// default M-tree otherwise (dataset-only snapshot).
+	opts := []disc.Option{disc.WithMetric(metric)}
+	if grid.Supports(metric) {
+		opts = append(opts, disc.WithIndex(disc.IndexCoverageGraph))
+	}
+	div, err := disc.New(ds.Points, opts...)
+	if err != nil {
+		fail(err)
+	}
+	if *radius > 0 {
+		if err := div.Prepare(*radius); err != nil {
+			fail(err)
+		}
+	}
+	if err := div.WriteSnapshot(w); err != nil {
 		fail(err)
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d points (%d dims) to %s\n", ds.Len(), ds.Dim(), *out)
+		fmt.Fprintf(os.Stderr, "wrote %d points (%d dims, metric %s) to %s\n", ds.Len(), ds.Dim(), metric.Name(), *out)
 	}
 }
 

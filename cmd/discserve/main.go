@@ -4,33 +4,110 @@
 //
 // Usage:
 //
-//	discserve -addr :8080
+//	discserve -addr :8080 [-snapshot demo.discsnap]
 //
 //	curl -X POST localhost:8080/v1/datasets -d '{"name":"demo","points":[[0.1,0.2],[0.8,0.9]]}'
 //	curl -X POST localhost:8080/v1/datasets/demo/select -d '{"radius":0.3}'
+//	curl -X POST localhost:8080/v1/datasets/demo/snapshot
 //	curl -X POST localhost:8080/v1/results/r1/zoom -d '{"radius":0.1}'
+//	curl localhost:8080/healthz
+//
+// With -snapshot, the file (when present) is loaded before the listener
+// comes up — a warm start that skips the index build — and the
+// POST /v1/datasets/{name}/snapshot endpoint persists datasets into the
+// same directory, so a save/restart cycle round-trips the dataset and
+// its prepared index artifacts. Labels are not part of the .discsnap
+// format and do not survive the restart; re-upload labelled datasets
+// over the API when labels matter. The server drains in-flight requests
+// for up to 5 seconds on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"github.com/discdiversity/disc/internal/server"
 )
 
+// shutdownTimeout bounds the graceful drain of in-flight requests.
+const shutdownTimeout = 5 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	snapshot := flag.String("snapshot", "", "warm-start .discsnap file; its directory becomes the snapshot-save target")
 	flag.Parse()
 
-	srv := &http.Server{
+	var opts []server.Option
+	if *snapshot != "" {
+		opts = append(opts, server.WithSnapshotDir(filepath.Dir(*snapshot)))
+	}
+	srv := server.New(opts...)
+
+	if *snapshot != "" {
+		if err := warmStart(srv, *snapshot); err != nil {
+			log.Fatalf("discserve: snapshot %s: %v", *snapshot, err)
+		}
+	}
+
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New().Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("discserve listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("discserve listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("discserve: shutting down (draining for up to %s)", shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("discserve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("discserve: %v", err)
+		}
 	}
+}
+
+// warmStart loads a .discsnap file into the server under the file's
+// base name; a missing file is not an error (first boot has nothing to
+// load yet).
+func warmStart(srv *server.Server, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			log.Printf("discserve: snapshot %s not found; starting cold", path)
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), ".discsnap")
+	start := time.Now()
+	if err := srv.LoadSnapshot(name, f); err != nil {
+		return err
+	}
+	log.Printf("discserve: warm-started dataset %q from %s in %s", name, path, time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -70,6 +70,12 @@ type Diversifier struct {
 	metric      Metric
 	index       Index
 	parallelism int
+	// capacity and seed are retained so snapshots can persist them:
+	// the dataset-only backends rebuild deterministically from (points,
+	// metric, capacity, seed), which is what makes a loaded engine
+	// bit-identical to the one that wrote the snapshot.
+	capacity int
+	seed     uint64
 	// engine answers neighbourhood queries. The radius-dependent
 	// backends (IndexCoverageGraph, IndexGrid) are (re)built lazily per
 	// selection radius and are nil before the first Select; every other
@@ -182,10 +188,17 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
+// defaultOptions is the single source of New's option defaults;
+// LoadDiversifier derives its defaults from it too, so the two
+// construction paths can never drift.
+func defaultOptions() options {
+	return options{metric: Euclidean(), capacity: 50}
+}
+
 // New builds a Diversifier over points. The slice is retained and must
 // not be mutated afterwards.
 func New(points []Point, opts ...Option) (*Diversifier, error) {
-	o := options{metric: Euclidean(), capacity: 50}
+	o := defaultOptions()
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
 			return nil, err
@@ -197,47 +210,47 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 	if _, err := object.ValidatePoints(points); err != nil {
 		return nil, fmt.Errorf("disc: %w", err)
 	}
-	d := &Diversifier{points: points, metric: o.metric, index: o.index, parallelism: o.parallelism}
+	d := &Diversifier{points: points, metric: o.metric, index: o.index,
+		parallelism: o.parallelism, capacity: o.capacity, seed: o.seed}
+	e, err := initialEngine(o, points)
+	if err != nil {
+		return nil, err
+	}
+	d.engine = e
+	return d, nil
+}
+
+// initialEngine builds the engine New installs for the chosen index: a
+// concrete engine for the radius-independent backends, nil for the
+// radius-dependent ones (which engineForRadius builds lazily) after
+// failing fast on a metric they could never serve. LoadDiversifier
+// shares it for snapshots that carry no prepared artifacts.
+func initialEngine(o options, points []Point) (core.Engine, error) {
 	switch o.index {
 	case IndexLinearScan:
-		e, err := core.NewFlatEngine(points, o.metric)
-		if err != nil {
-			return nil, err
-		}
-		d.engine = e
+		return core.NewFlatEngine(points, o.metric)
 	case IndexVPTree:
-		e, err := core.BuildVPEngine(points, o.metric, o.seed)
-		if err != nil {
-			return nil, err
-		}
-		d.engine = e
+		return core.BuildVPEngine(points, o.metric, o.seed)
 	case IndexRTree:
-		e, err := core.BuildRTreeEngine(points, o.metric, 0)
-		if err != nil {
-			return nil, err
-		}
-		d.engine = e
+		return core.BuildRTreeEngine(points, o.metric, 0)
 	case IndexCoverageGraph:
 		// Built lazily: the coverage graph needs the selection radius.
 		// Fail fast on a metric its R-tree substrate would reject.
 		if _, ok := o.metric.(object.CoordinatewiseMonotone); !ok {
 			return nil, fmt.Errorf("disc: metric %q is not coordinate-wise monotone; IndexCoverageGraph's R-tree would prune unsoundly (see disc.CoordinatewiseMonotone)", o.metric.Name())
 		}
+		return nil, nil
 	case IndexGrid:
 		// Built lazily: the grid buckets at the selection radius. Fail
 		// fast on a metric the cell-ring scan cannot serve.
 		if !grid.Supports(o.metric) {
 			return nil, fmt.Errorf("disc: metric %q does not dominate per-coordinate differences; IndexGrid's cell scan would miss true neighbours (use Euclidean, Manhattan or Chebyshev)", o.metric.Name())
 		}
+		return nil, nil
 	default:
 		cfg := mtree.Config{Capacity: o.capacity, Metric: o.metric, Policy: mtree.MinOverlap, Seed: o.seed}
-		e, err := core.BuildTreeEngine(cfg, points)
-		if err != nil {
-			return nil, err
-		}
-		d.engine = e
+		return core.BuildTreeEngine(cfg, points)
 	}
-	return d, nil
 }
 
 // Indexed returns the backend this diversifier queries.

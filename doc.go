@@ -119,6 +119,32 @@
 // neighbourhood across queries must copy it out. The allocating forms
 // (Neighbors, NeighborsWhite) return fresh slices and are unaffected.
 //
+// # Snapshots and warm starts
+//
+// A Diversifier can be persisted to the .discsnap binary format and
+// restored without rebuilding its indexes: WriteSnapshot serialises the
+// dataset (metric plus row-major coordinates) together with whatever
+// per-radius artifacts the current backend holds — the grid occupancy
+// for IndexGrid, the occupancy plus the coverage-graph CSR for
+// IndexCoverageGraph — and LoadDiversifier rehydrates them straight
+// into the lazy-engine machinery, so the first Select at the persisted
+// radius starts from the loaded graph instead of re-running the ε-join.
+// Prepare builds those artifacts eagerly when no selection has run yet.
+// The format is sectioned, versioned and CRC-32C-checksummed: readers
+// reject other format versions but skip unknown section kinds, so new
+// sections can be added compatibly; corrupt files (truncation, bit
+// flips, inconsistent layouts) fail at load rather than answering
+// queries wrongly. Decoding aliases the large arrays out of the file
+// buffer where alignment permits, which is what makes a warm load of
+// the 50k-point reference workload ~5× faster than the cold grid
+// ε-join on a single core (see BENCH_PR4.json; parallel cold builds
+// narrow the gap on multi-core machines). Backends without
+// radius-dependent artifacts snapshot the dataset alone and rebuild
+// deterministically on load. The discserve command exposes the same
+// round trip over HTTP (-snapshot warm start, POST
+// /v1/datasets/{name}/snapshot to save), and discgen emits .discsnap
+// files directly.
+//
 // The subpackages under internal implement the substrates: the M-tree,
 // VP-tree and R-tree indexes, the algorithm engine (including the
 // parallel coverage-graph engine), dataset generators, baseline

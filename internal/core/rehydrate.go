@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/discdiversity/disc/internal/grid"
+)
+
+// CSR exposes the materialised adjacency (read-only) so snapshots can
+// persist it.
+func (g *ParallelGraphEngine) CSR() *grid.CSR { return g.csr }
+
+// Grid exposes the grid substrate, nil when the engine was built over
+// the R-tree path (see GridJoined).
+func (g *ParallelGraphEngine) Grid() *grid.Grid { return g.hash }
+
+// RehydrateGridEngine wraps an already-reconstructed grid occupancy
+// (grid.FromParts) as a query engine, skipping the O(n) bucketing a
+// fresh build would pay. The engine starts with clean access and
+// coverage state, exactly like a freshly built one.
+func RehydrateGridEngine(g *grid.Grid) *GridEngine {
+	return &GridEngine{grid: g, scratch: grid.NewScratch(g.Flat().Dim())}
+}
+
+// RehydrateGraphEngine reassembles a grid-path ParallelGraphEngine from
+// deserialised parts: the grid occupancy (also the beyond-radius
+// fallback substrate) and the coverage-graph CSR joined at radius r.
+// The CSR is structurally validated first — a snapshot must never be
+// able to turn into out-of-range adjacency entries. Everything a fresh
+// build derives beyond the join itself (per-point degree counts for
+// CountingEngine, the locality-preserving scan order) is recomputed in
+// O(n), which is what makes warm starts cheap: the O(n + edges) join
+// and the O(edges) row sorts are replaced by a contiguous read.
+func RehydrateGraphEngine(hash *grid.Grid, csr *grid.CSR, r float64, workers int) (*ParallelGraphEngine, error) {
+	if hash == nil || csr == nil {
+		return nil, fmt.Errorf("core: rehydrate graph engine: missing substrate")
+	}
+	flat := hash.Flat()
+	n := flat.Len()
+	if err := csr.Validate(n, r); err != nil {
+		return nil, fmt.Errorf("core: rehydrate graph engine: %w", err)
+	}
+	if !hash.Covers(r) {
+		// Adjacency joined at r must have come from an occupancy whose
+		// cell ring covers r (Join enforces it at build time); a finer
+		// grid cannot have produced this CSR.
+		return nil, fmt.Errorf("core: rehydrate graph engine: grid bucketed for %g cannot carry a graph joined at %g", hash.Radius(), r)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	g := &ParallelGraphEngine{
+		flat:    flat,
+		hash:    hash,
+		scratch: grid.NewScratch(flat.Dim()),
+		radius:  r,
+		workers: workers,
+		csr:     csr,
+		scan:    hash.ScanOrder(),
+		counts:  make([]int, n),
+	}
+	for i := range g.counts {
+		g.counts[i] = csr.Degree(i)
+	}
+	return g, nil
+}

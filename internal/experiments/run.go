@@ -80,6 +80,24 @@ var Registry = map[string]Runner{
 		_, err := BuildInit(cfg, "clustered")
 		return err
 	},
+	"snapshot": func(cfg Config) error {
+		res, err := SnapshotExperiment(cfg, "clustered")
+		if err != nil {
+			return err
+		}
+		if cfg.Format == "json" {
+			err = res.WriteJSON(cfg)
+		} else {
+			printTables(cfg.out(), res.Table())
+		}
+		if err == nil && !res.SelectionsIdentical {
+			// Emit the measurement, then fail: CI's snapshot-bench step
+			// must go red when a warm-loaded engine stops selecting
+			// identically, not archive the discrepancy in an artifact.
+			err = fmt.Errorf("experiments: snapshot: warm-loaded selections diverge from the fresh build")
+		}
+		return err
+	},
 }
 
 // Names returns the registered experiment names in sorted order.

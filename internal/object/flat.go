@@ -32,6 +32,24 @@ func Flatten(pts []Point, m Metric) (*FlatDataset, error) {
 	return &FlatDataset{coords: coords, n: len(pts), dim: dim, kern: CompileKernel(m, dim)}, nil
 }
 
+// NewFlatDataset wraps existing row-major storage — n points of dim
+// coordinates each, so len(coords) must equal n*dim — without copying,
+// and compiles the distance kernel for m. The snapshot loader uses it to
+// alias a dataset straight out of a decoded file buffer; the storage
+// must not be modified afterwards.
+func NewFlatDataset(coords []float64, n, dim int, m Metric) (*FlatDataset, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("object: flat dataset: invalid shape %d x %d", n, dim)
+	}
+	if len(coords) != n*dim {
+		return nil, fmt.Errorf("object: flat dataset: %d coordinates for shape %d x %d", len(coords), n, dim)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("object: flat dataset: nil metric")
+	}
+	return &FlatDataset{coords: coords, n: n, dim: dim, kern: CompileKernel(m, dim)}, nil
+}
+
 // Len returns the number of points.
 func (f *FlatDataset) Len() int { return f.n }
 
@@ -53,6 +71,17 @@ func (f *FlatDataset) Row(id int) []float64 {
 
 // Point is Row typed as a Point, for Engine interoperability. Zero-copy.
 func (f *FlatDataset) Point(id int) Point { return Point(f.Row(id)) }
+
+// Points materialises one Point header per row, all aliasing the flat
+// storage (no coordinate copies). The result is what APIs built around
+// []Point need when the authoritative storage is already flat.
+func (f *FlatDataset) Points() []Point {
+	pts := make([]Point, f.n)
+	for i := range pts {
+		pts[i] = f.Point(i)
+	}
+	return pts
+}
 
 // Coords exposes the backing storage (read-only by convention) for
 // callers that iterate rows by offset without per-row slicing.

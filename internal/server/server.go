@@ -10,17 +10,26 @@
 //	GET  /v1/datasets                     list datasets
 //	GET  /v1/datasets/{name}              dataset info
 //	POST /v1/datasets/{name}/select      {radius, algorithm?} -> result
+//	POST /v1/datasets/{name}/snapshot    persist the dataset (and any
+//	                                      prepared index artifacts) as a
+//	                                      .discsnap file in the snapshot
+//	                                      directory (see WithSnapshotDir)
 //	GET  /v1/results/{id}                 re-fetch a result
 //	POST /v1/results/{id}/zoom           {radius} -> adapted result
 //	POST /v1/results/{id}/localzoom      {center, radius} -> local view
+//	GET  /healthz                         liveness probe
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	disc "github.com/discdiversity/disc"
@@ -31,9 +40,21 @@ import (
 type Server struct {
 	mux sync.Mutex
 
+	snapshotDir string
+
 	datasets map[string]*datasetState
 	results  map[string]*resultState
 	nextID   int
+}
+
+// Option configures New.
+type Option func(*Server)
+
+// WithSnapshotDir enables the snapshot-save endpoint, writing
+// <dir>/<dataset>.discsnap files. An empty dir leaves the endpoint
+// disabled.
+func WithSnapshotDir(dir string) Option {
+	return func(s *Server) { s.snapshotDir = dir }
 }
 
 type datasetState struct {
@@ -52,11 +73,15 @@ type resultState struct {
 }
 
 // New creates an empty server.
-func New() *Server {
-	return &Server{
+func New(opts ...Option) *Server {
+	s := &Server{
 		datasets: make(map[string]*datasetState),
 		results:  make(map[string]*resultState),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Handler returns the routing handler.
@@ -66,10 +91,107 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSaveSnapshot)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleGetResult)
 	mux.HandleFunc("POST /v1/results/{id}/zoom", s.handleZoom)
 	mux.HandleFunc("POST /v1/results/{id}/localzoom", s.handleLocalZoom)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// LoadSnapshot registers a dataset warm-started from a .discsnap stream
+// (see disc.LoadDiversifier): the dataset and any persisted index
+// artifacts are rehydrated, so the first selection at the snapshot's
+// radius skips the index build entirely. The name must not collide with
+// an existing dataset. Labels are not part of the snapshot format, so a
+// warm-started dataset serves results without them.
+func (s *Server) LoadSnapshot(name string, r io.Reader) error {
+	if err := validateDatasetName(name); err != nil {
+		return fmt.Errorf("server: %v", err)
+	}
+	div, err := disc.LoadDiversifier(r)
+	if err != nil {
+		return err
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	if _, exists := s.datasets[name]; exists {
+		return fmt.Errorf("server: dataset %q already exists", name)
+	}
+	s.datasets[name] = &datasetState{
+		name:   name,
+		metric: div.Metric().Name(),
+		div:    div,
+		dim:    div.Point(0).Dim(),
+		size:   div.Len(),
+	}
+	return nil
+}
+
+// handleHealthz is the liveness probe. Deliberately lock-free: the
+// select/zoom handlers hold the server mutex for their full duration
+// (seconds on large datasets), and a probe that queued behind them
+// would time out exactly when the server is busy — the opposite of
+// what an orchestrator should see.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type snapshotBody struct {
+	Dataset string `json:"dataset"`
+	Path    string `json:"path"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// handleSaveSnapshot persists a dataset (and whatever per-radius index
+// artifacts its diversifier currently holds) to
+// <snapshotDir>/<name>.discsnap, writing to a temporary file and
+// renaming so a concurrent warm start never observes a torn snapshot.
+func (s *Server) handleSaveSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	if s.snapshotDir == "" {
+		writeError(w, http.StatusBadRequest, "snapshot directory not configured (start discserve with -snapshot)")
+		return
+	}
+	ds, ok := s.datasets[r.PathValue("name")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		return
+	}
+	path := filepath.Join(s.snapshotDir, ds.name+".discsnap")
+	tmp, err := os.CreateTemp(s.snapshotDir, ds.name+".discsnap.tmp*")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := ds.div.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	size, err := tmp.Seek(0, io.SeekCurrent)
+	if err == nil {
+		// Flush data blocks before the rename: otherwise a power loss
+		// can commit the rename with unwritten content behind it, and
+		// the "atomic save" guarantee becomes a corrupt file at the
+		// next warm start.
+		err = tmp.Sync()
+	}
+	if err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snapshotBody{Dataset: ds.name, Path: path, Bytes: size})
 }
 
 type errorBody struct {
@@ -84,6 +206,23 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// validateDatasetName rejects empty names and anything that is not a
+// plain path component: dataset names become snapshot file names
+// (<dir>/<name>.discsnap), so separators or dot-names must never reach
+// filepath.Join where they could escape the snapshot directory.
+func validateDatasetName(name string) error {
+	if name == "" {
+		return fmt.Errorf("dataset name required")
+	}
+	// Backslash is rejected explicitly: it is not a separator on this
+	// platform's filepath, but snapshots may be copied to one where it
+	// is.
+	if name != filepath.Base(name) || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return fmt.Errorf("dataset name %q must be a plain path component (no separators)", name)
+	}
+	return nil
 }
 
 type createDatasetRequest struct {
@@ -106,8 +245,8 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, "dataset name required")
+	if err := validateDatasetName(req.Name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(req.Points) == 0 {

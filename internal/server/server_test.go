@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 )
 
@@ -248,5 +249,90 @@ func TestMalformedJSON(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	var body map[string]any
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &body)
+	if body["status"] != "ok" {
+		t.Fatalf("healthz = %v", body)
+	}
+}
+
+func TestSnapshotSaveDisabledWithoutDir(t *testing.T) {
+	ts := newTestServer(t)
+	uploadPoints(t, ts, "demo", 50)
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/snapshot", nil, http.StatusBadRequest, nil)
+}
+
+// TestSnapshotSaveAndWarmStart: POST /snapshot must persist a loadable
+// .discsnap whose warm-started dataset selects identically to the
+// original.
+func TestSnapshotSaveAndWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(WithSnapshotDir(dir))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	uploadPoints(t, ts, "demo", 200)
+
+	var before result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.15}, http.StatusCreated, &before)
+
+	var saved map[string]any
+	doJSON(t, "POST", ts.URL+"/v1/datasets/demo/snapshot", nil, http.StatusCreated, &saved)
+	path, _ := saved["path"].(string)
+	if path == "" || saved["bytes"].(float64) <= 0 {
+		t.Fatalf("snapshot response %v", saved)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	warm := New()
+	wts := httptest.NewServer(warm.Handler())
+	t.Cleanup(wts.Close)
+	if err := warm.LoadSnapshot("demo", f); err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]any
+	doJSON(t, "GET", wts.URL+"/v1/datasets/demo", nil, http.StatusOK, &info)
+	if info["size"].(float64) != 200 {
+		t.Fatalf("warm dataset info %v", info)
+	}
+	var after result
+	doJSON(t, "POST", wts.URL+"/v1/datasets/demo/select",
+		map[string]any{"radius": 0.15}, http.StatusCreated, &after)
+	if len(after.IDs) != len(before.IDs) {
+		t.Fatalf("warm selection size %d, want %d", after.Size, before.Size)
+	}
+	for i := range after.IDs {
+		if after.IDs[i] != before.IDs[i] {
+			t.Fatalf("warm selection diverges at %d", i)
+		}
+	}
+	// Unknown dataset 404s; duplicate warm load conflicts.
+	doJSON(t, "POST", ts.URL+"/v1/datasets/nope/snapshot", nil, http.StatusNotFound, nil)
+	if err := warm.LoadSnapshot("demo", bytes.NewReader(nil)); err == nil {
+		t.Fatal("duplicate/garbage warm load accepted")
+	}
+}
+
+// TestDatasetNameValidation: names become snapshot file names, so
+// separators and dot-names must be rejected at creation and warm start.
+func TestDatasetNameValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for _, name := range []string{"a/b", "..", ".", "../escape", "c\\d"} {
+		doJSON(t, "POST", ts.URL+"/v1/datasets",
+			map[string]any{"name": name, "points": [][]float64{{0, 0}, {1, 1}}},
+			http.StatusBadRequest, nil)
+	}
+	srv := New()
+	if err := srv.LoadSnapshot("a/b", bytes.NewReader(nil)); err == nil {
+		t.Fatal("warm start accepted a path-separator name")
 	}
 }

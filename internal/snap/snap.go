@@ -1,0 +1,589 @@
+// Package snap implements the .discsnap binary snapshot format: a
+// versioned, checksummed, little-endian container that persists a flat
+// dataset together with the prepared per-radius artifacts the engines
+// are expensive to rebuild — the grid occupancy and the coverage-graph
+// CSR — so a process can warm-start instead of re-deriving them.
+//
+// # Layout
+//
+// A snapshot is one contiguous byte stream:
+//
+//	header (20 bytes):
+//	  [0:8)   magic "DISCSNAP"
+//	  [8:12)  uint32 format version (currently 1)
+//	  [12:16) uint32 section count
+//	  [16:20) uint32 CRC-32C of the section table
+//	section table (24 bytes per section):
+//	  uint32 kind, uint32 CRC-32C of the payload,
+//	  uint64 file offset, uint64 payload length
+//	payloads, each starting at an 8-byte-aligned offset,
+//	zero padding between them
+//
+// Section kinds of version 1: meta (1, index name and the build
+// parameters: seed, parallelism, M-tree capacity), dataset (2, metric
+// name plus the n×dim row-major
+// coordinate array), grid (3, the uniform-grid occupancy of
+// internal/grid), graph (4, the coverage-graph CSR with its build
+// radius). Every multi-byte value is little-endian; float64s are IEEE
+// 754 bit patterns; neighbour entries are (int64 id, float64 dist)
+// pairs.
+//
+// # Versioning policy
+//
+// Readers reject any format version other than their own and skip
+// section kinds they do not recognise, so new sections can be added
+// without a version bump; the version only changes when an existing
+// section's layout changes incompatibly. Payload offsets and lengths
+// come from the section table, never from sniffing, which is what makes
+// the skip safe.
+//
+// # Decoding
+//
+// Read slurps the stream in one contiguous read and then aliases the
+// large arrays (coordinates, occupancy, adjacency) directly into the
+// file buffer via unsafe.Slice — no per-element copies — whenever the
+// platform is little-endian and the in-memory layout matches the wire
+// layout (8-byte-aligned offsets are guaranteed by the writer; the
+// buffer base is checked at runtime). Platforms or layouts that do not
+// qualify fall back to an element-wise decode, so the format itself
+// stays portable. Decoded snapshots retain the read buffer; treat every
+// slice as read-only.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// Version is the format version this package reads and writes.
+const Version = 1
+
+const (
+	magic      = "DISCSNAP"
+	headerSize = 20
+	entrySize  = 24
+
+	kindMeta    = 1
+	kindDataset = 2
+	kindGrid    = 3
+	kindGraph   = 4
+)
+
+// castagnoli is the CRC-32C polynomial table; hardware-accelerated on
+// the platforms that matter, which keeps checksumming off the warm-load
+// critical path.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// nativeLittle reports whether the platform stores integers
+// little-endian, the precondition for zero-copy array encode/decode.
+var nativeLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// neighborWireLayout reports whether object.Neighbor's in-memory layout
+// matches the wire layout (16 bytes: int64 id at offset 0, float64 dist
+// at offset 8), the precondition for bulk-copying adjacency arrays.
+var neighborWireLayout = func() bool {
+	var nb object.Neighbor
+	return unsafe.Sizeof(nb) == 16 &&
+		unsafe.Offsetof(nb.Dist) == 8 &&
+		unsafe.Sizeof(int(0)) == 8
+}()
+
+// Snapshot is the in-memory form of a .discsnap file. Coords, Grid and
+// Graph may alias a decoded file buffer (see the package comment) and
+// must be treated as read-only.
+type Snapshot struct {
+	// Index is the configured backend name ("mtree", "grid", ...); empty
+	// when the writer recorded none.
+	Index string
+	// Parallelism is the coverage-graph build worker count (0 = default).
+	Parallelism int
+	// Capacity is the M-tree node capacity; Seed the index-construction
+	// seed. Both are persisted so deterministic rebuilds of the
+	// dataset-only backends reproduce the writer's engine exactly.
+	Capacity int
+	Seed     uint64
+
+	// Metric names the distance function the coordinates were indexed
+	// under; N, Dim and Coords are the row-major dataset.
+	Metric string
+	N, Dim int
+	Coords []float64
+
+	// Grid, when non-nil, is the persisted uniform-grid occupancy.
+	Grid *grid.Parts
+
+	// Graph, when non-nil, is the persisted coverage-graph adjacency,
+	// joined at GraphRadius.
+	GraphRadius float64
+	Graph       *grid.CSR
+}
+
+// validate checks the shape invariants Write relies on to size sections.
+func (s *Snapshot) validate() error {
+	if s.Metric == "" {
+		return fmt.Errorf("snap: no metric name")
+	}
+	if s.N <= 0 || s.Dim <= 0 || s.N > math.MaxInt32 {
+		return fmt.Errorf("snap: invalid dataset shape %d x %d", s.N, s.Dim)
+	}
+	if len(s.Coords) != s.N*s.Dim {
+		return fmt.Errorf("snap: %d coordinates for shape %d x %d", len(s.Coords), s.N, s.Dim)
+	}
+	if len(s.Metric) > math.MaxInt32/2 || len(s.Index) > math.MaxInt32/2 {
+		return fmt.Errorf("snap: unreasonable name length")
+	}
+	if g := s.Grid; g != nil {
+		if len(g.Min) != s.Dim || len(g.ND) != s.Dim {
+			return fmt.Errorf("snap: grid layout dimensionality %d, dataset %d", len(g.ND), s.Dim)
+		}
+		if len(g.IDs) != s.N || len(g.CellOf) != s.N {
+			return fmt.Errorf("snap: grid occupancy sized for %d points, dataset has %d", len(g.IDs), s.N)
+		}
+		if len(g.Start) < 2 {
+			return fmt.Errorf("snap: grid directory has no cells")
+		}
+	}
+	if c := s.Graph; c != nil {
+		if len(c.Offsets) != s.N+1 {
+			return fmt.Errorf("snap: graph offsets sized for %d points, dataset has %d", len(c.Offsets)-1, s.N)
+		}
+		if int(c.Offsets[s.N]) != len(c.Nbrs) {
+			return fmt.Errorf("snap: graph offsets do not span the packed neighbours")
+		}
+	}
+	return nil
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// enc is a cursor over the preallocated output buffer.
+type enc struct {
+	b   []byte
+	off int
+}
+
+func (e *enc) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.b[e.off:], v)
+	e.off += 4
+}
+
+func (e *enc) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.b[e.off:], v)
+	e.off += 8
+}
+
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	copy(e.b[e.off:], s)
+	e.off += len(s)
+}
+
+// pad8 advances to the next 8-byte file offset (the buffer is
+// zero-initialised, so padding bytes are deterministic).
+func (e *enc) pad8() { e.off = align8(e.off) }
+
+func (e *enc) f64s(v []float64) {
+	if nativeLittle && len(v) > 0 {
+		copy(e.b[e.off:], unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)))
+	} else {
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(e.b[e.off+8*i:], math.Float64bits(x))
+		}
+	}
+	e.off += 8 * len(v)
+}
+
+func (e *enc) i32s(v []int32) {
+	if nativeLittle && len(v) > 0 {
+		copy(e.b[e.off:], unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+	} else {
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(e.b[e.off+4*i:], uint32(x))
+		}
+	}
+	e.off += 4 * len(v)
+}
+
+func (e *enc) neighbors(v []object.Neighbor) {
+	if nativeLittle && neighborWireLayout && len(v) > 0 {
+		copy(e.b[e.off:], unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 16*len(v)))
+	} else {
+		for i, nb := range v {
+			binary.LittleEndian.PutUint64(e.b[e.off+16*i:], uint64(int64(nb.ID)))
+			binary.LittleEndian.PutUint64(e.b[e.off+16*i+8:], math.Float64bits(nb.Dist))
+		}
+	}
+	e.off += 16 * len(v)
+}
+
+// section pairs a kind with its payload size and emitter.
+type section struct {
+	kind uint32
+	size int
+	emit func(*enc)
+}
+
+// Write serialises s to w in the version-1 layout. The encoding is
+// deterministic: the same snapshot always produces byte-identical
+// output, which the round-trip tests rely on.
+func Write(w io.Writer, s *Snapshot) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+
+	secs := []section{
+		{kindMeta, 8 + 4 + 4 + 4 + len(s.Index), func(e *enc) {
+			e.u64(s.Seed)
+			e.u32(uint32(s.Parallelism))
+			e.u32(uint32(s.Capacity))
+			e.str(s.Index)
+		}},
+		{kindDataset, align8(8+8+4+len(s.Metric)) + 8*len(s.Coords), func(e *enc) {
+			e.u64(uint64(s.N))
+			e.u64(uint64(s.Dim))
+			e.str(s.Metric)
+			e.pad8()
+			e.f64s(s.Coords)
+		}},
+	}
+	if g := s.Grid; g != nil {
+		secs = append(secs, section{kindGrid,
+			40 + 8*len(g.Min) + 4*(len(g.ND)+len(g.Start)+len(g.IDs)+len(g.CellOf)),
+			func(e *enc) {
+				e.f64(g.R)
+				e.f64(g.Cell)
+				e.u64(uint64(s.Dim))
+				e.u64(uint64(len(g.Start) - 1))
+				e.u64(uint64(s.N))
+				e.f64s(g.Min)
+				e.i32s(g.ND)
+				e.i32s(g.Start)
+				e.i32s(g.IDs)
+				e.i32s(g.CellOf)
+			}})
+	}
+	if c := s.Graph; c != nil {
+		secs = append(secs, section{kindGraph,
+			align8(8+8+8+4*len(c.Offsets)) + 16*len(c.Nbrs),
+			func(e *enc) {
+				e.f64(s.GraphRadius)
+				e.u64(uint64(s.N))
+				e.u64(uint64(len(c.Nbrs)))
+				e.i32s(c.Offsets)
+				e.pad8()
+				e.neighbors(c.Nbrs)
+			}})
+	}
+
+	tableEnd := headerSize + entrySize*len(secs)
+	offsets := make([]int, len(secs))
+	total := align8(tableEnd)
+	for i, sec := range secs {
+		offsets[i] = total
+		total = align8(total + sec.size)
+	}
+	// No padding is owed after the final section.
+	total = offsets[len(secs)-1] + secs[len(secs)-1].size
+
+	buf := make([]byte, total)
+	copy(buf, magic)
+	h := &enc{b: buf, off: 8}
+	h.u32(Version)
+	h.u32(uint32(len(secs)))
+	// Table CRC is written once the table is filled in below.
+
+	for i, sec := range secs {
+		e := &enc{b: buf, off: offsets[i]}
+		sec.emit(e)
+		if e.off != offsets[i]+sec.size {
+			return fmt.Errorf("snap: internal error: section kind %d emitted %d bytes, sized %d", sec.kind, e.off-offsets[i], sec.size)
+		}
+		t := &enc{b: buf, off: headerSize + entrySize*i}
+		t.u32(sec.kind)
+		t.u32(crc32.Checksum(buf[offsets[i]:offsets[i]+sec.size], castagnoli))
+		t.u64(uint64(offsets[i]))
+		t.u64(uint64(sec.size))
+	}
+	binary.LittleEndian.PutUint32(buf[16:], crc32.Checksum(buf[headerSize:tableEnd], castagnoli))
+
+	_, err := w.Write(buf)
+	return err
+}
+
+// dec is a cursor over one section's payload; bounds are pre-validated
+// by exact size equations before any field is read.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) pad8() { d.off = align8(d.off) }
+
+// f64s decodes count float64s, aliasing the buffer when possible.
+func (d *dec) f64s(count int) []float64 {
+	raw := d.b[d.off : d.off+8*count]
+	d.off += 8 * count
+	if count == 0 {
+		return nil
+	}
+	if nativeLittle && uintptr(unsafe.Pointer(&raw[0]))%unsafe.Alignof(float64(0)) == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), count)
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// i32s decodes count int32s, aliasing the buffer when possible.
+func (d *dec) i32s(count int) []int32 {
+	raw := d.b[d.off : d.off+4*count]
+	d.off += 4 * count
+	if count == 0 {
+		return nil
+	}
+	if nativeLittle && uintptr(unsafe.Pointer(&raw[0]))%unsafe.Alignof(int32(0)) == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), count)
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+// neighbors decodes count wire neighbour pairs, aliasing when the
+// in-memory layout matches.
+func (d *dec) neighbors(count int) []object.Neighbor {
+	raw := d.b[d.off : d.off+16*count]
+	d.off += 16 * count
+	if count == 0 {
+		return nil
+	}
+	if nativeLittle && neighborWireLayout &&
+		uintptr(unsafe.Pointer(&raw[0]))%unsafe.Alignof(object.Neighbor{}) == 0 {
+		return unsafe.Slice((*object.Neighbor)(unsafe.Pointer(&raw[0])), count)
+	}
+	out := make([]object.Neighbor, count)
+	for i := range out {
+		out[i] = object.Neighbor{
+			ID:   int(int64(binary.LittleEndian.Uint64(raw[16*i:]))),
+			Dist: math.Float64frombits(binary.LittleEndian.Uint64(raw[16*i+8:])),
+		}
+	}
+	return out
+}
+
+// str decodes a length-prefixed string with an explicit bound check
+// (strings are the one variable-length field read before a section's
+// exact size equation can be formed).
+func (d *dec) str(limit int) (string, error) {
+	if limit-d.off < 4 {
+		return "", io.ErrUnexpectedEOF
+	}
+	n := int(d.u32())
+	if n < 0 || limit-d.off < n {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// readAll slurps r, pre-sizing the buffer when r is seekable so the
+// common file and bytes.Reader paths cost one allocation and one copy.
+func readAll(r io.Reader) ([]byte, error) {
+	if sk, ok := r.(io.Seeker); ok {
+		cur, err := sk.Seek(0, io.SeekCurrent)
+		if err == nil {
+			if end, err := sk.Seek(0, io.SeekEnd); err == nil {
+				if _, err := sk.Seek(cur, io.SeekStart); err == nil && end > cur {
+					buf := make([]byte, end-cur)
+					if _, err := io.ReadFull(r, buf); err != nil {
+						return nil, err
+					}
+					return buf, nil
+				}
+			}
+		}
+	}
+	return io.ReadAll(r)
+}
+
+// Read decodes a snapshot from r, verifying the magic, version, section
+// table checksum and every section checksum before trusting a byte of
+// payload. Unknown section kinds are skipped (see the versioning
+// policy); duplicate or structurally inconsistent sections are
+// rejected.
+func Read(r io.Reader) (*Snapshot, error) {
+	data, err := readAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("snap: truncated header (%d bytes)", len(data))
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("snap: not a discsnap stream (bad magic)")
+	}
+	h := &dec{b: data, off: 8}
+	if v := h.u32(); v != Version {
+		return nil, fmt.Errorf("snap: unsupported format version %d (reader supports %d)", v, Version)
+	}
+	nsec := int(h.u32())
+	tableCRC := h.u32()
+	if nsec <= 0 || nsec > (len(data)-headerSize)/entrySize {
+		return nil, fmt.Errorf("snap: truncated section table (%d sections declared)", nsec)
+	}
+	tableEnd := headerSize + entrySize*nsec
+	if crc32.Checksum(data[headerSize:tableEnd], castagnoli) != tableCRC {
+		return nil, fmt.Errorf("snap: section table checksum mismatch")
+	}
+
+	s := &Snapshot{}
+	seen := map[uint32]bool{}
+	var gridSec, graphSec *dec
+	var gridLen, graphLen int
+	for i := 0; i < nsec; i++ {
+		t := &dec{b: data, off: headerSize + entrySize*i}
+		kind := t.u32()
+		crc := t.u32()
+		off64, len64 := t.u64(), t.u64()
+		if off64 > uint64(len(data)) || len64 > uint64(len(data))-off64 {
+			return nil, fmt.Errorf("snap: section %d extends past the end of the stream", i)
+		}
+		off, length := int(off64), int(len64)
+		if off%8 != 0 || off < tableEnd {
+			return nil, fmt.Errorf("snap: section %d is misaligned", i)
+		}
+		if crc32.Checksum(data[off:off+length], castagnoli) != crc {
+			return nil, fmt.Errorf("snap: section %d (kind %d) checksum mismatch", i, kind)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("snap: duplicate section kind %d", kind)
+		}
+		seen[kind] = true
+		d := &dec{b: data[:off+length], off: off}
+		switch kind {
+		case kindMeta:
+			if length < 20 {
+				return nil, fmt.Errorf("snap: meta section truncated")
+			}
+			s.Seed = d.u64()
+			s.Parallelism = int(int32(d.u32()))
+			s.Capacity = int(int32(d.u32()))
+			if s.Index, err = d.str(off + length); err != nil {
+				return nil, fmt.Errorf("snap: meta section truncated")
+			}
+		case kindDataset:
+			if length < 20 {
+				return nil, fmt.Errorf("snap: dataset section truncated")
+			}
+			n, dim := d.u64(), d.u64()
+			if n == 0 || n > math.MaxInt32 || dim == 0 || dim > 1<<20 {
+				return nil, fmt.Errorf("snap: implausible dataset shape %d x %d", n, dim)
+			}
+			if s.Metric, err = d.str(off + length); err != nil {
+				return nil, fmt.Errorf("snap: dataset section truncated")
+			}
+			d.pad8()
+			s.N, s.Dim = int(n), int(dim)
+			if length != (d.off-off)+8*s.N*s.Dim {
+				return nil, fmt.Errorf("snap: dataset section length %d does not match shape %d x %d", length, n, dim)
+			}
+			s.Coords = d.f64s(s.N * s.Dim)
+		case kindGrid:
+			// Decoded after the loop: shape checks need the dataset
+			// section, which may come later in the table.
+			gridSec, gridLen = d, length
+		case kindGraph:
+			graphSec, graphLen = d, length
+		default:
+			// Unknown kind: a forward-compatible addition; skip.
+		}
+	}
+	if s.Coords == nil {
+		return nil, fmt.Errorf("snap: no dataset section")
+	}
+
+	if d := gridSec; d != nil {
+		if gridLen < 40 {
+			return nil, fmt.Errorf("snap: grid section truncated")
+		}
+		g := &grid.Parts{}
+		g.R = d.f64()
+		g.Cell = d.f64()
+		dim64, ncells64, n64 := d.u64(), d.u64(), d.u64()
+		if dim64 != uint64(s.Dim) || n64 != uint64(s.N) {
+			return nil, fmt.Errorf("snap: grid section shape %dx%d does not match the dataset", n64, dim64)
+		}
+		if ncells64 == 0 || ncells64 > math.MaxInt32/4 {
+			return nil, fmt.Errorf("snap: implausible grid directory size %d", ncells64)
+		}
+		ncells := int(ncells64)
+		if gridLen != 40+8*s.Dim+4*(s.Dim+ncells+1+2*s.N) {
+			return nil, fmt.Errorf("snap: grid section length %d does not match its declared shape", gridLen)
+		}
+		g.Min = d.f64s(s.Dim)
+		g.ND = d.i32s(s.Dim)
+		g.Start = d.i32s(ncells + 1)
+		g.IDs = d.i32s(s.N)
+		g.CellOf = d.i32s(s.N)
+		s.Grid = g
+	}
+	if d := graphSec; d != nil {
+		if graphLen < 24 {
+			return nil, fmt.Errorf("snap: graph section truncated")
+		}
+		radius := d.f64()
+		n64, edges64 := d.u64(), d.u64()
+		if n64 != uint64(s.N) {
+			return nil, fmt.Errorf("snap: graph section is for %d points, dataset has %d", n64, s.N)
+		}
+		if edges64 > math.MaxInt32 {
+			return nil, fmt.Errorf("snap: implausible edge count %d", edges64)
+		}
+		edges := int(edges64)
+		if graphLen != align8(24+4*(s.N+1))+16*edges {
+			return nil, fmt.Errorf("snap: graph section length %d does not match %d points / %d edges", graphLen, s.N, edges)
+		}
+		c := &grid.CSR{}
+		c.Offsets = d.i32s(s.N + 1)
+		d.pad8()
+		c.Nbrs = d.neighbors(edges)
+		if int(c.Offsets[s.N]) != edges || c.Offsets[0] != 0 {
+			return nil, fmt.Errorf("snap: graph offsets do not span the %d packed neighbours", edges)
+		}
+		s.GraphRadius = radius
+		s.Graph = c
+	}
+	return s, nil
+}

@@ -1,0 +1,276 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// buildSnapshot assembles a realistic snapshot over random clustered
+// points: dataset always, grid occupancy and coverage-graph CSR when
+// withGrid/withGraph are set (built by the real grid code so the
+// layouts are genuine).
+func buildSnapshot(t *testing.T, n, dim int, r float64, seed uint64, withGrid, withGraph bool) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed))
+	pts := make([]object.Point, n)
+	for i := range pts {
+		p := make(object.Point, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	m := object.Euclidean{}
+	flat, err := object.Flatten(pts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Snapshot{
+		Index:       "coverage-graph",
+		Parallelism: 2,
+		Capacity:    64,
+		Seed:        seed ^ 0xabcdef,
+		Metric:      m.Name(),
+		N:           n,
+		Dim:         dim,
+		Coords:      flat.Coords(),
+	}
+	if withGrid || withGraph {
+		g, err := grid.Build(flat, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := g.Parts()
+		s.Grid = &p
+		if withGraph {
+			csr, _, err := grid.Join(g, r, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.GraphRadius = r
+			s.Graph = csr
+		}
+	}
+	return s
+}
+
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTripByteIdentity: save → load → save must reproduce the file
+// byte for byte, for every section combination and several shapes — the
+// property that makes snapshots content-addressable and diffable.
+func TestRoundTripByteIdentity(t *testing.T) {
+	cases := []struct {
+		n, dim              int
+		r                   float64
+		withGrid, withGraph bool
+	}{
+		{50, 2, 0.2, false, false},
+		{120, 2, 0.15, true, false},
+		{120, 2, 0.15, true, true},
+		{200, 3, 0.25, true, true},
+		{77, 1, 0.1, true, true},
+		{300, 5, 0.4, true, true},
+	}
+	for i, tc := range cases {
+		s := buildSnapshot(t, tc.n, tc.dim, tc.r, uint64(100+i), tc.withGrid, tc.withGraph)
+		first := encode(t, s)
+		loaded, err := Read(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("case %d: read: %v", i, err)
+		}
+		second := encode(t, loaded)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("case %d: save→load→save is not byte-identical (%d vs %d bytes)", i, len(first), len(second))
+		}
+		if loaded.Index != s.Index || loaded.Parallelism != s.Parallelism ||
+			loaded.Capacity != s.Capacity || loaded.Seed != s.Seed ||
+			loaded.Metric != s.Metric || loaded.N != s.N || loaded.Dim != s.Dim {
+			t.Fatalf("case %d: metadata drifted: %+v", i, loaded)
+		}
+		if (loaded.Grid != nil) != tc.withGrid || (loaded.Graph != nil) != tc.withGraph {
+			t.Fatalf("case %d: section presence drifted", i)
+		}
+		if tc.withGraph && loaded.GraphRadius != s.GraphRadius {
+			t.Fatalf("case %d: graph radius %g, want %g", i, loaded.GraphRadius, s.GraphRadius)
+		}
+	}
+}
+
+// TestRoundTripValues: decoded arrays must be element-identical to what
+// was written (the byte-identity test covers re-encoding; this pins the
+// decoded in-memory values themselves).
+func TestRoundTripValues(t *testing.T) {
+	s := buildSnapshot(t, 150, 2, 0.12, 7, true, true)
+	loaded, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Coords {
+		if loaded.Coords[i] != v {
+			t.Fatalf("coord %d: %g != %g", i, loaded.Coords[i], v)
+		}
+	}
+	if loaded.Grid.R != s.Grid.R || loaded.Grid.Cell != s.Grid.Cell {
+		t.Fatalf("grid params drifted")
+	}
+	for i, v := range s.Grid.IDs {
+		if loaded.Grid.IDs[i] != v {
+			t.Fatalf("grid id %d drifted", i)
+		}
+	}
+	for i, v := range s.Graph.Offsets {
+		if loaded.Graph.Offsets[i] != v {
+			t.Fatalf("offset %d drifted", i)
+		}
+	}
+	for i, v := range s.Graph.Nbrs {
+		if loaded.Graph.Nbrs[i] != v {
+			t.Fatalf("neighbour %d drifted", i)
+		}
+	}
+}
+
+// TestRejectBadMagic: any corruption of the magic must be rejected.
+func TestRejectBadMagic(t *testing.T) {
+	data := encode(t, buildSnapshot(t, 60, 2, 0.2, 3, true, true))
+	for i := 0; i < 8; i++ {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x01
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupted magic byte %d accepted", i)
+		}
+	}
+}
+
+// TestRejectBadVersion: future or zero versions must be rejected.
+func TestRejectBadVersion(t *testing.T) {
+	data := encode(t, buildSnapshot(t, 60, 2, 0.2, 3, false, false))
+	for _, v := range []byte{0, 2, 0xff} {
+		bad := append([]byte(nil), data...)
+		bad[8] = v
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("version %d accepted", v)
+		}
+	}
+}
+
+// TestRejectTruncation: every truncation point must error, never panic
+// or silently succeed — the property a crashed writer or torn copy
+// relies on.
+func TestRejectTruncation(t *testing.T) {
+	data := encode(t, buildSnapshot(t, 80, 2, 0.2, 5, true, true))
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// TestRejectFlippedBytes: flipping any single bit of the section table
+// or of a section payload (which includes every CRC-protected region)
+// must be rejected by a checksum or structural check. Padding bytes
+// between sections are the only bytes outside the checksummed regions;
+// flips there must not corrupt the decoded snapshot.
+func TestRejectFlippedBytes(t *testing.T) {
+	s := buildSnapshot(t, 64, 2, 0.2, 9, true, true)
+	data := encode(t, s)
+	reference := encode(t, s)
+
+	// Identify payload/table coverage: everything from the header to the
+	// end is either table, payload, or inter-section padding.
+	for i := 8; i < len(data); i++ {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		loaded, err := Read(bytes.NewReader(bad))
+		if err != nil {
+			continue // rejected: the common, desired outcome
+		}
+		// The flip survived: it must have hit padding, and the decoded
+		// snapshot must still re-encode to the pristine file.
+		if got := encode(t, loaded); !bytes.Equal(got, reference) {
+			t.Fatalf("flip at byte %d accepted AND altered the decoded snapshot", i)
+		}
+	}
+}
+
+// TestRejectShapeLies: structurally valid checksums around inconsistent
+// declared shapes must still be rejected (the CRC protects bits, the
+// size equations protect logic).
+func TestRejectShapeLies(t *testing.T) {
+	s := buildSnapshot(t, 64, 2, 0.2, 11, true, true)
+	// Graph offsets that do not span the packed array.
+	s.Graph.Offsets[len(s.Graph.Offsets)-1]++
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err == nil {
+		t.Fatal("writer accepted offsets that do not span the neighbour array")
+	}
+}
+
+// TestWriterValidation: the writer must refuse snapshots whose shape
+// invariants do not hold, so corrupt files cannot be produced in the
+// first place.
+func TestWriterValidation(t *testing.T) {
+	good := buildSnapshot(t, 40, 2, 0.2, 13, true, true)
+	cases := []func(*Snapshot){
+		func(s *Snapshot) { s.Metric = "" },
+		func(s *Snapshot) { s.N = 0 },
+		func(s *Snapshot) { s.Coords = s.Coords[:len(s.Coords)-1] },
+		func(s *Snapshot) { s.Grid.IDs = s.Grid.IDs[:10] },
+		func(s *Snapshot) { s.Grid.Min = s.Grid.Min[:1] },
+		func(s *Snapshot) { s.Graph.Offsets = s.Graph.Offsets[:5] },
+	}
+	for i, mutate := range cases {
+		bad := *good
+		gridCopy := *good.Grid
+		graphCopy := *good.Graph
+		bad.Grid, bad.Graph = &gridCopy, &graphCopy
+		mutate(&bad)
+		if err := Write(&bytes.Buffer{}, &bad); err == nil {
+			t.Fatalf("case %d: writer accepted an inconsistent snapshot", i)
+		}
+	}
+}
+
+// TestUnknownSectionSkipped: a reader must skip section kinds it does
+// not know — the forward-compatibility contract that lets future
+// writers add sections without a version bump.
+func TestUnknownSectionSkipped(t *testing.T) {
+	data := encode(t, buildSnapshot(t, 50, 2, 0.2, 17, false, false))
+	// Retag the meta section (kind 1, first table entry) as an unknown
+	// kind and fix up the table CRC.
+	bad := append([]byte(nil), data...)
+	bad[headerSize] = 0x7f // kind low byte
+	retable(bad)
+	loaded, err := Read(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatalf("unknown section kind rejected: %v", err)
+	}
+	if loaded.Index != "" || loaded.Parallelism != 0 {
+		t.Fatalf("skipped section leaked values: %+v", loaded)
+	}
+	if loaded.N != 50 {
+		t.Fatalf("dataset section lost alongside the skipped one")
+	}
+}
+
+// retable recomputes the header's section-table CRC after a deliberate
+// table edit.
+func retable(data []byte) {
+	nsec := int(binary.LittleEndian.Uint32(data[12:]))
+	end := headerSize + entrySize*nsec
+	binary.LittleEndian.PutUint32(data[16:], crc32.Checksum(data[headerSize:end], castagnoli))
+}

@@ -1,0 +1,185 @@
+package disc
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/snap"
+)
+
+// Prepare eagerly builds the radius-dependent index artifacts for
+// selection radius r — the grid occupancy for IndexGrid, the occupancy
+// plus the coverage-graph CSR for IndexCoverageGraph — without running
+// a selection. For the radius-independent backends it is a no-op. Use
+// it before WriteSnapshot to capture a warm snapshot for a radius that
+// has not been selected at yet, or at service start to pay the build
+// cost before the first request.
+func (d *Diversifier) Prepare(r float64) error {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return fmt.Errorf("disc: invalid radius %g", r)
+	}
+	_, err := d.engineForRadius(r, true)
+	return err
+}
+
+// WriteSnapshot serialises the diversifier to the versioned .discsnap
+// binary format (see internal/snap for the layout): always the dataset
+// (metric plus row-major coordinates) and the configured backend with
+// its build parameters (seed, parallelism, M-tree capacity), plus
+// whatever prepared per-radius artifacts the current engine holds — the
+// grid occupancy for IndexGrid, the occupancy and the coverage-graph
+// CSR for IndexCoverageGraph on grid-servable metrics. Backends that
+// rebuild cheaply or deterministically from the dataset (M-tree,
+// VP-tree, R-tree, linear scan, and the coverage graph's R-tree path)
+// persist the dataset only and are rebuilt on load.
+//
+// A snapshot written before any Select or Prepare call carries no
+// artifacts; LoadDiversifier then behaves like New over the same
+// points.
+func (d *Diversifier) WriteSnapshot(w io.Writer) error {
+	s := &snap.Snapshot{
+		Index:       d.index.String(),
+		Parallelism: d.parallelism,
+		Capacity:    d.capacity,
+		Seed:        d.seed,
+		Metric:      d.metric.Name(),
+	}
+	var flat *object.FlatDataset
+	switch e := d.engine.(type) {
+	case *core.ParallelGraphEngine:
+		if e.GridJoined() {
+			flat = e.Grid().Flat()
+			p := e.Grid().Parts()
+			s.Grid = &p
+			s.Graph = e.CSR()
+			s.GraphRadius = e.Radius()
+		}
+	case *core.GridEngine:
+		flat = e.Grid().Flat()
+		p := e.Grid().Parts()
+		s.Grid = &p
+	}
+	if flat == nil {
+		var err error
+		flat, err = object.Flatten(d.points, d.metric)
+		if err != nil {
+			return fmt.Errorf("disc: snapshot: %w", err)
+		}
+	}
+	s.N, s.Dim, s.Coords = flat.Len(), flat.Dim(), flat.Coords()
+	if err := snap.Write(w, s); err != nil {
+		return fmt.Errorf("disc: snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadDiversifier reconstructs a Diversifier from a snapshot written by
+// WriteSnapshot. The dataset is aliased straight out of the decoded
+// buffer (no per-point copies), and any persisted artifacts are
+// rehydrated into the same lazy-engine machinery a fresh Diversifier
+// uses: a Select or zoom at the snapshot's radius starts from the
+// loaded coverage graph or grid occupancy instead of rebuilding it,
+// and other radii degrade to exactly the rebuild rules of a fresh
+// instance. Loaded engines are bit-identical to freshly built ones —
+// same selections, same neighbour lists.
+//
+// Options are applied on top of the snapshot's recorded configuration
+// (index, parallelism, M-tree capacity, construction seed):
+// WithIndex/WithIndexName override the backend (artifacts the new
+// backend cannot use are ignored and it is built from the dataset), and
+// WithParallelism/WithMTreeCapacity/WithSeed override the recorded
+// build parameters. WithMetric may only restate the snapshot's metric —
+// the coordinates were indexed under it, so a conflicting metric is an
+// error rather than a silent reinterpretation. Snapshots written under
+// a custom (non-built-in) metric require the caller to supply that
+// metric via WithMetric, since only its name is persisted.
+func LoadDiversifier(r io.Reader, opts ...Option) (*Diversifier, error) {
+	s, err := snap.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("disc: load: %w", err)
+	}
+	// Defaults come from New's, overlaid with the snapshot's recorded
+	// configuration, overlaid with the caller's options. The metric
+	// default is cleared so a caller-supplied custom metric is
+	// distinguishable from "use the snapshot's".
+	o := defaultOptions()
+	o.metric = nil
+	o.seed = s.Seed
+	o.parallelism = s.Parallelism
+	if s.Capacity >= 4 {
+		o.capacity = s.Capacity
+	}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.metric == nil {
+		m, err := MetricByName(s.Metric)
+		if err != nil {
+			return nil, fmt.Errorf("disc: load: snapshot metric %q is not built in; supply it with WithMetric", s.Metric)
+		}
+		o.metric = m
+	} else if o.metric.Name() != s.Metric {
+		return nil, fmt.Errorf("disc: load: snapshot was written for metric %q, not %q", s.Metric, o.metric.Name())
+	}
+	if !o.indexSet && s.Index != "" {
+		ix, err := IndexByName(s.Index)
+		if err != nil {
+			return nil, fmt.Errorf("disc: load: snapshot index: %w", err)
+		}
+		o.index = ix
+	}
+
+	flat, err := object.NewFlatDataset(s.Coords, s.N, s.Dim, o.metric)
+	if err != nil {
+		return nil, fmt.Errorf("disc: load: %w", err)
+	}
+	d := &Diversifier{
+		points:      flat.Points(),
+		metric:      o.metric,
+		index:       o.index,
+		parallelism: o.parallelism,
+		capacity:    o.capacity,
+		seed:        o.seed,
+	}
+
+	// Rehydrate persisted artifacts when the chosen backend can use
+	// them; FromParts and RehydrateGraphEngine revalidate every
+	// structural invariant, so a logically inconsistent snapshot fails
+	// here instead of answering queries wrongly.
+	switch o.index {
+	case IndexCoverageGraph:
+		if s.Grid != nil && s.Graph != nil && grid.Supports(o.metric) {
+			h, err := grid.FromParts(flat, *s.Grid)
+			if err != nil {
+				return nil, fmt.Errorf("disc: load: %w", err)
+			}
+			e, err := core.RehydrateGraphEngine(h, s.Graph, s.GraphRadius, o.parallelism)
+			if err != nil {
+				return nil, fmt.Errorf("disc: load: %w", err)
+			}
+			d.engine = e
+			return d, nil
+		}
+	case IndexGrid:
+		if s.Grid != nil {
+			h, err := grid.FromParts(flat, *s.Grid)
+			if err != nil {
+				return nil, fmt.Errorf("disc: load: %w", err)
+			}
+			d.engine = core.RehydrateGridEngine(h)
+			return d, nil
+		}
+	}
+	e, err := initialEngine(o, d.points)
+	if err != nil {
+		return nil, err
+	}
+	d.engine = e
+	return d, nil
+}

@@ -1,0 +1,406 @@
+package disc
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+func snapshotTestPoints(n, dim int, seed uint64) []Point {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func equalIDs(a, b []int) bool { return slices.Equal(a, b) }
+
+// TestSnapshotLoadConformance: for every index backend, a diversifier
+// restored with LoadDiversifier must behave bit-identically to the one
+// that wrote the snapshot — identical Greedy-DisC selections at the
+// prepared radius and at a different radius, and identical
+// NeighborsAppend results from the underlying engines.
+func TestSnapshotLoadConformance(t *testing.T) {
+	pts := snapshotTestPoints(400, 2, 21)
+	const r = 0.08
+	for _, name := range SupportedIndexNames() {
+		fresh, err := New(pts, WithIndexName(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := fresh.Select(r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := fresh.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if loaded.Indexed().String() != name {
+			t.Fatalf("%s: loaded index is %v", name, loaded.Indexed())
+		}
+		if loaded.Len() != fresh.Len() || loaded.Metric().Name() != fresh.Metric().Name() {
+			t.Fatalf("%s: dataset drifted on load", name)
+		}
+		got, err := loaded.Select(r)
+		if err != nil {
+			t.Fatalf("%s: loaded select: %v", name, err)
+		}
+		if !equalIDs(want.SortedIDs(), got.SortedIDs()) {
+			t.Errorf("%s: loaded selection differs from fresh (%d vs %d objects)", name, got.Size(), want.Size())
+		}
+		// A second radius exercises the rebuild/fallback machinery of
+		// the rehydrated engine.
+		want2, err := fresh.Select(r / 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got2, err := loaded.Select(r / 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalIDs(want2.SortedIDs(), got2.SortedIDs()) {
+			t.Errorf("%s: selections diverge after re-radius", name)
+		}
+		// Engine-level conformance: identical neighbour lists (ids,
+		// order, bit-identical distances) from the buffer-reusing form.
+		fe, err := fresh.engineForRadius(r, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		le, err := loaded.engineForRadius(r, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var fb, lb []object.Neighbor
+		for id := 0; id < len(pts); id += 37 {
+			for _, qr := range []float64{r / 3, r, 2.5 * r} {
+				fb = fe.NeighborsAppend(fb[:0], id, qr)
+				lb = le.NeighborsAppend(lb[:0], id, qr)
+				if len(fb) != len(lb) {
+					t.Fatalf("%s id=%d r=%g: %d vs %d neighbours", name, id, qr, len(lb), len(fb))
+				}
+				for i := range fb {
+					if fb[i] != lb[i] {
+						t.Fatalf("%s id=%d r=%g: neighbour %d drifted: %v vs %v", name, id, qr, i, lb[i], fb[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotWarmEngineReused: a snapshot prepared at radius r must
+// rehydrate straight into the engineForRadius cache — Select(r) on the
+// loaded diversifier reuses the rehydrated engine rather than building
+// a fresh one.
+func TestSnapshotWarmEngineReused(t *testing.T) {
+	pts := snapshotTestPoints(300, 2, 23)
+	const r = 0.07
+	for _, tc := range []struct {
+		name string
+		ix   Index
+	}{
+		{"coverage-graph", IndexCoverageGraph},
+		{"grid", IndexGrid},
+	} {
+		d, err := New(pts, WithIndex(tc.ix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Prepare(r); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.engine == nil {
+			t.Fatalf("%s: loaded diversifier has no rehydrated engine", tc.name)
+		}
+		before := loaded.engine
+		e, err := loaded.engineForRadius(r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != before {
+			t.Fatalf("%s: Select at the prepared radius rebuilt the engine", tc.name)
+		}
+		if tc.ix == IndexCoverageGraph {
+			g, ok := e.(*core.ParallelGraphEngine)
+			if !ok {
+				t.Fatalf("%s: rehydrated engine is %T", tc.name, e)
+			}
+			if g.Radius() != r {
+				t.Fatalf("%s: rehydrated radius %g, want %g", tc.name, g.Radius(), r)
+			}
+		}
+	}
+}
+
+// TestSnapshotPrepareThenZoom: artifacts prepared before any selection
+// must survive the round trip and serve zooms on the loaded side.
+func TestSnapshotPrepareThenZoom(t *testing.T) {
+	pts := snapshotTestPoints(350, 2, 29)
+	d, err := New(pts, WithIndex(IndexCoverageGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Prepare(0.1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := loaded.ZoomIn(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Verify(in); err != nil {
+		t.Fatalf("zoomed result invalid on loaded diversifier: %v", err)
+	}
+}
+
+// TestSnapshotOptionOverrides: options are applied on top of the
+// snapshot's recorded configuration.
+func TestSnapshotOptionOverrides(t *testing.T) {
+	pts := snapshotTestPoints(200, 2, 31)
+	d, err := New(pts, WithIndex(IndexCoverageGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Prepare(0.1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Conflicting metric: an error, never a reinterpretation.
+	if _, err := LoadDiversifier(bytes.NewReader(data), WithMetric(Hamming())); err == nil {
+		t.Fatal("metric conflict accepted")
+	}
+	// Restating the snapshot's metric is fine.
+	if _, err := LoadDiversifier(bytes.NewReader(data), WithMetric(Euclidean())); err != nil {
+		t.Fatalf("restated metric rejected: %v", err)
+	}
+	// Index override: the artifacts the new backend cannot use are
+	// ignored; the backend still works.
+	over, err := LoadDiversifier(bytes.NewReader(data), WithIndex(IndexMTree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Indexed() != IndexMTree {
+		t.Fatalf("index override ignored: %v", over.Indexed())
+	}
+	if _, err := over.Select(0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Grid override of a coverage-graph snapshot reuses the persisted
+	// occupancy.
+	gridDiv, err := LoadDiversifier(bytes.NewReader(data), WithIndex(IndexGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridDiv.engine == nil {
+		t.Fatal("grid override did not rehydrate the persisted occupancy")
+	}
+}
+
+// taxicabish is a custom (non-built-in) metric for the round-trip test:
+// scaled L1, coordinate-wise monotone, metric axioms hold.
+type taxicabish struct{}
+
+func (taxicabish) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += 2 * d
+	}
+	return s
+}
+func (taxicabish) Name() string            { return "taxicabish" }
+func (taxicabish) CoordinatewiseMonotone() {}
+
+// TestSnapshotCustomMetric: a snapshot written under a user-implemented
+// metric must load when the caller restates that metric via WithMetric
+// (only the name is persisted), and must fail with a clear error when
+// the metric is not supplied.
+func TestSnapshotCustomMetric(t *testing.T) {
+	pts := snapshotTestPoints(200, 2, 43)
+	d, err := New(pts, WithMetric(taxicabish{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadDiversifier(bytes.NewReader(data)); err == nil {
+		t.Fatal("custom-metric snapshot loaded without the metric being supplied")
+	}
+	loaded, err := LoadDiversifier(bytes.NewReader(data), WithMetric(taxicabish{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Select(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(want.SortedIDs(), got.SortedIDs()) {
+		t.Fatal("custom-metric selections diverge after round trip")
+	}
+}
+
+// TestSnapshotBuildParamsPersisted: seed, M-tree capacity and
+// parallelism survive the round trip, so deterministic rebuilds of the
+// dataset-only backends reproduce the writer's engine exactly.
+func TestSnapshotBuildParamsPersisted(t *testing.T) {
+	pts := snapshotTestPoints(300, 2, 47)
+	d, err := New(pts, WithIndex(IndexVPTree), WithSeed(7), WithMTreeCapacity(64), WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.seed != 7 || loaded.capacity != 64 || loaded.parallelism != 3 {
+		t.Fatalf("build params drifted: seed=%d capacity=%d parallelism=%d",
+			loaded.seed, loaded.capacity, loaded.parallelism)
+	}
+	// The rebuilt VP-tree must emit neighbour lists in the writer's
+	// order (same seed, same construction).
+	fe, err := d.engineForRadius(0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := loaded.engineForRadius(0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < len(pts); id += 41 {
+		a := fe.NeighborsAppend(nil, id, 0.1)
+		b := le.NeighborsAppend(nil, id, 0.1)
+		if len(a) != len(b) {
+			t.Fatalf("id %d: %d vs %d neighbours", id, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("id %d: neighbour order drifted at %d", id, i)
+			}
+		}
+	}
+	// Explicit overrides still win over the recorded values.
+	over, err := LoadDiversifier(bytes.NewReader(buf.Bytes()), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.seed != 9 {
+		t.Fatalf("WithSeed override lost: %d", over.seed)
+	}
+}
+
+// TestSnapshotCorruptRejected: corruption must surface as a load error,
+// never as a silently wrong diversifier.
+func TestSnapshotCorruptRejected(t *testing.T) {
+	pts := snapshotTestPoints(150, 2, 37)
+	d, err := New(pts, WithIndex(IndexCoverageGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Prepare(0.1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadDiversifier(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := LoadDiversifier(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[len(bad)-3] ^= 0xff // payload corruption -> section CRC mismatch
+	if _, err := LoadDiversifier(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+}
+
+// TestSnapshotWithoutArtifacts: a snapshot written before any Select or
+// Prepare carries only the dataset and loads like New.
+func TestSnapshotWithoutArtifacts(t *testing.T) {
+	pts := snapshotTestPoints(250, 3, 41)
+	d, err := New(pts, WithIndex(IndexCoverageGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.engine != nil {
+		t.Fatal("artifact-free snapshot rehydrated an engine from nothing")
+	}
+	want, err := d.Select(0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Select(0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(want.SortedIDs(), got.SortedIDs()) {
+		t.Fatal("selections diverge")
+	}
+}
