@@ -1,14 +1,15 @@
 # Shared entry points for CI (.github/workflows/ci.yml) and humans.
 GO ?= go
 
-# bench-guard workload: must match the checked-in BENCH_PR3.json
-# baseline (cmd/benchguard refuses to compare differing workloads).
+# bench-guard workload: must match the checked-in BENCH_PR5.json and
+# BENCH_PR4.json baselines (cmd/benchguard refuses to compare differing
+# workloads).
 BENCH_N ?= 50000
 BENCH_R ?= 0.0025
 # Allowed relative regression before bench-guard fails (0.25 = +25%).
-# The baseline was measured on this repo's single-core dev container;
+# The baselines were measured on this repo's single-core dev container;
 # wall-clock comparisons only hold on comparable hardware, so raise the
-# tolerance (or re-measure BENCH_PR3.json) when running on slower or
+# tolerance (or re-measure the baselines) when running on slower or
 # noisier runners.
 BENCH_TOLERANCE ?= 0.25
 
@@ -30,17 +31,24 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 
-## bench: one-iteration smoke pass over every benchmark
+## bench: one-iteration smoke pass over every benchmark, then
+## regenerate the checked-in BENCH_PR5.json perf baseline from the
+## canonical 50k workload (commit the refreshed file when the change is
+## a deliberate perf shift measured on the baseline hardware).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -timeout 25m ./...
+	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > BENCH_PR5.json
+	@cat BENCH_PR5.json
 
 ## bench-guard: vet + compile-and-run gate over the selection and
 ## steady-state neighbour-query benchmarks with allocation reporting,
-## plus the perf-snapshot regression gate: the canonical 50k workload is
-## re-measured (bench-current.json) and diffed against the checked-in
-## BENCH_PR3.json by cmd/benchguard, failing on any Select/Build metric
-## more than BENCH_TOLERANCE (default +25%) over the baseline. Both
-## outputs are uploaded as CI artifacts so the repo's perf trajectory is
+## plus the regression gates: the canonical 50k workload is re-measured
+## for the perf experiment (bench-current.json, diffed against the
+## checked-in BENCH_PR5.json — Build/Select/component-Select metrics)
+## and the snapshot experiment (snapshot-bench.json, diffed against
+## BENCH_PR4.json — save/load metrics), failing on anything more than
+## BENCH_TOLERANCE (default +25%) over its baseline. All outputs are
+## uploaded as CI artifacts so the repo's perf trajectory is
 ## inspectable per commit. Also runs the zero-allocation regression
 ## tests, which carry a !race build tag and are therefore invisible to
 ## `make test`.
@@ -50,7 +58,10 @@ bench-guard:
 	@$(GO) test -run '^$$' -bench='Select|Neighbors|GreedyDisC' -benchtime=1x -benchmem -timeout 20m ./... > bench-guard.txt 2>&1; \
 	status=$$?; cat bench-guard.txt; exit $$status
 	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > bench-current.json
-	$(GO) run ./cmd/benchguard -baseline BENCH_PR3.json -current bench-current.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_PR5.json -current bench-current.json \
+		-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json \
+		-tolerance $(BENCH_TOLERANCE)
 
 ## snapshot-bench: measure cold-build vs snapshot-save vs warm-load on
 ## the canonical 50k workload (the BENCH_PR4.json trajectory metric).

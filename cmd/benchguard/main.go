@@ -1,22 +1,31 @@
 // Command benchguard diffs a freshly measured perf snapshot (the JSON
 // emitted by `discbench -exp perf -format=json`) against the repo's
-// checked-in baseline (BENCH_PR3.json) and fails when any guarded
+// checked-in baseline (BENCH_PR5.json) and fails when any guarded
 // metric regressed beyond the tolerance. CI runs it inside `make
 // bench-guard`, so a commit that slows an index build or a selection
 // by more than the tolerance fails the pipeline instead of silently
 // eroding the repo's perf trajectory.
 //
-// Guarded metrics, per engine: build_ms and select_ms_op. Improvements
-// never fail. An engine present in the baseline but missing from the
-// current snapshot does fail, since losing a measurement is how a
-// regression hides; an engine present only in the current snapshot — a
-// newly added engine that has no baseline row yet — is tolerated with a
-// warning, so adding an engine never requires regenerating the baseline
-// in the same commit.
+// Guarded metrics, per engine: build_ms, select_ms_op and
+// select_components_ms_op (metrics absent from an older baseline — zero
+// values — are reported but cannot fail). Improvements never fail. An
+// engine present in the baseline but missing from the current snapshot
+// does fail, since losing a measurement is how a regression hides; an
+// engine present only in the current snapshot — a newly added engine
+// that has no baseline row yet — is tolerated with a warning, so adding
+// an engine never requires regenerating the baseline in the same
+// commit.
+//
+// With -snapshot-baseline and -snapshot-current set, the snapshot
+// experiment's save_ms and load_ms (the warm-start trajectory,
+// BENCH_PR4.json) are diffed under the same tolerance, so a commit that
+// bloats serialisation or the validated warm load fails too.
 //
 // Usage:
 //
-//	benchguard -baseline BENCH_PR3.json -current bench-current.json [-tolerance 0.25]
+//	benchguard -baseline BENCH_PR5.json -current bench-current.json \
+//	  [-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json] \
+//	  [-tolerance 0.25]
 package main
 
 import (
@@ -30,16 +39,54 @@ import (
 	"github.com/discdiversity/disc/internal/experiments"
 )
 
-func load(path string) (*experiments.PerfSnapshot, error) {
+// loadJSON reads one measurement file of either trajectory format.
+func loadJSON[T any](path string) (*T, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var snap experiments.PerfSnapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
+	v := new(T)
+	if err := json.Unmarshal(data, v); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &snap, nil
+	return v, nil
+}
+
+// workload is the measurement-identity tuple both snapshot formats
+// share; comparisons across differing workloads (or core counts —
+// wall-clock loses meaning when parallelism changes) are refused, and
+// keeping the check in one place keeps the two gates equally strict.
+type workload struct {
+	dataset    string
+	n, dim     int
+	radius     float64
+	seed       uint64
+	gomaxprocs int
+}
+
+func perfWorkload(s *experiments.PerfSnapshot) workload {
+	return workload{s.Dataset, s.N, s.Dim, s.Radius, s.Seed, s.GoMaxProcs}
+}
+
+func snapshotWorkload(b *experiments.SnapshotBench) workload {
+	return workload{b.Dataset, b.N, b.Dim, b.Radius, b.Seed, b.GoMaxProcs}
+}
+
+// checkWorkloads exits with status 2 when base and cur do not describe
+// the same measurement.
+func checkWorkloads(kind string, base, cur workload) {
+	if base.dataset != cur.dataset || base.n != cur.n || base.dim != cur.dim ||
+		base.radius != cur.radius || base.seed != cur.seed {
+		fmt.Fprintf(os.Stderr, "benchguard: %s workloads differ (baseline %s n=%d dim=%d r=%g seed=%d, current %s n=%d dim=%d r=%g seed=%d); refusing to compare\n",
+			kind, base.dataset, base.n, base.dim, base.radius, base.seed,
+			cur.dataset, cur.n, cur.dim, cur.radius, cur.seed)
+		os.Exit(2)
+	}
+	if base.gomaxprocs != cur.gomaxprocs {
+		fmt.Fprintf(os.Stderr, "benchguard: %s GOMAXPROCS differs (baseline %d, current %d); refusing to compare\n",
+			kind, base.gomaxprocs, cur.gomaxprocs)
+		os.Exit(2)
+	}
 }
 
 // metric is one guarded measurement of an engine.
@@ -51,6 +98,7 @@ type metric struct {
 var guarded = []metric{
 	{"build_ms", func(e experiments.PerfEngine) float64 { return e.BuildMS }},
 	{"select_ms_op", func(e experiments.PerfEngine) float64 { return e.SelectMSOp }},
+	{"select_components_ms_op", func(e experiments.PerfEngine) float64 { return e.SelectComponentsMSOp }},
 }
 
 // compare diffs cur against base, printing one line per guarded metric
@@ -105,10 +153,45 @@ func compare(w io.Writer, base, cur *experiments.PerfSnapshot, tolerance float64
 	return regressions, warnings
 }
 
+// snapshotMetric is one guarded measurement of the snapshot experiment.
+type snapshotMetric struct {
+	name string
+	get  func(*experiments.SnapshotBench) float64
+}
+
+var snapshotGuarded = []snapshotMetric{
+	{"save_ms", func(b *experiments.SnapshotBench) float64 { return b.SaveMS }},
+	{"load_ms", func(b *experiments.SnapshotBench) float64 { return b.LoadMS }},
+}
+
+// compareSnapshot diffs the snapshot experiment's guarded metrics the
+// same way compare treats the perf engines: one line per metric, a
+// regression for anything beyond the tolerance, improvements free.
+func compareSnapshot(w io.Writer, base, cur *experiments.SnapshotBench, tolerance float64) (regressions int) {
+	for _, m := range snapshotGuarded {
+		was, now := m.get(base), m.get(cur)
+		limit := was * (1 + tolerance)
+		status := "ok  "
+		if now > limit && was > 0 {
+			status = "FAIL"
+			regressions++
+		}
+		pct := 0.0
+		if was > 0 {
+			pct = 100 * (now - was) / was
+		}
+		fmt.Fprintf(w, "%s %-8s %-12s %10.2f -> %10.2f (limit %.2f, %+.1f%%)\n",
+			status, "snapshot", m.name, was, now, limit, pct)
+	}
+	return regressions
+}
+
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR3.json", "checked-in baseline snapshot")
+		baselinePath = flag.String("baseline", "BENCH_PR5.json", "checked-in baseline snapshot")
 		currentPath  = flag.String("current", "", "freshly measured snapshot to check")
+		snapBasePath = flag.String("snapshot-baseline", "", "checked-in snapshot-experiment baseline (e.g. BENCH_PR4.json)")
+		snapCurPath  = flag.String("snapshot-current", "", "freshly measured snapshot-experiment result to check")
 		tolerance    = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
 	)
 	flag.Parse()
@@ -116,42 +199,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: -current required")
 		os.Exit(2)
 	}
+	if (*snapBasePath == "") != (*snapCurPath == "") {
+		fmt.Fprintln(os.Stderr, "benchguard: -snapshot-baseline and -snapshot-current must be given together")
+		os.Exit(2)
+	}
 	if *tolerance < 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: negative tolerance")
 		os.Exit(2)
 	}
 
-	base, err := load(*baselinePath)
+	base, err := loadJSON[experiments.PerfSnapshot](*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := load(*currentPath)
+	cur, err := loadJSON[experiments.PerfSnapshot](*currentPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	if base.N != cur.N || base.Radius != cur.Radius || base.Dataset != cur.Dataset ||
-		base.Dim != cur.Dim || base.Seed != cur.Seed {
-		fmt.Fprintf(os.Stderr, "benchguard: workloads differ (baseline %s n=%d dim=%d r=%g seed=%d, current %s n=%d dim=%d r=%g seed=%d); refusing to compare\n",
-			base.Dataset, base.N, base.Dim, base.Radius, base.Seed,
-			cur.Dataset, cur.N, cur.Dim, cur.Radius, cur.Seed)
-		os.Exit(2)
-	}
-	if base.GoMaxProcs != cur.GoMaxProcs {
-		// Parallel builds scale with cores, so wall-clock loses meaning
-		// across core counts — a regression could hide behind extra
-		// parallelism.
-		fmt.Fprintf(os.Stderr, "benchguard: GOMAXPROCS differs (baseline %d, current %d); refusing to compare\n",
-			base.GoMaxProcs, cur.GoMaxProcs)
-		os.Exit(2)
-	}
+	checkWorkloads("perf", perfWorkload(base), perfWorkload(cur))
 
 	regressions, _ := compare(os.Stdout, base, cur, *tolerance)
+	baselines := *baselinePath
+	if *snapCurPath != "" {
+		sb, err := loadJSON[experiments.SnapshotBench](*snapBasePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		sc, err := loadJSON[experiments.SnapshotBench](*snapCurPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		checkWorkloads("snapshot", snapshotWorkload(sb), snapshotWorkload(sc))
+		regressions += compareSnapshot(os.Stdout, sb, sc, *tolerance)
+		baselines += " and " + *snapBasePath
+	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed beyond %.0f%% of %s\n",
-			regressions, 100**tolerance, *baselinePath)
+			regressions, 100**tolerance, baselines)
 		os.Exit(1)
 	}
-	fmt.Printf("benchguard: all guarded metrics within %.0f%% of %s\n", 100**tolerance, *baselinePath)
+	fmt.Printf("benchguard: all guarded metrics within %.0f%% of %s\n", 100**tolerance, baselines)
 }

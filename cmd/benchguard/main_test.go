@@ -67,3 +67,55 @@ func TestCompareRegressionBeyondTolerance(t *testing.T) {
 		t.Fatalf("missing FAIL line:\n%s", out.String())
 	}
 }
+
+// TestCompareZeroBaselineMetricCannotFail: a metric the baseline lacks
+// (zero value — e.g. select_components_ms_op against a pre-PR5
+// baseline) is reported but can never regress.
+func TestCompareZeroBaselineMetricCannotFail(t *testing.T) {
+	base := snap(engine("grid", 2, 100)) // SelectComponentsMSOp zero
+	cur := snap(experiments.PerfEngine{Engine: "grid", BuildMS: 2, SelectMSOp: 100, SelectComponentsMSOp: 55})
+	var out strings.Builder
+	if regressions, _ := compare(&out, base, cur, 0.25); regressions != 0 {
+		t.Fatalf("zero-baseline metric flagged %d regressions\n%s", regressions, out.String())
+	}
+}
+
+// TestCompareComponentsSelectGuarded: a component-mode selection
+// regression beyond tolerance fails like any other guarded metric.
+func TestCompareComponentsSelectGuarded(t *testing.T) {
+	base := snap(experiments.PerfEngine{Engine: "graph", BuildMS: 60, SelectMSOp: 60, SelectComponentsMSOp: 15})
+	cur := snap(experiments.PerfEngine{Engine: "graph", BuildMS: 60, SelectMSOp: 60, SelectComponentsMSOp: 20})
+	var out strings.Builder
+	if regressions, _ := compare(&out, base, cur, 0.25); regressions != 1 {
+		t.Fatalf("component-select regression flagged %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "select_components_ms_op") {
+		t.Fatalf("missing metric line:\n%s", out.String())
+	}
+}
+
+func snapshotBench(saveMS, loadMS float64) *experiments.SnapshotBench {
+	return &experiments.SnapshotBench{Dataset: "clustered", N: 100, Dim: 2, Radius: 0.1, SaveMS: saveMS, LoadMS: loadMS}
+}
+
+// TestCompareSnapshotBench: the warm-start metrics obey the same
+// tolerance discipline — load regressions fail, improvements and
+// within-tolerance drift pass.
+func TestCompareSnapshotBench(t *testing.T) {
+	base := snapshotBench(5.0, 7.0)
+	var out strings.Builder
+	if r := compareSnapshot(&out, base, snapshotBench(6.0, 8.5), 0.25); r != 0 {
+		t.Fatalf("within-tolerance snapshot run flagged %d regressions\n%s", r, out.String())
+	}
+	out.Reset()
+	if r := compareSnapshot(&out, base, snapshotBench(5.0, 9.0), 0.25); r != 1 {
+		t.Fatalf("load_ms regression flagged %d, want 1\n%s", r, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL snapshot load_ms") {
+		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+	out.Reset()
+	if r := compareSnapshot(&out, base, snapshotBench(2.0, 3.0), 0.25); r != 0 {
+		t.Fatalf("improvement flagged %d regressions\n%s", r, out.String())
+	}
+}

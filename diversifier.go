@@ -325,8 +325,10 @@ func (d *Diversifier) Metric() Metric { return d.metric }
 func (d *Diversifier) Point(id int) Point { return d.points[id] }
 
 type selectOptions struct {
-	algorithm Algorithm
-	noPrune   bool
+	algorithm   Algorithm
+	noPrune     bool
+	mode        SelectMode
+	parallelism int
 }
 
 // SelectOption configures Select.
@@ -343,6 +345,39 @@ func WithoutPruning() SelectOption {
 	return func(o *selectOptions) { o.noPrune = true }
 }
 
+// WithSelectMode picks the execution strategy (default SelectGlobal).
+// SelectComponents decomposes the selection over the r-coverage graph's
+// connected components — same subset, parallel and usually cheaper on
+// clustered data; see the SelectMode constants for the trade-offs.
+func WithSelectMode(m SelectMode) SelectOption {
+	return func(o *selectOptions) { o.mode = m }
+}
+
+// WithSelectParallelism sets the worker count for SelectComponents
+// (<= 0, the default, selects GOMAXPROCS). The selected subset and its
+// order are bit-identical for every worker count; only wall-clock time
+// changes. SelectGlobal ignores it.
+func WithSelectParallelism(workers int) SelectOption {
+	return func(o *selectOptions) { o.parallelism = workers }
+}
+
+// greedyUpdate maps a Greedy-DisC family member to its count-update
+// strategy; ok is false for the non-greedy algorithms.
+func greedyUpdate(a Algorithm) (core.UpdateStrategy, bool) {
+	switch a {
+	case AlgorithmGreedy:
+		return core.UpdateGrey, true
+	case AlgorithmGreedyWhite:
+		return core.UpdateWhite, true
+	case AlgorithmLazyGrey:
+		return core.UpdateLazyGrey, true
+	case AlgorithmLazyWhite:
+		return core.UpdateLazyWhite, true
+	default:
+		return 0, false
+	}
+}
+
 // Select computes an r-DisC diverse subset (or an r-C subset for the
 // coverage-only algorithms) of the indexed objects.
 func (d *Diversifier) Select(r float64, opts ...SelectOption) (*Result, error) {
@@ -353,13 +388,24 @@ func (d *Diversifier) Select(r float64, opts ...SelectOption) (*Result, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	// Validate before engineForRadius: an unknown algorithm must not pay
-	// for a coverage-graph build.
+	// Validate before engineForRadius: an unknown algorithm or an
+	// unsupported mode combination must not pay for a coverage-graph
+	// build.
+	update, isGreedy := greedyUpdate(o.algorithm)
 	switch o.algorithm {
 	case AlgorithmGreedy, AlgorithmBasic, AlgorithmGreedyWhite, AlgorithmLazyGrey,
 		AlgorithmLazyWhite, AlgorithmCoverage, AlgorithmFastCoverage:
 	default:
 		return nil, fmt.Errorf("disc: unknown algorithm %v", o.algorithm)
+	}
+	switch o.mode {
+	case SelectGlobal:
+	case SelectComponents:
+		if !isGreedy {
+			return nil, fmt.Errorf("disc: select mode %v supports only the Greedy-DisC algorithms, not %v", o.mode, o.algorithm)
+		}
+	default:
+		return nil, fmt.Errorf("disc: unknown select mode %v", o.mode)
 	}
 	pruned := !o.noPrune
 	e, err := d.engineForRadius(r, true)
@@ -367,20 +413,16 @@ func (d *Diversifier) Select(r float64, opts ...SelectOption) (*Result, error) {
 		return nil, err
 	}
 	var sol *core.Solution
-	switch o.algorithm {
-	case AlgorithmBasic:
+	switch {
+	case isGreedy && o.mode == SelectComponents:
+		sol = core.GreedyDisCComponents(e, r, core.GreedyOptions{Update: update, Pruned: pruned}, o.parallelism)
+	case isGreedy:
+		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: update, Pruned: pruned})
+	case o.algorithm == AlgorithmBasic:
 		sol = core.BasicDisC(e, r, pruned)
-	case AlgorithmGreedy:
-		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateGrey, Pruned: pruned})
-	case AlgorithmGreedyWhite:
-		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateWhite, Pruned: pruned})
-	case AlgorithmLazyGrey:
-		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateLazyGrey, Pruned: pruned})
-	case AlgorithmLazyWhite:
-		sol = core.GreedyDisC(e, r, core.GreedyOptions{Update: core.UpdateLazyWhite, Pruned: pruned})
-	case AlgorithmCoverage:
+	case o.algorithm == AlgorithmCoverage:
 		sol = core.GreedyC(e, r)
-	case AlgorithmFastCoverage:
+	default: // AlgorithmFastCoverage
 		sol = core.FastC(e, r)
 	}
 	return &Result{div: d, sol: sol, coverageOnly: o.algorithm == AlgorithmCoverage || o.algorithm == AlgorithmFastCoverage}, nil

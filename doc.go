@@ -43,6 +43,30 @@
 // and AlgorithmCoverage / AlgorithmFastCoverage for coverage-only (r-C)
 // subsets that drop the dissimilarity requirement.
 //
+// # Parallel (component-decomposed) selection
+//
+// A dominating set of a disconnected graph is the union of dominating
+// sets of its connected components, and at DisC-typical radii the
+// r-coverage graph shatters into thousands of components. Select with
+// WithSelectMode(SelectComponents) exploits that: components are
+// labeled in O(n + edges) (cached per radius on the coverage-graph
+// engine and persisted in snapshots, so warm starts skip the pass) and
+// the Greedy-DisC family then runs per component — singletons
+// short-circuit, two-member components resolve in O(1), larger ones run
+// the pruned greedy against component-sized heaps and white sets — on a
+// worker pool sized by WithSelectParallelism. The selected subset is
+// identical to SelectGlobal's, and the full output (selection order
+// included) is bit-identical for every worker count; components are
+// processed and emitted in ascending minimum-member-id order. On the
+// canonical 50k clustered workload the coverage-graph select drops
+// about 4x on a single core — the fast paths and cache-local heaps pay
+// even before the worker pool can scale with cores — while a graph
+// that is one giant component degrades gracefully to the global
+// algorithm plus the labeling pass. AlgorithmLazyWhite falls back to
+// the global path (its 1.5r refresh queries cannot be served from the
+// materialised r-adjacency); Basic-DisC and the coverage-only
+// algorithms do not support component mode.
+//
 // # Index backends
 //
 // Every selection heuristic spends its time asking an index "who is
@@ -125,10 +149,13 @@
 // restored without rebuilding its indexes: WriteSnapshot serialises the
 // dataset (metric plus row-major coordinates) together with whatever
 // per-radius artifacts the current backend holds — the grid occupancy
-// for IndexGrid, the occupancy plus the coverage-graph CSR for
-// IndexCoverageGraph — and LoadDiversifier rehydrates them straight
-// into the lazy-engine machinery, so the first Select at the persisted
-// radius starts from the loaded graph instead of re-running the ε-join.
+// for IndexGrid; the occupancy, the coverage-graph CSR and (when
+// derived) its connected-component decomposition for IndexCoverageGraph
+// — and LoadDiversifier rehydrates them straight into the lazy-engine
+// machinery, so the first Select at the persisted radius starts from
+// the loaded graph instead of re-running the ε-join, and component-mode
+// selections skip the labeling pass too (the loaded labels are
+// revalidated against the adjacency before they are trusted).
 // Prepare builds those artifacts eagerly when no selection has run yet.
 // The format is sectioned, versioned and CRC-32C-checksummed: readers
 // reject other format versions but skip unknown section kinds, so new
@@ -156,8 +183,14 @@
 //
 // # Development
 //
-// The Makefile carries the shared entry points CI runs on every push:
-// `make build`, `make test` (race detector on), `make lint` (go vet and
-// the gofmt gate) and `make bench` (a one-iteration smoke pass over
-// every benchmark so they cannot bit-rot).
+// The Makefile carries the shared entry points. CI runs `make build`,
+// `make test` (race detector on), `make lint` (go vet and the gofmt
+// gate) and `make bench-guard` (the regression gate diffing fresh perf
+// and snapshot measurements against the checked-in BENCH_PR5.json and
+// BENCH_PR4.json) on every push. `make bench` is the manual
+// counterpart: a one-iteration smoke pass over every benchmark, then a
+// refresh of the BENCH_PR5.json baseline — it rewrites that checked-in
+// file, so run it (and commit the result) only for deliberate perf
+// shifts measured on the baseline hardware, never in CI, where it would
+// turn the bench-guard diff into a self-comparison.
 package disc

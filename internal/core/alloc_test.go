@@ -6,6 +6,7 @@ package core
 // instrumentation, hence the build tag; `go test -race` skips this file.
 
 import (
+	"math"
 	"testing"
 
 	"github.com/discdiversity/disc/internal/object"
@@ -38,6 +39,44 @@ func TestNeighborsAppendZeroAlloc(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("%s: NeighborsWhiteAppend allocates %.1f/op in steady state", name, allocs)
 		}
+	}
+}
+
+// TestComponentSelectZeroAlloc pins the component-decomposed selection's
+// steady-state contract: once a worker's scratch has grown to its
+// high-water mark, sweeping the whole component range — singleton and
+// pair fast paths and full per-component greedy runs alike — allocates
+// nothing. Only per-selection setup (solution arrays, scratch, chunk
+// slots) may allocate.
+func TestComponentSelectZeroAlloc(t *testing.T) {
+	pts := randomPoints(600, 2, 100)
+	const r = 0.05
+	g, err := BuildParallelGraphEngine(pts, object.Euclidean{}, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := g.Components(r)
+	if comp.Count < 10 || comp.Largest() < 3 {
+		t.Fatalf("workload too degenerate for the sweep (%d components, largest %d)", comp.Count, comp.Largest())
+	}
+	csr, ok := g.AdjacencyCSR(r)
+	if !ok {
+		t.Fatal("no adjacency at build radius")
+	}
+	s := newSolution(len(pts), r, "alloc probe")
+	sc := newComponentScratch(len(pts))
+	ids, _ := runComponentRange(csr, comp, 0, comp.Count, r, s, sc, nil) // grow to high-water
+	buf := ids[:0]
+	inf := math.Inf(1)
+	allocs := testing.AllocsPerRun(20, func() {
+		for id := range s.Colors {
+			s.Colors[id] = White
+			s.DistBlack[id] = inf
+		}
+		buf, _ = runComponentRange(csr, comp, 0, comp.Count, r, s, sc, buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("component sweep allocates %.1f/op in steady state", allocs)
 	}
 }
 

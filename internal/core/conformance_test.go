@@ -157,8 +157,9 @@ func TestEngineConformanceScanOrder(t *testing.T) {
 }
 
 // TestEngineConformanceGreedyIdentical: exact-count greedy selection must
-// be identical on every engine, pruned or not — the strongest
-// cross-validation of the index implementations.
+// be identical on every engine, pruned or not, global or
+// component-decomposed — the strongest cross-validation of the index
+// implementations.
 func TestEngineConformanceGreedyIdentical(t *testing.T) {
 	pts := randomPoints(450, 2, 82)
 	m := object.Euclidean{}
@@ -176,6 +177,10 @@ func TestEngineConformanceGreedyIdentical(t *testing.T) {
 				if !equalInts(ref, s.SortedIDs()) {
 					t.Errorf("r=%g: %s(pruned=%v) differs from %s", r, name, pruned, refName)
 				}
+			}
+			cs := GreedyDisCComponents(e, r, GreedyOptions{Update: UpdateGrey, Pruned: true}, 4)
+			if !equalInts(ref, cs.SortedIDs()) {
+				t.Errorf("r=%g: %s component mode differs from %s", r, name, refName)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/discdiversity/disc/internal/bitset"
+	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 )
 
@@ -139,4 +140,10 @@ func (f *FlatEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float
 		}
 	}
 	return dst
+}
+
+// Components implements CoverageEngine by breadth-first traversal over
+// per-object range queries.
+func (f *FlatEngine) Components(r float64) *grid.Components {
+	return componentsViaQueries(f, r)
 }

@@ -61,6 +61,10 @@ type ParallelGraphEngine struct {
 	csr     *grid.CSR // adjacency rows sorted by id; exclude self
 	counts  []int     // csr.Degree(i), for CountingEngine
 	scan    []int
+	// comps caches the connected-component decomposition at the build
+	// radius: it is a pure function of the CSR, so computing (or
+	// installing from a snapshot) it once serves every later selection.
+	comps *grid.Components
 
 	// clamp is the box-clamp scratch for single-threaded R-tree fallback
 	// queries at radii beyond the build radius.
@@ -396,6 +400,47 @@ func (g *ParallelGraphEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int
 		}
 	}
 	return dst
+}
+
+// Components implements CoverageEngine. At the build radius the
+// decomposition is one depth-first pass over the materialised CSR —
+// charged like any adjacency walk, one access per entry examined — and
+// is cached: it is a pure function of the graph, so later calls (every
+// selection in component mode) return it for free, exactly like
+// InitialCounts. A snapshot-loaded decomposition (InstallComponents)
+// pre-fills the cache, which is what lets warm starts skip the pass
+// entirely. Smaller radii are answered by a filtered, uncached pass;
+// radii beyond the build radius fall back to the substrate's range
+// queries.
+func (g *ParallelGraphEngine) Components(r float64) *grid.Components {
+	switch {
+	case r == g.radius:
+		if g.comps == nil {
+			g.charge(len(g.csr.Nbrs))
+			g.comps = grid.ComponentsOfCSR(g.csr, g.flat.Len(), r)
+		}
+		return g.comps
+	case r < g.radius:
+		g.charge(len(g.csr.Nbrs))
+		return grid.ComponentsOfCSR(g.csr, g.flat.Len(), r)
+	default:
+		return componentsViaQueries(g, r)
+	}
+}
+
+// CachedComponents returns the decomposition computed or installed for
+// the build radius, nil when none has been derived yet. Snapshots
+// persist it opportunistically through this accessor.
+func (g *ParallelGraphEngine) CachedComponents() *grid.Components { return g.comps }
+
+// AdjacencyCSR implements adjacencySource: the materialised graph serves
+// the component-decomposed selection directly when the query radius is
+// exactly the build radius.
+func (g *ParallelGraphEngine) AdjacencyCSR(r float64) (*grid.CSR, bool) {
+	if r == g.radius {
+		return g.csr, true
+	}
+	return nil, false
 }
 
 // WhiteCount implements WhiteCounter: at radii covered by the

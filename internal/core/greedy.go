@@ -71,7 +71,7 @@ type queryScratch struct {
 // one range query per object establishes the counts.
 func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
 	n := e.Size()
-	name := greedyName(opts)
+	name := greedyName(opts, false)
 	cov, hasCov := e.(CoverageEngine)
 	usePrune := opts.Pruned && hasCov
 	if usePrune {
@@ -122,7 +122,7 @@ func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
 	return s
 }
 
-func greedyName(opts GreedyOptions) string {
+func greedyName(opts GreedyOptions, components bool) string {
 	var name string
 	switch opts.Update {
 	case UpdateWhite:
@@ -134,8 +134,13 @@ func greedyName(opts GreedyOptions) string {
 	default:
 		name = "Grey-Greedy-DisC"
 	}
-	if opts.Pruned {
+	switch {
+	case opts.Pruned && components:
+		name += " (Pruned, Components)"
+	case opts.Pruned:
 		name += " (Pruned)"
+	case components:
+		name += " (Components)"
 	}
 	return name
 }

@@ -183,3 +183,11 @@ func (e *GridEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float
 	}
 	return e.grid.AppendRangeWhite(dst, e.grid.Flat().Row(id), r, id, &e.white, e.cellWhite, &e.accesses, e.scratch)
 }
+
+// Components implements CoverageEngine by breadth-first traversal over
+// the cell-range scans (one per object). The grid holds no adjacency, so
+// unlike the coverage-graph engine nothing is cached: each call repeats
+// the traversal at the requested radius.
+func (e *GridEngine) Components(r float64) *grid.Components {
+	return componentsViaQueries(e, r)
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/discdiversity/disc/internal/bitset"
+	"github.com/discdiversity/disc/internal/grid"
+)
+
+// GreedyDisCComponents is Greedy-DisC decomposed over the connected
+// components of the r-coverage graph. A dominating set of a
+// disconnected graph is exactly the union of dominating sets of its
+// components, and the greedy choice inside one component is a function
+// of that component's state alone, so running the pruned greedy
+// per-component selects exactly the objects the global run would —
+// what changes is the cost profile: each component runs against a
+// component-sized heap and a component-confined white set instead of
+// the n-sized structures of the global run, singleton components
+// short-circuit to "pick it", and two-member components resolve in
+// O(1). Independent components execute on a pool of workers (<= 0
+// selects GOMAXPROCS), chunked by adjacency mass so skewed component
+// sizes still balance; the chunks are contiguous component ranges and
+// components are numbered by ascending minimum member id, so the merged
+// output is bit-identical for every worker count.
+//
+// The selection operates on the exact r-adjacency in CSR form: the
+// coverage-graph engine serves its materialised graph directly (and its
+// cached decomposition, possibly loaded from a snapshot); every other
+// engine pays one range query per object to materialise the adjacency
+// first — the cost of the count-initialisation pass a global run issues
+// anyway. Solutions carry exact DistBlack entries (full adjacency rows
+// are walked, so every closest-black distance is observed — pruned
+// global runs only bound them), and Accesses mirrors the global pruned
+// run's accounting: one unit per adjacency entry examined, at least one
+// per query.
+//
+// UpdateGrey and UpdateLazyGrey run natively. UpdateWhite maintains the
+// same exact counts through grey-side decrements (the recount a 2r
+// candidate query feeds equals the decremented count — see
+// updateWhiteCounts — so selections are identical; only the access
+// profile differs). UpdateLazyWhite's 1.5r candidate queries cannot be
+// answered from the materialised r-adjacency, so it falls back to the
+// sequential global path, as does a dataset whose adjacency would
+// overflow the CSR's int32 offset domain.
+func GreedyDisCComponents(e Engine, r float64, opts GreedyOptions, workers int) *Solution {
+	if opts.Update == UpdateLazyWhite {
+		return GreedyDisC(e, r, opts)
+	}
+	n := e.Size()
+	start := e.Accesses()
+
+	var csr *grid.CSR
+	var comp *grid.Components
+	if src, ok := e.(adjacencySource); ok {
+		if c, have := src.AdjacencyCSR(r); have {
+			csr = c
+			if cov, ok := e.(CoverageEngine); ok {
+				comp = cov.Components(r) // cached on the graph engine
+			}
+		}
+	}
+	if csr == nil {
+		var ok bool
+		csr, ok = materializeAdjacency(e, r)
+		if !ok {
+			return GreedyDisC(e, r, opts)
+		}
+	}
+	if comp == nil {
+		comp = grid.ComponentsOfCSR(csr, n, r)
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > comp.Count {
+		workers = comp.Count
+	}
+	updR := r
+	if opts.Update == UpdateLazyGrey {
+		updR = r / 2
+	}
+	s := newSolution(n, r, greedyName(opts, true))
+
+	bounds := chunkComponents(comp, csr, workers)
+	chunks := len(bounds) - 1
+	ids := make([][]int, chunks)
+	accs := make([]int64, chunks)
+	if chunks == 1 {
+		ids[0], accs[0] = runComponentRange(csr, comp, 0, comp.Count, updR, s, newComponentScratch(n), nil)
+	} else {
+		// Workers write only their own chunk slots and the solution
+		// entries of their own components' members — disjoint index
+		// sets, so the merge below is the only synchronisation point.
+		var wg sync.WaitGroup
+		for w := 0; w < chunks; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ids[w], accs[w] = runComponentRange(csr, comp, bounds[w], bounds[w+1], updR, s, newComponentScratch(n), nil)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	total := 0
+	for _, l := range ids {
+		total += len(l)
+	}
+	s.IDs = make([]int, 0, total)
+	var acc int64
+	for w := range ids {
+		s.IDs = append(s.IDs, ids[w]...)
+		acc += accs[w]
+	}
+	s.DistBlackExact = true
+	s.Accesses = (e.Accesses() - start) + acc
+	return s
+}
+
+// chunkComponents splits [0, comp.Count) into at most workers contiguous
+// ranges of roughly equal adjacency mass (the sum of member degrees,
+// with singletons counting one) — degree mass, not member count, is
+// what drives per-component greedy cost, so skewed decompositions (one
+// giant cluster plus thousands of singletons) still balance.
+func chunkComponents(comp *grid.Components, csr *grid.CSR, workers int) []int {
+	var total int64
+	mass := make([]int64, comp.Count)
+	for c := 0; c < comp.Count; c++ {
+		var m int64
+		for _, id := range comp.MemberIDs(c) {
+			m += int64(csr.Degree(int(id)))
+		}
+		if m == 0 {
+			m = 1
+		}
+		mass[c] = m
+		total += m
+	}
+	bounds := make([]int, 1, workers+1)
+	target := (total + int64(workers) - 1) / int64(workers)
+	next := target
+	var run int64
+	for c := 0; c < comp.Count && len(bounds) < workers; c++ {
+		run += mass[c]
+		if run >= next {
+			bounds = append(bounds, c+1)
+			next = run + target
+		}
+	}
+	if bounds[len(bounds)-1] != comp.Count {
+		bounds = append(bounds, comp.Count)
+	}
+	return bounds
+}
+
+// componentScratch is one worker's reusable state. Every structure is
+// sized once for the full id domain and reused across the worker's
+// components, so the steady-state per-component loop allocates nothing:
+// the white bits of a finished component are all cleared by its own run
+// (every member ends covered), the heap drains itself, and count
+// entries are rewritten before they are read.
+type componentScratch struct {
+	white bitset.Set
+	heap  *lazyHeap
+	nw    []int32
+	grey  []int32
+}
+
+func newComponentScratch(n int) *componentScratch {
+	sc := &componentScratch{
+		nw:   make([]int32, n),
+		heap: newLazyHeap(64),
+	}
+	sc.white.Reset(n)
+	return sc
+}
+
+// runComponentRange processes components [lo, hi) in ascending order,
+// writing colors and closest-black distances straight into the shared
+// solution (each id belongs to exactly one component, so workers touch
+// disjoint entries) and returning the selected ids — appended to the
+// caller-owned ids buffer in selection order — plus the
+// entries-examined access count.
+func runComponentRange(csr *grid.CSR, comp *grid.Components, lo, hi int, updR float64, s *Solution, sc *componentScratch, ids []int) ([]int, int64) {
+	var acc int64
+	for c := lo; c < hi; c++ {
+		members := comp.MemberIDs(c)
+		switch len(members) {
+		case 1:
+			// A singleton covers itself; a global run would pop it and
+			// issue one empty white-neighbourhood query (charged one).
+			id := int(members[0])
+			s.Colors[id] = Black
+			s.DistBlack[id] = 0
+			ids = append(ids, id)
+			acc++
+		case 2:
+			// Both members cover one object; the (count desc, id asc)
+			// order picks the smaller id and greys the other. Two
+			// one-entry row scans is what the general path would charge.
+			u, v := int(members[0]), int(members[1])
+			s.Colors[u] = Black
+			s.DistBlack[u] = 0
+			s.Colors[v] = Grey
+			s.DistBlack[v] = csr.Row(u)[0].Dist
+			ids = append(ids, u)
+			acc += 2
+		default:
+			ids, acc = greedyComponent(csr, members, updR, s, sc, ids, acc)
+		}
+	}
+	return ids, acc
+}
+
+// greedyComponent runs the pruned grey-update greedy confined to one
+// component: counts start at the exact degrees (every neighbour of a
+// member is a member), the component-local heap pops (count desc, id
+// asc), and each selection greys its white neighbours and decrements
+// their white neighbours' counts — the grey update of the global
+// algorithm, against component-sized state. Count maintenance uses
+// deferred invalidation: decrements touch only the count array, and a
+// popped entry whose key went stale is re-pushed at its current count
+// (see lazyHeap.pop for why that preserves the exact selection order) —
+// so the heap sees one push per member plus one per stale pop instead
+// of one per decrement, the dominant cost of the global run on dense
+// graphs. Rows of a multi-member component are never empty, so the
+// charge per scan is len(row), matching the global pruned run's
+// one-unit-per-entry accounting exactly.
+func greedyComponent(csr *grid.CSR, members []int32, updR float64, s *Solution, sc *componentScratch, ids []int, acc int64) ([]int, int64) {
+	h := sc.heap
+	for _, id32 := range members {
+		id := int(id32)
+		sc.white.Set(id)
+		deg := csr.Degree(id)
+		sc.nw[id] = int32(deg)
+		h.push(id, deg)
+	}
+	for {
+		it, ok := h.pop()
+		if !ok {
+			break
+		}
+		pi := it.id
+		if !sc.white.Test(pi) {
+			continue
+		}
+		if int(sc.nw[pi]) != it.key {
+			h.push(pi, int(sc.nw[pi]))
+			continue
+		}
+		sc.white.Clear(pi)
+		s.Colors[pi] = Black
+		s.DistBlack[pi] = 0
+		ids = append(ids, pi)
+		row := csr.Row(pi)
+		acc += int64(len(row))
+		sc.grey = sc.grey[:0]
+		for _, nb := range row {
+			if sc.white.Test(nb.ID) {
+				sc.white.Clear(nb.ID)
+				s.Colors[nb.ID] = Grey
+				sc.grey = append(sc.grey, int32(nb.ID))
+			}
+			// Full rows are walked (unlike the white-filtered queries of
+			// the global pruned run), so closest-black distances are
+			// exact and the solution reports DistBlackExact.
+			if nb.Dist < s.DistBlack[nb.ID] {
+				s.DistBlack[nb.ID] = nb.Dist
+			}
+		}
+		for _, gj := range sc.grey {
+			grow := csr.Row(int(gj))
+			acc += int64(len(grow))
+			for _, nb := range grow {
+				if nb.Dist <= updR && sc.white.Test(nb.ID) {
+					sc.nw[nb.ID]--
+				}
+			}
+		}
+	}
+	return ids, acc
+}

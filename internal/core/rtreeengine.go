@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/rtree"
 )
@@ -89,4 +90,10 @@ func (re *RTreeEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
 // NeighborsWhiteAppend implements CoverageEngine.
 func (re *RTreeEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	return re.tree.AppendRangeQueryPruned(dst, id, r)
+}
+
+// Components implements CoverageEngine by breadth-first traversal over
+// per-object range queries.
+func (re *RTreeEngine) Components(r float64) *grid.Components {
+	return componentsViaQueries(re, r)
 }

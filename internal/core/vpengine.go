@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/vptree"
 )
@@ -86,4 +87,10 @@ func (ve *VPEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
 // NeighborsWhiteAppend implements CoverageEngine.
 func (ve *VPEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
 	return ve.tree.AppendRangeQueryPruned(dst, id, r)
+}
+
+// Components implements CoverageEngine by breadth-first traversal over
+// per-object range queries.
+func (ve *VPEngine) Components(r float64) *grid.Components {
+	return componentsViaQueries(ve, r)
 }

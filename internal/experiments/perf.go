@@ -13,35 +13,44 @@ import (
 
 // PerfEngine is one engine's measurement in a performance snapshot: a
 // repeated index build (wall time per op — the metric the bench guard
-// diffs alongside select), a repeated pruned Greedy-DisC selection
-// (wall time and allocation profile per op) and the steady-state
-// reusable-buffer neighbour query.
+// diffs alongside the selections), a repeated pruned Greedy-DisC
+// selection in both execution modes (global, and component-decomposed
+// with the default worker count — SelectComponents* rows) and the
+// steady-state reusable-buffer neighbour query.
 type PerfEngine struct {
-	Engine            string  `json:"engine"`
-	BuildNsOp         int64   `json:"build_ns_op"`
-	BuildMS           float64 `json:"build_ms"`
-	SelectNsOp        int64   `json:"select_ns_op"`
-	SelectMSOp        float64 `json:"select_ms_op"`
-	SelectAllocsOp    int64   `json:"select_allocs_op"`
-	SelectBytesOp     int64   `json:"select_bytes_op"`
-	NeighborsNsOp     int64   `json:"neighbors_ns_op"`
-	NeighborsAllocsOp int64   `json:"neighbors_allocs_op"`
-	SolutionSize      int     `json:"solution_size"`
-	Accesses          int64   `json:"accesses"`
+	Engine               string  `json:"engine"`
+	BuildNsOp            int64   `json:"build_ns_op"`
+	BuildMS              float64 `json:"build_ms"`
+	SelectNsOp           int64   `json:"select_ns_op"`
+	SelectMSOp           float64 `json:"select_ms_op"`
+	SelectAllocsOp       int64   `json:"select_allocs_op"`
+	SelectBytesOp        int64   `json:"select_bytes_op"`
+	SelectComponentsNsOp int64   `json:"select_components_ns_op"`
+	SelectComponentsMSOp float64 `json:"select_components_ms_op"`
+	NeighborsNsOp        int64   `json:"neighbors_ns_op"`
+	NeighborsAllocsOp    int64   `json:"neighbors_allocs_op"`
+	SolutionSize         int     `json:"solution_size"`
+	Accesses             int64   `json:"accesses"`
 }
 
 // PerfSnapshot is the machine-readable result of the "perf" experiment —
 // the repo's benchmark trajectory format (see BENCH_PR2.json).
 type PerfSnapshot struct {
-	Dataset    string       `json:"dataset"`
-	N          int          `json:"n"`
-	Dim        int          `json:"dim"`
-	Radius     float64      `json:"radius"`
-	Seed       uint64       `json:"seed"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	GoVersion  string       `json:"go_version"`
-	Algorithm  string       `json:"algorithm"`
-	Engines    []PerfEngine `json:"engines"`
+	Dataset    string  `json:"dataset"`
+	N          int     `json:"n"`
+	Dim        int     `json:"dim"`
+	Radius     float64 `json:"radius"`
+	Seed       uint64  `json:"seed"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	Algorithm  string  `json:"algorithm"`
+	// Components and LargestComponent describe the r-coverage graph's
+	// connected-component structure at Radius (identical for every
+	// engine), the shape that determines how much the component-
+	// decomposed selection can exploit.
+	Components       int          `json:"components"`
+	LargestComponent int          `json:"largest_component"`
+	Engines          []PerfEngine `json:"engines"`
 }
 
 // measure runs f repeatedly until budget elapses (always at least once)
@@ -148,6 +157,26 @@ func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
 		pe.SolutionSize = sol.Size()
 		pe.Accesses = sol.Accesses
 
+		// Component-decomposed selection, same workload. The graph
+		// engine labels its CSR once and serves the cached decomposition
+		// thereafter (the steady-state a warm-started or repeatedly
+		// selecting process sees); engines without a materialised
+		// adjacency pay their per-selection query pass inside the loop.
+		var csol *core.Solution
+		pe.SelectComponentsNsOp, _, _ = measure(func() {
+			e.ResetAccesses()
+			csol = core.GreedyDisCComponents(e, r, core.GreedyOptions{Update: core.UpdateGrey, Pruned: true}, workers)
+		}, 2*time.Second)
+		pe.SelectComponentsMSOp = float64(pe.SelectComponentsNsOp) / 1e6
+		if csol.Size() != sol.Size() {
+			return nil, fmt.Errorf("experiments: perf: %s: component selection size %d differs from global %d", b.name, csol.Size(), sol.Size())
+		}
+		if cov, ok := e.(core.CoverageEngine); ok && snap.Components == 0 {
+			cp := cov.Components(r)
+			snap.Components = cp.Count
+			snap.LargestComponent = cp.Largest()
+		}
+
 		buf := make([]object.Neighbor, 0, 4096)
 		id := 0
 		pe.NeighborsNsOp, pe.NeighborsAllocsOp, _ = measure(func() {
@@ -171,13 +200,14 @@ func (s *PerfSnapshot) WriteJSON(cfg Config) error {
 // view of the perf experiment).
 func (s *PerfSnapshot) Table() *stats.Table {
 	tab := stats.NewTable(
-		fmt.Sprintf("Perf snapshot — %s (n=%d, r=%g, %s, GOMAXPROCS=%d)",
-			s.Dataset, s.N, s.Radius, s.Algorithm, s.GoMaxProcs),
-		"engine", "build ms", "select ms/op", "allocs/op", "B/op", "nbr ns/op", "nbr allocs/op", "size", "accesses")
+		fmt.Sprintf("Perf snapshot — %s (n=%d, r=%g, %s, GOMAXPROCS=%d, %d components, largest %d)",
+			s.Dataset, s.N, s.Radius, s.Algorithm, s.GoMaxProcs, s.Components, s.LargestComponent),
+		"engine", "build ms", "select ms/op", "cmp-select ms/op", "allocs/op", "B/op", "nbr ns/op", "nbr allocs/op", "size", "accesses")
 	for _, e := range s.Engines {
 		tab.AddRow(e.Engine,
 			fmt.Sprintf("%.1f", e.BuildMS),
 			fmt.Sprintf("%.2f", e.SelectMSOp),
+			fmt.Sprintf("%.2f", e.SelectComponentsMSOp),
 			e.SelectAllocsOp, e.SelectBytesOp,
 			e.NeighborsNsOp, e.NeighborsAllocsOp,
 			e.SolutionSize, e.Accesses)

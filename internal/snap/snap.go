@@ -24,9 +24,11 @@
 // name plus the n×dim row-major
 // coordinate array), grid (3, the uniform-grid occupancy of
 // internal/grid), graph (4, the coverage-graph CSR with its build
-// radius). Every multi-byte value is little-endian; float64s are IEEE
-// 754 bit patterns; neighbour entries are (int64 id, float64 dist)
-// pairs.
+// radius), components (5, the graph's connected-component labels at
+// that radius — added after version 1 shipped, readable by all version-1
+// readers through the unknown-kind skip). Every multi-byte value is
+// little-endian; float64s are IEEE 754 bit patterns; neighbour entries
+// are (int64 id, float64 dist) pairs.
 //
 // # Versioning policy
 //
@@ -70,10 +72,11 @@ const (
 	headerSize = 20
 	entrySize  = 24
 
-	kindMeta    = 1
-	kindDataset = 2
-	kindGrid    = 3
-	kindGraph   = 4
+	kindMeta       = 1
+	kindDataset    = 2
+	kindGrid       = 3
+	kindGraph      = 4
+	kindComponents = 5
 )
 
 // castagnoli is the CRC-32C polynomial table; hardware-accelerated on
@@ -126,6 +129,16 @@ type Snapshot struct {
 	// joined at GraphRadius.
 	GraphRadius float64
 	Graph       *grid.CSR
+
+	// ComponentLabels, when non-nil, is the connected-component label of
+	// every point in the graph section's adjacency at GraphRadius, with
+	// ComponentCount distinct components — the decomposition the
+	// component-parallel selection path derives in O(n + edges), persisted
+	// so warm starts skip the pass. Only meaningful alongside a graph
+	// section; loaders revalidate the labels against the adjacency before
+	// trusting them.
+	ComponentCount  int
+	ComponentLabels []int32
 }
 
 // validate checks the shape invariants Write relies on to size sections.
@@ -159,6 +172,17 @@ func (s *Snapshot) validate() error {
 		}
 		if int(c.Offsets[s.N]) != len(c.Nbrs) {
 			return fmt.Errorf("snap: graph offsets do not span the packed neighbours")
+		}
+	}
+	if l := s.ComponentLabels; l != nil {
+		if s.Graph == nil {
+			return fmt.Errorf("snap: component labels without a graph section")
+		}
+		if len(l) != s.N {
+			return fmt.Errorf("snap: %d component labels for %d points", len(l), s.N)
+		}
+		if s.ComponentCount < 1 || s.ComponentCount > s.N {
+			return fmt.Errorf("snap: implausible component count %d for %d points", s.ComponentCount, s.N)
 		}
 	}
 	return nil
@@ -285,6 +309,16 @@ func Write(w io.Writer, s *Snapshot) error {
 				e.i32s(c.Offsets)
 				e.pad8()
 				e.neighbors(c.Nbrs)
+			}})
+	}
+	if l := s.ComponentLabels; l != nil {
+		secs = append(secs, section{kindComponents,
+			24 + 4*len(l),
+			func(e *enc) {
+				e.f64(s.GraphRadius)
+				e.u64(uint64(s.N))
+				e.u64(uint64(s.ComponentCount))
+				e.i32s(l)
 			}})
 	}
 
@@ -470,8 +504,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 
 	s := &Snapshot{}
 	seen := map[uint32]bool{}
-	var gridSec, graphSec *dec
-	var gridLen, graphLen int
+	var gridSec, graphSec, compSec *dec
+	var gridLen, graphLen, compLen int
 	for i := 0; i < nsec; i++ {
 		t := &dec{b: data, off: headerSize + entrySize*i}
 		kind := t.u32()
@@ -526,6 +560,10 @@ func Read(r io.Reader) (*Snapshot, error) {
 			gridSec, gridLen = d, length
 		case kindGraph:
 			graphSec, graphLen = d, length
+		case kindComponents:
+			// Decoded after the graph section: the labels are only
+			// meaningful against its adjacency and radius.
+			compSec, compLen = d, length
 		default:
 			// Unknown kind: a forward-compatible addition; skip.
 		}
@@ -584,6 +622,30 @@ func Read(r io.Reader) (*Snapshot, error) {
 		}
 		s.GraphRadius = radius
 		s.Graph = c
+	}
+	if d := compSec; d != nil {
+		if compLen < 24 {
+			return nil, fmt.Errorf("snap: components section truncated")
+		}
+		if s.Graph == nil {
+			return nil, fmt.Errorf("snap: components section without a graph section")
+		}
+		radius := d.f64()
+		n64, count64 := d.u64(), d.u64()
+		if radius != s.GraphRadius {
+			return nil, fmt.Errorf("snap: components labeled at radius %g, graph joined at %g", radius, s.GraphRadius)
+		}
+		if n64 != uint64(s.N) {
+			return nil, fmt.Errorf("snap: components section is for %d points, dataset has %d", n64, s.N)
+		}
+		if count64 == 0 || count64 > uint64(s.N) {
+			return nil, fmt.Errorf("snap: implausible component count %d for %d points", count64, s.N)
+		}
+		if compLen != 24+4*s.N {
+			return nil, fmt.Errorf("snap: components section length %d does not match %d points", compLen, s.N)
+		}
+		s.ComponentCount = int(count64)
+		s.ComponentLabels = d.i32s(s.N)
 	}
 	return s, nil
 }

@@ -15,7 +15,7 @@ import (
 // points: dataset always, grid occupancy and coverage-graph CSR when
 // withGrid/withGraph are set (built by the real grid code so the
 // layouts are genuine).
-func buildSnapshot(t *testing.T, n, dim int, r float64, seed uint64, withGrid, withGraph bool) *Snapshot {
+func buildSnapshot(t *testing.T, n, dim int, r float64, seed uint64, withGrid, withGraph, withComps bool) *Snapshot {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(seed, seed))
 	pts := make([]object.Point, n)
@@ -55,6 +55,11 @@ func buildSnapshot(t *testing.T, n, dim int, r float64, seed uint64, withGrid, w
 			}
 			s.GraphRadius = r
 			s.Graph = csr
+			if withComps {
+				cp := grid.ComponentsOfCSR(csr, n, r)
+				s.ComponentCount = cp.Count
+				s.ComponentLabels = cp.Label
+			}
 		}
 	}
 	return s
@@ -74,19 +79,19 @@ func encode(t *testing.T, s *Snapshot) []byte {
 // property that makes snapshots content-addressable and diffable.
 func TestRoundTripByteIdentity(t *testing.T) {
 	cases := []struct {
-		n, dim              int
-		r                   float64
-		withGrid, withGraph bool
+		n, dim                         int
+		r                              float64
+		withGrid, withGraph, withComps bool
 	}{
-		{50, 2, 0.2, false, false},
-		{120, 2, 0.15, true, false},
-		{120, 2, 0.15, true, true},
-		{200, 3, 0.25, true, true},
-		{77, 1, 0.1, true, true},
-		{300, 5, 0.4, true, true},
+		{50, 2, 0.2, false, false, false},
+		{120, 2, 0.15, true, false, false},
+		{120, 2, 0.15, true, true, false},
+		{200, 3, 0.25, true, true, true},
+		{77, 1, 0.1, true, true, true},
+		{300, 5, 0.4, true, true, true},
 	}
 	for i, tc := range cases {
-		s := buildSnapshot(t, tc.n, tc.dim, tc.r, uint64(100+i), tc.withGrid, tc.withGraph)
+		s := buildSnapshot(t, tc.n, tc.dim, tc.r, uint64(100+i), tc.withGrid, tc.withGraph, tc.withComps)
 		first := encode(t, s)
 		loaded, err := Read(bytes.NewReader(first))
 		if err != nil {
@@ -101,7 +106,8 @@ func TestRoundTripByteIdentity(t *testing.T) {
 			loaded.Metric != s.Metric || loaded.N != s.N || loaded.Dim != s.Dim {
 			t.Fatalf("case %d: metadata drifted: %+v", i, loaded)
 		}
-		if (loaded.Grid != nil) != tc.withGrid || (loaded.Graph != nil) != tc.withGraph {
+		if (loaded.Grid != nil) != tc.withGrid || (loaded.Graph != nil) != tc.withGraph ||
+			(loaded.ComponentLabels != nil) != tc.withComps {
 			t.Fatalf("case %d: section presence drifted", i)
 		}
 		if tc.withGraph && loaded.GraphRadius != s.GraphRadius {
@@ -114,7 +120,7 @@ func TestRoundTripByteIdentity(t *testing.T) {
 // was written (the byte-identity test covers re-encoding; this pins the
 // decoded in-memory values themselves).
 func TestRoundTripValues(t *testing.T) {
-	s := buildSnapshot(t, 150, 2, 0.12, 7, true, true)
+	s := buildSnapshot(t, 150, 2, 0.12, 7, true, true, true)
 	loaded, err := Read(bytes.NewReader(encode(t, s)))
 	if err != nil {
 		t.Fatal(err)
@@ -142,11 +148,19 @@ func TestRoundTripValues(t *testing.T) {
 			t.Fatalf("neighbour %d drifted", i)
 		}
 	}
+	if loaded.ComponentCount != s.ComponentCount {
+		t.Fatalf("component count drifted")
+	}
+	for i, v := range s.ComponentLabels {
+		if loaded.ComponentLabels[i] != v {
+			t.Fatalf("component label %d drifted", i)
+		}
+	}
 }
 
 // TestRejectBadMagic: any corruption of the magic must be rejected.
 func TestRejectBadMagic(t *testing.T) {
-	data := encode(t, buildSnapshot(t, 60, 2, 0.2, 3, true, true))
+	data := encode(t, buildSnapshot(t, 60, 2, 0.2, 3, true, true, true))
 	for i := 0; i < 8; i++ {
 		bad := append([]byte(nil), data...)
 		bad[i] ^= 0x01
@@ -158,7 +172,7 @@ func TestRejectBadMagic(t *testing.T) {
 
 // TestRejectBadVersion: future or zero versions must be rejected.
 func TestRejectBadVersion(t *testing.T) {
-	data := encode(t, buildSnapshot(t, 60, 2, 0.2, 3, false, false))
+	data := encode(t, buildSnapshot(t, 60, 2, 0.2, 3, false, false, false))
 	for _, v := range []byte{0, 2, 0xff} {
 		bad := append([]byte(nil), data...)
 		bad[8] = v
@@ -172,7 +186,7 @@ func TestRejectBadVersion(t *testing.T) {
 // or silently succeed — the property a crashed writer or torn copy
 // relies on.
 func TestRejectTruncation(t *testing.T) {
-	data := encode(t, buildSnapshot(t, 80, 2, 0.2, 5, true, true))
+	data := encode(t, buildSnapshot(t, 80, 2, 0.2, 5, true, true, true))
 	for cut := 0; cut < len(data); cut++ {
 		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
 			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(data))
@@ -186,7 +200,7 @@ func TestRejectTruncation(t *testing.T) {
 // between sections are the only bytes outside the checksummed regions;
 // flips there must not corrupt the decoded snapshot.
 func TestRejectFlippedBytes(t *testing.T) {
-	s := buildSnapshot(t, 64, 2, 0.2, 9, true, true)
+	s := buildSnapshot(t, 64, 2, 0.2, 9, true, true, true)
 	data := encode(t, s)
 	reference := encode(t, s)
 
@@ -211,7 +225,7 @@ func TestRejectFlippedBytes(t *testing.T) {
 // declared shapes must still be rejected (the CRC protects bits, the
 // size equations protect logic).
 func TestRejectShapeLies(t *testing.T) {
-	s := buildSnapshot(t, 64, 2, 0.2, 11, true, true)
+	s := buildSnapshot(t, 64, 2, 0.2, 11, true, true, true)
 	// Graph offsets that do not span the packed array.
 	s.Graph.Offsets[len(s.Graph.Offsets)-1]++
 	var buf bytes.Buffer
@@ -224,7 +238,7 @@ func TestRejectShapeLies(t *testing.T) {
 // invariants do not hold, so corrupt files cannot be produced in the
 // first place.
 func TestWriterValidation(t *testing.T) {
-	good := buildSnapshot(t, 40, 2, 0.2, 13, true, true)
+	good := buildSnapshot(t, 40, 2, 0.2, 13, true, true, true)
 	cases := []func(*Snapshot){
 		func(s *Snapshot) { s.Metric = "" },
 		func(s *Snapshot) { s.N = 0 },
@@ -245,11 +259,54 @@ func TestWriterValidation(t *testing.T) {
 	}
 }
 
+// TestComponentsSectionConsistency: the writer must refuse label arrays
+// that do not fit the snapshot, and the reader must reject a components
+// section whose radius disagrees with the graph section — labels for a
+// different decomposition must never be grafted onto this adjacency.
+func TestComponentsSectionConsistency(t *testing.T) {
+	good := buildSnapshot(t, 64, 2, 0.2, 19, true, true, true)
+	writerCases := []func(*Snapshot){
+		func(s *Snapshot) { s.ComponentLabels = s.ComponentLabels[:10] },
+		func(s *Snapshot) { s.ComponentCount = 0 },
+		func(s *Snapshot) { s.ComponentCount = s.N + 1 },
+		func(s *Snapshot) { s.Graph = nil }, // labels without a graph
+	}
+	for i, mutate := range writerCases {
+		bad := *good
+		bad.ComponentLabels = append([]int32(nil), good.ComponentLabels...)
+		mutate(&bad)
+		if err := Write(&bytes.Buffer{}, &bad); err == nil {
+			t.Fatalf("case %d: writer accepted inconsistent component labels", i)
+		}
+	}
+
+	// Reader: rewrite the components section's radius field in place and
+	// fix up its CRC — a structurally valid file lying about the radius.
+	data := encode(t, good)
+	nsec := int(binary.LittleEndian.Uint32(data[12:]))
+	for i := 0; i < nsec; i++ {
+		entry := headerSize + entrySize*i
+		if binary.LittleEndian.Uint32(data[entry:]) != kindComponents {
+			continue
+		}
+		off := int(binary.LittleEndian.Uint64(data[entry+8:]))
+		length := int(binary.LittleEndian.Uint64(data[entry+16:]))
+		binary.LittleEndian.PutUint64(data[off:], 0x3ff0000000000000) // 1.0, not the join radius
+		binary.LittleEndian.PutUint32(data[entry+4:], crc32.Checksum(data[off:off+length], castagnoli))
+		retable(data)
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Fatal("radius-mismatched components section accepted")
+		}
+		return
+	}
+	t.Fatal("no components section found")
+}
+
 // TestUnknownSectionSkipped: a reader must skip section kinds it does
 // not know — the forward-compatibility contract that lets future
 // writers add sections without a version bump.
 func TestUnknownSectionSkipped(t *testing.T) {
-	data := encode(t, buildSnapshot(t, 50, 2, 0.2, 17, false, false))
+	data := encode(t, buildSnapshot(t, 50, 2, 0.2, 17, false, false, false))
 	// Retag the meta section (kind 1, first table entry) as an unknown
 	// kind and fix up the table CRC.
 	bad := append([]byte(nil), data...)

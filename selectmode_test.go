@@ -1,0 +1,134 @@
+package disc_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	disc "github.com/discdiversity/disc"
+)
+
+func clusteredPoints(t *testing.T, n int, seed uint64) []disc.Point {
+	t.Helper()
+	ds, err := disc.ClusteredDataset(n, 2, 6, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Points
+}
+
+// TestSelectModeProperty: across random clustered workloads, every
+// engine, every Greedy-DisC algorithm and several radii, the
+// component-mode selection must (a) verify as r-DisC diverse, (b) pick
+// exactly the global mode's subset, and (c) be bit-identical — selection
+// order included — across WithSelectParallelism(1/2/8).
+func TestSelectModeProperty(t *testing.T) {
+	algorithms := []disc.Algorithm{
+		disc.AlgorithmGreedy, disc.AlgorithmGreedyWhite,
+		disc.AlgorithmLazyGrey, disc.AlgorithmLazyWhite,
+	}
+	rng := rand.New(rand.NewPCG(61, 61))
+	for trial := 0; trial < 2; trial++ {
+		pts := clusteredPoints(t, 300+trial*150, uint64(400+trial))
+		r := 0.02 + rng.Float64()*0.04
+		for _, name := range disc.SupportedIndexNames() {
+			d, err := disc.New(pts, disc.WithIndexName(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range algorithms {
+				global, err := d.Select(r, disc.WithAlgorithm(alg))
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, alg, err)
+				}
+				var order []int
+				for _, workers := range []int{1, 2, 8} {
+					res, err := d.Select(r, disc.WithAlgorithm(alg),
+						disc.WithSelectMode(disc.SelectComponents),
+						disc.WithSelectParallelism(workers))
+					if err != nil {
+						t.Fatalf("%s/%v workers=%d: %v", name, alg, workers, err)
+					}
+					if err := d.Verify(res); err != nil {
+						t.Errorf("%s/%v workers=%d: %v", name, alg, workers, err)
+					}
+					if !slices.Equal(global.SortedIDs(), res.SortedIDs()) {
+						t.Errorf("%s/%v workers=%d: component subset differs from global", name, alg, workers)
+					}
+					if order == nil {
+						order = res.IDs()
+					} else if !slices.Equal(order, res.IDs()) {
+						t.Errorf("%s/%v workers=%d: selection order differs across parallelism", name, alg, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectModeValidation: unsupported algorithm/mode combinations and
+// unknown modes must fail before any index work.
+func TestSelectModeValidation(t *testing.T) {
+	d, err := disc.New(clusteredPoints(t, 60, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []disc.Algorithm{disc.AlgorithmBasic, disc.AlgorithmCoverage, disc.AlgorithmFastCoverage} {
+		if _, err := d.Select(0.1, disc.WithAlgorithm(alg), disc.WithSelectMode(disc.SelectComponents)); err == nil {
+			t.Errorf("%v accepted component mode", alg)
+		}
+	}
+	if _, err := d.Select(0.1, disc.WithSelectMode(disc.SelectMode(99))); err == nil {
+		t.Error("unknown select mode accepted")
+	}
+	if got := disc.SelectComponents.String(); got != "components" {
+		t.Errorf("SelectComponents.String() = %q", got)
+	}
+}
+
+// TestSnapshotCarriesComponents: Prepare must leave the component
+// decomposition in the snapshot, a warm start must reuse it (selections
+// identical to the fresh diversifier's, in both modes), and a second
+// save must reproduce the file byte for byte — the round-trip property
+// of the new section at the public API level.
+func TestSnapshotCarriesComponents(t *testing.T) {
+	pts := clusteredPoints(t, 400, 11)
+	const r = 0.03
+	d, err := disc.New(pts, disc.WithIndex(disc.IndexCoverageGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Prepare(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := d.Select(r, disc.WithSelectMode(disc.SelectComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := disc.LoadDiversifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []disc.SelectMode{disc.SelectGlobal, disc.SelectComponents} {
+		res, err := warm.Select(r, disc.WithSelectMode(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !slices.Equal(fresh.SortedIDs(), res.SortedIDs()) {
+			t.Fatalf("%v: warm selection differs from fresh", mode)
+		}
+	}
+	var again bytes.Buffer
+	if err := warm.WriteSnapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("save→load→save with components is not byte-identical (%d vs %d bytes)", buf.Len(), again.Len())
+	}
+}

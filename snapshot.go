@@ -13,17 +13,26 @@ import (
 
 // Prepare eagerly builds the radius-dependent index artifacts for
 // selection radius r — the grid occupancy for IndexGrid, the occupancy
-// plus the coverage-graph CSR for IndexCoverageGraph — without running
-// a selection. For the radius-independent backends it is a no-op. Use
-// it before WriteSnapshot to capture a warm snapshot for a radius that
-// has not been selected at yet, or at service start to pay the build
-// cost before the first request.
+// plus the coverage-graph CSR and its connected-component decomposition
+// for IndexCoverageGraph — without running a selection. For the
+// radius-independent backends it is a no-op. Use it before WriteSnapshot
+// to capture a warm snapshot for a radius that has not been selected at
+// yet, or at service start to pay the build cost before the first
+// request.
 func (d *Diversifier) Prepare(r float64) error {
 	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 		return fmt.Errorf("disc: invalid radius %g", r)
 	}
-	_, err := d.engineForRadius(r, true)
-	return err
+	e, err := d.engineForRadius(r, true)
+	if err != nil {
+		return err
+	}
+	if g, ok := e.(*core.ParallelGraphEngine); ok && g.Radius() == r {
+		// Populate the component cache so component-mode selections — and
+		// the snapshot's components section — are ready before first use.
+		g.Components(r)
+	}
+	return nil
 }
 
 // WriteSnapshot serialises the diversifier to the versioned .discsnap
@@ -31,8 +40,9 @@ func (d *Diversifier) Prepare(r float64) error {
 // (metric plus row-major coordinates) and the configured backend with
 // its build parameters (seed, parallelism, M-tree capacity), plus
 // whatever prepared per-radius artifacts the current engine holds — the
-// grid occupancy for IndexGrid, the occupancy and the coverage-graph
-// CSR for IndexCoverageGraph on grid-servable metrics. Backends that
+// grid occupancy for IndexGrid; the occupancy, the coverage-graph CSR
+// and (when already derived) its connected-component decomposition for
+// IndexCoverageGraph on grid-servable metrics. Backends that
 // rebuild cheaply or deterministically from the dataset (M-tree,
 // VP-tree, R-tree, linear scan, and the coverage graph's R-tree path)
 // persist the dataset only and are rebuilt on load.
@@ -57,6 +67,14 @@ func (d *Diversifier) WriteSnapshot(w io.Writer) error {
 			s.Grid = &p
 			s.Graph = e.CSR()
 			s.GraphRadius = e.Radius()
+			// The component decomposition is persisted opportunistically:
+			// present whenever the engine has derived (or loaded) it —
+			// Prepare and component-mode selections both populate it — so
+			// a warm start skips the labeling pass too.
+			if cp := e.CachedComponents(); cp != nil {
+				s.ComponentCount = cp.Count
+				s.ComponentLabels = cp.Label
+			}
 		}
 	case *core.GridEngine:
 		flat = e.Grid().Flat()
@@ -162,6 +180,11 @@ func LoadDiversifier(r io.Reader, opts ...Option) (*Diversifier, error) {
 			e, err := core.RehydrateGraphEngine(h, s.Graph, s.GraphRadius, o.parallelism)
 			if err != nil {
 				return nil, fmt.Errorf("disc: load: %w", err)
+			}
+			if s.ComponentLabels != nil {
+				if err := e.InstallComponents(s.ComponentLabels, s.ComponentCount); err != nil {
+					return nil, fmt.Errorf("disc: load: %w", err)
+				}
 			}
 			d.engine = e
 			return d, nil

@@ -69,6 +69,41 @@ const (
 	IndexGrid
 )
 
+// SelectMode chooses how Select executes the Greedy-DisC family. All
+// modes return the same selected subset; they differ in execution
+// strategy and cost.
+type SelectMode int
+
+const (
+	// SelectGlobal (the default) runs the heuristic sequentially over
+	// the whole object universe, exactly as the paper describes it.
+	SelectGlobal SelectMode = iota
+	// SelectComponents decomposes the r-coverage graph into connected
+	// components and runs the greedy per component on a worker pool
+	// (see WithSelectParallelism): a dominating set of a disconnected
+	// graph is the union of its components' dominating sets, so the
+	// selected subset is identical to SelectGlobal's while singleton and
+	// two-member components short-circuit, large components run against
+	// component-sized state, and independent components execute
+	// concurrently. Output is bit-identical for every worker count.
+	// Supported by the Greedy-DisC algorithms (AlgorithmGreedy,
+	// AlgorithmGreedyWhite, AlgorithmLazyGrey, AlgorithmLazyWhite);
+	// Basic-DisC and the coverage-only algorithms reject it.
+	SelectComponents
+)
+
+// String implements fmt.Stringer.
+func (m SelectMode) String() string {
+	switch m {
+	case SelectGlobal:
+		return "global"
+	case SelectComponents:
+		return "components"
+	default:
+		return fmt.Sprintf("select-mode(%d)", int(m))
+	}
+}
+
 // String implements fmt.Stringer.
 func (ix Index) String() string {
 	switch ix {
