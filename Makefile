@@ -13,7 +13,7 @@ BENCH_R ?= 0.0025
 # noisier runners.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: build test lint bench bench-guard snapshot-bench
+.PHONY: build test lint bench bench-guard snapshot-bench doclint
 
 ## build: compile every package and command
 build:
@@ -32,21 +32,26 @@ lint:
 	fi
 
 ## bench: one-iteration smoke pass over every benchmark, then
-## regenerate the checked-in BENCH_PR5.json perf baseline from the
-## canonical 50k workload (commit the refreshed file when the change is
-## a deliberate perf shift measured on the baseline hardware).
+## regenerate the checked-in BENCH_PR5.json perf baseline and the
+## BENCH_PR6.json incremental-update baseline from the canonical 50k
+## workload (commit the refreshed files when the change is a deliberate
+## perf shift measured on the baseline hardware).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -timeout 25m ./...
 	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > BENCH_PR5.json
 	@cat BENCH_PR5.json
+	$(GO) run ./cmd/discbench -exp stream -n $(BENCH_N) -r $(BENCH_R) -format=json > BENCH_PR6.json
+	@cat BENCH_PR6.json
 
 ## bench-guard: vet + compile-and-run gate over the selection and
 ## steady-state neighbour-query benchmarks with allocation reporting,
 ## plus the regression gates: the canonical 50k workload is re-measured
 ## for the perf experiment (bench-current.json, diffed against the
-## checked-in BENCH_PR5.json — Build/Select/component-Select metrics)
-## and the snapshot experiment (snapshot-bench.json, diffed against
-## BENCH_PR4.json — save/load metrics), failing on anything more than
+## checked-in BENCH_PR5.json — Build/Select/component-Select metrics),
+## the snapshot experiment (snapshot-bench.json, diffed against
+## BENCH_PR4.json — save/load metrics) and the stream experiment
+## (stream-bench.json, diffed against BENCH_PR6.json — updates/sec
+## floor and repair-latency p99 ceiling), failing on anything more than
 ## BENCH_TOLERANCE (default +25%) over its baseline. All outputs are
 ## uploaded as CI artifacts so the repo's perf trajectory is
 ## inspectable per commit. Also runs the zero-allocation regression
@@ -59,8 +64,10 @@ bench-guard:
 	status=$$?; cat bench-guard.txt; exit $$status
 	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > bench-current.json
 	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
+	$(GO) run ./cmd/discbench -exp stream -n $(BENCH_N) -r $(BENCH_R) -format=json > stream-bench.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_PR5.json -current bench-current.json \
 		-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json \
+		-stream-baseline BENCH_PR6.json -stream-current stream-bench.json \
 		-tolerance $(BENCH_TOLERANCE)
 
 ## snapshot-bench: measure cold-build vs snapshot-save vs warm-load on
@@ -71,3 +78,9 @@ bench-guard:
 snapshot-bench:
 	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
 	@cat snapshot-bench.json
+
+## doclint: verify that relative links and file references in the
+## repo's markdown docs resolve (the CI doc-link gate; see
+## doclint_test.go).
+doclint:
+	$(GO) test . -run TestDocLinks -count=1 -v

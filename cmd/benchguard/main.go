@@ -21,10 +21,17 @@
 // BENCH_PR4.json) are diffed under the same tolerance, so a commit that
 // bloats serialisation or the validated warm load fails too.
 //
+// With -stream-baseline and -stream-current set, the stream
+// experiment's updates_per_sec (higher is better: fails when the fresh
+// number drops below baseline/(1+tolerance)) and repair_ms_p99 (lower
+// is better, guarded like the latency metrics) are diffed — the
+// incremental-update trajectory, BENCH_PR6.json.
+//
 // Usage:
 //
 //	benchguard -baseline BENCH_PR5.json -current bench-current.json \
 //	  [-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json] \
+//	  [-stream-baseline BENCH_PR6.json -stream-current stream-bench.json] \
 //	  [-tolerance 0.25]
 package main
 
@@ -69,6 +76,10 @@ func perfWorkload(s *experiments.PerfSnapshot) workload {
 }
 
 func snapshotWorkload(b *experiments.SnapshotBench) workload {
+	return workload{b.Dataset, b.N, b.Dim, b.Radius, b.Seed, b.GoMaxProcs}
+}
+
+func streamWorkload(b *experiments.StreamBench) workload {
 	return workload{b.Dataset, b.N, b.Dim, b.Radius, b.Seed, b.GoMaxProcs}
 }
 
@@ -186,13 +197,57 @@ func compareSnapshot(w io.Writer, base, cur *experiments.SnapshotBench, toleranc
 	return regressions
 }
 
+// compareStream diffs the stream experiment's guarded metrics:
+// updates_per_sec regresses when throughput falls below
+// baseline/(1+tolerance); repair_ms_p99 regresses when the tail latency
+// exceeds baseline*(1+tolerance). Improvements never fail; a current
+// run whose maintained selection diverged from rebuild always fails —
+// that is a correctness break, not a perf regression.
+func compareStream(w io.Writer, base, cur *experiments.StreamBench, tolerance float64) (regressions int) {
+	was, now := base.UpdatesPerSec, cur.UpdatesPerSec
+	limit := was / (1 + tolerance)
+	status := "ok  "
+	if now < limit && was > 0 {
+		status = "FAIL"
+		regressions++
+	}
+	pct := 0.0
+	if was > 0 {
+		pct = 100 * (now - was) / was
+	}
+	fmt.Fprintf(w, "%s %-8s %-16s %10.2f -> %10.2f (floor %.2f, %+.1f%%)\n",
+		status, "stream", "updates_per_sec", was, now, limit, pct)
+
+	was, now = base.RepairMSP99, cur.RepairMSP99
+	limit = was * (1 + tolerance)
+	status = "ok  "
+	if now > limit && was > 0 {
+		status = "FAIL"
+		regressions++
+	}
+	pct = 0.0
+	if was > 0 {
+		pct = 100 * (now - was) / was
+	}
+	fmt.Fprintf(w, "%s %-8s %-16s %10.2f -> %10.2f (limit %.2f, %+.1f%%)\n",
+		status, "stream", "repair_ms_p99", was, now, limit, pct)
+
+	if !cur.EquivalentToRebuild {
+		fmt.Fprintf(w, "FAIL %-8s %-16s incremental selection diverged from rebuild\n", "stream", "equivalence")
+		regressions++
+	}
+	return regressions
+}
+
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR5.json", "checked-in baseline snapshot")
-		currentPath  = flag.String("current", "", "freshly measured snapshot to check")
-		snapBasePath = flag.String("snapshot-baseline", "", "checked-in snapshot-experiment baseline (e.g. BENCH_PR4.json)")
-		snapCurPath  = flag.String("snapshot-current", "", "freshly measured snapshot-experiment result to check")
-		tolerance    = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
+		baselinePath   = flag.String("baseline", "BENCH_PR5.json", "checked-in baseline snapshot")
+		currentPath    = flag.String("current", "", "freshly measured snapshot to check")
+		snapBasePath   = flag.String("snapshot-baseline", "", "checked-in snapshot-experiment baseline (e.g. BENCH_PR4.json)")
+		snapCurPath    = flag.String("snapshot-current", "", "freshly measured snapshot-experiment result to check")
+		streamBasePath = flag.String("stream-baseline", "", "checked-in stream-experiment baseline (e.g. BENCH_PR6.json)")
+		streamCurPath  = flag.String("stream-current", "", "freshly measured stream-experiment result to check")
+		tolerance      = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -201,6 +256,10 @@ func main() {
 	}
 	if (*snapBasePath == "") != (*snapCurPath == "") {
 		fmt.Fprintln(os.Stderr, "benchguard: -snapshot-baseline and -snapshot-current must be given together")
+		os.Exit(2)
+	}
+	if (*streamBasePath == "") != (*streamCurPath == "") {
+		fmt.Fprintln(os.Stderr, "benchguard: -stream-baseline and -stream-current must be given together")
 		os.Exit(2)
 	}
 	if *tolerance < 0 {
@@ -236,6 +295,21 @@ func main() {
 		checkWorkloads("snapshot", snapshotWorkload(sb), snapshotWorkload(sc))
 		regressions += compareSnapshot(os.Stdout, sb, sc, *tolerance)
 		baselines += " and " + *snapBasePath
+	}
+	if *streamCurPath != "" {
+		tb, err := loadJSON[experiments.StreamBench](*streamBasePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		tc, err := loadJSON[experiments.StreamBench](*streamCurPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		checkWorkloads("stream", streamWorkload(tb), streamWorkload(tc))
+		regressions += compareStream(os.Stdout, tb, tc, *tolerance)
+		baselines += " and " + *streamBasePath
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed beyond %.0f%% of %s\n",

@@ -119,3 +119,40 @@ func TestCompareSnapshotBench(t *testing.T) {
 		t.Fatalf("improvement flagged %d regressions\n%s", r, out.String())
 	}
 }
+
+func streamBench(updatesPerSec, p99 float64) *experiments.StreamBench {
+	return &experiments.StreamBench{Dataset: "clustered", N: 100, Dim: 2, Radius: 0.1,
+		UpdatesPerSec: updatesPerSec, RepairMSP99: p99, EquivalentToRebuild: true}
+}
+
+// TestCompareStreamBench: throughput is guarded as a floor (a drop below
+// baseline/(1+tol) fails), the repair tail as a ceiling, and a run whose
+// maintained selection diverged from rebuild always fails.
+func TestCompareStreamBench(t *testing.T) {
+	base := streamBench(1200, 5.0)
+	var out strings.Builder
+	if r := compareStream(&out, base, streamBench(1000, 6.0), 0.25); r != 0 {
+		t.Fatalf("within-tolerance stream run flagged %d regressions\n%s", r, out.String())
+	}
+	out.Reset()
+	if r := compareStream(&out, base, streamBench(900, 5.0), 0.25); r != 1 {
+		t.Fatalf("throughput drop flagged %d, want 1\n%s", r, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL stream   updates_per_sec") {
+		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+	out.Reset()
+	if r := compareStream(&out, base, streamBench(1200, 7.0), 0.25); r != 1 {
+		t.Fatalf("repair tail regression flagged %d, want 1\n%s", r, out.String())
+	}
+	out.Reset()
+	if r := compareStream(&out, base, streamBench(2000, 1.0), 0.25); r != 0 {
+		t.Fatalf("improvement flagged %d regressions\n%s", r, out.String())
+	}
+	out.Reset()
+	diverged := streamBench(2000, 1.0)
+	diverged.EquivalentToRebuild = false
+	if r := compareStream(&out, base, diverged, 0.25); r != 1 {
+		t.Fatalf("diverged run flagged %d, want 1\n%s", r, out.String())
+	}
+}

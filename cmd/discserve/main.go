@@ -12,6 +12,17 @@
 //	curl -X POST localhost:8080/v1/results/r1/zoom -d '{"radius":0.1}'
 //	curl localhost:8080/healthz
 //
+// Live (incremental) maintainers keep a DisC selection converged under
+// a stream of inserts and deletes without rebuilding — reads are
+// bounded-stale until a flush barrier, and each mutation may request
+// per-op convergence with "flush": true:
+//
+//	curl -X POST localhost:8080/v1/live -d '{"name":"feed","radius":0.1,"points":[[0.1,0.2]]}'
+//	curl -X POST localhost:8080/v1/live/feed/insert -d '{"point":[0.8,0.9],"flush":true}'
+//	curl -X POST localhost:8080/v1/live/feed/delete -d '{"id":0}'
+//	curl -X POST localhost:8080/v1/live/feed/flush
+//	curl localhost:8080/v1/live/feed/selection
+//
 // With -snapshot, the file (when present) is loaded before the listener
 // comes up — a warm start that skips the index build — and the
 // POST /v1/datasets/{name}/snapshot endpoint persists datasets into the

@@ -1,0 +1,71 @@
+package disc_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links; image links share the syntax.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks walks every markdown file at the repo root and under
+// docs/ and verifies that relative links resolve to files or
+// directories in the checkout, so cross-references between README,
+// ROADMAP and the docs/ tree cannot rot. External (scheme-qualified)
+// and intra-document (#anchor) links are out of scope.
+func TestDocLinks(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; doclint is running in the wrong directory")
+	}
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripFences(string(data)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(files))
+}
+
+// stripFences drops ``` fenced code blocks: quoted external material
+// (e.g. snippets of other repos' READMEs) is not this repo's linkage.
+func stripFences(doc string) string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if !fenced {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

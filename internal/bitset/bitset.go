@@ -95,6 +95,23 @@ func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
 // Test reports whether bit i is set.
 func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
 
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// AppendSet appends the index of every set bit to dst in ascending
+// order and returns the extended slice.
+func (s *Set) AppendSet(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // Count returns the number of set bits (population count).
 func (s *Set) Count() int {
 	c := 0

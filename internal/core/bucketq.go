@@ -1,0 +1,84 @@
+package core
+
+import "slices"
+
+// bucketQueue is an order-equivalent replacement for lazyHeap on the
+// repair path, exploiting two properties of the pruned component
+// greedy: keys (white-neighbour counts) are small non-negative integers
+// that only ever decrease, and the pop order is (key desc, id asc) with
+// deferred invalidation — a stale pop re-enters at its current, strictly
+// lower key. Under that protocol a bucket never receives an element at
+// or above the bucket currently draining, so every bucket's membership
+// is complete before its first pop: sorting it once at drain start
+// reproduces the heap's global (key desc, id asc) order exactly, with
+// O(1) pushes instead of O(log n) sift operations.
+//
+// The zero value is ready to use; a drained queue is empty and can be
+// refilled, retaining its bucket storage across repairs.
+type bucketQueue struct {
+	buckets [][]int32
+	// unsorted marks buckets whose appends broke ascending id order;
+	// the common case — the initial fill pushes members ascending —
+	// needs no sort at all.
+	unsorted []bool
+	// cur is the bucket currently draining (-1 before start/after
+	// exhaustion), head the drain position within it.
+	cur    int
+	head   int
+	maxKey int
+}
+
+// push adds id at key. Before start, any key is accepted; during a
+// drain the protocol guarantees key < cur (stale re-entries only).
+func (q *bucketQueue) push(id int32, key int) {
+	for key >= len(q.buckets) {
+		q.buckets = append(q.buckets, nil)
+		q.unsorted = append(q.unsorted, false)
+	}
+	b := q.buckets[key]
+	if n := len(b); n > 0 && b[n-1] > id {
+		q.unsorted[key] = true
+	}
+	q.buckets[key] = append(b, id)
+	if key > q.maxKey {
+		q.maxKey = key
+	}
+}
+
+// sortBucket orders bucket k for draining, if its appends require it.
+func (q *bucketQueue) sortBucket(k int) {
+	if k >= 0 && k < len(q.buckets) && q.unsorted[k] {
+		slices.Sort(q.buckets[k])
+		q.unsorted[k] = false
+	}
+}
+
+// start begins draining after the initial fill.
+func (q *bucketQueue) start() {
+	q.cur = q.maxKey
+	q.head = 0
+	q.sortBucket(q.cur)
+}
+
+// pop returns the (max key, min id) element under the deferred-
+// invalidation protocol, or ok=false when the queue is exhausted (which
+// also resets it for the next fill).
+func (q *bucketQueue) pop() (id int32, key int, ok bool) {
+	for q.cur >= 0 {
+		if q.cur < len(q.buckets) {
+			b := q.buckets[q.cur]
+			if q.head < len(b) {
+				id = b[q.head]
+				q.head++
+				return id, q.cur, true
+			}
+			q.buckets[q.cur] = b[:0]
+		}
+		q.cur--
+		q.head = 0
+		q.sortBucket(q.cur)
+	}
+	q.maxKey = 0
+	q.cur = -1
+	return 0, 0, false
+}

@@ -1,0 +1,581 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"github.com/discdiversity/disc/internal/bitset"
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// LiveDisC maintains an r-DisC diverse selection under inserts and
+// deletes by repairing only the connected components a mutation touches.
+// It is the incremental counterpart of GreedyDisCComponents on the same
+// substrate — mutable grid occupancy (grid.MutGrid), copy-on-write CSR
+// adjacency (grid.DynAdj), component labels — and reproduces the batch
+// algorithm exactly: after Flush, the selection is what
+// GreedyDisCComponents would compute over the live points from scratch
+// (sequence-equal through the monotone id remap of a compaction).
+//
+// The unit of invalidation is the connected component, following the
+// decomposition argument of the parallel selection: a dominating set of
+// a disconnected graph is the union of per-component dominating sets,
+// so a mutation can only change the selection of the components it
+// touches. An insert joins (or merges) the components of its in-range
+// neighbours; a delete can split its component, which a bounded BFS
+// over the remaining members re-partitions. Touched components are
+// marked dirty and their members' selection discarded; Flush re-runs
+// the pruned component greedy over exactly the dirty components.
+//
+// Reads are bounded-stale: the last converged selection is published as
+// an immutable snapshot behind an atomic pointer, so Selection,
+// IsRepresentative and Size are safe for any number of concurrent
+// readers while mutations and repairs run — they simply keep answering
+// from the pre-mutation state until the next Flush publishes. Mutations
+// themselves (Insert, Delete, Flush) are not concurrency-safe; the
+// public disc.Updater adds that lock.
+//
+// Component labels are the component's minimum live member id (-1 for
+// dead slots) — the id-stable form of the canonical
+// ascending-minimum-member numbering, which is what keeps repair order
+// and heap tie-breaks identical to the batch run's.
+type LiveDisC struct {
+	r   float64
+	dyn *object.DynDataset
+	mg  *grid.MutGrid
+	adj *grid.DynAdj
+
+	label   []int32
+	comps   map[int32][]int32 // label -> live members, ascending
+	compSel map[int32][]int32 // label -> selected ids, greedy order
+	dirty   map[int32]struct{}
+
+	sel      bitset.Set // converging selection (cleared for dirty comps)
+	selCount int
+
+	published atomic.Pointer[liveSnap]
+	accesses  int64
+
+	// Repair and traversal scratch, grown lazily to the slot domain.
+	bq    bucketQueue
+	white bitset.Set
+	pend  bitset.Set
+	nw    []int32
+	grey  []int32
+	stack []int32
+	qbuf  []object.Neighbor
+	gs    *grid.Scratch
+}
+
+// liveSnap is one immutable published selection: the bitset answers
+// membership, the id list is materialised at most once on demand.
+type liveSnap struct {
+	bits  *bitset.Set
+	count int
+	once  sync.Once
+	ids   []int
+}
+
+// NewLiveDisC returns an empty maintainer for radius r under m. The
+// metric must be grid-servable (Lp family); the dimensionality is fixed
+// by the first insert.
+func NewLiveDisC(m object.Metric, r float64) (*LiveDisC, error) {
+	dyn, err := object.NewDynDataset(m)
+	if err != nil {
+		return nil, err
+	}
+	mg, err := grid.NewMutGrid(dyn, r)
+	if err != nil {
+		return nil, err
+	}
+	l := &LiveDisC{
+		r:       r,
+		dyn:     dyn,
+		mg:      mg,
+		adj:     grid.NewDynAdj(nil),
+		comps:   make(map[int32][]int32),
+		compSel: make(map[int32][]int32),
+		dirty:   make(map[int32]struct{}),
+	}
+	l.publish()
+	return l, nil
+}
+
+// SeedLiveDisC builds a maintainer over an existing dataset by running
+// the batch pipeline once — grid build, ε-join, component labeling,
+// component-decomposed greedy — and adopting its artifacts as the live
+// state, so the first published selection is the batch selection and
+// every later Flush stays equivalent to it. workers shards the ε-join
+// (<= 0 selects one).
+func SeedLiveDisC(flat *object.FlatDataset, r float64, workers int) (*LiveDisC, error) {
+	g, err := grid.Build(flat, r)
+	if err != nil {
+		return nil, err
+	}
+	csr, joinAcc, err := grid.Join(g, r, workers)
+	if err != nil {
+		return nil, err
+	}
+	n := flat.Len()
+	comp := grid.ComponentsOfCSR(csr, n, r)
+	sol := newSolution(n, r, greedyName(GreedyOptions{}, true))
+	ids, acc := runComponentRange(csr, comp, 0, comp.Count, r, sol, newComponentScratch(n), nil)
+
+	dyn := object.DynFromFlat(flat)
+	mg, err := grid.NewMutGrid(dyn, r)
+	if err != nil {
+		return nil, err
+	}
+	l := &LiveDisC{
+		r:        r,
+		dyn:      dyn,
+		mg:       mg,
+		adj:      grid.NewDynAdj(csr),
+		label:    make([]int32, n),
+		comps:    make(map[int32][]int32, comp.Count),
+		compSel:  make(map[int32][]int32, comp.Count),
+		dirty:    make(map[int32]struct{}),
+		accesses: joinAcc + acc,
+		gs:       grid.NewScratch(flat.Dim()),
+	}
+	for c := 0; c < comp.Count; c++ {
+		members := comp.MemberIDs(c)
+		lab := members[0]
+		l.comps[lab] = append([]int32(nil), members...)
+		for _, m := range members {
+			l.label[m] = lab
+		}
+	}
+	l.sel.Reset(n)
+	for _, id := range ids {
+		lab := l.label[id]
+		l.compSel[lab] = append(l.compSel[lab], int32(id))
+		l.sel.Set(id)
+		l.selCount++
+	}
+	l.publish()
+	return l, nil
+}
+
+// Radius returns the maintained diversification radius.
+func (l *LiveDisC) Radius() float64 { return l.r }
+
+// Len returns the number of live objects.
+func (l *LiveDisC) Len() int { return l.dyn.Live() }
+
+// Slots returns the id domain bound (dead ids included).
+func (l *LiveDisC) Slots() int { return l.dyn.Slots() }
+
+// Alive reports whether id names a live object.
+func (l *LiveDisC) Alive(id int) bool { return l.dyn.Alive(id) }
+
+// Point returns the coordinates of object id (tombstones included).
+func (l *LiveDisC) Point(id int) object.Point { return l.dyn.Point(id).Clone() }
+
+// Pending returns the number of components awaiting repair.
+func (l *LiveDisC) Pending() int { return len(l.dirty) }
+
+// Accesses returns the cumulative objects-examined count: candidates
+// evaluated by neighbourhood queries plus adjacency entries walked by
+// repairs, mirroring the batch accounting.
+func (l *LiveDisC) Accesses() int64 { return l.accesses }
+
+// Insert adds p, splices it into the grid and the adjacency, merges the
+// components of its in-range neighbours and marks the merged component
+// dirty. The published selection is unchanged until the next Flush.
+func (l *LiveDisC) Insert(p object.Point) (int, error) {
+	id, err := l.dyn.Append(p)
+	if err != nil {
+		return 0, err
+	}
+	if l.gs == nil {
+		l.gs = grid.NewScratch(l.dyn.Dim())
+	}
+	l.qbuf = l.mg.AppendRange(l.qbuf[:0], p, l.r, id, &l.accesses, l.gs)
+	l.adj.AddVertex(id, l.qbuf)
+	l.mg.Insert(id)
+	for len(l.label) < l.dyn.Slots() {
+		l.label = append(l.label, -1)
+	}
+	l.sel.Grow(l.dyn.Slots())
+
+	// Union the neighbours' components (usually one) with the new id
+	// under the minimum label; every absorbed component's selection is
+	// discarded and the union marked dirty.
+	newLab := int32(id)
+	merged := l.stack[:0] // distinct labels, reused as scratch
+	for _, nb := range l.qbuf {
+		lab := l.label[nb.ID]
+		if lab < newLab {
+			newLab = lab
+		}
+		if !slices.Contains(merged, lab) {
+			merged = append(merged, lab)
+		}
+	}
+	members := []int32{int32(id)}
+	for _, lab := range merged {
+		l.invalidate(lab)
+		members = append(members, l.comps[lab]...)
+		delete(l.comps, lab)
+		delete(l.dirty, lab)
+	}
+	l.stack = merged[:0]
+	slices.Sort(members)
+	for _, m := range members {
+		l.label[m] = newLab
+	}
+	l.comps[newLab] = members
+	l.dirty[newLab] = struct{}{}
+	return id, nil
+}
+
+// Delete retracts a live object, unsplices it everywhere, re-partitions
+// its component (a bounded BFS over the remaining members decides
+// whether the removal split it) and marks every resulting part dirty.
+// The published selection is unchanged until the next Flush.
+func (l *LiveDisC) Delete(id int) error {
+	if !l.dyn.Alive(id) {
+		return fmt.Errorf("core: live: id %d is not a live object", id)
+	}
+	lab := l.label[id]
+	l.invalidate(lab)
+	deg := l.adj.Degree(id)
+	// Capture the surviving neighbours before the edges go: they bound
+	// the split search below (every severed part must contain one).
+	l.grey = l.grey[:0]
+	for _, nb := range l.adj.Row(id) {
+		l.grey = append(l.grey, int32(nb.ID))
+	}
+	l.adj.RemoveVertex(id)
+	l.mg.Remove(id)
+	if err := l.dyn.Delete(id); err != nil {
+		return err
+	}
+	l.label[id] = -1
+
+	old := l.comps[lab]
+	delete(l.comps, lab)
+	delete(l.dirty, lab)
+	members := make([]int32, 0, len(old)-1)
+	for _, m := range old {
+		if m != int32(id) {
+			members = append(members, m)
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	// Removing a vertex of degree ≤ 1 cannot disconnect the remainder
+	// (any path through a vertex needs two incident edges), so the
+	// component survives as-is — possibly under a new minimum label.
+	if deg <= 1 {
+		l.adopt(members)
+		return nil
+	}
+	// General case: re-partition the remaining members by BFS. Seeding
+	// from members in ascending order makes each part's first-discovered
+	// vertex its minimum, and every member is visited exactly once, so
+	// the pend bitset ends cleared for reuse.
+	//
+	// The walk is bounded by the removed vertex's neighbourhood: every
+	// severed part contains one of its surviving neighbours (a path cut
+	// by the removal entered the vertex through one), and any earlier
+	// part ran its walk to completion — so the moment the current tree
+	// has discovered the last undiscovered neighbour, every member still
+	// pending is provably connected to this tree and can be absorbed
+	// without walking its edges. Dense components (where deletes are
+	// most frequent and walks most expensive) find their handful of
+	// neighbours within a few hops.
+	l.pend.Grow(l.dyn.Slots())
+	l.white.Grow(l.dyn.Slots())
+	for _, m := range members {
+		l.pend.Set(int(m))
+	}
+	remaining := 0
+	for _, nb := range l.grey {
+		l.white.Set(int(nb))
+		remaining++
+	}
+	for _, m := range members {
+		if !l.pend.Test(int(m)) {
+			continue
+		}
+		l.pend.Clear(int(m))
+		part := []int32{m}
+		if l.white.Test(int(m)) {
+			l.white.Clear(int(m))
+			remaining--
+		}
+		l.stack = append(l.stack[:0], m)
+		for remaining > 0 && len(l.stack) > 0 {
+			u := l.stack[len(l.stack)-1]
+			l.stack = l.stack[:len(l.stack)-1]
+			for _, nb := range l.adj.Row(int(u)) {
+				if l.pend.Test(nb.ID) {
+					l.pend.Clear(nb.ID)
+					part = append(part, int32(nb.ID))
+					l.stack = append(l.stack, int32(nb.ID))
+					if l.white.Test(nb.ID) {
+						l.white.Clear(nb.ID)
+						remaining--
+					}
+				}
+			}
+		}
+		if remaining == 0 {
+			for _, m2 := range members {
+				if l.pend.Test(int(m2)) {
+					l.pend.Clear(int(m2))
+					part = append(part, m2)
+				}
+			}
+		}
+		slices.Sort(part)
+		l.adopt(part)
+	}
+	return nil
+}
+
+// adopt installs a member list as a (dirty) component labeled by its
+// minimum member.
+func (l *LiveDisC) adopt(members []int32) {
+	lab := members[0]
+	for _, m := range members {
+		l.label[m] = lab
+	}
+	l.comps[lab] = members
+	l.dirty[lab] = struct{}{}
+}
+
+// invalidate discards the selection of component lab (no-op when it has
+// none, e.g. it is already dirty).
+func (l *LiveDisC) invalidate(lab int32) {
+	sel, ok := l.compSel[lab]
+	if !ok {
+		return
+	}
+	for _, id := range sel {
+		l.sel.Clear(int(id))
+	}
+	l.selCount -= len(sel)
+	delete(l.compSel, lab)
+}
+
+// Flush repairs every dirty component in ascending label order —
+// exactly the batch processing order — and publishes the converged
+// selection. It returns the number of components repaired.
+func (l *LiveDisC) Flush() int {
+	repaired := len(l.dirty)
+	if repaired > 0 {
+		order := make([]int32, 0, repaired)
+		for lab := range l.dirty {
+			order = append(order, lab)
+		}
+		slices.Sort(order)
+		slots := l.dyn.Slots()
+		l.white.Grow(slots)
+		for len(l.nw) < slots {
+			l.nw = append(l.nw, 0)
+		}
+		for _, lab := range order {
+			sel := l.repairComponent(l.comps[lab])
+			l.compSel[lab] = sel
+			for _, id := range sel {
+				l.sel.Set(int(id))
+			}
+			l.selCount += len(sel)
+			delete(l.dirty, lab)
+		}
+	}
+	l.publish()
+	return repaired
+}
+
+// repairComponent re-runs the component-confined pruned greedy over one
+// member list, mirroring runComponentRange/greedyComponent from the
+// batch path: the same singleton and pair fast paths, the same
+// (count desc, id asc) pop order with deferred invalidation (served by
+// a bucketQueue, order-equivalent to the batch lazyHeap), the same
+// grey-update decrements — so the selected ids (and their order) are
+// what the batch run would emit for this component.
+func (l *LiveDisC) repairComponent(members []int32) []int32 {
+	switch len(members) {
+	case 1:
+		l.accesses++
+		return []int32{members[0]}
+	case 2:
+		l.accesses += 2
+		return []int32{members[0]}
+	}
+	q := &l.bq
+	for _, id32 := range members {
+		id := int(id32)
+		l.white.Set(id)
+		deg := l.adj.Degree(id)
+		l.nw[id] = int32(deg)
+		q.push(id32, deg)
+	}
+	q.start()
+	sel := make([]int32, 0, 1+len(members)/8)
+	for {
+		id32, key, ok := q.pop()
+		if !ok {
+			break
+		}
+		pi := int(id32)
+		if !l.white.Test(pi) {
+			continue
+		}
+		if int(l.nw[pi]) != key {
+			q.push(id32, int(l.nw[pi]))
+			continue
+		}
+		l.white.Clear(pi)
+		sel = append(sel, int32(pi))
+		row := l.adj.Row(pi)
+		l.accesses += int64(len(row))
+		l.grey = l.grey[:0]
+		for _, nb := range row {
+			if l.white.Test(nb.ID) {
+				l.white.Clear(nb.ID)
+				l.grey = append(l.grey, int32(nb.ID))
+			}
+		}
+		for _, gj := range l.grey {
+			grow := l.adj.Row(int(gj))
+			l.accesses += int64(len(grow))
+			for _, nb := range grow {
+				if nb.Dist <= l.r && l.white.Test(nb.ID) {
+					l.nw[nb.ID]--
+				}
+			}
+		}
+	}
+	return sel
+}
+
+// publish freezes the current selection into an immutable snapshot for
+// lock-free readers.
+func (l *LiveDisC) publish() {
+	l.published.Store(&liveSnap{bits: l.sel.Clone(), count: l.selCount})
+}
+
+// Selection returns the ids of the last published (converged) selection
+// in ascending order. The slice is shared between callers and must not
+// be modified. Safe for concurrent use.
+func (l *LiveDisC) Selection() []int {
+	s := l.published.Load()
+	s.once.Do(func() {
+		s.ids = s.bits.AppendSet(make([]int, 0, s.count))
+	})
+	return s.ids
+}
+
+// Size returns the size of the last published selection. Safe for
+// concurrent use.
+func (l *LiveDisC) Size() int { return l.published.Load().count }
+
+// IsRepresentative reports whether id is selected in the last published
+// selection. Safe for concurrent use.
+func (l *LiveDisC) IsRepresentative(id int) bool {
+	s := l.published.Load()
+	return id >= 0 && id < s.bits.Len() && s.bits.Test(id)
+}
+
+// OrderedSelection returns the converged selection in the batch output
+// order — components ascending by label, greedy order within each.
+// Callers must Flush first; with repairs pending the result would mix
+// selection generations, so pending state returns nil.
+func (l *LiveDisC) OrderedSelection() []int {
+	if len(l.dirty) > 0 {
+		return nil
+	}
+	labs := make([]int32, 0, len(l.compSel))
+	for lab := range l.compSel {
+		labs = append(labs, lab)
+	}
+	slices.Sort(labs)
+	out := make([]int, 0, l.selCount)
+	for _, lab := range labs {
+		for _, id := range l.compSel[lab] {
+			out = append(out, int(id))
+		}
+	}
+	return out
+}
+
+// Compact squeezes the tombstones out of every maintained structure:
+// the live rows become a dense FlatDataset, the adjacency a canonical
+// CSR, the labels a canonical grid.Components — all in the new id space
+// of the returned remap (monotone over live ids). A from-scratch
+// grid.Build + grid.Join + ComponentsOfCSR over the returned dataset
+// yields bit-identical structures whenever the incremental maintenance
+// is correct; the conformance tests assert exactly that.
+func (l *LiveDisC) Compact() (*object.FlatDataset, []int32, *grid.CSR, *grid.Components, error) {
+	flat, remap, err := l.dyn.CompactFlat()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	csr, err := l.adj.Compact(remap, flat.Len())
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// Labels are minimum member ids; scanning old ids ascending meets
+	// each component first at its minimum member, which is exactly the
+	// canonical ascending-minimum-member numbering.
+	labels := make([]int32, flat.Len())
+	next := int32(0)
+	rank := make(map[int32]int32, len(l.comps))
+	for old, nw := range remap {
+		if nw < 0 {
+			continue
+		}
+		lab := l.label[old]
+		rk, ok := rank[lab]
+		if !ok {
+			rk = next
+			rank[lab] = rk
+			next++
+		}
+		labels[nw] = rk
+	}
+	comp := &grid.Components{Count: int(next), Label: labels}
+	comp.BuildIndex()
+	return flat, remap, csr, comp, nil
+}
+
+// Verify checks the DisC invariants of the converged selection over the
+// live objects by direct distance computation (O(n·|S|); tests and
+// debugging). Pending repairs must be flushed first.
+func (l *LiveDisC) Verify() error {
+	if len(l.dirty) > 0 {
+		return fmt.Errorf("core: live: %d components pending repair; Flush first", len(l.dirty))
+	}
+	if l.dyn.Live() == 0 {
+		return nil
+	}
+	pts := l.dyn.LivePoints()
+	dense := make([]int32, l.dyn.Slots())
+	next := int32(0)
+	for id := range dense {
+		if l.dyn.Alive(id) {
+			dense[id] = next
+			next++
+		} else {
+			dense[id] = -1
+		}
+	}
+	sel := l.sel.AppendSet(nil)
+	ids := make([]int, len(sel))
+	for i, id := range sel {
+		if dense[id] < 0 {
+			return fmt.Errorf("core: live: dead id %d selected", id)
+		}
+		ids[i] = int(dense[id])
+	}
+	return CheckDisC(pts, l.dyn.Metric(), ids, l.r)
+}

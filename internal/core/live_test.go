@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// batchReference runs the from-scratch pipeline (grid build, ε-join,
+// canonical components, component-decomposed greedy) over a dense
+// dataset, returning the structures the incremental path must reproduce.
+func batchReference(t *testing.T, flat *object.FlatDataset, r float64) (*grid.CSR, *grid.Components, []int) {
+	t.Helper()
+	g, err := grid.Build(flat, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, _, err := grid.Join(g, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := grid.ComponentsOfCSR(csr, flat.Len(), r)
+	sol := newSolution(flat.Len(), r, "ref")
+	ids, _ := runComponentRange(csr, comp, 0, comp.Count, r, sol, newComponentScratch(flat.Len()), nil)
+	return csr, comp, ids
+}
+
+// assertConverged flushes l and checks full equivalence with the batch
+// pipeline over the same live points: bit-identical CSR and canonical
+// labels after compaction, sequence-equal ordered selection through the
+// monotone remap, and the DisC invariants by direct distance check.
+func assertConverged(t *testing.T, l *LiveDisC, r float64) {
+	t.Helper()
+	l.Flush()
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() == 0 {
+		if l.Size() != 0 {
+			t.Fatalf("empty maintainer published %d representatives", l.Size())
+		}
+		return
+	}
+	flat, remap, csr, comp, err := l.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSR, refComp, refIDs := batchReference(t, flat, r)
+	if !reflect.DeepEqual(csr, refCSR) {
+		t.Fatal("compacted CSR differs from batch join")
+	}
+	if !reflect.DeepEqual(comp, refComp) {
+		t.Fatal("compacted components differ from canonical labeling")
+	}
+	got := l.OrderedSelection()
+	if len(got) != len(refIDs) {
+		t.Fatalf("selection size %d, batch selects %d", len(got), len(refIDs))
+	}
+	for i, id := range got {
+		if int(remap[id]) != refIDs[i] {
+			t.Fatalf("selection[%d] = %d (remaps to %d), batch selects %d", i, id, remap[id], refIDs[i])
+		}
+	}
+	// The published ascending view must agree with the ordered one.
+	pub := l.Selection()
+	if len(pub) != len(got) || l.Size() != len(got) {
+		t.Fatalf("published %d/%d ids, converged %d", len(pub), l.Size(), len(got))
+	}
+	for _, id := range pub {
+		if !l.IsRepresentative(id) {
+			t.Fatalf("published id %d not a representative", id)
+		}
+	}
+}
+
+func TestLiveDisCMatchesBatchUnderInterleavings(t *testing.T) {
+	for _, tc := range []struct {
+		dim int
+		m   object.Metric
+		r   float64
+	}{
+		{1, object.Euclidean{}, 0.05},
+		{2, object.Euclidean{}, 0.12},
+		{2, object.Manhattan{}, 0.15},
+		{3, object.Chebyshev{}, 0.2},
+	} {
+		rng := rand.New(rand.NewPCG(11, uint64(tc.dim)))
+		l, err := NewLiveDisC(tc.m, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []int
+		for step := 0; step < 400; step++ {
+			if len(live) == 0 || rng.Float64() < 0.68 {
+				p := make(object.Point, tc.dim)
+				for i := range p {
+					p[i] = rng.Float64()
+				}
+				id, err := l.Insert(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, id)
+			} else {
+				k := rng.IntN(len(live))
+				if err := l.Delete(live[k]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+			if step%67 == 0 {
+				assertConverged(t, l, tc.r)
+			}
+		}
+		assertConverged(t, l, tc.r)
+		if l.Len() != len(live) {
+			t.Fatalf("live %d, want %d", l.Len(), len(live))
+		}
+	}
+}
+
+func TestLiveDisCSeededMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	pts := make([]object.Point, 600)
+	for i := range pts {
+		pts[i] = object.Point{rng.Float64(), rng.Float64()}
+	}
+	flat, err := object.Flatten(pts, object.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.04
+	l, err := SeedLiveDisC(flat, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed itself must already be the batch selection.
+	_, _, refIDs := batchReference(t, flat, r)
+	if got := l.OrderedSelection(); !reflect.DeepEqual(got, refIDs) {
+		t.Fatal("seeded selection differs from batch")
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("seeded maintainer has %d dirty components", l.Pending())
+	}
+	// Mutations on top of the seed stay equivalent.
+	for step := 0; step < 150; step++ {
+		if rng.Float64() < 0.5 {
+			if _, err := l.Insert(object.Point{rng.Float64(), rng.Float64()}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for {
+				id := rng.IntN(l.Slots())
+				if l.Alive(id) {
+					if err := l.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+			}
+		}
+	}
+	assertConverged(t, l, r)
+}
+
+func TestLiveDisCStalenessSemantics(t *testing.T) {
+	l, err := NewLiveDisC(object.Euclidean{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := l.Insert(object.Point{0.5, 0.5})
+	if l.Pending() != 1 {
+		t.Fatalf("pending %d after first insert", l.Pending())
+	}
+	// Nothing published yet: reads see the pre-mutation (empty) state.
+	if l.Size() != 0 || l.IsRepresentative(a) {
+		t.Fatal("unflushed insert leaked into the published selection")
+	}
+	if got := l.Flush(); got != 1 {
+		t.Fatalf("flush repaired %d components, want 1", got)
+	}
+	if l.Size() != 1 || !l.IsRepresentative(a) {
+		t.Fatal("flush did not publish the repaired selection")
+	}
+	// A covered insert keeps the selection but still dirties the
+	// component; the stale read persists until the next Flush.
+	b, _ := l.Insert(object.Point{0.52, 0.5})
+	if !l.IsRepresentative(a) || l.IsRepresentative(b) {
+		t.Fatal("published state changed before Flush")
+	}
+	l.Flush()
+	if !l.IsRepresentative(a) || l.IsRepresentative(b) || l.Size() != 1 {
+		t.Fatal("covered insert changed the selection")
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the representative promotes the survivor.
+	if err := l.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	if !l.IsRepresentative(b) || l.Size() != 1 {
+		t.Fatal("survivor not promoted after representative deletion")
+	}
+	if err := l.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	if l.Size() != 0 || l.Len() != 0 {
+		t.Fatal("emptied maintainer still publishes state")
+	}
+	if err := l.Delete(b); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -80,6 +80,24 @@ var Registry = map[string]Runner{
 		_, err := BuildInit(cfg, "clustered")
 		return err
 	},
+	"stream": func(cfg Config) error {
+		res, err := Stream(cfg, "clustered")
+		if err != nil {
+			return err
+		}
+		if cfg.Format == "json" {
+			err = res.WriteJSON(cfg)
+		} else {
+			printTables(cfg.out(), res.Table())
+		}
+		if err == nil && !res.EquivalentToRebuild {
+			// Emit the measurement, then fail: the throughput number is
+			// meaningless if the maintained selection drifted from what a
+			// rebuild computes.
+			err = fmt.Errorf("experiments: stream: incremental selection diverged from rebuild-from-scratch")
+		}
+		return err
+	},
 	"snapshot": func(cfg Config) error {
 		res, err := SnapshotExperiment(cfg, "clustered")
 		if err != nil {

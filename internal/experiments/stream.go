@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"time"
+
+	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/stats"
+)
+
+// StreamBench is the machine-readable result of the "stream" experiment
+// (the BENCH_PR6.json trajectory format): sustained single-threaded
+// update throughput and per-operation repair latency of the incremental
+// Updater on the canonical perf workload, with per-op convergence
+// (every mutation is followed by Flush, so each operation pays its full
+// component-scoped repair before the next begins).
+type StreamBench struct {
+	Dataset    string  `json:"dataset"`
+	N          int     `json:"n"`
+	Dim        int     `json:"dim"`
+	Radius     float64 `json:"radius"`
+	Seed       uint64  `json:"seed"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+
+	// Ops mutations are applied after the seed build: ~70% inserts
+	// (half jittered near an existing live point to exercise component
+	// merging, half uniform) and ~30% deletes of random live objects.
+	Ops     int `json:"ops"`
+	Inserts int `json:"inserts"`
+	Deletes int `json:"deletes"`
+
+	// SeedBuildMS is the one-time batch pipeline over the N starting
+	// points (grid ε-join, labeling, component-decomposed greedy).
+	SeedBuildMS float64 `json:"seed_build_ms"`
+
+	// UpdatesPerSec counts converged operations (mutation + Flush) per
+	// wall-clock second; the repair percentiles break out the Flush
+	// (repair + publish) portion of each operation.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	RepairMSP50   float64 `json:"repair_ms_p50"`
+	RepairMSP99   float64 `json:"repair_ms_p99"`
+	RepairMSMax   float64 `json:"repair_ms_max"`
+
+	FinalLive     int `json:"final_live"`
+	FinalSelected int `json:"final_selected"`
+
+	// EquivalentToRebuild records the end-state conformance check: the
+	// incrementally maintained selection must be exactly what a
+	// from-scratch component-mode Select over the surviving points
+	// computes.
+	EquivalentToRebuild bool `json:"equivalent_to_rebuild"`
+}
+
+// streamOps picks the mutation count: enough to average out repair
+// variance at full scale, trimmed in quick mode.
+func (c Config) streamOps() int {
+	if c.Quick {
+		return 300
+	}
+	return 2000
+}
+
+// Stream seeds an Updater with the dataset, applies a mixed
+// insert/delete workload with per-operation convergence, and measures
+// throughput and repair-latency percentiles.
+func Stream(cfg Config, datasetName string) (*StreamBench, error) {
+	w, err := cfg.load(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	pts := w.ds.Points
+	r := cfg.perfRadius(datasetName)
+	dim := w.ds.Dim()
+
+	res := &StreamBench{
+		Dataset:    datasetName,
+		N:          len(pts),
+		Dim:        dim,
+		Radius:     r,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Ops:        cfg.streamOps(),
+	}
+
+	seedStart := time.Now()
+	u, err := disc.NewUpdater(pts, r, disc.WithMetric(w.metric))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stream: seed: %w", err)
+	}
+	res.SeedBuildMS = float64(time.Since(seedStart).Nanoseconds()) / 1e6
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5eed))
+	live := make([]int, len(pts))
+	for i := range live {
+		live[i] = i
+	}
+	slots := len(pts)
+
+	repairs := make([]float64, 0, res.Ops)
+	runStart := time.Now()
+	for op := 0; op < res.Ops; op++ {
+		if len(live) == 0 || rng.Float64() < 0.7 {
+			p := make(disc.Point, dim)
+			if len(live) > 0 && rng.Float64() < 0.5 {
+				// Jitter near a live point: lands inside (or adjacent
+				// to) an existing component, forcing real repair work.
+				src := u.Point(live[rng.IntN(len(live))])
+				for i := range p {
+					p[i] = src[i] + rng.NormFloat64()*2*r
+				}
+			} else {
+				for i := range p {
+					p[i] = rng.Float64()
+				}
+			}
+			id, err := u.Insert(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: stream: insert: %w", err)
+			}
+			live = append(live, id)
+			slots++
+			res.Inserts++
+		} else {
+			k := rng.IntN(len(live))
+			if err := u.Delete(live[k]); err != nil {
+				return nil, fmt.Errorf("experiments: stream: delete: %w", err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			res.Deletes++
+		}
+		flushStart := time.Now()
+		u.Flush()
+		repairs = append(repairs, float64(time.Since(flushStart).Nanoseconds())/1e6)
+	}
+	elapsed := time.Since(runStart)
+	res.UpdatesPerSec = float64(res.Ops) / elapsed.Seconds()
+
+	sort.Float64s(repairs)
+	res.RepairMSP50 = percentile(repairs, 0.50)
+	res.RepairMSP99 = percentile(repairs, 0.99)
+	res.RepairMSMax = repairs[len(repairs)-1]
+	res.FinalLive = u.Len()
+	res.FinalSelected = u.Size()
+
+	equivalent, err := streamRebuildCheck(u, slots, r, w.metric)
+	if err != nil {
+		return nil, err
+	}
+	res.EquivalentToRebuild = equivalent
+	return res, nil
+}
+
+// streamRebuildCheck re-runs the batch component-mode selection over the
+// updater's surviving points and compares it to the incrementally
+// maintained one (ids mapped through the monotone live-id order).
+func streamRebuildCheck(u *disc.Updater, slots int, r float64, m disc.Metric) (bool, error) {
+	var pts []disc.Point
+	var liveIDs []int
+	for id := 0; id < slots; id++ {
+		if u.Alive(id) {
+			pts = append(pts, u.Point(id))
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	if len(pts) == 0 {
+		return u.Size() == 0, nil
+	}
+	d, err := disc.New(pts, disc.WithIndex(disc.IndexCoverageGraph), disc.WithMetric(m))
+	if err != nil {
+		return false, fmt.Errorf("experiments: stream: rebuild check: %w", err)
+	}
+	batch, err := d.Select(r, disc.WithSelectMode(disc.SelectComponents))
+	if err != nil {
+		return false, fmt.Errorf("experiments: stream: rebuild check: %w", err)
+	}
+	want := append([]int(nil), batch.IDs()...)
+	for i, id := range want {
+		want[i] = liveIDs[id]
+	}
+	sort.Ints(want)
+	got := u.Selection()
+	if len(got) != len(want) {
+		return false, nil
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// percentile returns the p-th percentile (0..1) of ascending-sorted xs
+// by nearest-rank.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(xs)))
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// WriteJSON renders the stream benchmark as indented JSON.
+func (s *StreamBench) WriteJSON(cfg Config) error {
+	enc := json.NewEncoder(cfg.out())
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Table renders the stream benchmark as a plain-text table.
+func (s *StreamBench) Table() *stats.Table {
+	tab := stats.NewTable(
+		fmt.Sprintf("Incremental updates — %s (n=%d, r=%g, GOMAXPROCS=%d, %d ops: %d ins / %d del)",
+			s.Dataset, s.N, s.Radius, s.GoMaxProcs, s.Ops, s.Inserts, s.Deletes),
+		"metric", "value", "notes")
+	tab.AddRow("seed build", fmt.Sprintf("%.1f ms", s.SeedBuildMS), "batch pipeline over the seed points")
+	tab.AddRow("throughput", fmt.Sprintf("%.0f updates/s", s.UpdatesPerSec), "per-op convergence (mutation + Flush)")
+	tab.AddRow("repair p50", fmt.Sprintf("%.3f ms", s.RepairMSP50), "")
+	tab.AddRow("repair p99", fmt.Sprintf("%.3f ms", s.RepairMSP99), "")
+	tab.AddRow("repair max", fmt.Sprintf("%.3f ms", s.RepairMSMax), "")
+	tab.AddRow("final state", fmt.Sprintf("%d live / %d selected", s.FinalLive, s.FinalSelected),
+		fmt.Sprintf("equivalent to rebuild: %v", s.EquivalentToRebuild))
+	return tab
+}

@@ -119,54 +119,7 @@ func Build(flat *object.FlatDataset, r float64) (*Grid, error) {
 		}
 	}
 
-	// Cell side: r widened so boundary rounding never pushes a true
-	// neighbour outside the ±1 cell ring, with a fallback for r = 0
-	// (only exact duplicates match then, and duplicates share a cell at
-	// any side length).
-	side := r + r*0x1p-20
-	if side <= 0 {
-		side = 1
-	}
-	capCells := maxCellsPerPoint * n
-	if capCells < maxCellsFloor {
-		capCells = maxCellsFloor
-	}
-	// Keep the directory inside the int32 index domain (with headroom
-	// for the stride products) no matter how large n grows.
-	if capCells > math.MaxInt32/4 {
-		capCells = math.MaxInt32 / 4
-	}
-	for {
-		total := 1
-		ok := true
-		for i := 0; i < dim; i++ {
-			nc := int((max[i]-g.min[i])/side) + 1
-			if nc < 1 {
-				nc = 1
-			}
-			g.nd[i] = int32(nc)
-			if total > capCells/nc { // overflow-safe total*nc > capCells
-				ok = false
-				break
-			}
-			total *= nc
-		}
-		if ok {
-			g.ncells = total
-			break
-		}
-		side *= 2
-	}
-	g.cell = side
-	g.stride[dim-1] = 1
-	for i := dim - 2; i >= 0; i-- {
-		g.stride[i] = g.stride[i+1] * g.nd[i+1]
-	}
-	for _, nc := range g.nd {
-		if nc > g.maxND {
-			g.maxND = nc
-		}
-	}
+	g.cell, g.maxND, g.ncells = computeGeometry(g.min, max, n, r, g.nd, g.stride)
 
 	// Counting sort: occupancy, prefix sum, scatter. Scanning ids in
 	// ascending order keeps each cell's members id-sorted.
@@ -188,6 +141,68 @@ func Build(flat *object.FlatDataset, r float64) (*Grid, error) {
 		cursor[c]++
 	}
 	return g, nil
+}
+
+// computeGeometry derives the directory geometry for a bounding box and
+// radius, writing the per-dimension cell counts and strides into the
+// caller's nd and stride slices (len dim each) and returning the cell
+// side, the maximum per-dimension cell count and the total cell count.
+// It is the single definition of the bucketing geometry, shared by the
+// immutable Build and the mutable grid's re-bucketing so both produce
+// bit-identical directories for the same point set.
+//
+// The cell side is r widened so boundary rounding never pushes a true
+// neighbour outside the ±1 cell ring, with a fallback for r = 0 (only
+// exact duplicates match then, and duplicates share a cell at any side
+// length), then doubled until the total cell count fits the
+// maxCellsPerPoint·n cap.
+func computeGeometry(min, max []float64, n int, r float64, nd, stride []int32) (cell float64, maxND int32, ncells int) {
+	dim := len(nd)
+	side := r + r*0x1p-20
+	if side <= 0 {
+		side = 1
+	}
+	capCells := maxCellsPerPoint * n
+	if capCells < maxCellsFloor {
+		capCells = maxCellsFloor
+	}
+	// Keep the directory inside the int32 index domain (with headroom
+	// for the stride products) no matter how large n grows.
+	if capCells > math.MaxInt32/4 {
+		capCells = math.MaxInt32 / 4
+	}
+	for {
+		total := 1
+		ok := true
+		for i := 0; i < dim; i++ {
+			nc := int((max[i]-min[i])/side) + 1
+			if nc < 1 {
+				nc = 1
+			}
+			nd[i] = int32(nc)
+			if total > capCells/nc { // overflow-safe total*nc > capCells
+				ok = false
+				break
+			}
+			total *= nc
+		}
+		if ok {
+			ncells = total
+			break
+		}
+		side *= 2
+	}
+	cell = side
+	stride[dim-1] = 1
+	for i := dim - 2; i >= 0; i-- {
+		stride[i] = stride[i+1] * nd[i+1]
+	}
+	for _, nc := range nd {
+		if nc > maxND {
+			maxND = nc
+		}
+	}
+	return cell, maxND, ncells
 }
 
 // cellIndex maps a coordinate row to its flattened cell index.

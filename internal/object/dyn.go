@@ -1,0 +1,153 @@
+package object
+
+import "fmt"
+
+// DynDataset is the mutable counterpart of FlatDataset: the same
+// contiguous row-major coordinate storage plus a compiled kernel, but
+// rows can be appended (ids are assigned densely, never reused) and
+// retracted (tombstoned in place — the row keeps its slot so live ids
+// stay stable and every bookkeeping array stays index-addressable).
+// Periodic compaction (CompactFlat) squeezes the tombstones out into a
+// canonical FlatDataset plus an id remap, which is how the incremental
+// machinery proves itself bit-identical to a from-scratch build.
+//
+// The dimensionality is fixed by the first appended point, so an empty
+// DynDataset can be created before any data exists — the streaming
+// entry points need exactly that.
+type DynDataset struct {
+	coords []float64
+	dim    int
+	dead   []bool
+	live   int
+	metric Metric
+	kern   Kernel
+}
+
+// NewDynDataset returns an empty dataset for metric m. The kernel is
+// compiled on the first Append, when the dimensionality is known.
+func NewDynDataset(m Metric) (*DynDataset, error) {
+	if m == nil {
+		return nil, fmt.Errorf("object: dyn dataset: nil metric")
+	}
+	return &DynDataset{metric: m}, nil
+}
+
+// DynFromFlat copies a FlatDataset into mutable storage: every row live,
+// ids preserved.
+func DynFromFlat(f *FlatDataset) *DynDataset {
+	d := &DynDataset{
+		coords: append([]float64(nil), f.Coords()...),
+		dim:    f.Dim(),
+		dead:   make([]bool, f.Len()),
+		live:   f.Len(),
+		metric: f.Metric(),
+		kern:   CompileKernel(f.Metric(), f.Dim()),
+	}
+	return d
+}
+
+// Append adds p as a new live row and returns its id (the next dense
+// slot, counting tombstones). The first append fixes the dimensionality.
+func (d *DynDataset) Append(p Point) (int, error) {
+	if len(p) == 0 {
+		return 0, fmt.Errorf("object: dyn dataset: zero-dimensional point")
+	}
+	if d.dim == 0 {
+		d.dim = len(p)
+		d.kern = CompileKernel(d.metric, d.dim)
+	} else if len(p) != d.dim {
+		return 0, fmt.Errorf("object: dyn dataset: point has dimension %d, want %d", len(p), d.dim)
+	}
+	id := len(d.dead)
+	d.coords = append(d.coords, p...)
+	d.dead = append(d.dead, false)
+	d.live++
+	return id, nil
+}
+
+// Delete tombstones row id. The slot is retained (Row keeps answering,
+// ids above are unaffected); only compaction reclaims it.
+func (d *DynDataset) Delete(id int) error {
+	if id < 0 || id >= len(d.dead) {
+		return fmt.Errorf("object: dyn dataset: id %d out of range [0,%d)", id, len(d.dead))
+	}
+	if d.dead[id] {
+		return fmt.Errorf("object: dyn dataset: id %d already deleted", id)
+	}
+	d.dead[id] = true
+	d.live--
+	return nil
+}
+
+// Alive reports whether id names a live row.
+func (d *DynDataset) Alive(id int) bool {
+	return id >= 0 && id < len(d.dead) && !d.dead[id]
+}
+
+// Slots returns the total number of rows ever appended, tombstones
+// included — the exclusive upper bound of the id domain.
+func (d *DynDataset) Slots() int { return len(d.dead) }
+
+// Live returns the number of live rows.
+func (d *DynDataset) Live() int { return d.live }
+
+// Dim returns the dimensionality (0 before the first Append).
+func (d *DynDataset) Dim() int { return d.dim }
+
+// Metric returns the dataset's metric.
+func (d *DynDataset) Metric() Metric { return d.metric }
+
+// Kernel returns the compiled distance kernel (valid after the first
+// Append).
+func (d *DynDataset) Kernel() *Kernel { return &d.kern }
+
+// Row returns the coordinates of row id (tombstoned rows included) as a
+// subslice of the flat storage; it is invalidated by the next Append.
+func (d *DynDataset) Row(id int) []float64 {
+	off := id * d.dim
+	return d.coords[off : off+d.dim : off+d.dim]
+}
+
+// Point is Row typed as a Point. Zero-copy; see Row for validity.
+func (d *DynDataset) Point(id int) Point { return Point(d.Row(id)) }
+
+// LivePoints materialises an independent copy of every live row in
+// ascending id order — the input a rebuild-from-scratch consumes.
+func (d *DynDataset) LivePoints() []Point {
+	pts := make([]Point, 0, d.live)
+	for id := range d.dead {
+		if !d.dead[id] {
+			pts = append(pts, d.Point(id).Clone())
+		}
+	}
+	return pts
+}
+
+// CompactFlat squeezes the tombstones out: live rows are copied in
+// ascending id order into a fresh FlatDataset with dense ids 0..Live()-1,
+// and remap[oldID] gives each row's new id (-1 for tombstones). The remap
+// is monotone over live ids, so orderings by id are preserved through it.
+// Returns an error when no live rows remain (a FlatDataset cannot be
+// empty).
+func (d *DynDataset) CompactFlat() (*FlatDataset, []int32, error) {
+	if d.live == 0 {
+		return nil, nil, fmt.Errorf("object: dyn dataset: nothing live to compact")
+	}
+	coords := make([]float64, 0, d.live*d.dim)
+	remap := make([]int32, len(d.dead))
+	next := int32(0)
+	for id := range d.dead {
+		if d.dead[id] {
+			remap[id] = -1
+			continue
+		}
+		remap[id] = next
+		next++
+		coords = append(coords, d.Row(id)...)
+	}
+	flat, err := NewFlatDataset(coords, d.live, d.dim, d.metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	return flat, remap, nil
+}

@@ -1,0 +1,112 @@
+package object
+
+import "testing"
+
+func TestDynDatasetLifecycle(t *testing.T) {
+	d, err := NewDynDataset(Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 0 || d.Live() != 0 || d.Slots() != 0 {
+		t.Fatal("empty dataset state wrong")
+	}
+	a, err := d.Append(Point{0.1, 0.2})
+	if err != nil || a != 0 {
+		t.Fatalf("first append: id=%d err=%v", a, err)
+	}
+	if d.Dim() != 2 {
+		t.Fatalf("dim %d after first append", d.Dim())
+	}
+	if _, err := d.Append(Point{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := d.Append(Point{}); err == nil {
+		t.Error("empty point accepted")
+	}
+	b, _ := d.Append(Point{0.3, 0.4})
+	c, _ := d.Append(Point{0.5, 0.6})
+	if b != 1 || c != 2 || d.Live() != 3 || d.Slots() != 3 {
+		t.Fatalf("ids %d %d, live %d, slots %d", b, c, d.Live(), d.Slots())
+	}
+	if err := d.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(b); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := d.Delete(99); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	if d.Alive(b) || !d.Alive(a) || !d.Alive(c) || d.Live() != 2 {
+		t.Fatal("alive bookkeeping wrong after delete")
+	}
+	// Tombstoned rows keep their slot and coordinates.
+	if got := d.Point(b); !got.Equal(Point{0.3, 0.4}) {
+		t.Errorf("tombstoned row changed: %v", got)
+	}
+	if got := d.Kernel().Dist(d.Row(a), d.Row(c)); got <= 0 {
+		t.Errorf("kernel distance %g", got)
+	}
+}
+
+func TestDynDatasetCompact(t *testing.T) {
+	d, _ := NewDynDataset(Manhattan{})
+	for i := 0; i < 6; i++ {
+		if _, err := d.Append(Point{float64(i), float64(i) * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{1, 4} {
+		if err := d.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat, remap, err := d.CompactFlat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Len() != 4 || flat.Dim() != 2 {
+		t.Fatalf("compact shape %dx%d", flat.Len(), flat.Dim())
+	}
+	wantRemap := []int32{0, -1, 1, 2, -1, 3}
+	for i, w := range wantRemap {
+		if remap[i] != w {
+			t.Fatalf("remap[%d]=%d, want %d", i, remap[i], w)
+		}
+	}
+	for old, nw := range remap {
+		if nw < 0 {
+			continue
+		}
+		if !flat.Point(int(nw)).Equal(d.Point(old)) {
+			t.Errorf("row %d→%d coordinates differ", old, nw)
+		}
+	}
+	if flat.Metric().Name() != d.Metric().Name() {
+		t.Error("metric not carried through compaction")
+	}
+
+	empty, _ := NewDynDataset(Euclidean{})
+	if _, _, err := empty.CompactFlat(); err == nil {
+		t.Error("compacting an empty dataset accepted")
+	}
+}
+
+func TestDynFromFlat(t *testing.T) {
+	flat, err := Flatten([]Point{{1, 2}, {3, 4}}, Chebyshev{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DynFromFlat(flat)
+	if d.Live() != 2 || d.Dim() != 2 {
+		t.Fatalf("live %d dim %d", d.Live(), d.Dim())
+	}
+	// The copy must be independent of the source storage.
+	id, _ := d.Append(Point{5, 6})
+	if id != 2 || flat.Len() != 2 {
+		t.Fatal("append leaked into the source flat dataset")
+	}
+	if !d.Point(0).Equal(flat.Point(0)) {
+		t.Error("copied coordinates differ")
+	}
+}

@@ -18,6 +18,21 @@
 //	POST /v1/results/{id}/zoom           {radius} -> adapted result
 //	POST /v1/results/{id}/localzoom      {center, radius} -> local view
 //	GET  /healthz                         liveness probe
+//
+// Live maintainers (incremental r-DisC under inserts/deletes, backed by
+// disc.Updater — grid-servable metrics only):
+//
+//	POST /v1/live                         create {name, radius, metric?, points?}
+//	GET  /v1/live                         list live maintainers
+//	GET  /v1/live/{name}                  maintainer info (live, selected, pending)
+//	POST /v1/live/{name}/insert          {point, flush?} -> assigned id
+//	POST /v1/live/{name}/delete          {id, flush?} -> updated counts
+//	POST /v1/live/{name}/flush           repair dirty components, publish
+//	GET  /v1/live/{name}/selection       last published representative ids
+//
+// Mutations are bounded-stale by default: reads keep serving the last
+// published selection until a flush converges the dirty components.
+// Pass "flush": true on a mutation for per-operation convergence.
 package server
 
 import (
@@ -44,6 +59,7 @@ type Server struct {
 
 	datasets map[string]*datasetState
 	results  map[string]*resultState
+	live     map[string]*liveState
 	nextID   int
 }
 
@@ -72,11 +88,19 @@ type resultState struct {
 	res     *disc.Result
 }
 
+type liveState struct {
+	name    string
+	metric  string
+	dim     int
+	updater *disc.Updater
+}
+
 // New creates an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
 		datasets: make(map[string]*datasetState),
 		results:  make(map[string]*resultState),
+		live:     make(map[string]*liveState),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -95,6 +119,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{id}", s.handleGetResult)
 	mux.HandleFunc("POST /v1/results/{id}/zoom", s.handleZoom)
 	mux.HandleFunc("POST /v1/results/{id}/localzoom", s.handleLocalZoom)
+	mux.HandleFunc("POST /v1/live", s.handleCreateLive)
+	mux.HandleFunc("GET /v1/live", s.handleListLive)
+	mux.HandleFunc("GET /v1/live/{name}", s.handleGetLive)
+	mux.HandleFunc("POST /v1/live/{name}/insert", s.handleLiveInsert)
+	mux.HandleFunc("POST /v1/live/{name}/delete", s.handleLiveDelete)
+	mux.HandleFunc("POST /v1/live/{name}/flush", s.handleLiveFlush)
+	mux.HandleFunc("GET /v1/live/{name}/selection", s.handleLiveSelection)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -515,4 +546,234 @@ func (s *Server) handleLocalZoom(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+type createLiveRequest struct {
+	Name   string      `json:"name"`
+	Metric string      `json:"metric,omitempty"`
+	Radius float64     `json:"radius"`
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+type liveInfo struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Radius   float64 `json:"radius"`
+	Dim      int     `json:"dim"`
+	Live     int     `json:"live"`
+	Selected int     `json:"selected"`
+	Pending  int     `json:"pending"`
+}
+
+func (s *Server) liveInfoLocked(ls *liveState) liveInfo {
+	return liveInfo{
+		Name:     ls.name,
+		Metric:   ls.metric,
+		Radius:   ls.updater.Radius(),
+		Dim:      ls.dim,
+		Live:     ls.updater.Len(),
+		Selected: ls.updater.Size(),
+		Pending:  ls.updater.Pending(),
+	}
+}
+
+// handleCreateLive builds an incremental maintainer, optionally seeded
+// with points (a non-empty seed runs the batch pipeline once, so the
+// first published selection is exactly the batch selection).
+func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
+	var req createLiveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := validateDatasetName(req.Name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	metricName := req.Metric
+	if metricName == "" {
+		metricName = "euclidean"
+	}
+	metric, err := disc.MetricByName(metricName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pts := make([]disc.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = disc.Point(p)
+	}
+	u, err := disc.NewUpdater(pts, req.Radius, disc.WithMetric(metric))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dim := 0
+	if len(pts) > 0 {
+		dim = len(pts[0])
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	if _, exists := s.live[req.Name]; exists {
+		writeError(w, http.StatusConflict, "live maintainer %q already exists", req.Name)
+		return
+	}
+	ls := &liveState{name: req.Name, metric: metricName, dim: dim, updater: u}
+	s.live[req.Name] = ls
+	writeJSON(w, http.StatusCreated, s.liveInfoLocked(ls))
+}
+
+func (s *Server) handleListLive(w http.ResponseWriter, _ *http.Request) {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	infos := make([]liveInfo, 0, len(s.live))
+	for _, ls := range s.live {
+		infos = append(infos, s.liveInfoLocked(ls))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// lookupLive resolves the {name} path value, writing the 404 itself.
+func (s *Server) lookupLive(w http.ResponseWriter, r *http.Request) *liveState {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	ls, ok := s.live[r.PathValue("name")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown live maintainer %q", r.PathValue("name"))
+		return nil
+	}
+	return ls
+}
+
+func (s *Server) handleGetLive(w http.ResponseWriter, r *http.Request) {
+	ls := s.lookupLive(w, r)
+	if ls == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.liveInfoLocked(ls))
+}
+
+type liveInsertRequest struct {
+	Point []float64 `json:"point"`
+	Flush bool      `json:"flush,omitempty"`
+}
+
+type liveMutationBody struct {
+	ID       int  `json:"id"`
+	Selected bool `json:"selected"`
+	Live     int  `json:"live"`
+	Size     int  `json:"size"`
+	Pending  int  `json:"pending"`
+}
+
+// handleLiveInsert adds a point. By default the mutation is
+// bounded-stale — the published selection is unchanged and Pending
+// reports the dirty components; with "flush": true the operation
+// converges before responding and Selected reports whether the new
+// point became a representative.
+func (s *Server) handleLiveInsert(w http.ResponseWriter, r *http.Request) {
+	var req liveInsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ls := s.lookupLive(w, r)
+	if ls == nil {
+		return
+	}
+	if ls.dim > 0 && len(req.Point) != ls.dim {
+		writeError(w, http.StatusBadRequest, "point has %d dimensions, maintainer %d", len(req.Point), ls.dim)
+		return
+	}
+	id, err := ls.updater.Insert(disc.Point(req.Point))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if ls.dim == 0 {
+		ls.dim = len(req.Point)
+	}
+	if req.Flush {
+		ls.updater.Flush()
+	}
+	writeJSON(w, http.StatusCreated, liveMutationBody{
+		ID:       id,
+		Selected: ls.updater.IsRepresentative(id),
+		Live:     ls.updater.Len(),
+		Size:     ls.updater.Size(),
+		Pending:  ls.updater.Pending(),
+	})
+}
+
+type liveDeleteRequest struct {
+	ID    int  `json:"id"`
+	Flush bool `json:"flush,omitempty"`
+}
+
+// handleLiveDelete retracts a live object; same staleness contract as
+// insert.
+func (s *Server) handleLiveDelete(w http.ResponseWriter, r *http.Request) {
+	var req liveDeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ls := s.lookupLive(w, r)
+	if ls == nil {
+		return
+	}
+	if err := ls.updater.Delete(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Flush {
+		ls.updater.Flush()
+	}
+	writeJSON(w, http.StatusOK, liveMutationBody{
+		ID:      req.ID,
+		Live:    ls.updater.Len(),
+		Size:    ls.updater.Size(),
+		Pending: ls.updater.Pending(),
+	})
+}
+
+type liveFlushBody struct {
+	Repaired int `json:"repaired"`
+	Size     int `json:"size"`
+	Pending  int `json:"pending"`
+}
+
+func (s *Server) handleLiveFlush(w http.ResponseWriter, r *http.Request) {
+	ls := s.lookupLive(w, r)
+	if ls == nil {
+		return
+	}
+	repaired := ls.updater.Flush()
+	writeJSON(w, http.StatusOK, liveFlushBody{
+		Repaired: repaired,
+		Size:     ls.updater.Size(),
+		Pending:  ls.updater.Pending(),
+	})
+}
+
+type liveSelectionBody struct {
+	Size    int   `json:"size"`
+	Pending int   `json:"pending"`
+	IDs     []int `json:"ids"`
+}
+
+// handleLiveSelection serves the last published selection — lock-free
+// on the updater, so it stays responsive while repairs run.
+func (s *Server) handleLiveSelection(w http.ResponseWriter, r *http.Request) {
+	ls := s.lookupLive(w, r)
+	if ls == nil {
+		return
+	}
+	ids := ls.updater.Selection()
+	writeJSON(w, http.StatusOK, liveSelectionBody{
+		Size:    len(ids),
+		Pending: ls.updater.Pending(),
+		IDs:     append([]int(nil), ids...),
+	})
 }

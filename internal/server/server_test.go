@@ -336,3 +336,123 @@ func TestDatasetNameValidation(t *testing.T) {
 		t.Fatal("warm start accepted a path-separator name")
 	}
 }
+
+type liveInfoBody struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Radius   float64 `json:"radius"`
+	Dim      int     `json:"dim"`
+	Live     int     `json:"live"`
+	Selected int     `json:"selected"`
+	Pending  int     `json:"pending"`
+}
+
+type liveMutation struct {
+	ID       int  `json:"id"`
+	Selected bool `json:"selected"`
+	Live     int  `json:"live"`
+	Size     int  `json:"size"`
+	Pending  int  `json:"pending"`
+}
+
+type liveSelection struct {
+	Size    int   `json:"size"`
+	Pending int   `json:"pending"`
+	IDs     []int `json:"ids"`
+}
+
+// TestLiveLifecycle drives the incremental maintainer over HTTP:
+// bounded-stale mutations, the flush barrier, per-op convergence, and
+// retraction of a representative.
+func TestLiveLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+
+	var info liveInfoBody
+	doJSON(t, "POST", ts.URL+"/v1/live",
+		map[string]any{"name": "feed", "radius": 0.1, "points": [][]float64{{0.5, 0.5}}},
+		http.StatusCreated, &info)
+	if info.Live != 1 || info.Selected != 1 || info.Pending != 0 {
+		t.Fatalf("seeded maintainer: %+v", info)
+	}
+
+	// Duplicate name conflicts.
+	doJSON(t, "POST", ts.URL+"/v1/live",
+		map[string]any{"name": "feed", "radius": 0.1}, http.StatusConflict, nil)
+
+	// Bounded-stale insert: the new point is live but unpublished.
+	var mut liveMutation
+	doJSON(t, "POST", ts.URL+"/v1/live/feed/insert",
+		map[string]any{"point": []float64{0.9, 0.9}}, http.StatusCreated, &mut)
+	if mut.ID != 1 || mut.Selected || mut.Live != 2 || mut.Size != 1 || mut.Pending != 1 {
+		t.Fatalf("stale insert: %+v", mut)
+	}
+	var sel liveSelection
+	doJSON(t, "GET", ts.URL+"/v1/live/feed/selection", nil, http.StatusOK, &sel)
+	if sel.Size != 1 || sel.Pending != 1 {
+		t.Fatalf("stale selection: %+v", sel)
+	}
+
+	// Flush converges: the far-away point becomes a representative.
+	var fl struct {
+		Repaired int `json:"repaired"`
+		Size     int `json:"size"`
+		Pending  int `json:"pending"`
+	}
+	doJSON(t, "POST", ts.URL+"/v1/live/feed/flush", nil, http.StatusOK, &fl)
+	if fl.Repaired != 1 || fl.Size != 2 || fl.Pending != 0 {
+		t.Fatalf("flush: %+v", fl)
+	}
+
+	// Per-op convergence: a covered insert stays unselected.
+	doJSON(t, "POST", ts.URL+"/v1/live/feed/insert",
+		map[string]any{"point": []float64{0.52, 0.5}, "flush": true}, http.StatusCreated, &mut)
+	if mut.Selected || mut.Size != 2 || mut.Pending != 0 {
+		t.Fatalf("converged covered insert: %+v", mut)
+	}
+
+	// Deleting a representative promotes its covered neighbour.
+	doJSON(t, "POST", ts.URL+"/v1/live/feed/delete",
+		map[string]any{"id": 0, "flush": true}, http.StatusOK, &mut)
+	if mut.Live != 2 || mut.Size != 2 || mut.Pending != 0 {
+		t.Fatalf("delete representative: %+v", mut)
+	}
+	doJSON(t, "GET", ts.URL+"/v1/live/feed/selection", nil, http.StatusOK, &sel)
+	if sel.Size != 2 || sel.IDs[0] != 1 || sel.IDs[1] != 2 {
+		t.Fatalf("promoted selection: %+v", sel)
+	}
+
+	// Double delete is a client error.
+	doJSON(t, "POST", ts.URL+"/v1/live/feed/delete",
+		map[string]any{"id": 0}, http.StatusBadRequest, nil)
+
+	var infos []liveInfoBody
+	doJSON(t, "GET", ts.URL+"/v1/live", nil, http.StatusOK, &infos)
+	if len(infos) != 1 || infos[0].Live != 2 {
+		t.Fatalf("list: %+v", infos)
+	}
+	doJSON(t, "GET", ts.URL+"/v1/live/feed", nil, http.StatusOK, &info)
+	if info.Dim != 2 || info.Live != 2 {
+		t.Fatalf("info: %+v", info)
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	ts := newTestServer(t)
+	// Non-grid metric cannot ride the incremental path.
+	doJSON(t, "POST", ts.URL+"/v1/live",
+		map[string]any{"name": "h", "radius": 1.0, "metric": "hamming"},
+		http.StatusBadRequest, nil)
+	// Negative radius.
+	doJSON(t, "POST", ts.URL+"/v1/live",
+		map[string]any{"name": "n", "radius": -0.5}, http.StatusBadRequest, nil)
+	// Unknown maintainer.
+	doJSON(t, "POST", ts.URL+"/v1/live/ghost/insert",
+		map[string]any{"point": []float64{0.1}}, http.StatusNotFound, nil)
+	// Dimension mismatch after the first insert fixes it.
+	doJSON(t, "POST", ts.URL+"/v1/live",
+		map[string]any{"name": "d", "radius": 0.1}, http.StatusCreated, nil)
+	doJSON(t, "POST", ts.URL+"/v1/live/d/insert",
+		map[string]any{"point": []float64{0.1, 0.2}}, http.StatusCreated, nil)
+	doJSON(t, "POST", ts.URL+"/v1/live/d/insert",
+		map[string]any{"point": []float64{0.1}}, http.StatusBadRequest, nil)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/grid"
 )
 
 // Stream maintains an r-DisC diverse subset of a changing object stream —
@@ -12,9 +13,21 @@ import (
 // operation the representative set is a valid r-DisC diverse subset of
 // the live objects.
 //
+// For grid-servable metrics (Euclidean, Manhattan, Chebyshev — the
+// default) a Stream rides the incremental Updater: every operation
+// patches the grid occupancy and CSR adjacency, repairs only the
+// affected components and converges immediately, so the representative
+// set after each call is exactly what a from-scratch component-mode
+// Select over the live objects would choose. Other metrics fall back to
+// the arrival-order online maintainer over an M-tree, which keeps the
+// DisC invariants but makes promotion decisions in arrival order rather
+// than batch-greedy order. Callers that want to batch mutations and
+// control convergence themselves should use Updater directly.
+//
 // A Stream is not safe for concurrent use.
 type Stream struct {
-	online *core.OnlineDisC
+	updater *Updater
+	online  *core.OnlineDisC
 }
 
 type streamOptions struct {
@@ -36,7 +49,9 @@ func StreamMetric(m Metric) StreamOption {
 	}
 }
 
-// StreamCapacity sets the backing M-tree node capacity (default 50).
+// StreamCapacity sets the M-tree node capacity of the fallback
+// arrival-order maintainer (default 50). The incremental path has no
+// tree and ignores it.
 func StreamCapacity(capacity int) StreamOption {
 	return func(o *streamOptions) error {
 		if capacity < 4 {
@@ -55,6 +70,13 @@ func NewStream(r float64, opts ...StreamOption) (*Stream, error) {
 			return nil, err
 		}
 	}
+	if grid.Supports(o.metric) {
+		u, err := NewUpdater(nil, r, WithMetric(o.metric))
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{updater: u}, nil
+	}
 	online, err := core.NewOnlineDisC(o.metric, r, o.capacity)
 	if err != nil {
 		return nil, err
@@ -65,35 +87,94 @@ func NewStream(r float64, opts ...StreamOption) (*Stream, error) {
 // Add indexes a new object, returning its assigned id and whether it
 // became a representative.
 func (s *Stream) Add(p Point) (id int, selected bool, err error) {
+	if s.updater != nil {
+		id, err = s.updater.Insert(p)
+		if err != nil {
+			return 0, false, err
+		}
+		s.updater.Flush()
+		return id, s.updater.IsRepresentative(id), nil
+	}
 	return s.online.Add(p)
 }
 
 // Remove retracts a previously added object; retracting a representative
 // repairs coverage locally.
-func (s *Stream) Remove(id int) error { return s.online.Remove(id) }
+func (s *Stream) Remove(id int) error {
+	if s.updater != nil {
+		if err := s.updater.Delete(id); err != nil {
+			return err
+		}
+		s.updater.Flush()
+		return nil
+	}
+	return s.online.Remove(id)
+}
 
 // Radius returns the maintained diversification radius.
-func (s *Stream) Radius() float64 { return s.online.Radius() }
+func (s *Stream) Radius() float64 {
+	if s.updater != nil {
+		return s.updater.Radius()
+	}
+	return s.online.Radius()
+}
 
 // Len returns the number of live objects.
-func (s *Stream) Len() int { return s.online.Len() }
+func (s *Stream) Len() int {
+	if s.updater != nil {
+		return s.updater.Len()
+	}
+	return s.online.Len()
+}
 
 // Size returns the number of current representatives.
-func (s *Stream) Size() int { return s.online.Size() }
+func (s *Stream) Size() int {
+	if s.updater != nil {
+		return s.updater.Size()
+	}
+	return s.online.Size()
+}
 
 // Representatives returns the current representative ids in ascending
 // order.
-func (s *Stream) Representatives() []int { return s.online.Representatives() }
+func (s *Stream) Representatives() []int {
+	if s.updater != nil {
+		sel := s.updater.Selection()
+		return append([]int(nil), sel...)
+	}
+	return s.online.Representatives()
+}
 
 // IsRepresentative reports whether live object id is currently selected.
-func (s *Stream) IsRepresentative(id int) bool { return s.online.IsRepresentative(id) }
+func (s *Stream) IsRepresentative(id int) bool {
+	if s.updater != nil {
+		return s.updater.IsRepresentative(id)
+	}
+	return s.online.IsRepresentative(id)
+}
 
 // Point returns the coordinates of object id (including retracted ones).
-func (s *Stream) Point(id int) Point { return s.online.Point(id) }
+func (s *Stream) Point(id int) Point {
+	if s.updater != nil {
+		return s.updater.Point(id)
+	}
+	return s.online.Point(id)
+}
 
-// Accesses returns cumulative index node accesses.
-func (s *Stream) Accesses() int64 { return s.online.Accesses() }
+// Accesses returns cumulative index node accesses (objects examined on
+// the incremental path).
+func (s *Stream) Accesses() int64 {
+	if s.updater != nil {
+		return s.updater.Accesses()
+	}
+	return s.online.Accesses()
+}
 
 // Verify checks the DisC invariants over the live objects by direct
 // distance computation (O(n·|S|); for tests and debugging).
-func (s *Stream) Verify() error { return s.online.Verify() }
+func (s *Stream) Verify() error {
+	if s.updater != nil {
+		return s.updater.Verify()
+	}
+	return s.online.Verify()
+}

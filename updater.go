@@ -1,0 +1,248 @@
+package disc
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/discdiversity/disc/internal/core"
+	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/snap"
+)
+
+// Updater maintains an r-DisC diverse selection under live inserts and
+// deletes, repairing only the connected components a mutation touches
+// instead of re-running the batch selection. It is built on the same
+// grid/CSR substrate as IndexCoverageGraph — mutable grid occupancy,
+// spliced CSR adjacency, component labels — and is property-tested to
+// stay exactly equivalent to a rebuild: after Flush, the selection is
+// the one Select(r, WithSelectMode(SelectComponents)) would compute
+// over the current live points from scratch.
+//
+// # Staleness contract
+//
+// Reads are bounded-stale: Selection, IsRepresentative and Size answer
+// from the last converged selection, published atomically by Flush (and
+// by the constructor). Mutations mark the touched components dirty but
+// never change what readers see, so a read during a burst of updates is
+// a consistent DisC-diverse selection of some recent state — never a
+// half-repaired one. Flush is the convergence barrier: it re-runs the
+// pruned component greedy over exactly the dirty components and
+// publishes the result; Pending reports the number of components
+// awaiting repair.
+//
+// Mutations and Flush serialise on an internal lock; reads are
+// lock-free. An Updater is therefore safe for any number of concurrent
+// readers alongside one or more writers.
+//
+// Ids are assigned densely at insert and never reused; deleted ids stay
+// tombstoned internally until a snapshot compaction. Only grid-servable
+// metrics (Euclidean, Manhattan, Chebyshev) support incremental repair
+// — for other metrics use Stream's arrival-order maintainer or batch
+// Select.
+type Updater struct {
+	mu          sync.Mutex
+	live        *core.LiveDisC
+	metric      Metric
+	parallelism int
+	capacity    int
+	seed        uint64
+}
+
+// NewUpdater builds an Updater for radius r, seeded with points (which
+// may be empty — the dimensionality is then fixed by the first Insert).
+// A non-empty seed runs the batch pipeline once (grid build, ε-join,
+// component labeling, component-decomposed greedy), so the first
+// published selection is exactly the batch selection.
+//
+// Respected options: WithMetric (must be grid-servable), WithParallelism
+// (ε-join sharding for the seed build), WithSeed and WithMTreeCapacity
+// (recorded for snapshot round trips). The index is not configurable —
+// an Updater is the coverage-graph substrate — so WithIndex of anything
+// but IndexCoverageGraph is an error.
+func NewUpdater(points []Point, r float64, opts ...Option) (*Updater, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return nil, fmt.Errorf("disc: invalid radius %g", r)
+	}
+	if o.indexSet && o.index != IndexCoverageGraph {
+		return nil, fmt.Errorf("disc: updater: index %v is not applicable; incremental repair runs on the coverage-graph substrate", o.index)
+	}
+	if !grid.Supports(o.metric) {
+		return nil, fmt.Errorf("disc: updater: metric %q does not dominate per-coordinate differences; incremental repair needs the grid substrate (use Euclidean, Manhattan or Chebyshev)", o.metric.Name())
+	}
+	u := &Updater{metric: o.metric, parallelism: o.parallelism, capacity: o.capacity, seed: o.seed}
+	if len(points) == 0 {
+		live, err := core.NewLiveDisC(o.metric, r)
+		if err != nil {
+			return nil, err
+		}
+		u.live = live
+		return u, nil
+	}
+	if _, err := object.ValidatePoints(points); err != nil {
+		return nil, fmt.Errorf("disc: %w", err)
+	}
+	flat, err := object.Flatten(points, o.metric)
+	if err != nil {
+		return nil, fmt.Errorf("disc: %w", err)
+	}
+	workers := o.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	live, err := core.SeedLiveDisC(flat, r, workers)
+	if err != nil {
+		return nil, fmt.Errorf("disc: %w", err)
+	}
+	u.live = live
+	return u, nil
+}
+
+// Insert adds p and returns its assigned id. The affected component
+// (the union of the components of p's in-range neighbours) is marked
+// dirty; the published selection is unchanged until Flush.
+func (u *Updater) Insert(p Point) (int, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Insert(p)
+}
+
+// Delete retracts a live object. Its component is re-partitioned (a
+// delete can split it) and every resulting part marked dirty; the
+// published selection is unchanged until Flush.
+func (u *Updater) Delete(id int) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Delete(id)
+}
+
+// Flush repairs every dirty component and publishes the converged
+// selection, returning the number of components repaired. After Flush,
+// reads see a selection identical to a from-scratch component-mode
+// Select over the live points.
+func (u *Updater) Flush() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Flush()
+}
+
+// Pending returns the number of components awaiting repair.
+func (u *Updater) Pending() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Pending()
+}
+
+// Selection returns the ids of the last published selection in
+// ascending order. Lock-free and safe for concurrent use; the slice is
+// shared and must not be modified.
+func (u *Updater) Selection() []int { return u.live.Selection() }
+
+// Size returns the size of the last published selection. Lock-free.
+func (u *Updater) Size() int { return u.live.Size() }
+
+// IsRepresentative reports whether id is selected in the last published
+// selection. Lock-free.
+func (u *Updater) IsRepresentative(id int) bool { return u.live.IsRepresentative(id) }
+
+// Radius returns the maintained diversification radius.
+func (u *Updater) Radius() float64 { return u.live.Radius() }
+
+// Len returns the number of live objects.
+func (u *Updater) Len() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Len()
+}
+
+// Alive reports whether id names a live (not deleted) object.
+func (u *Updater) Alive(id int) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Alive(id)
+}
+
+// Point returns a copy of the coordinates of object id (tombstoned ids
+// included).
+func (u *Updater) Point(id int) Point {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return Point(u.live.Point(id))
+}
+
+// Accesses returns the cumulative objects-examined count across
+// neighbourhood queries and repairs.
+func (u *Updater) Accesses() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Accesses()
+}
+
+// Verify checks the DisC invariants of the converged selection by
+// direct distance computation (O(n·|S|); tests and debugging). It
+// errors when repairs are pending — Flush first.
+func (u *Updater) Verify() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Verify()
+}
+
+// WriteSnapshot persists the updater's compacted state to the .discsnap
+// format (see docs/SNAPSHOT_FORMAT.md): tombstones are squeezed out, so
+// the snapshot carries the live points densely re-identified in
+// ascending id order, together with the grid occupancy, the coverage
+// CSR and the component labels — exactly what a coverage-graph snapshot
+// written by Diversifier.WriteSnapshot after Prepare carries, so
+// LoadDiversifier warm-starts from it directly.
+//
+// Snapshotting dirty state would persist a selection the repairs have
+// already invalidated, so WriteSnapshot refuses while Pending > 0; call
+// Flush first. An empty updater has nothing to persist and is refused
+// too.
+func (u *Updater) WriteSnapshot(w io.Writer) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if p := u.live.Pending(); p > 0 {
+		return fmt.Errorf("disc: snapshot: %d components pending repair; call Flush first", p)
+	}
+	if u.live.Len() == 0 {
+		return fmt.Errorf("disc: snapshot: updater holds no live objects")
+	}
+	flat, _, csr, comp, err := u.live.Compact()
+	if err != nil {
+		return fmt.Errorf("disc: snapshot: %w", err)
+	}
+	g, err := grid.Build(flat, u.live.Radius())
+	if err != nil {
+		return fmt.Errorf("disc: snapshot: %w", err)
+	}
+	parts := g.Parts()
+	s := &snap.Snapshot{
+		Index:           IndexCoverageGraph.String(),
+		Parallelism:     u.parallelism,
+		Capacity:        u.capacity,
+		Seed:            u.seed,
+		Metric:          u.metric.Name(),
+		N:               flat.Len(),
+		Dim:             flat.Dim(),
+		Coords:          flat.Coords(),
+		Grid:            &parts,
+		GraphRadius:     u.live.Radius(),
+		Graph:           csr,
+		ComponentCount:  comp.Count,
+		ComponentLabels: comp.Label,
+	}
+	if err := snap.Write(w, s); err != nil {
+		return fmt.Errorf("disc: snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package disc_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+
+	disc "github.com/discdiversity/disc"
+)
+
+// rebuildSelection runs the from-scratch component-mode Select over the
+// updater's live points and returns the selected ids mapped back to the
+// updater's id space (the remap old→dense is monotone, so the inverse
+// is just the ascending list of live ids).
+func rebuildSelection(t *testing.T, u *disc.Updater, m disc.Metric, slots int, r float64) []int {
+	t.Helper()
+	var pts []disc.Point
+	var liveIDs []int
+	for id := 0; id < slots; id++ {
+		if u.Alive(id) {
+			pts = append(pts, u.Point(id))
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	d, err := disc.New(pts, disc.WithIndex(disc.IndexCoverageGraph), disc.WithMetric(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Select(r, disc.WithSelectMode(disc.SelectComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := append([]int(nil), res.IDs()...)
+	for i, id := range ids {
+		ids[i] = liveIDs[id]
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func assertEqualsRebuild(t *testing.T, u *disc.Updater, m disc.Metric, slots int, r float64) {
+	t.Helper()
+	u.Flush()
+	if err := u.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	want := rebuildSelection(t, u, m, slots, r)
+	got := u.Selection()
+	if len(got) != len(want) {
+		t.Fatalf("incremental selects %d, rebuild selects %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("selection[%d]: incremental %d, rebuild %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUpdaterEquivalentToRebuild is the conformance property test of the
+// incremental path: across metrics, dimensionalities and random
+// insert/delete interleavings, the converged selection must be exactly
+// the one a from-scratch component-mode Select over the live points
+// computes.
+func TestUpdaterEquivalentToRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    disc.Metric
+		dim  int
+		r    float64
+	}{
+		{"euclidean-1d", disc.Euclidean(), 1, 0.04},
+		{"euclidean-2d", disc.Euclidean(), 2, 0.1},
+		{"manhattan-2d", disc.Manhattan(), 2, 0.12},
+		{"chebyshev-3d", disc.Chebyshev(), 3, 0.18},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(17, uint64(tc.dim)))
+			u, err := disc.NewUpdater(nil, tc.r, disc.WithMetric(tc.m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			slots := 0
+			var live []int
+			for step := 0; step < 260; step++ {
+				if len(live) == 0 || rng.Float64() < 0.7 {
+					p := make(disc.Point, tc.dim)
+					for i := range p {
+						p[i] = rng.Float64()
+					}
+					id, err := u.Insert(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, id)
+					slots++
+				} else {
+					k := rng.IntN(len(live))
+					if err := u.Delete(live[k]); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:k], live[k+1:]...)
+				}
+				if step%50 == 0 {
+					assertEqualsRebuild(t, u, tc.m, slots, tc.r)
+				}
+			}
+			assertEqualsRebuild(t, u, tc.m, slots, tc.r)
+		})
+	}
+}
+
+func TestUpdaterSeededMatchesBatchSelect(t *testing.T) {
+	pts := randomPoints(700, 2, 41)
+	const r = 0.05
+	u, err := disc.NewUpdater(pts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed is already converged and published.
+	if u.Pending() != 0 {
+		t.Fatalf("seeded updater has %d dirty components", u.Pending())
+	}
+	d, err := disc.New(pts, disc.WithIndex(disc.IndexCoverageGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Select(r, disc.WithSelectMode(disc.SelectComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), res.IDs()...)
+	sort.Ints(want)
+	got := u.Selection()
+	if len(got) != len(want) {
+		t.Fatalf("seed selects %d, batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("seed selection differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if err := u.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdaterOptionValidation(t *testing.T) {
+	if _, err := disc.NewUpdater(nil, -0.1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := disc.NewUpdater(nil, 0.1, disc.WithMetric(disc.Hamming())); err == nil {
+		t.Error("non-grid metric accepted")
+	}
+	if _, err := disc.NewUpdater(nil, 0.1, disc.WithIndex(disc.IndexMTree)); err == nil {
+		t.Error("conflicting index accepted")
+	}
+	if _, err := disc.NewUpdater(nil, 0.1, disc.WithIndex(disc.IndexCoverageGraph)); err != nil {
+		t.Errorf("coverage-graph index rejected: %v", err)
+	}
+	u, err := disc.NewUpdater(nil, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Insert(disc.Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Insert(disc.Point{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := u.Delete(42); err == nil {
+		t.Error("deleting an unknown id accepted")
+	}
+}
+
+func TestUpdaterSnapshotRoundTrip(t *testing.T) {
+	pts := randomPoints(400, 2, 43)
+	const r = 0.06
+	u, err := disc.NewUpdater(pts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate, then try to snapshot dirty state: must refuse.
+	id, err := u.Insert(disc.Point{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := u.WriteSnapshot(&buf); err == nil {
+		t.Fatal("snapshot of dirty state accepted")
+	}
+	u.Flush()
+	if err := u.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	u.Flush()
+	if err := u.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot warm-starts a Diversifier whose component-mode
+	// selection equals the updater's (dense ids: no deletions survive
+	// compaction here, so the id spaces coincide).
+	d, err := disc.LoadDiversifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Select(r, disc.WithSelectMode(disc.SelectComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), res.IDs()...)
+	sort.Ints(want)
+	got := u.Selection()
+	if len(got) != len(want) {
+		t.Fatalf("loaded selects %d, updater %d", len(want), len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("selection differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	empty, err := disc.NewUpdater(nil, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.WriteSnapshot(&buf); err == nil {
+		t.Fatal("snapshot of empty updater accepted")
+	}
+}
+
+// TestUpdaterConcurrentReadsDuringRepair hammers the lock-free read
+// path while a writer mutates and flushes; run under -race (make test)
+// this is the staleness-contract stress test: readers must always see a
+// fully published selection, never a half-repaired one.
+func TestUpdaterConcurrentReadsDuringRepair(t *testing.T) {
+	pts := randomPoints(300, 2, 47)
+	const r = 0.08
+	u, err := disc.NewUpdater(pts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sel := u.Selection()
+				if len(sel) != u.Size() && u.Size() != len(u.Selection()) {
+					// Size and Selection may straddle a publish; each on
+					// its own must be internally consistent.
+					continue
+				}
+				for _, id := range sel {
+					_ = u.IsRepresentative(id)
+				}
+			}
+		}(w)
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	var live []int
+	for id := 0; id < 300; id++ {
+		live = append(live, id)
+	}
+	for step := 0; step < 500; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			id, err := u.Insert(disc.Point{rng.Float64(), rng.Float64()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		} else {
+			k := rng.IntN(len(live))
+			if err := u.Delete(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+		if step%7 == 0 {
+			u.Flush()
+		}
+	}
+	u.Flush()
+	close(stop)
+	wg.Wait()
+	if err := u.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
