@@ -166,6 +166,9 @@ func (l *LiveDisC) Radius() float64 { return l.r }
 // Len returns the number of live objects.
 func (l *LiveDisC) Len() int { return l.dyn.Live() }
 
+// Dim returns the dimensionality (0 before the first insert).
+func (l *LiveDisC) Dim() int { return l.dyn.Dim() }
+
 // Slots returns the id domain bound (dead ids included).
 func (l *LiveDisC) Slots() int { return l.dyn.Slots() }
 
@@ -251,10 +254,14 @@ func (l *LiveDisC) Delete(id int) error {
 		l.grey = append(l.grey, int32(nb.ID))
 	}
 	l.adj.RemoveVertex(id)
-	l.mg.Remove(id)
+	// Tombstone before unbucketing: a shrink-triggered re-bucket inside
+	// mg.Remove walks live ids, and the dying id must not be among them
+	// (it would be re-admitted and stay bucketed forever, feeding dead
+	// neighbours to later inserts).
 	if err := l.dyn.Delete(id); err != nil {
 		return err
 	}
+	l.mg.Remove(id)
 	l.label[id] = -1
 
 	old := l.comps[lab]

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand/v2"
 	"reflect"
+	"slices"
 	"testing"
 
 	"github.com/discdiversity/disc/internal/grid"
@@ -118,6 +119,27 @@ func TestLiveDisCMatchesBatchUnderInterleavings(t *testing.T) {
 		assertConverged(t, l, tc.r)
 		if l.Len() != len(live) {
 			t.Fatalf("live %d, want %d", l.Len(), len(live))
+		}
+
+		// Delete-heavy drain: the insert-biased churn above never shrinks
+		// the live count, so only this phase reaches the 4x shrink
+		// re-bucket inside grid.MutGrid.Remove — the path that must not
+		// re-admit the id being deleted.
+		for len(live) > 4 {
+			k := rng.IntN(len(live))
+			if err := l.Delete(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+			if len(live)%41 == 0 {
+				assertConverged(t, l, tc.r)
+			}
+		}
+		assertConverged(t, l, tc.r)
+		for id := 0; id < l.Slots(); id++ {
+			if l.Alive(id) && !slices.Contains(live, id) {
+				t.Fatalf("id %d alive but not tracked", id)
+			}
 		}
 	}
 }

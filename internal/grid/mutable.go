@@ -154,8 +154,13 @@ func (g *MutGrid) Insert(id int) {
 	g.buckets[c] = spliceID(g.buckets[c], int32(id))
 }
 
-// Remove unbuckets live row id. Call before (or after) the dataset
-// Delete; the grid touches only its own occupancy.
+// Remove unbuckets row id. Either order relative to the dataset Delete
+// is safe: Rebucket walks live ids, so when the shrink trigger fires
+// while id has not been tombstoned yet, the O(n) pass re-admits it —
+// Remove detects that and unbuckets it a second time, so the id never
+// stays bucketed past this call. (Tombstoning first sidesteps the
+// double unbucket and keeps the occupancy heuristics on true
+// post-delete counts, which is what LiveDisC does.)
 func (g *MutGrid) Remove(id int) {
 	c := g.cellOf[id]
 	if c < 0 {
@@ -165,6 +170,10 @@ func (g *MutGrid) Remove(id int) {
 	g.buckets[c] = removeID(g.buckets[c], int32(id))
 	if g.needsRebucket() {
 		g.Rebucket()
+		if c = g.cellOf[id]; c >= 0 {
+			g.cellOf[id] = -1
+			g.buckets[c] = removeID(g.buckets[c], int32(id))
+		}
 	}
 }
 

@@ -22,6 +22,11 @@ func applyInsert(t *testing.T, dyn *object.DynDataset, mg *MutGrid, adj *DynAdj,
 	return id
 }
 
+// applyDelete deliberately unbuckets before tombstoning — the order a
+// shrink-triggered Rebucket inside Remove must survive (the dying id is
+// still alive during the O(n) re-bucket pass and must not stay
+// bucketed). LiveDisC uses the opposite, tombstone-first order; between
+// the two callers both branches of Remove are exercised.
 func applyDelete(t *testing.T, dyn *object.DynDataset, mg *MutGrid, adj *DynAdj, id int) {
 	t.Helper()
 	adj.RemoveVertex(id)
@@ -61,6 +66,24 @@ func TestMutGridMatchesBuildAfterCompaction(t *testing.T) {
 			if step%97 == 0 {
 				if err := mg.CheckOccupancy(); err != nil {
 					t.Fatalf("dim %d step %d: %v", dim, step, err)
+				}
+			}
+		}
+		if err := mg.CheckOccupancy(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Delete-heavy drain: the insert-biased churn above only ever
+		// grows occupancy, so the 4x shrink re-bucket trigger fires here
+		// — repeatedly, as the live count quarters — with the dying id
+		// still alive during each re-bucket (see applyDelete).
+		for len(live) > 5 {
+			k := rng.IntN(len(live))
+			applyDelete(t, dyn, mg, adj, live[k])
+			live = append(live[:k], live[k+1:]...)
+			if len(live)%13 == 0 {
+				if err := mg.CheckOccupancy(); err != nil {
+					t.Fatalf("dim %d drain at %d live: %v", dim, len(live), err)
 				}
 			}
 		}

@@ -91,7 +91,6 @@ type resultState struct {
 type liveState struct {
 	name    string
 	metric  string
-	dim     int
 	updater *disc.Updater
 }
 
@@ -570,7 +569,7 @@ func (s *Server) liveInfoLocked(ls *liveState) liveInfo {
 		Name:     ls.name,
 		Metric:   ls.metric,
 		Radius:   ls.updater.Radius(),
-		Dim:      ls.dim,
+		Dim:      ls.updater.Dim(),
 		Live:     ls.updater.Len(),
 		Selected: ls.updater.Size(),
 		Pending:  ls.updater.Pending(),
@@ -608,17 +607,13 @@ func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	dim := 0
-	if len(pts) > 0 {
-		dim = len(pts[0])
-	}
 	s.mux.Lock()
 	defer s.mux.Unlock()
 	if _, exists := s.live[req.Name]; exists {
 		writeError(w, http.StatusConflict, "live maintainer %q already exists", req.Name)
 		return
 	}
-	ls := &liveState{name: req.Name, metric: metricName, dim: dim, updater: u}
+	ls := &liveState{name: req.Name, metric: metricName, updater: u}
 	s.live[req.Name] = ls
 	writeJSON(w, http.StatusCreated, s.liveInfoLocked(ls))
 }
@@ -682,17 +677,12 @@ func (s *Server) handleLiveInsert(w http.ResponseWriter, r *http.Request) {
 	if ls == nil {
 		return
 	}
-	if ls.dim > 0 && len(req.Point) != ls.dim {
-		writeError(w, http.StatusBadRequest, "point has %d dimensions, maintainer %d", len(req.Point), ls.dim)
-		return
-	}
+	// Dimensionality is validated by the updater itself, which
+	// serialises mutations — no server-side cache to race on.
 	id, err := ls.updater.Insert(disc.Point(req.Point))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	if ls.dim == 0 {
-		ls.dim = len(req.Point)
 	}
 	if req.Flush {
 		ls.updater.Flush()

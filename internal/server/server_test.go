@@ -456,3 +456,71 @@ func TestLiveValidation(t *testing.T) {
 	doJSON(t, "POST", ts.URL+"/v1/live/d/insert",
 		map[string]any{"point": []float64{0.1}}, http.StatusBadRequest, nil)
 }
+
+// TestLiveConcurrentMutations races parallel first inserts, deletes and
+// info reads against a fresh maintainer; under -race (make test) this
+// pins the handlers to the updater's own synchronisation — the server
+// must not cache mutable maintainer state of its own (the old ls.dim
+// cache was written unlocked by concurrent first inserts).
+func TestLiveConcurrentMutations(t *testing.T) {
+	ts := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/v1/live",
+		map[string]any{"name": "c", "radius": 0.1}, http.StatusCreated, nil)
+	post := func(path string, body any) (int, error) {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			return 0, err
+		}
+		var mut liveMutation
+		err = json.NewDecoder(resp.Body).Decode(&mut)
+		resp.Body.Close()
+		return mut.ID, err
+	}
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewPCG(uint64(w), 5))
+			for i := 0; i < 20; i++ {
+				id, err := post("/v1/live/c/insert", map[string]any{
+					"point": []float64{rng.Float64(), rng.Float64()},
+					"flush": i%5 == 0,
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp, err := http.Get(ts.URL + "/v1/live/c"); err != nil {
+					errc <- err
+					return
+				} else {
+					resp.Body.Close()
+				}
+				if i%3 == 0 {
+					if _, err := post("/v1/live/c/delete", map[string]any{"id": id}); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var info liveInfoBody
+	doJSON(t, "POST", ts.URL+"/v1/live/c/flush", nil, http.StatusOK, nil)
+	doJSON(t, "GET", ts.URL+"/v1/live/c", nil, http.StatusOK, &info)
+	if info.Dim != 2 {
+		t.Fatalf("dim %d after concurrent inserts, want 2", info.Dim)
+	}
+	if info.Pending != 0 {
+		t.Fatalf("pending %d after flush", info.Pending)
+	}
+}

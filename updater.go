@@ -164,6 +164,14 @@ func (u *Updater) Len() int {
 	return u.live.Len()
 }
 
+// Dim returns the dimensionality of the maintained points (0 until the
+// first point fixes it).
+func (u *Updater) Dim() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.live.Dim()
+}
+
 // Alive reports whether id names a live (not deleted) object.
 func (u *Updater) Alive(id int) bool {
 	u.mu.Lock()
