@@ -13,7 +13,7 @@ BENCH_R ?= 0.0025
 # noisier runners.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: build test lint bench bench-guard snapshot-bench doclint
+.PHONY: build test lint bench bench-guard snapshot-bench doclint kernel-props
 
 ## build: compile every package and command
 build:
@@ -32,16 +32,19 @@ lint:
 	fi
 
 ## bench: one-iteration smoke pass over every benchmark, then
-## regenerate the checked-in BENCH_PR5.json perf baseline and the
-## BENCH_PR6.json incremental-update baseline from the canonical 50k
-## workload (commit the refreshed files when the change is a deliberate
-## perf shift measured on the baseline hardware).
+## regenerate the checked-in BENCH_PR5.json perf baseline, the
+## BENCH_PR6.json incremental-update baseline and the BENCH_PR7.json
+## high-dimensional kernel baseline from the canonical 50k workloads
+## (commit the refreshed files when the change is a deliberate perf
+## shift measured on the baseline hardware).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -timeout 25m ./...
 	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > BENCH_PR5.json
 	@cat BENCH_PR5.json
 	$(GO) run ./cmd/discbench -exp stream -n $(BENCH_N) -r $(BENCH_R) -format=json > BENCH_PR6.json
 	@cat BENCH_PR6.json
+	$(GO) run ./cmd/discbench -exp highdim -n $(BENCH_N) -format=json > BENCH_PR7.json
+	@cat BENCH_PR7.json
 
 ## bench-guard: vet + compile-and-run gate over the selection and
 ## steady-state neighbour-query benchmarks with allocation reporting,
@@ -51,12 +54,15 @@ bench:
 ## the snapshot experiment (snapshot-bench.json, diffed against
 ## BENCH_PR4.json — save/load metrics) and the stream experiment
 ## (stream-bench.json, diffed against BENCH_PR6.json — updates/sec
-## floor and repair-latency p99 ceiling), failing on anything more than
-## BENCH_TOLERANCE (default +25%) over its baseline. All outputs are
-## uploaded as CI artifacts so the repo's perf trajectory is
-## inspectable per commit. Also runs the zero-allocation regression
-## tests, which carry a !race build tag and are therefore invisible to
-## `make test`.
+## floor and repair-latency p99 ceiling) and the highdim experiment
+## (highdim-bench.json, diffed against BENCH_PR7.json — per-metric
+## batched-join speedup, gated by an absolute 2x floor that transfers
+## across hardware because it is a same-machine ratio), failing on
+## anything more than BENCH_TOLERANCE (default +25%) over its baseline.
+## All outputs are uploaded as CI artifacts so the repo's perf
+## trajectory is inspectable per commit. Also runs the zero-allocation
+## regression tests, which carry a !race build tag and are therefore
+## invisible to `make test`.
 bench-guard:
 	$(GO) vet ./...
 	$(GO) test ./internal/core -run ZeroAlloc -v -count=1
@@ -65,9 +71,11 @@ bench-guard:
 	$(GO) run ./cmd/discbench -exp perf -n $(BENCH_N) -r $(BENCH_R) -format=json > bench-current.json
 	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
 	$(GO) run ./cmd/discbench -exp stream -n $(BENCH_N) -r $(BENCH_R) -format=json > stream-bench.json
+	$(GO) run ./cmd/discbench -exp highdim -n $(BENCH_N) -format=json > highdim-bench.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_PR5.json -current bench-current.json \
 		-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json \
 		-stream-baseline BENCH_PR6.json -stream-current stream-bench.json \
+		-highdim-baseline BENCH_PR7.json -highdim-current highdim-bench.json \
 		-tolerance $(BENCH_TOLERANCE)
 
 ## snapshot-bench: measure cold-build vs snapshot-save vs warm-load on
@@ -78,6 +86,17 @@ bench-guard:
 snapshot-bench:
 	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
 	@cat snapshot-bench.json
+
+## kernel-props: the kernel/filter property suites (bit-identity of the
+## batched and pre-filtered scans against the per-pair reference) under
+## both ends of the amd64 microarchitecture spectrum: GOAMD64=v1 (plain
+## SSE2 codegen) and GOAMD64=v3 (AVX/FMA-era codegen). The widened
+## thresholds must hold whatever instruction selection the compiler
+## picks; on non-amd64 hosts the variable is ignored and the suites
+## simply run twice.
+kernel-props:
+	GOAMD64=v1 $(GO) test ./internal/object -run 'RawBatch|Filter|Within|Float32|Float64' -count=1
+	GOAMD64=v3 $(GO) test ./internal/object -run 'RawBatch|Filter|Within|Float32|Float64' -count=1
 
 ## doclint: verify that relative links and file references in the
 ## repo's markdown docs resolve (the CI doc-link gate; see

@@ -27,11 +27,20 @@
 // is better, guarded like the latency metrics) are diffed — the
 // incremental-update trajectory, BENCH_PR6.json.
 //
+// With -highdim-baseline and -highdim-current set, the highdim
+// experiment's join rows (the batched-kernel trajectory,
+// BENCH_PR7.json) are gated: every baseline metric row must be present,
+// its batched-over-scalar build speedup must clear the absolute 2x
+// floor — a same-machine ratio, so the gate transfers across hardware
+// where wall-clock tolerances cannot — and must not fall more than the
+// tolerance below the baseline's measured speedup.
+//
 // Usage:
 //
 //	benchguard -baseline BENCH_PR5.json -current bench-current.json \
 //	  [-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json] \
 //	  [-stream-baseline BENCH_PR6.json -stream-current stream-bench.json] \
+//	  [-highdim-baseline BENCH_PR7.json -highdim-current highdim-bench.json] \
 //	  [-tolerance 0.25]
 package main
 
@@ -81,6 +90,11 @@ func snapshotWorkload(b *experiments.SnapshotBench) workload {
 
 func streamWorkload(b *experiments.StreamBench) workload {
 	return workload{b.Dataset, b.N, b.Dim, b.Radius, b.Seed, b.GoMaxProcs}
+}
+
+func highdimWorkload(b *experiments.HighDimBench) workload {
+	// Radii are per-join-row in this format; the row keys carry them.
+	return workload{b.Dataset, b.N, b.Dim, 0, b.Seed, b.GoMaxProcs}
 }
 
 // checkWorkloads exits with status 2 when base and cur do not describe
@@ -239,15 +253,58 @@ func compareStream(w io.Writer, base, cur *experiments.StreamBench, tolerance fl
 	return regressions
 }
 
+// highDimSpeedupFloor is the absolute gate on the highdim join rows:
+// the batched coverage-graph build must stay at least this much faster
+// than the per-pair scalar build. Being a ratio of two runs on the same
+// machine, the floor transfers across hardware, unlike wall-clock.
+const highDimSpeedupFloor = 2.0
+
+// compareHighDim gates the highdim join rows: every baseline metric row
+// must be present in the current snapshot, clear the absolute speedup
+// floor, and not fall more than the tolerance below the baseline's
+// measured speedup (higher is better; improvements never fail).
+func compareHighDim(w io.Writer, base, cur *experiments.HighDimBench, tolerance float64) (regressions int) {
+	current := map[string]experiments.HighDimJoin{}
+	for _, j := range cur.Joins {
+		current[j.Metric] = j
+	}
+	for _, bj := range base.Joins {
+		cj, ok := current[bj.Metric]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %-9s missing from current highdim snapshot\n", bj.Metric)
+			regressions++
+			continue
+		}
+		floor := highDimSpeedupFloor
+		if rel := bj.Speedup / (1 + tolerance); rel > floor && bj.Speedup > 0 {
+			floor = rel
+		}
+		status := "ok  "
+		if cj.Speedup < floor {
+			status = "FAIL"
+			regressions++
+		}
+		pct := 0.0
+		if bj.Speedup > 0 {
+			pct = 100 * (cj.Speedup - bj.Speedup) / bj.Speedup
+		}
+		fmt.Fprintf(w, "%s %-9s %-16s %9.2fx -> %9.2fx (floor %.2fx, %+.1f%%)\n",
+			status, bj.Metric, "join_speedup", bj.Speedup, cj.Speedup, floor, pct)
+	}
+	return regressions
+}
+
 func main() {
 	var (
-		baselinePath   = flag.String("baseline", "BENCH_PR5.json", "checked-in baseline snapshot")
-		currentPath    = flag.String("current", "", "freshly measured snapshot to check")
-		snapBasePath   = flag.String("snapshot-baseline", "", "checked-in snapshot-experiment baseline (e.g. BENCH_PR4.json)")
-		snapCurPath    = flag.String("snapshot-current", "", "freshly measured snapshot-experiment result to check")
-		streamBasePath = flag.String("stream-baseline", "", "checked-in stream-experiment baseline (e.g. BENCH_PR6.json)")
-		streamCurPath  = flag.String("stream-current", "", "freshly measured stream-experiment result to check")
-		tolerance      = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
+		baselinePath    = flag.String("baseline", "BENCH_PR5.json", "checked-in baseline snapshot")
+		currentPath     = flag.String("current", "", "freshly measured snapshot to check")
+		snapBasePath    = flag.String("snapshot-baseline", "", "checked-in snapshot-experiment baseline (e.g. BENCH_PR4.json)")
+		snapCurPath     = flag.String("snapshot-current", "", "freshly measured snapshot-experiment result to check")
+		streamBasePath  = flag.String("stream-baseline", "", "checked-in stream-experiment baseline (e.g. BENCH_PR6.json)")
+		streamCurPath   = flag.String("stream-current", "", "freshly measured stream-experiment result to check")
+		highdimBasePath = flag.String("highdim-baseline", "", "checked-in highdim-experiment baseline (e.g. BENCH_PR7.json)")
+		highdimCurPath  = flag.String("highdim-current", "", "freshly measured highdim-experiment result to check")
+		tolerance       = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -260,6 +317,10 @@ func main() {
 	}
 	if (*streamBasePath == "") != (*streamCurPath == "") {
 		fmt.Fprintln(os.Stderr, "benchguard: -stream-baseline and -stream-current must be given together")
+		os.Exit(2)
+	}
+	if (*highdimBasePath == "") != (*highdimCurPath == "") {
+		fmt.Fprintln(os.Stderr, "benchguard: -highdim-baseline and -highdim-current must be given together")
 		os.Exit(2)
 	}
 	if *tolerance < 0 {
@@ -310,6 +371,21 @@ func main() {
 		checkWorkloads("stream", streamWorkload(tb), streamWorkload(tc))
 		regressions += compareStream(os.Stdout, tb, tc, *tolerance)
 		baselines += " and " + *streamBasePath
+	}
+	if *highdimCurPath != "" {
+		hb, err := loadJSON[experiments.HighDimBench](*highdimBasePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		hc, err := loadJSON[experiments.HighDimBench](*highdimCurPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		checkWorkloads("highdim", highdimWorkload(hb), highdimWorkload(hc))
+		regressions += compareHighDim(os.Stdout, hb, hc, *tolerance)
+		baselines += " and " + *highdimBasePath
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed beyond %.0f%% of %s\n",

@@ -182,8 +182,14 @@ func TestIndexOptionValidation(t *testing.T) {
 	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexRTree)); err == nil {
 		t.Error("IndexRTree accepted a non-coordinate-wise-monotone metric")
 	}
-	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexCoverageGraph)); err == nil {
-		t.Error("IndexCoverageGraph accepted a non-coordinate-wise-monotone metric")
+	// The coverage graph serves every metric: non-monotone (and even
+	// non-metric) distances route to the flat all-pairs join substrate.
+	if dw, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexCoverageGraph)); err != nil {
+		t.Errorf("IndexCoverageGraph rejected a non-coordinate-wise-monotone metric: %v", err)
+	} else if sel, err := dw.Select(0.3); err != nil {
+		t.Errorf("coverage-graph select under a custom metric: %v", err)
+	} else if err := dw.Verify(sel); err != nil {
+		t.Errorf("coverage-graph selection under a custom metric: %v", err)
 	}
 	if _, err := disc.New(pts, disc.WithMetric(weirdMetric{}), disc.WithIndex(disc.IndexVPTree)); err != nil {
 		t.Errorf("metric-only index rejected a custom metric: %v", err)

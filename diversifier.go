@@ -70,6 +70,13 @@ type Diversifier struct {
 	metric      Metric
 	index       Index
 	parallelism int
+	// flat is the shared coordinate storage every dataset-backed engine
+	// is built on. For PrecisionFloat32 it carries the aligned float32
+	// mirror that accelerates the batched scans, and points aliases its
+	// (rounded) float64 view — so Verify, Point and every engine agree
+	// on the same coordinates and selections stay bit-identical across
+	// backends.
+	flat *object.FlatDataset
 	// capacity and seed are retained so snapshots can persist them:
 	// the dataset-only backends rebuild deterministically from (points,
 	// metric, capacity, seed), which is what makes a loaded engine
@@ -90,6 +97,7 @@ type options struct {
 	indexSet    bool
 	parallelism int
 	seed        uint64
+	prec        Precision
 }
 
 // Option configures New.
@@ -188,6 +196,25 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
+// WithPrecision selects the coordinate storage width (default
+// PrecisionFloat64). PrecisionFloat32 rounds every coordinate to
+// float32 once, at ingest, and keeps a cache-aligned float32 mirror
+// that the batched scan kernels use as a pre-filter — roughly halving
+// memory traffic on high-dimensional data. All distance results are
+// still computed in exact float64 arithmetic over the rounded values,
+// so selections are bit-identical across every index backend; the only
+// approximation is the one-time coordinate rounding. Coordinates whose
+// magnitude overflows float32 are rejected by New.
+func WithPrecision(p Precision) Option {
+	return func(o *options) error {
+		if p != PrecisionFloat64 && p != PrecisionFloat32 {
+			return fmt.Errorf("disc: unknown precision %v", p)
+		}
+		o.prec = p
+		return nil
+	}
+}
+
 // defaultOptions is the single source of New's option defaults;
 // LoadDiversifier derives its defaults from it too, so the two
 // construction paths can never drift.
@@ -207,12 +234,33 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("disc: empty point set")
 	}
-	if _, err := object.ValidatePoints(points); err != nil {
+	dim, err := object.ValidatePoints(points)
+	if err != nil {
 		return nil, fmt.Errorf("disc: %w", err)
 	}
-	d := &Diversifier{points: points, metric: o.metric, index: o.index,
-		parallelism: o.parallelism, capacity: o.capacity, seed: o.seed}
-	e, err := initialEngine(o, points)
+	// Default index auto-selection: metrics without the triangle
+	// inequality (cosine, dot product) cannot use the M-tree's ball
+	// pruning, and at high dimensionality the measured winner is the
+	// coverage graph's batched flat join (see BENCH_PR7.json) — both
+	// route to IndexCoverageGraph, which serves every metric.
+	if !o.indexSet && (!object.TriangleSafe(o.metric) || dim > core.GraphFlatJoinDim) {
+		o.index = IndexCoverageGraph
+	}
+	var flat *object.FlatDataset
+	if o.prec == PrecisionFloat32 {
+		flat, err = object.Flatten32(points, o.metric)
+	} else {
+		flat, err = object.Flatten(points, o.metric)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("disc: %w", err)
+	}
+	// The diversifier's points are the dataset's own view: for Float32
+	// that is the rounded coordinates, which every engine and Verify
+	// must agree on.
+	d := &Diversifier{points: flat.Points(), metric: o.metric, index: o.index,
+		parallelism: o.parallelism, capacity: o.capacity, seed: o.seed, flat: flat}
+	e, err := initialEngine(o, d.flat, d.points)
 	if err != nil {
 		return nil, err
 	}
@@ -224,21 +272,25 @@ func New(points []Point, opts ...Option) (*Diversifier, error) {
 // concrete engine for the radius-independent backends, nil for the
 // radius-dependent ones (which engineForRadius builds lazily) after
 // failing fast on a metric they could never serve. LoadDiversifier
-// shares it for snapshots that carry no prepared artifacts.
-func initialEngine(o options, points []Point) (core.Engine, error) {
+// shares it for snapshots that carry no prepared artifacts. points must
+// be flat.Points() (the dataset's own view).
+func initialEngine(o options, flat *object.FlatDataset, points []Point) (core.Engine, error) {
 	switch o.index {
 	case IndexLinearScan:
-		return core.NewFlatEngine(points, o.metric)
+		return core.NewFlatEngineOn(flat), nil
 	case IndexVPTree:
+		// The VP-tree's vantage-ball bounds assume the triangle
+		// inequality; fail fast on a distance that violates it.
+		if !object.TriangleSafe(o.metric) {
+			return nil, fmt.Errorf("disc: metric %q violates the triangle inequality; IndexVPTree's vantage-ball pruning would miss true neighbours (use IndexCoverageGraph or IndexLinearScan)", o.metric.Name())
+		}
 		return core.BuildVPEngine(points, o.metric, o.seed)
 	case IndexRTree:
 		return core.BuildRTreeEngine(points, o.metric, 0)
 	case IndexCoverageGraph:
 		// Built lazily: the coverage graph needs the selection radius.
-		// Fail fast on a metric its R-tree substrate would reject.
-		if _, ok := o.metric.(object.CoordinatewiseMonotone); !ok {
-			return nil, fmt.Errorf("disc: metric %q is not coordinate-wise monotone; IndexCoverageGraph's R-tree would prune unsoundly (see disc.CoordinatewiseMonotone)", o.metric.Name())
-		}
+		// Every metric is served — the build picks the grid, R-tree or
+		// batched flat-join substrate per metric and dimensionality.
 		return nil, nil
 	case IndexGrid:
 		// Built lazily: the grid buckets at the selection radius. Fail
@@ -248,6 +300,11 @@ func initialEngine(o options, points []Point) (core.Engine, error) {
 		}
 		return nil, nil
 	default:
+		// The M-tree's ball pruning assumes the triangle inequality;
+		// fail fast on a distance that violates it.
+		if !object.TriangleSafe(o.metric) {
+			return nil, fmt.Errorf("disc: metric %q violates the triangle inequality; IndexMTree's ball pruning would miss true neighbours (use IndexCoverageGraph or IndexLinearScan)", o.metric.Name())
+		}
 		cfg := mtree.Config{Capacity: o.capacity, Metric: o.metric, Policy: mtree.MinOverlap, Seed: o.seed}
 		return core.BuildTreeEngine(cfg, points)
 	}
@@ -281,7 +338,7 @@ func (d *Diversifier) engineForRadius(r float64, rebuild bool) (core.Engine, err
 			d.engine = ng
 			return ng, nil
 		}
-		g, err := core.BuildParallelGraphEngine(d.points, d.metric, r, d.parallelism)
+		g, err := core.BuildParallelGraphEngineOn(d.flat, r, d.parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +353,7 @@ func (d *Diversifier) engineForRadius(r float64, rebuild bool) (core.Engine, err
 			}
 			return e, nil
 		}
-		e, err := core.BuildGridEngine(d.points, d.metric, r)
+		e, err := core.BuildGridEngineOn(d.flat, r)
 		if err != nil {
 			return nil, err
 		}

@@ -42,6 +42,12 @@ func NewFlatEngine(pts []object.Point, m object.Metric) (*FlatEngine, error) {
 	return &FlatEngine{flat: flat}, nil
 }
 
+// NewFlatEngineOn creates a flat engine over an existing flat dataset
+// (of either precision) without copying coordinates.
+func NewFlatEngineOn(flat *object.FlatDataset) *FlatEngine {
+	return &FlatEngine{flat: flat}
+}
+
 // Size implements Engine.
 func (f *FlatEngine) Size() int { return f.flat.Len() }
 
@@ -112,10 +118,10 @@ func (f *FlatEngine) NeighborsWhite(id int, r float64) []object.Neighbor {
 }
 
 // NeighborsWhiteAppend implements CoverageEngine. The loop mirrors
-// FlatDataset.AppendRange (surrogate filter against the widened
-// threshold, Finish only on candidates) with the white-bit test and
-// per-object access accounting woven in; it is kept inline rather than
-// funnelled through a predicate callback so the steady-state query stays
+// FlatDataset.AppendRange (fused threshold test per candidate, exact
+// recomputation on survivors) with the white-bit test and per-object
+// access accounting woven in; it is kept inline rather than funnelled
+// through a predicate callback so the steady-state query stays
 // allocation-free — keep the two in sync when the surrogate protocol
 // changes.
 func (f *FlatEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float64) []object.Neighbor {
@@ -133,8 +139,9 @@ func (f *FlatEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int, r float
 			continue
 		}
 		f.accesses++
-		if raw := k.Raw(coords[off:off+dim:off+dim], q); raw <= rawR {
-			if d := k.Finish(raw); d <= r {
+		row := coords[off : off+dim : off+dim]
+		if k.Within(q, row, rawR) {
+			if d := k.Finish(k.Raw(row, q)); d <= r {
 				dst = append(dst, object.Neighbor{ID: j, Dist: d})
 			}
 		}

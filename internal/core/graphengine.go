@@ -19,22 +19,29 @@ import (
 // queries that dominate Basic-DisC and the Greedy-DisC family become
 // array lookups.
 //
-// Construction runs a uniform-grid cell-pair ε-join (internal/grid)
-// whenever the metric supports it (the Lp family — see grid.Supports):
+// Construction picks one of three join substrates. A uniform-grid
+// cell-pair ε-join (internal/grid) serves the metrics the grid supports
+// (the Lp family — see grid.Supports) at moderate dimensionality:
 // points are counting-sorted into cells of side r, each cell is joined
 // with its forward neighbour cells only, and every candidate pair is
 // evaluated once with both edge directions emitted — roughly half the
 // distance evaluations of a per-point range query, with no tree at all,
 // for an O(n + candidate pairs) build. Queries at radii beyond the
 // build radius are answered exactly by multi-ring grid scans, so the
-// grid path never touches an R-tree. Metrics the grid cannot serve
-// instead shard the ID space across a worker pool running
-// concurrency-safe range queries against a shared bulk-loaded R-tree,
-// which then also backs beyond-radius queries. Either way the adjacency
-// lands in a CSR layout (one offsets array plus one packed, exactly
-// sized neighbour array), so the steady-state memory is precisely the
-// edge count and walking many adjacency lists scans two contiguous
-// allocations.
+// grid path never touches an R-tree. Other coordinatewise-monotone
+// metrics at moderate dimensionality shard the ID space across a worker
+// pool running concurrency-safe range queries against a shared
+// bulk-loaded R-tree, which then also backs beyond-radius queries.
+// Everything else — non-metric distances (cosine, dot product) and
+// dimensionality above GraphFlatJoinDim, where bucketing degenerates to
+// a handful of cells and box pruning stops pruning — uses the batched
+// flat all-pairs join (grid.FlatJoin), whose fused early-exit kernels
+// and optional float32 pre-filter make the dense scan the fastest
+// remaining option; its fallback queries are flat scans. Every
+// substrate lands the adjacency in a CSR layout (one offsets array plus
+// one packed, exactly sized neighbour array), so the steady-state
+// memory is precisely the edge count and walking many adjacency lists
+// scans two contiguous allocations.
 //
 // The graph is exact for any query radius up to the build radius
 // (adjacency lists are filtered by distance); larger radii fall back to
@@ -53,8 +60,9 @@ import (
 // concurrent use after construction.
 type ParallelGraphEngine struct {
 	flat    *object.FlatDataset
-	tree    *rtree.Tree   // substrate of the R-tree path; nil on the grid path
-	hash    *grid.Grid    // substrate of the grid path; nil on the R-tree path
+	tree    *rtree.Tree   // substrate of the R-tree path; nil otherwise
+	hash    *grid.Grid    // substrate of the grid path; nil otherwise
+	flatsub bool          // flat-join substrate: tree and hash both nil
 	scratch *grid.Scratch // grid-path scratch for beyond-radius ring scans
 	radius  float64
 	workers int
@@ -82,25 +90,55 @@ var (
 	_ WhiteCounter   = (*ParallelGraphEngine)(nil)
 )
 
+// GraphFlatJoinDim is the dimensionality above which the coverage-graph
+// build abandons spatial bucketing for the batched flat all-pairs join:
+// cells-per-axis collapses toward 1, the ±1-ring enumeration approaches
+// the full cell count squared, and R-tree boxes stop pruning, while the
+// flat join's tiled pre-filtered scan keeps its per-candidate cost
+// flat. Measured by the highdim experiment's crossover sweep (uniform
+// cube, Euclidean, r=0.15, n=5000 — see BENCH_PR7.json): the grid join
+// wins clearly through d=6, loses to the flat join from d=8 on, and is
+// over 2x slower by d=12.
+const GraphFlatJoinDim = 7
+
 // BuildParallelGraphEngine builds the r-coverage graph of pts under m
 // with the given worker count (<= 0 selects GOMAXPROCS). The build cost
 // is left on the counter, matching BuildTreeEngine; callers measuring
 // query cost only should ResetAccesses first.
 func BuildParallelGraphEngine(pts []object.Point, m object.Metric, r float64, workers int) (*ParallelGraphEngine, error) {
-	if grid.Supports(m) {
-		flat, err := object.Flatten(pts, m)
-		if err != nil {
-			return nil, fmt.Errorf("core: graph engine: %w", err)
-		}
-		return buildGraph(flat, nil, nil, nil, r, workers)
-	}
-	tree, err := rtree.Build(pts, m, 0)
+	flat, err := object.Flatten(pts, m)
 	if err != nil {
 		return nil, fmt.Errorf("core: graph engine: %w", err)
 	}
-	scan := tree.ScanOrder()
-	tree.ResetAccesses() // query costs are accounted on the engine
-	return buildGraph(tree.Flat(), tree, nil, scan, r, workers)
+	return BuildParallelGraphEngineOn(flat, r, workers)
+}
+
+// BuildParallelGraphEngineOn builds the r-coverage graph over an
+// existing flat dataset (of either precision), choosing the join
+// substrate from the metric and dimensionality: the grid ε-join for
+// grid-supported metrics up to GraphFlatJoinDim, sharded R-tree range
+// queries for other coordinatewise-monotone metrics up to the same
+// bound, and the batched flat all-pairs join otherwise. A Float32
+// dataset accelerates the grid and flat substrates through its float32
+// pre-filter; selections stay bit-identical to the float64 scan over
+// the same (rounded) coordinates either way.
+func BuildParallelGraphEngineOn(flat *object.FlatDataset, r float64, workers int) (*ParallelGraphEngine, error) {
+	m := flat.Metric()
+	_, monotone := m.(object.CoordinatewiseMonotone)
+	switch {
+	case grid.Supports(m) && flat.Dim() <= GraphFlatJoinDim:
+		return buildGraph(flat, nil, nil, nil, r, workers, false)
+	case monotone && flat.Dim() <= GraphFlatJoinDim:
+		tree, err := rtree.Build(flat.Points(), m, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph engine: %w", err)
+		}
+		scan := tree.ScanOrder()
+		tree.ResetAccesses() // query costs are accounted on the engine
+		return buildGraph(tree.Flat(), tree, nil, scan, r, workers, false)
+	default:
+		return buildGraph(flat, nil, nil, nil, r, workers, true)
+	}
 }
 
 // Rebuild returns an engine over the same points with the adjacency
@@ -111,7 +149,7 @@ func BuildParallelGraphEngine(pts []object.Point, m object.Metric, r float64, wo
 // O(n) re-bucket. The substrate is shared with the receiver, which must
 // be discarded afterwards.
 func (g *ParallelGraphEngine) Rebuild(r float64) (*ParallelGraphEngine, error) {
-	return buildGraph(g.flat, g.tree, g.hash, g.scan, r, g.workers)
+	return buildGraph(g.flat, g.tree, g.hash, g.scan, r, g.workers, g.flatsub)
 }
 
 // arenaChunk is the adjacency-arena block size (entries) each R-tree
@@ -119,10 +157,11 @@ func (g *ParallelGraphEngine) Rebuild(r float64) (*ParallelGraphEngine, error) {
 // compacted into the exactly-sized CSR when the workers finish.
 const arenaChunk = 1 << 14
 
-// buildGraph materialises the coverage graph at radius r, via the grid
-// ε-join when tree is nil (hash, when non-nil, is reused as long as its
-// cell side covers r) and via sharded R-tree range queries otherwise.
-func buildGraph(flat *object.FlatDataset, tree *rtree.Tree, hash *grid.Grid, scan []int, r float64, workers int) (*ParallelGraphEngine, error) {
+// buildGraph materialises the coverage graph at radius r: via sharded
+// R-tree range queries when tree is non-nil, via the batched flat
+// all-pairs join when flatsub is set, and via the grid ε-join otherwise
+// (hash, when non-nil, is reused as long as its cell side suits r).
+func buildGraph(flat *object.FlatDataset, tree *rtree.Tree, hash *grid.Grid, scan []int, r float64, workers int, flatsub bool) (*ParallelGraphEngine, error) {
 	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 		return nil, fmt.Errorf("core: graph engine: invalid radius %g", r)
 	}
@@ -141,7 +180,18 @@ func buildGraph(flat *object.FlatDataset, tree *rtree.Tree, hash *grid.Grid, sca
 		scan:    scan,
 	}
 
-	if tree == nil {
+	switch {
+	case flatsub:
+		g.flatsub = true
+		csr, examined, err := grid.FlatJoin(flat, r, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph engine: %w", err)
+		}
+		g.csr = csr
+		g.accesses = examined
+		// scan stays nil: the flat substrate has no locality structure,
+		// so ScanOrder reports plain id order.
+	case tree == nil:
 		// Reuse the occupancy only while the cell side suits the new
 		// radius: a much finer radius would turn the ±1-ring join into
 		// a near-all-pairs scan, far costlier than the O(n) re-bucket
@@ -168,7 +218,7 @@ func buildGraph(flat *object.FlatDataset, tree *rtree.Tree, hash *grid.Grid, sca
 		if g.scan == nil {
 			g.scan = hash.ScanOrder()
 		}
-	} else {
+	default:
 		g.clamp = make([]float64, tree.Dim())
 		var err error
 		g.csr, g.accesses, err = rtreeJoin(tree, r, workers)
@@ -255,8 +305,16 @@ func (g *ParallelGraphEngine) Workers() int { return g.workers }
 func (g *ParallelGraphEngine) Degree(id int) int { return g.csr.Degree(id) }
 
 // GridJoined reports whether the adjacency was built by the grid ε-join
-// (as opposed to per-point R-tree queries).
+// (as opposed to per-point R-tree queries or the flat join).
 func (g *ParallelGraphEngine) GridJoined() bool { return g.hash != nil }
+
+// FlatJoined reports whether the adjacency was built by the batched
+// flat all-pairs join.
+func (g *ParallelGraphEngine) FlatJoined() bool { return g.flatsub }
+
+// Dataset exposes the engine's flat dataset (read-only by convention);
+// the snapshot writer persists its storage.
+func (g *ParallelGraphEngine) Dataset() *object.FlatDataset { return g.flat }
 
 // Size implements Engine.
 func (g *ParallelGraphEngine) Size() int { return g.flat.Len() }
@@ -299,6 +357,10 @@ func (g *ParallelGraphEngine) NeighborsAppend(dst []object.Neighbor, id int, r f
 		return dst
 	case g.hash != nil:
 		return g.hash.AppendRange(dst, g.flat.Row(id), r, id, &g.accesses, g.scratch)
+	case g.flatsub:
+		// Whole-dataset batched scan, charged like the flat engine.
+		g.accesses += int64(g.flat.Len())
+		return g.flat.AppendRange(dst, g.flat.Row(id), r, id)
 	default:
 		start := len(dst)
 		dst = g.tree.AppendRangeQueryAroundInto(dst, id, r, &g.accesses, g.clamp)
@@ -310,16 +372,29 @@ func (g *ParallelGraphEngine) NeighborsAppend(dst []object.Neighbor, id int, r f
 // NeighborsOfPoint implements Engine via the substrate (arbitrary points
 // have no slot in the graph).
 func (g *ParallelGraphEngine) NeighborsOfPoint(q object.Point, r float64) []object.Neighbor {
-	if g.hash != nil {
+	switch {
+	case g.hash != nil:
 		return g.hash.AppendRange(nil, q, r, -1, &g.accesses, g.scratch)
+	case g.flatsub:
+		g.accesses += int64(g.flat.Len())
+		return g.flat.AppendRange(nil, q, r, -1)
+	default:
+		return sortNeighbors(g.tree.RangeQueryInto(q, r, &g.accesses))
 	}
-	return sortNeighbors(g.tree.RangeQueryInto(q, r, &g.accesses))
 }
 
 // ScanOrder implements Engine: the STR leaf order on the R-tree path,
 // cell order on the grid path — both locality-preserving, captured at
-// build time.
+// build time — and plain id order on the flat-join substrate, which has
+// no locality structure.
 func (g *ParallelGraphEngine) ScanOrder() []int {
+	if g.scan == nil {
+		ids := make([]int, g.flat.Len())
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
 	return append([]int(nil), g.scan...)
 }
 
@@ -380,23 +455,52 @@ func (g *ParallelGraphEngine) NeighborsWhiteAppend(dst []object.Neighbor, id int
 		panic("core: NeighborsWhite without StartCoverage")
 	}
 	if r > g.radius {
-		if g.hash != nil {
+		switch {
+		case g.hash != nil:
 			// Multi-ring white-filtered cell scan; covered objects are
 			// neither examined nor charged, matching the flat engine's
 			// accounting (the graph path keeps no per-cell counts — the
 			// fallback is cold, a bitset test per candidate suffices).
 			return g.hash.AppendRangeWhite(dst, g.flat.Row(id), r, id, &g.white, nil, &g.accesses, g.scratch)
+		case g.flatsub:
+			return g.appendWhiteScan(dst, id, r)
+		default:
+			start := len(dst)
+			dst = g.tree.AppendRangeQueryPrunedInto(dst, id, r, &g.accesses, g.clamp)
+			sortNeighbors(dst[start:])
+			return dst
 		}
-		start := len(dst)
-		dst = g.tree.AppendRangeQueryPrunedInto(dst, id, r, &g.accesses, g.clamp)
-		sortNeighbors(dst[start:])
-		return dst
 	}
 	row := g.csr.Row(id)
 	g.charge(len(row))
 	for _, nb := range row {
 		if g.white.Test(nb.ID) && nb.Dist <= r {
 			dst = append(dst, nb)
+		}
+	}
+	return dst
+}
+
+// appendWhiteScan is the flat substrate's white-filtered range scan:
+// the fused threshold test per still-white candidate, with the exact
+// recomputation on survivors — the same protocol as the flat engine's
+// NeighborsWhiteAppend, and the same accounting (covered objects are
+// neither examined nor charged).
+func (g *ParallelGraphEngine) appendWhiteScan(dst []object.Neighbor, id int, r float64) []object.Neighbor {
+	k := g.flat.Kernel()
+	rawR := k.RawThreshold(r)
+	q := g.flat.Row(id)
+	n := g.flat.Len()
+	for j := 0; j < n; j++ {
+		if !g.white.Test(j) || j == id {
+			continue
+		}
+		g.accesses++
+		row := g.flat.Row(j)
+		if k.Within(q, row, rawR) {
+			if d := k.Finish(k.Raw(row, q)); d <= r {
+				dst = append(dst, object.Neighbor{ID: j, Dist: d})
+			}
 		}
 	}
 	return dst

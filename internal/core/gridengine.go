@@ -52,6 +52,13 @@ func BuildGridEngine(pts []object.Point, m object.Metric, r float64) (*GridEngin
 	return newGridEngine(flat, r)
 }
 
+// BuildGridEngineOn buckets an existing flat dataset (of either
+// precision) for query radius r without copying coordinates; a Float32
+// dataset's pre-filter then accelerates the cell scans.
+func BuildGridEngineOn(flat *object.FlatDataset, r float64) (*GridEngine, error) {
+	return newGridEngine(flat, r)
+}
+
 func newGridEngine(flat *object.FlatDataset, r float64) (*GridEngine, error) {
 	g, err := grid.Build(flat, r)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/object"
 )
 
 // CSR exposes the materialised adjacency (read-only) so snapshots can
@@ -61,6 +62,40 @@ func RehydrateGraphEngine(hash *grid.Grid, csr *grid.CSR, r float64, workers int
 		workers: workers,
 		csr:     csr,
 		scan:    hash.ScanOrder(),
+		counts:  make([]int, n),
+	}
+	for i := range g.counts {
+		g.counts[i] = csr.Degree(i)
+	}
+	return g, nil
+}
+
+// RehydrateFlatGraphEngine reassembles a flat-join ParallelGraphEngine
+// from a deserialised CSR joined at radius r over flat (the flat-join
+// substrate persists no grid section — beyond-radius fallback queries
+// are whole-dataset scans, derived from the dataset alone). The CSR is
+// structurally validated exactly like the grid path's; degree counts
+// are recomputed in O(n).
+func RehydrateFlatGraphEngine(flat *object.FlatDataset, csr *grid.CSR, r float64, workers int) (*ParallelGraphEngine, error) {
+	if flat == nil || csr == nil {
+		return nil, fmt.Errorf("core: rehydrate graph engine: missing substrate")
+	}
+	n := flat.Len()
+	if err := csr.Validate(n, r); err != nil {
+		return nil, fmt.Errorf("core: rehydrate graph engine: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	g := &ParallelGraphEngine{
+		flat:    flat,
+		flatsub: true,
+		radius:  r,
+		workers: workers,
+		csr:     csr,
 		counts:  make([]int, n),
 	}
 	for i := range g.counts {

@@ -117,8 +117,10 @@ func axisNames(d int) []string {
 	return names
 }
 
-// ByName builds one of the four evaluation datasets from its paper name:
-// "uniform", "clustered", "cities" or "cameras". n and d apply to the
+// ByName builds one of the evaluation datasets by name: the paper's
+// "uniform", "clustered", "cities" and "cameras", plus "sphere" — the
+// clustered unit-norm embedding workload of the high-dimensional
+// experiment, served under the cosine distance. n and d apply to the
 // synthetic datasets only (pass 0 for the paper defaults).
 func ByName(name string, n, d int, seed uint64) (*object.Dataset, object.Metric, error) {
 	if n <= 0 {
@@ -134,6 +136,9 @@ func ByName(name string, n, d int, seed uint64) (*object.Dataset, object.Metric,
 	case "clustered":
 		ds, err := Clustered(n, d, 0, seed)
 		return ds, object.Euclidean{}, err
+	case "sphere":
+		ds, err := Sphere(n, d, 0, seed)
+		return ds, object.Cosine{}, err
 	case "cities":
 		ds := Cities(seed)
 		return ds, object.Euclidean{}, nil

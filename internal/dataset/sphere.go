@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/discdiversity/disc/internal/object"
+)
+
+// Sphere returns n unit-norm points in d dimensions forming clustered
+// Gaussian caps on the unit sphere — the synthetic stand-in for learned
+// embedding collections (sentence or image vectors are routinely
+// L2-normalised, so cosine and Euclidean neighbourhoods coincide up to
+// a monotone transform). Cluster centres are isotropic random
+// directions; each member adds per-coordinate Gaussian noise of the
+// cluster's sigma to its centre direction and re-normalises, yielding
+// von-Mises-Fisher-like caps of differing angular spread. Populations
+// are skewed exactly like Clustered's, so component structure survives
+// the change of geometry. The number of clusters defaults to 10 when
+// clusters <= 0.
+func Sphere(n, d, clusters int, seed uint64) (*object.Dataset, error) {
+	if err := checkDims(n, d); err != nil {
+		return nil, err
+	}
+	if clusters <= 0 {
+		clusters = 10
+	}
+	rng := newRNG(seed ^ 0x5bd1e995)
+	centers := make([]object.Point, clusters)
+	sigmas := make([]float64, clusters)
+	weights := make([]float64, clusters)
+	var wsum float64
+	for c := range centers {
+		centers[c] = gaussDirection(rng, d)
+		// Angular spread: the perturbation norm is ~ sigma·√d, so scaling
+		// sigma by 1/√d keeps cap widths comparable across
+		// dimensionalities instead of flattening every cluster into the
+		// whole sphere at embedding-scale d.
+		sigmas[c] = (0.15 + 0.45*rng.Float64()) / math.Sqrt(float64(d))
+		weights[c] = 0.3 + rng.Float64() // skewed populations
+		wsum += weights[c]
+	}
+	ds := &object.Dataset{
+		Name:      fmt.Sprintf("sphere-%dd-%d", d, n),
+		Points:    make([]object.Point, n),
+		AttrNames: axisNames(d),
+	}
+	for i := range ds.Points {
+		x := rng.Float64() * wsum
+		c := 0
+		for x > weights[c] && c < clusters-1 {
+			x -= weights[c]
+			c++
+		}
+		p := make(object.Point, d)
+		var norm float64
+		for j := range p {
+			v := centers[c][j] + rng.NormFloat64()*sigmas[c]
+			p[j] = v
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		for j := range p {
+			p[j] /= norm
+		}
+		ds.Points[i] = p
+	}
+	return ds, nil
+}
+
+// gaussDirection draws a uniformly random unit vector (an isotropic
+// Gaussian sample, normalised).
+func gaussDirection(rng *rand.Rand, d int) object.Point {
+	p := make(object.Point, d)
+	var norm float64
+	for j := range p {
+		v := rng.NormFloat64()
+		p[j] = v
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	for j := range p {
+		p[j] /= norm
+	}
+	return p
+}

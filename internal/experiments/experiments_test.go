@@ -284,6 +284,41 @@ func TestAblationRunners(t *testing.T) {
 	}
 }
 
+func TestHighDimQuickShape(t *testing.T) {
+	cfg := quickConfig()
+	res, err := HighDim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) != 2 {
+		t.Fatalf("expected euclidean and cosine join rows, got %d", len(res.Joins))
+	}
+	for _, j := range res.Joins {
+		if j.ScalarBuildMS <= 0 || j.BatchBuildMS <= 0 || j.Batch32BuildMS <= 0 {
+			t.Errorf("%s: non-positive build time: %+v", j.Metric, j)
+		}
+		if j.Speedup <= 0 || j.Speedup32 <= 0 {
+			t.Errorf("%s: missing speedup ratios: %+v", j.Metric, j)
+		}
+		if j.SolutionSize <= 0 {
+			t.Errorf("%s: empty selection", j.Metric)
+		}
+	}
+	// Quick mode sweeps 2 kernel dims x 2 metrics.
+	if len(res.Kernels) != 4 {
+		t.Fatalf("expected 4 kernel rows, got %d", len(res.Kernels))
+	}
+	if len(res.Crossover) != 3 {
+		t.Fatalf("expected 3 crossover rows, got %d", len(res.Crossover))
+	}
+	if res.UpdateMSOp <= 0 || res.UpdateN <= 0 {
+		t.Errorf("update measurement missing: n=%d %f ms/op", res.UpdateN, res.UpdateMSOp)
+	}
+	if len(res.Tables()) != 3 {
+		t.Errorf("expected 3 text tables")
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	names := Names()
 	if len(names) != len(Registry) {

@@ -98,6 +98,17 @@ var Registry = map[string]Runner{
 		}
 		return err
 	},
+	"highdim": func(cfg Config) error {
+		res, err := HighDim(cfg)
+		if err != nil {
+			return err
+		}
+		if cfg.Format == "json" {
+			return res.WriteJSON(cfg)
+		}
+		printTables(cfg.out(), res.Tables()...)
+		return nil
+	},
 	"snapshot": func(cfg Config) error {
 		res, err := SnapshotExperiment(cfg, "clustered")
 		if err != nil {

@@ -355,27 +355,45 @@ func sortByID(ns []object.Neighbor) {
 
 // AppendRange appends every point within rq of q (excluding id exclude;
 // -1 for none) to dst in ascending id order and returns the extended
-// slice, allocating only when dst must grow. Candidates come from the
-// cell range covering rq and are verified with the compiled kernel, so
-// distances are bit-identical to a brute-force scan. Each candidate
+// slice, allocating only when dst must grow. Each cell's candidate ids
+// are ranged through the dataset's batched gather filter (fused
+// threshold test, float32 pre-filter when the mirror exists), so
+// distances stay bit-identical to a brute-force scan. Each candidate
 // examined adds one to *examined when it is non-nil.
 func (g *Grid) AppendRange(dst []object.Neighbor, q []float64, rq float64, exclude int, examined *int64, s *Scratch) []object.Neighbor {
-	k := g.flat.Kernel()
-	rawR := k.RawThreshold(rq)
-	coords := g.flat.Coords()
-	dim := g.flat.Dim()
 	base := len(dst)
 	var acc int64
-	for c := g.setup(s, q, rq); c >= 0; c = g.next(s, c) {
-		for _, id := range g.ids[g.start[c]:g.start[c+1]] {
-			if int(id) == exclude {
-				continue
-			}
-			acc++
-			off := int(id) * dim
-			if raw := k.Raw(coords[off:off+dim:off+dim], q); raw <= rawR {
-				if d := k.Finish(raw); d <= rq {
-					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
+	qid := -1
+	if exclude >= 0 && g.flat.IsRow(q, exclude) {
+		qid = exclude
+	}
+	if exclude < 0 || qid >= 0 {
+		for c := g.setup(s, q, rq); c >= 0; c = g.next(s, c) {
+			ids := g.ids[g.start[c]:g.start[c+1]]
+			acc += int64(len(ids))
+			dst = g.flat.AppendRangeIDs(dst, q, qid, ids, exclude, rq)
+		}
+		if qid >= 0 {
+			// Row qid sits in a visited cell (its cell contains q) and
+			// was skipped, not examined; the per-cell charge counted it.
+			acc--
+		}
+	} else {
+		// Excluding an id that is not the query row: no batch entry
+		// models this accounting, so keep the per-candidate scan.
+		k := g.flat.Kernel()
+		rawR := k.RawThreshold(rq)
+		for c := g.setup(s, q, rq); c >= 0; c = g.next(s, c) {
+			for _, id := range g.ids[g.start[c]:g.start[c+1]] {
+				if int(id) == exclude {
+					continue
+				}
+				acc++
+				row := g.flat.Row(int(id))
+				if k.Within(q, row, rawR) {
+					if d := k.Finish(k.Raw(row, q)); d <= rq {
+						dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
+					}
 				}
 			}
 		}
@@ -411,8 +429,11 @@ func (g *Grid) AppendRangeWhite(dst []object.Neighbor, q []float64, rq float64, 
 			}
 			acc++
 			off := int(id) * dim
-			if raw := k.Raw(coords[off:off+dim:off+dim], q); raw <= rawR {
-				if d := k.Finish(raw); d <= rq {
+			row := coords[off : off+dim : off+dim]
+			// Fused threshold test first (early exit at high dim); the
+			// raw recomputation on the rare survivors is bit-identical.
+			if k.Within(q, row, rawR) {
+				if d := k.Finish(k.Raw(row, q)); d <= rq {
 					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
 				}
 			}

@@ -2,7 +2,6 @@ package grid
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"github.com/discdiversity/disc/internal/object"
@@ -101,61 +100,18 @@ func Join(g *Grid, r float64, workers int) (*CSR, int64, error) {
 	}
 	wg.Wait()
 
-	// Merge: per-point degrees become CSR offsets, and each (worker,
-	// point) pair gets a reserved sub-range so the scatter needs no
-	// locks. degs[w][p] is rewritten in place from count to cursor.
-	offsets := make([]int32, n+1)
-	var total int64
-	for p := 0; p < n; p++ {
-		for w := 0; w < workers; w++ {
-			d := int64(degs[w][p])
-			degs[w][p] = int32(total)
-			total += d
-		}
-		if total > math.MaxInt32 {
-			return nil, 0, fmt.Errorf("grid: coverage graph exceeds %d adjacency entries", math.MaxInt32)
-		}
-		offsets[p+1] = int32(total)
+	// Merge: per-point degrees become CSR offsets, each (worker, point)
+	// pair gets a reserved sub-range for a lock-free scatter, and every
+	// adjacency row is re-sorted by id (hits arrive in cell-pair order).
+	csr, err := mergeEdges(n, workers, degs, edgeLists)
+	if err != nil {
+		return nil, 0, err
 	}
-	nbrs := make([]object.Neighbor, total)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			cur := degs[w]
-			for _, e := range edgeLists[w] {
-				nbrs[cur[e.u]] = object.Neighbor{ID: int(e.v), Dist: e.d}
-				cur[e.u]++
-				nbrs[cur[e.v]] = object.Neighbor{ID: int(e.u), Dist: e.d}
-				cur[e.v]++
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	// Sort each adjacency row by id (hits arrive in cell-pair order) so
-	// the CSR reports neighbours in the engines' canonical order.
-	shard := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*shard, (w+1)*shard
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for p := lo; p < hi; p++ {
-				sortByID(nbrs[offsets[p]:offsets[p+1]])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
 	var acc int64
 	for _, a := range examined {
 		acc += a
 	}
-	return &CSR{Offsets: offsets, Nbrs: nbrs}, acc, nil
+	return csr, acc, nil
 }
 
 // shardCells splits [0, ncells] into ≤ workers contiguous ranges of
@@ -178,15 +134,17 @@ func (g *Grid) shardCells(workers int) []int32 {
 }
 
 // joinRange runs the ε-join for the cells in [cLo, cHi), returning the
-// worker's degree counts, undirected edge list and examined count.
+// worker's degree counts, undirected edge list and examined count. Each
+// cell's candidate id list is ranged through the dataset's batched
+// gather filter, so the per-candidate work is the fused threshold test
+// (with the float32 pre-filter when the dataset carries the mirror)
+// rather than a kernel call per pair.
 func (g *Grid) joinRange(r float64, cLo, cHi int32) ([]int32, []edge, int64) {
 	n, dim := g.flat.Len(), g.flat.Dim()
-	k := g.flat.Kernel()
-	rawR := k.RawThreshold(r)
-	coords := g.flat.Coords()
 	deg := make([]int32, n)
 	var edges []edge
 	var acc int64
+	buf := make([]object.Neighbor, 0, 64)
 
 	// Outer odometer: the coordinates of the current cell c.
 	cc := make([]int32, dim)
@@ -203,21 +161,15 @@ func (g *Grid) joinRange(r float64, cLo, cHi int32) ([]int32, []edge, int64) {
 		}
 		a := g.ids[aStart:aEnd]
 		// Same-cell pairs, each once (i < j; ids ascend within a cell).
-		for i := 0; i < len(a); i++ {
+		for i := 0; i+1 < len(a); i++ {
 			u := a[i]
-			uo := int(u) * dim
-			up := coords[uo : uo+dim : uo+dim]
-			for j := i + 1; j < len(a); j++ {
-				v := a[j]
-				acc += 2
-				vo := int(v) * dim
-				if raw := k.Raw(coords[vo:vo+dim:vo+dim], up); raw <= rawR {
-					if d := k.Finish(raw); d <= r {
-						edges = append(edges, edge{u, v, d})
-						deg[u]++
-						deg[v]++
-					}
-				}
+			cands := a[i+1:]
+			acc += int64(2 * len(cands))
+			buf = g.flat.AppendRangeIDs(buf[:0], nil, int(u), cands, -1, r)
+			for _, nb := range buf {
+				edges = append(edges, edge{u, int32(nb.ID), nb.Dist})
+				deg[u]++
+				deg[nb.ID]++
 			}
 		}
 		// Forward neighbour cells: the ±1 ring around c, keeping only
@@ -246,18 +198,12 @@ func (g *Grid) joinRange(r float64, cLo, cHi int32) ([]int32, []edge, int64) {
 			}
 			b := g.ids[bStart:bEnd]
 			for _, u := range a {
-				uo := int(u) * dim
-				up := coords[uo : uo+dim : uo+dim]
-				for _, v := range b {
-					acc += 2
-					vo := int(v) * dim
-					if raw := k.Raw(coords[vo:vo+dim:vo+dim], up); raw <= rawR {
-						if d := k.Finish(raw); d <= r {
-							edges = append(edges, edge{u, v, d})
-							deg[u]++
-							deg[v]++
-						}
-					}
+				acc += int64(2 * len(b))
+				buf = g.flat.AppendRangeIDs(buf[:0], nil, int(u), b, -1, r)
+				for _, nb := range buf {
+					edges = append(edges, edge{u, int32(nb.ID), nb.Dist})
+					deg[u]++
+					deg[nb.ID]++
 				}
 			}
 		}

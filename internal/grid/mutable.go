@@ -248,8 +248,8 @@ func (g *MutGrid) AppendRange(dst []object.Neighbor, q []float64, rq float64, ex
 			}
 			acc++
 			row := g.dyn.Row(int(id))
-			if raw := k.Raw(row, q); raw <= rawR {
-				if d := k.Finish(raw); d <= rq {
+			if k.Within(q, row, rawR) {
+				if d := k.Finish(k.Raw(row, q)); d <= rq {
 					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
 				}
 			}

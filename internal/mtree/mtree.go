@@ -184,6 +184,11 @@ func New(cfg Config, pts []object.Point) (*Tree, error) {
 	if cfg.Metric == nil {
 		return nil, fmt.Errorf("mtree: nil metric")
 	}
+	if !object.TriangleSafe(cfg.Metric) {
+		// Every routing decision is a triangle-inequality bound; a
+		// non-metric distance would silently drop true neighbours.
+		return nil, fmt.Errorf("mtree: metric %q violates the triangle inequality", cfg.Metric.Name())
+	}
 	if len(pts) > 0 {
 		if _, err := object.ValidatePoints(pts); err != nil {
 			return nil, fmt.Errorf("mtree: %w", err)

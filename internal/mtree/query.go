@@ -98,8 +98,10 @@ func (t *Tree) searchNode(n *node, q object.Point, r, rawR float64, dqParent flo
 			if cheap && math.Abs(dqParent-e.dparent) > r {
 				continue
 			}
-			if raw := t.kern.Raw(q, e.pt); raw <= rawR {
-				if d := t.kern.Finish(raw); d <= r {
+			// Fused threshold test (early exit at high dim); the raw
+			// recomputation on the rare survivors is bit-identical.
+			if t.kern.Within(q, e.pt, rawR) {
+				if d := t.kern.Finish(t.kern.Raw(q, e.pt)); d <= r {
 					dst = append(dst, object.Neighbor{ID: e.id, Dist: d})
 				}
 			}
@@ -206,8 +208,8 @@ func (t *Tree) searchLeafOnly(n *node, q object.Point, r, rawR float64, dqParent
 		if cheap && math.Abs(dqParent-e.dparent) > r {
 			continue
 		}
-		if raw := t.kern.Raw(q, e.pt); raw <= rawR {
-			if d := t.kern.Finish(raw); d <= r {
+		if t.kern.Within(q, e.pt, rawR) {
+			if d := t.kern.Finish(t.kern.Raw(q, e.pt)); d <= r {
 				dst = append(dst, object.Neighbor{ID: e.id, Dist: d})
 			}
 		}

@@ -1,0 +1,235 @@
+package object
+
+import "math"
+
+// filter64.go implements the float64 widened pre-filters behind the
+// high-dimensional row scans. Architecture mirror of flat32.go: a fast
+// conservative filter whose only promise is that a rejected row is a
+// true reject, followed by the exact scalar kernel on survivors, so
+// every reported neighbour and distance stays bit-identical to the
+// per-pair reference protocol.
+//
+// Where the float32 filter halves memory traffic, these keep float64
+// arithmetic but trade the reference kernels' serial folds — whose
+// loop-carried dependency costs one add latency per coordinate — for
+// four independent accumulators the hardware can overlap. The fold
+// order changes, so the filter value only approximates the reference
+// value; the threshold is therefore widened by a bound on the
+// difference between the two folds. Unlike the float32 path, no
+// coordinate is perturbed, so the filters serve external query points
+// as well as dataset rows.
+
+// filter64MinDim gates the pre-filters: below it the serial fold's
+// dependency chain is short enough that a second pass over survivors
+// costs more than the overlap wins. At and above it (one cache line of
+// float64 lanes) the filters reject most candidates at roughly one
+// cycle per lane.
+const filter64MinDim = 16
+
+// filterSlack64 bounds the relative difference between a 4-accumulator
+// float64 fold of dim terms and the reference serial fold, measured
+// against the sum of term magnitudes: each fold accrues at most dim
+// roundings of 2⁻⁵³ to first order, so 2·dim·2⁻⁵³ separates them; the
+// (dim+64)·2⁻⁵⁰ used here keeps a 4× margin plus an absolute floor for
+// the comparison arithmetic. For the non-negative Euclidean terms the
+// magnitude sum is the value itself, so the bound applies as a relative
+// widening of the threshold; the signed cosine/dot terms are bounded
+// through Cauchy-Schwarz by the callers.
+func filterSlack64(dim int) float64 { return float64(dim+64) * 0x1p-50 }
+
+// within4SqEuclidean is the widened squared-Euclidean pre-filter: four
+// independent accumulators over 4-lane groups, partial total tested
+// against the widened threshold every 32 lanes (sound because the
+// non-negative partial sums are monotone). A false return is
+// definitive; true means "re-check with the reference fold".
+func within4SqEuclidean(q, row []float64, wide float64) bool {
+	var s0, s1, s2, s3 float64
+	n := len(q)
+	i := 0
+	for i+32 <= n {
+		for e := i + 32; i < e; i += 4 {
+			a := q[i : i+4 : i+4]
+			b := row[i : i+4 : i+4]
+			d0 := a[0] - b[0]
+			d1 := a[1] - b[1]
+			d2 := a[2] - b[2]
+			d3 := a[3] - b[3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		if (s0+s1)+(s2+s3) > wide {
+			return false
+		}
+	}
+	for ; i+4 <= n; i += 4 {
+		a := q[i : i+4 : i+4]
+		b := row[i : i+4 : i+4]
+		d0 := a[0] - b[0]
+		d1 := a[1] - b[1]
+		d2 := a[2] - b[2]
+		d3 := a[3] - b[3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := q[i] - row[i]
+		s0 += d * d
+	}
+	return (s0+s1)+(s2+s3) <= wide
+}
+
+// dot4 is the 4-accumulator float64 dot product (serial tail). No early
+// exit: dot terms are signed, so partial sums are not monotone.
+func dot4(q, row []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(q)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a := q[i : i+4 : i+4]
+		b := row[i : i+4 : i+4]
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+	}
+	for ; i < n; i++ {
+		s0 += q[i] * row[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// appendRows64Euclidean is the high-dimensional float64 Euclidean scan:
+// widened 4-accumulator pre-filter, reference-order re-check of
+// survivors. Callers guarantee dim >= filter64MinDim and a threshold
+// clear of the subnormal range (the relative widening needs it).
+func (f *FlatDataset) appendRows64Euclidean(dst []Neighbor, q []float64, lo, hi, exclude int, r, rawR float64) []Neighbor {
+	wide := rawR * (1 + filterSlack64(f.dim))
+	dim := f.dim
+	for id, off := lo, lo*dim; id < hi; id, off = id+1, off+dim {
+		if id == exclude {
+			continue
+		}
+		row := f.coords[off : off+dim : off+dim]
+		if !within4SqEuclidean(q, row, wide) {
+			continue
+		}
+		if raw := f.kern.raw(row, q); raw <= rawR {
+			if d := f.kern.Finish(raw); d <= r {
+				dst = append(dst, Neighbor{ID: id, Dist: d})
+			}
+		}
+	}
+	return dst
+}
+
+// appendIDs64Euclidean is the gather twin of appendRows64Euclidean for
+// the grid's cell scans and the updater's repair probes.
+func (f *FlatDataset) appendIDs64Euclidean(dst []Neighbor, q []float64, ids []int32, exclude int, r, rawR float64) []Neighbor {
+	wide := rawR * (1 + filterSlack64(f.dim))
+	dim := f.dim
+	for _, id32 := range ids {
+		id := int(id32)
+		if id == exclude {
+			continue
+		}
+		off := id * dim
+		row := f.coords[off : off+dim : off+dim]
+		if !within4SqEuclidean(q, row, wide) {
+			continue
+		}
+		if raw := f.kern.raw(row, q); raw <= rawR {
+			if d := f.kern.Finish(raw); d <= r {
+				dst = append(dst, Neighbor{ID: id, Dist: d})
+			}
+		}
+	}
+	return dst
+}
+
+// appendRows64Cosine pre-filters with dot4 and re-checks survivors with
+// the reference fold of appendRowsCosine. Cosine distances live in
+// [0, 2], so an absolute widening suffices: dot4's fold-order error is
+// bounded by filterSlack64·‖q‖‖b‖ (Cauchy–Schwarz on the term
+// magnitudes), and dividing by √(naQ·nb) leaves at most the slack
+// itself; its 4× margin absorbs the sqrt and division roundings. Rows
+// with zero norm take the exact convention distance 1, never the
+// filter.
+func (f *FlatDataset) appendRows64Cosine(dst []Neighbor, q []float64, qid, lo, hi, exclude int, r float64) []Neighbor {
+	var naQ float64
+	if qid >= 0 {
+		naQ = f.sqNorms[qid]
+	} else {
+		for _, v := range q {
+			naQ += v * v
+		}
+	}
+	if naQ == 0 {
+		// Convention distance 1 to every row; nothing to filter.
+		return f.appendRowsCosine(dst, q, qid, lo, hi, exclude, r)
+	}
+	invQN := 1 / math.Sqrt(naQ)
+	wide := r + filterSlack64(f.dim)
+	dim := f.dim
+	for id, off := lo, lo*dim; id < hi; id, off = id+1, off+dim {
+		if id == exclude {
+			continue
+		}
+		nb := f.sqNorms[id]
+		if nb == 0 {
+			if 1 <= r {
+				dst = append(dst, Neighbor{ID: id, Dist: 1})
+			}
+			continue
+		}
+		row := f.coords[off : off+dim : off+dim]
+		if 1-dot4(q, row)*invQN/math.Sqrt(nb) > wide {
+			continue
+		}
+		var dot float64
+		for i, qi := range q {
+			dot += qi * row[i]
+		}
+		if d := 1 - dot/math.Sqrt(naQ*nb); d <= r {
+			dst = append(dst, Neighbor{ID: id, Dist: d})
+		}
+	}
+	return dst
+}
+
+// appendRows64Dot pre-filters with dot4 and re-checks survivors with
+// the reference fold of appendRowsDot. 1 − ⟨a,b⟩ is unbounded, so the
+// widening scales with ‖a‖‖b‖ (Cauchy–Schwarz bounds the fold's term
+// magnitudes), plus an absolute floor for the subtraction from 1.
+func (f *FlatDataset) appendRows64Dot(dst []Neighbor, q []float64, qid, lo, hi, exclude int, r float64) []Neighbor {
+	var naQ float64
+	if qid >= 0 {
+		naQ = f.sqNorms[qid]
+	} else {
+		for _, v := range q {
+			naQ += v * v
+		}
+	}
+	slack := filterSlack64(f.dim) * math.Sqrt(naQ)
+	dim := f.dim
+	for id, off := lo, lo*dim; id < hi; id, off = id+1, off+dim {
+		if id == exclude {
+			continue
+		}
+		row := f.coords[off : off+dim : off+dim]
+		if 1-dot4(q, row) > r+slack*math.Sqrt(f.sqNorms[id])+0x1p-40 {
+			continue
+		}
+		var dot float64
+		for i, qi := range q {
+			dot += qi * row[i]
+		}
+		if d := 1 - dot; d <= r {
+			dst = append(dst, Neighbor{ID: id, Dist: d})
+		}
+	}
+	return dst
+}

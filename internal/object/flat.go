@@ -9,10 +9,34 @@ import "fmt"
 // one cache-friendly allocation and makes every row access a bounds-check
 // rather than a pointer chase. It is the storage the zero-allocation
 // query path is built on.
+//
+// A dataset built with Flatten32/NewFlatDataset32 additionally keeps the
+// authoritative coordinates as a 64-byte-aligned, padded float32 mirror
+// (see flat32.go); the []float64 view then holds float64(float32(v)) and
+// remains what every exact kernel evaluates, so all distance results are
+// bit-identical whether or not the float32 fast path pre-filtered them.
 type FlatDataset struct {
 	coords []float64
 	n, dim int
 	kern   Kernel
+
+	prec Precision
+	// coords32 is the padded (stride32 per row, zero-filled tail),
+	// 64-byte-aligned float32 mirror; non-nil only for Float32 datasets.
+	coords32 []float32
+	stride32 int
+	// sqNorms[i] = Σ coords[i][j]², folded left to right exactly as the
+	// cosine kernel folds its ‖b‖² accumulator; non-nil for cosine and
+	// dot-product datasets of either precision.
+	sqNorms []float64
+	// invN32[i] = float32(1/√sqNorms[i]) (0 for zero rows; cosine) and
+	// norms32[i] = float32(√sqNorms[i]) (dot product) back the float32
+	// filter's threshold widening.
+	invN32  []float32
+	norms32 []float32
+	// f32OK gates the float32 filter path: coordinate and norm
+	// magnitudes must sit where its error analysis holds (flat32.go).
+	f32OK bool
 }
 
 // Flatten copies pts into flat storage and compiles the distance kernel
@@ -29,7 +53,9 @@ func Flatten(pts []Point, m Metric) (*FlatDataset, error) {
 	for i, p := range pts {
 		copy(coords[i*dim:(i+1)*dim], p)
 	}
-	return &FlatDataset{coords: coords, n: len(pts), dim: dim, kern: CompileKernel(m, dim)}, nil
+	f := &FlatDataset{coords: coords, n: len(pts), dim: dim, kern: CompileKernel(m, dim)}
+	f.initDerived()
+	return f, nil
 }
 
 // NewFlatDataset wraps existing row-major storage — n points of dim
@@ -47,7 +73,9 @@ func NewFlatDataset(coords []float64, n, dim int, m Metric) (*FlatDataset, error
 	if m == nil {
 		return nil, fmt.Errorf("object: flat dataset: nil metric")
 	}
-	return &FlatDataset{coords: coords, n: n, dim: dim, kern: CompileKernel(m, dim)}, nil
+	f := &FlatDataset{coords: coords, n: n, dim: dim, kern: CompileKernel(m, dim)}
+	f.initDerived()
+	return f, nil
 }
 
 // Len returns the number of points.
@@ -69,6 +97,18 @@ func (f *FlatDataset) Row(id int) []float64 {
 	return f.coords[off : off+f.dim : off+f.dim]
 }
 
+// IsRow reports whether q is exactly the storage of Row(id) (not merely
+// equal coordinates). Engines use it to recognise queries that are
+// dataset rows, which is what unlocks the float32 fast path: a row's
+// float32 image is stored, whereas an external query point would first
+// have to be rounded, invalidating the filter's error analysis.
+func (f *FlatDataset) IsRow(q []float64, id int) bool {
+	if id < 0 || id >= f.n || len(q) != f.dim {
+		return false
+	}
+	return &q[0] == &f.coords[id*f.dim]
+}
+
 // Point is Row typed as a Point, for Engine interoperability. Zero-copy.
 func (f *FlatDataset) Point(id int) Point { return Point(f.Row(id)) }
 
@@ -84,7 +124,8 @@ func (f *FlatDataset) Points() []Point {
 }
 
 // Coords exposes the backing storage (read-only by convention) for
-// callers that iterate rows by offset without per-row slicing.
+// callers that iterate rows by offset without per-row slicing. For
+// Float32 datasets this is the derived float64 view.
 func (f *FlatDataset) Coords() []float64 { return f.coords }
 
 // Dist returns the true distance between points i and j.
@@ -96,21 +137,20 @@ func (f *FlatDataset) DistToPoint(i int, q []float64) float64 { return f.kern.di
 
 // AppendRange appends to dst every point within r of q, excluding the
 // point with id exclude (-1 for none), in ascending id order, and returns
-// the extended slice. It evaluates the surrogate distance against the
-// widened threshold first, so misses never pay the square root.
+// the extended slice. When q is itself the storage of row exclude the
+// scan routes through the batched row filters (including the float32
+// pre-filter when available); results are bit-identical either way.
 func (f *FlatDataset) AppendRange(dst []Neighbor, q []float64, r float64, exclude int) []Neighbor {
-	rawR := f.kern.RawThreshold(r)
-	raw := f.kern.raw
-	dim := f.dim
-	for id, off := 0, 0; id < f.n; id, off = id+1, off+dim {
-		if id == exclude {
-			continue
-		}
-		if s := raw(f.coords[off:off+dim:off+dim], q); s <= rawR {
-			if d := f.kern.Finish(s); d <= r {
-				dst = append(dst, Neighbor{ID: id, Dist: d})
-			}
-		}
+	qid := -1
+	if f.IsRow(q, exclude) {
+		qid = exclude
 	}
-	return dst
+	return f.appendRows(dst, q, qid, 0, f.n, exclude, r)
+}
+
+// AppendRangeRows appends to dst every point with id in [lo, hi) within
+// r of row qid (excluding exclude), in ascending id order. This is the
+// contiguous-block entry the flat ε-join is built on.
+func (f *FlatDataset) AppendRangeRows(dst []Neighbor, qid, lo, hi, exclude int, r float64) []Neighbor {
+	return f.appendRows(dst, nil, qid, lo, hi, exclude, r)
 }

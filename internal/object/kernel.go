@@ -30,6 +30,13 @@ type Kernel struct {
 	squared bool
 	dist    func(a, b []float64) float64
 	raw     func(a, b []float64) float64
+	// One-vs-many plans compiled alongside the scalar bodies (batch.go).
+	// rawBatch fills out[j] with Raw(q, row j); within is the per-row
+	// range check used by the fused filters, free to stop accumulating
+	// as soon as the (monotone non-decreasing) partial value exceeds the
+	// threshold.
+	rawBatch func(q, rows []float64, dim int, out []float64)
+	within   func(q, row []float64, rawR float64) bool
 }
 
 // CompileKernel selects the specialised implementation for m at the given
@@ -72,10 +79,17 @@ func CompileKernel(m Metric, dim int) Kernel {
 	case Hamming:
 		k.dist = hammingN
 		k.raw = k.dist
+	case Cosine:
+		k.dist = cosineN
+		k.raw = k.dist
+	case DotProduct:
+		k.dist = dotN
+		k.raw = k.dist
 	default:
 		k.dist = func(a, b []float64) float64 { return m.Dist(Point(a), Point(b)) }
 		k.raw = k.dist
 	}
+	compileBatch(&k)
 	return k
 }
 
@@ -228,4 +242,25 @@ func hammingN(a, b []float64) float64 {
 		}
 	}
 	return s
+}
+
+func cosineN(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+func dotN(a, b []float64) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return 1 - dot
 }

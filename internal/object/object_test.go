@@ -95,12 +95,12 @@ func TestMetricAxiomsQuick(t *testing.T) {
 }
 
 func TestMetricByName(t *testing.T) {
-	for _, name := range []string{"euclidean", "l2", "manhattan", "l1", "chebyshev", "linf", "hamming"} {
+	for _, name := range []string{"euclidean", "l2", "manhattan", "l1", "chebyshev", "linf", "hamming", "cosine", "dot", "inner-product"} {
 		if _, err := MetricByName(name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := MetricByName("cosine"); err == nil {
+	if _, err := MetricByName("mahalanobis"); err == nil {
 		t.Error("unknown metric accepted")
 	}
 }

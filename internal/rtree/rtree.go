@@ -353,8 +353,11 @@ func (t *Tree) search(ni int32, q []float64, r, rawR float64, exclude int, prune
 			if int(id) == exclude || (pruned && !t.white.Test(int(id))) {
 				continue
 			}
-			if raw := k.Raw(q, t.flat.Row(int(id))); raw <= rawR {
-				if d := k.Finish(raw); d <= r {
+			// Fused threshold test (early exit at high dim); the raw
+			// recomputation on the rare survivors is bit-identical.
+			row := t.flat.Row(int(id))
+			if k.Within(q, row, rawR) {
+				if d := k.Finish(k.Raw(q, row)); d <= r {
 					dst = append(dst, object.Neighbor{ID: int(id), Dist: d})
 				}
 			}

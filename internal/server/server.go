@@ -6,7 +6,8 @@
 //
 // API (JSON everywhere):
 //
-//	POST /v1/datasets                     upload {name, metric, points, labels?}
+//	POST /v1/datasets                     upload {name, metric, points,
+//	                                      labels?, precision?}
 //	GET  /v1/datasets                     list datasets
 //	GET  /v1/datasets/{name}              dataset info
 //	POST /v1/datasets/{name}/select      {radius, algorithm?} -> result
@@ -260,6 +261,10 @@ type createDatasetRequest struct {
 	Metric string      `json:"metric"`
 	Points [][]float64 `json:"points"`
 	Labels []string    `json:"labels,omitempty"`
+	// Precision selects the coordinate storage width: "float64" (the
+	// default) or "float32", which rounds at ingest and enables the
+	// batched float32 pre-filter for high-dimensional data.
+	Precision string `json:"precision,omitempty"`
 }
 
 type datasetInfo struct {
@@ -296,11 +301,20 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	opts := []disc.Option{disc.WithMetric(metric)}
+	switch req.Precision {
+	case "", "float64":
+	case "float32":
+		opts = append(opts, disc.WithPrecision(disc.PrecisionFloat32))
+	default:
+		writeError(w, http.StatusBadRequest, "unknown precision %q (supported: float64, float32)", req.Precision)
+		return
+	}
 	pts := make([]disc.Point, len(req.Points))
 	for i, p := range req.Points {
 		pts[i] = disc.Point(p)
 	}
-	div, err := disc.New(pts, disc.WithMetric(metric))
+	div, err := disc.New(pts, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

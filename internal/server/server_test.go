@@ -524,3 +524,36 @@ func TestLiveConcurrentMutations(t *testing.T) {
 		t.Fatalf("pending %d after flush", info.Pending)
 	}
 }
+
+// TestCosineFloat32DatasetOverHTTP: an embedding-style workload —
+// cosine metric, float32 precision — must upload and select end to end
+// (the library routes it to the flat-joined coverage graph), and
+// unknown precision names must be rejected at upload.
+func TestCosineFloat32DatasetOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	rng := rand.New(rand.NewPCG(77, 78))
+	pts := make([][]float64, 120)
+	for i := range pts {
+		p := make([]float64, 8)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	var info map[string]any
+	doJSON(t, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "emb", "metric": "cosine", "precision": "float32", "points": pts},
+		http.StatusCreated, &info)
+	if info["metric"] != "cosine" {
+		t.Fatalf("info = %v", info)
+	}
+	var res result
+	doJSON(t, "POST", ts.URL+"/v1/datasets/emb/select",
+		map[string]any{"radius": 0.3}, http.StatusCreated, &res)
+	if res.Size == 0 || res.Size != len(res.IDs) {
+		t.Fatalf("result %+v", res)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "bad", "precision": "float16", "points": pts},
+		http.StatusBadRequest, nil)
+}

@@ -25,9 +25,15 @@
 // coordinate array), grid (3, the uniform-grid occupancy of
 // internal/grid), graph (4, the coverage-graph CSR with its build
 // radius), components (5, the graph's connected-component labels at
-// that radius — added after version 1 shipped, readable by all version-1
-// readers through the unknown-kind skip). Every multi-byte value is
-// little-endian; float64s are IEEE 754 bit patterns; neighbour entries
+// that radius), dataset32 (6, the float32-precision dataset: metric
+// name, unpadded n×dim row-major float32 coordinates, and — for the
+// embedding metrics — the per-row squared norms; written instead of
+// kind 2 when the writer's dataset is Float32). Kinds 5 and 6 were
+// added after version 1 shipped and are readable by all version-1
+// readers through the unknown-kind skip; a reader too old to know
+// kind 6 fails a float32 snapshot safely with "no dataset section"
+// rather than misreading it. Every multi-byte value is little-endian;
+// float64s and float32s are IEEE 754 bit patterns; neighbour entries
 // are (int64 id, float64 dist) pairs.
 //
 // # Versioning policy
@@ -77,6 +83,7 @@ const (
 	kindGrid       = 3
 	kindGraph      = 4
 	kindComponents = 5
+	kindDataset32  = 6
 )
 
 // castagnoli is the CRC-32C polynomial table; hardware-accelerated on
@@ -117,10 +124,16 @@ type Snapshot struct {
 	Seed     uint64
 
 	// Metric names the distance function the coordinates were indexed
-	// under; N, Dim and Coords are the row-major dataset.
-	Metric string
-	N, Dim int
-	Coords []float64
+	// under; N, Dim and Coords are the row-major dataset. Exactly one of
+	// Coords and Coords32 is set: Coords32 carries a float32-precision
+	// dataset (unpadded row-major), in which case SqNorms, when non-nil,
+	// carries the per-row squared norms the embedding metrics cache
+	// (loaders verify them against a recomputation before trusting them).
+	Metric   string
+	N, Dim   int
+	Coords   []float64
+	Coords32 []float32
+	SqNorms  []float64
 
 	// Grid, when non-nil, is the persisted uniform-grid occupancy.
 	Grid *grid.Parts
@@ -149,8 +162,23 @@ func (s *Snapshot) validate() error {
 	if s.N <= 0 || s.Dim <= 0 || s.N > math.MaxInt32 {
 		return fmt.Errorf("snap: invalid dataset shape %d x %d", s.N, s.Dim)
 	}
-	if len(s.Coords) != s.N*s.Dim {
-		return fmt.Errorf("snap: %d coordinates for shape %d x %d", len(s.Coords), s.N, s.Dim)
+	switch {
+	case s.Coords != nil && s.Coords32 != nil:
+		return fmt.Errorf("snap: both float64 and float32 coordinates set")
+	case s.Coords32 != nil:
+		if len(s.Coords32) != s.N*s.Dim {
+			return fmt.Errorf("snap: %d float32 coordinates for shape %d x %d", len(s.Coords32), s.N, s.Dim)
+		}
+		if s.SqNorms != nil && len(s.SqNorms) != s.N {
+			return fmt.Errorf("snap: %d squared norms for %d points", len(s.SqNorms), s.N)
+		}
+	default:
+		if len(s.Coords) != s.N*s.Dim {
+			return fmt.Errorf("snap: %d coordinates for shape %d x %d", len(s.Coords), s.N, s.Dim)
+		}
+		if s.SqNorms != nil {
+			return fmt.Errorf("snap: squared norms are only persisted with float32 coordinates")
+		}
 	}
 	if len(s.Metric) > math.MaxInt32/2 || len(s.Index) > math.MaxInt32/2 {
 		return fmt.Errorf("snap: unreasonable name length")
@@ -230,6 +258,17 @@ func (e *enc) f64s(v []float64) {
 	e.off += 8 * len(v)
 }
 
+func (e *enc) f32s(v []float32) {
+	if nativeLittle && len(v) > 0 {
+		copy(e.b[e.off:], unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+	} else {
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(e.b[e.off+4*i:], math.Float32bits(x))
+		}
+	}
+	e.off += 4 * len(v)
+}
+
 func (e *enc) i32s(v []int32) {
 	if nativeLittle && len(v) > 0 {
 		copy(e.b[e.off:], unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
@@ -275,13 +314,38 @@ func Write(w io.Writer, s *Snapshot) error {
 			e.u32(uint32(s.Capacity))
 			e.str(s.Index)
 		}},
-		{kindDataset, align8(8+8+4+len(s.Metric)) + 8*len(s.Coords), func(e *enc) {
-			e.u64(uint64(s.N))
-			e.u64(uint64(s.Dim))
-			e.str(s.Metric)
-			e.pad8()
-			e.f64s(s.Coords)
-		}},
+	}
+	if s.Coords32 != nil {
+		// Float32 coordinates plus the optional squared-norm cache; the
+		// norms follow the coordinate array at the next 8-byte boundary.
+		body := 4 * len(s.Coords32)
+		if s.SqNorms != nil {
+			body = align8(body) + 8*len(s.SqNorms)
+		}
+		secs = append(secs, section{kindDataset32,
+			align8(8+8+8+4+len(s.Metric)) + body,
+			func(e *enc) {
+				e.u64(uint64(s.N))
+				e.u64(uint64(s.Dim))
+				e.u64(uint64(len(s.SqNorms)))
+				e.str(s.Metric)
+				e.pad8()
+				e.f32s(s.Coords32)
+				if s.SqNorms != nil {
+					e.pad8()
+					e.f64s(s.SqNorms)
+				}
+			}})
+	} else {
+		secs = append(secs, section{kindDataset,
+			align8(8+8+4+len(s.Metric)) + 8*len(s.Coords),
+			func(e *enc) {
+				e.u64(uint64(s.N))
+				e.u64(uint64(s.Dim))
+				e.str(s.Metric)
+				e.pad8()
+				e.f64s(s.Coords)
+			}})
 	}
 	if g := s.Grid; g != nil {
 		secs = append(secs, section{kindGrid,
@@ -393,6 +457,23 @@ func (d *dec) f64s(count int) []float64 {
 	out := make([]float64, count)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// f32s decodes count float32s, aliasing the buffer when possible.
+func (d *dec) f32s(count int) []float32 {
+	raw := d.b[d.off : d.off+4*count]
+	d.off += 4 * count
+	if count == 0 {
+		return nil
+	}
+	if nativeLittle && uintptr(unsafe.Pointer(&raw[0]))%unsafe.Alignof(float32(0)) == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&raw[0])), count)
+	}
+	out := make([]float32, count)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
 	}
 	return out
 }
@@ -538,6 +619,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 				return nil, fmt.Errorf("snap: meta section truncated")
 			}
 		case kindDataset:
+			if s.N != 0 {
+				return nil, fmt.Errorf("snap: more than one dataset section")
+			}
 			if length < 20 {
 				return nil, fmt.Errorf("snap: dataset section truncated")
 			}
@@ -554,6 +638,37 @@ func Read(r io.Reader) (*Snapshot, error) {
 				return nil, fmt.Errorf("snap: dataset section length %d does not match shape %d x %d", length, n, dim)
 			}
 			s.Coords = d.f64s(s.N * s.Dim)
+		case kindDataset32:
+			if s.N != 0 {
+				return nil, fmt.Errorf("snap: more than one dataset section")
+			}
+			if length < 28 {
+				return nil, fmt.Errorf("snap: dataset32 section truncated")
+			}
+			n, dim, norms := d.u64(), d.u64(), d.u64()
+			if n == 0 || n > math.MaxInt32 || dim == 0 || dim > 1<<20 {
+				return nil, fmt.Errorf("snap: implausible dataset shape %d x %d", n, dim)
+			}
+			if norms != 0 && norms != n {
+				return nil, fmt.Errorf("snap: %d squared norms for %d points", norms, n)
+			}
+			if s.Metric, err = d.str(off + length); err != nil {
+				return nil, fmt.Errorf("snap: dataset32 section truncated")
+			}
+			d.pad8()
+			s.N, s.Dim = int(n), int(dim)
+			body := 4 * s.N * s.Dim
+			if norms != 0 {
+				body = align8(body) + 8*s.N
+			}
+			if length != (d.off-off)+body {
+				return nil, fmt.Errorf("snap: dataset32 section length %d does not match shape %d x %d", length, n, dim)
+			}
+			s.Coords32 = d.f32s(s.N * s.Dim)
+			if norms != 0 {
+				d.pad8()
+				s.SqNorms = d.f64s(s.N)
+			}
 		case kindGrid:
 			// Decoded after the loop: shape checks need the dataset
 			// section, which may come later in the table.
@@ -568,7 +683,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 			// Unknown kind: a forward-compatible addition; skip.
 		}
 	}
-	if s.Coords == nil {
+	if s.Coords == nil && s.Coords32 == nil {
 		return nil, fmt.Errorf("snap: no dataset section")
 	}
 

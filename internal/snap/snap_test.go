@@ -331,3 +331,160 @@ func retable(data []byte) {
 	end := headerSize + entrySize*nsec
 	binary.LittleEndian.PutUint32(data[16:], crc32.Checksum(data[headerSize:end], castagnoli))
 }
+
+// buildSnapshot32 assembles a float32-precision snapshot over random
+// points under m, with the optional flat-joined coverage graph (no grid
+// section — the flat substrate has none).
+func buildSnapshot32(t *testing.T, n, dim int, r float64, seed uint64, m object.Metric, withGraph bool) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed))
+	pts := make([]object.Point, n)
+	for i := range pts {
+		p := make(object.Point, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	flat, err := object.Flatten32(pts, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := flat.Stride32()
+	src := flat.Coords32()
+	c := make([]float32, n*dim)
+	for i := 0; i < n; i++ {
+		copy(c[i*dim:(i+1)*dim], src[i*stride:i*stride+dim])
+	}
+	s := &Snapshot{
+		Index:       "coverage-graph",
+		Parallelism: 2,
+		Capacity:    64,
+		Seed:        seed ^ 0xabcdef,
+		Metric:      m.Name(),
+		N:           n,
+		Dim:         dim,
+		Coords32:    c,
+		SqNorms:     flat.SqNorms(),
+	}
+	if withGraph {
+		csr, _, err := grid.FlatJoin(flat, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.GraphRadius = r
+		s.Graph = csr
+	}
+	return s
+}
+
+// TestRoundTripFloat32: the dataset32 section must round-trip
+// byte-identically and element-identically, with and without the
+// squared-norm cache (present for the embedding metrics only) and with
+// a flat-joined graph section that has no grid alongside it.
+func TestRoundTripFloat32(t *testing.T) {
+	cases := []struct {
+		dim       int
+		m         object.Metric
+		withGraph bool
+		wantNorms bool
+	}{
+		{3, object.Euclidean{}, false, false},
+		{7, object.Euclidean{}, true, false},
+		{7, object.Cosine{}, true, true},
+		{5, object.DotProduct{}, false, true},
+	}
+	for i, tc := range cases {
+		s := buildSnapshot32(t, 90, tc.dim, 0.35, uint64(400+i), tc.m, tc.withGraph)
+		if (s.SqNorms != nil) != tc.wantNorms {
+			t.Fatalf("case %d: norms presence %v, want %v", i, s.SqNorms != nil, tc.wantNorms)
+		}
+		first := encode(t, s)
+		loaded, err := Read(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("case %d: read: %v", i, err)
+		}
+		if !bytes.Equal(first, encode(t, loaded)) {
+			t.Fatalf("case %d: save→load→save is not byte-identical", i)
+		}
+		if loaded.Coords != nil {
+			t.Fatalf("case %d: float64 coordinates materialised from a float32 snapshot", i)
+		}
+		if len(loaded.Coords32) != len(s.Coords32) {
+			t.Fatalf("case %d: %d coords32, want %d", i, len(loaded.Coords32), len(s.Coords32))
+		}
+		for j, v := range s.Coords32 {
+			if loaded.Coords32[j] != v {
+				t.Fatalf("case %d: coord32 %d drifted", i, j)
+			}
+		}
+		if (loaded.SqNorms != nil) != tc.wantNorms {
+			t.Fatalf("case %d: loaded norms presence drifted", i)
+		}
+		for j, v := range s.SqNorms {
+			if loaded.SqNorms[j] != v {
+				t.Fatalf("case %d: norm %d drifted", i, j)
+			}
+		}
+		if (loaded.Graph != nil) != tc.withGraph {
+			t.Fatalf("case %d: graph presence drifted", i)
+		}
+		if tc.withGraph && loaded.Grid != nil {
+			t.Fatalf("case %d: grid section appeared from nowhere", i)
+		}
+	}
+}
+
+// TestFloat32WriterValidation: the writer must refuse shapes the
+// dataset32 section cannot represent.
+func TestFloat32WriterValidation(t *testing.T) {
+	good := buildSnapshot32(t, 40, 4, 0.3, 21, object.Cosine{}, false)
+	cases := []func(*Snapshot){
+		func(s *Snapshot) { s.Coords = make([]float64, s.N*s.Dim) }, // both precisions at once
+		func(s *Snapshot) { s.Coords32 = s.Coords32[:len(s.Coords32)-1] },
+		func(s *Snapshot) { s.SqNorms = s.SqNorms[:len(s.SqNorms)-1] },
+		func(s *Snapshot) { s.Coords32 = nil }, // norms without float32 coords
+	}
+	for i, mutate := range cases {
+		bad := *good
+		mutate(&bad)
+		if err := Write(&bytes.Buffer{}, &bad); err == nil {
+			t.Fatalf("case %d: writer accepted an inconsistent float32 snapshot", i)
+		}
+	}
+}
+
+// TestFloat32UnknownToOldReader: a reader that does not know the
+// dataset32 kind (simulated by retagging it as an unknown kind) must
+// fail with a clean "no dataset section" error rather than misread the
+// snapshot — the forward-compatibility property that let kind 6 ship
+// without a version bump.
+func TestFloat32UnknownToOldReader(t *testing.T) {
+	data := encode(t, buildSnapshot32(t, 30, 3, 0.3, 23, object.Euclidean{}, false))
+	nsec := int(binary.LittleEndian.Uint32(data[12:]))
+	for i := 0; i < nsec; i++ {
+		entry := headerSize + entrySize*i
+		if binary.LittleEndian.Uint32(data[entry:]) != kindDataset32 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(data[entry:], 0x7f)
+		retable(data)
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Fatal("snapshot without a recognised dataset section accepted")
+		}
+		return
+	}
+	t.Fatal("no dataset32 section found")
+}
+
+// TestRejectTwoDatasetSections: a snapshot carrying both dataset
+// precisions must be refused at the writer (a file with both kinds is
+// not constructible through the public API, and the reader additionally
+// rejects a second dataset section of either kind).
+func TestRejectTwoDatasetSections(t *testing.T) {
+	merged := *buildSnapshot(t, 30, 2, 0.2, 29, false, false, false)
+	merged.Coords32 = buildSnapshot32(t, 30, 2, 0.2, 29, object.Euclidean{}, false).Coords32
+	if err := Write(&bytes.Buffer{}, &merged); err == nil {
+		t.Fatal("writer accepted both dataset precisions")
+	}
+}

@@ -54,6 +54,11 @@ func Build(pts []object.Point, m object.Metric, seed uint64) (*Tree, error) {
 	if m == nil {
 		return nil, fmt.Errorf("vptree: nil metric")
 	}
+	if !object.TriangleSafe(m) {
+		// Vantage-ball pruning is a triangle-inequality bound; a
+		// non-metric distance would silently drop true neighbours.
+		return nil, fmt.Errorf("vptree: metric %q violates the triangle inequality", m.Name())
+	}
 	flat, err := object.Flatten(pts, m)
 	if err != nil {
 		return nil, fmt.Errorf("vptree: %w", err)

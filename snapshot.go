@@ -37,15 +37,19 @@ func (d *Diversifier) Prepare(r float64) error {
 
 // WriteSnapshot serialises the diversifier to the versioned .discsnap
 // binary format (see internal/snap for the layout): always the dataset
-// (metric plus row-major coordinates) and the configured backend with
-// its build parameters (seed, parallelism, M-tree capacity), plus
-// whatever prepared per-radius artifacts the current engine holds — the
-// grid occupancy for IndexGrid; the occupancy, the coverage-graph CSR
-// and (when already derived) its connected-component decomposition for
-// IndexCoverageGraph on grid-servable metrics. Backends that
-// rebuild cheaply or deterministically from the dataset (M-tree,
-// VP-tree, R-tree, linear scan, and the coverage graph's R-tree path)
-// persist the dataset only and are rebuilt on load.
+// (metric plus row-major coordinates, at the diversifier's configured
+// precision — a Float32 diversifier persists the float32 coordinates
+// and the squared-norm cache of the embedding metrics) and the
+// configured backend with its build parameters (seed, parallelism,
+// M-tree capacity), plus whatever prepared per-radius artifacts the
+// current engine holds — the grid occupancy for IndexGrid; for
+// IndexCoverageGraph the coverage-graph CSR and (when already derived)
+// its connected-component decomposition, together with the grid
+// occupancy when the graph was grid-joined (the flat-join substrate has
+// no occupancy to persist). Backends that rebuild cheaply or
+// deterministically from the dataset (M-tree, VP-tree, R-tree, linear
+// scan, and the coverage graph's R-tree path) persist the dataset only
+// and are rebuilt on load.
 //
 // A snapshot written before any Select or Prepare call carries no
 // artifacts; LoadDiversifier then behaves like New over the same
@@ -58,13 +62,13 @@ func (d *Diversifier) WriteSnapshot(w io.Writer) error {
 		Seed:        d.seed,
 		Metric:      d.metric.Name(),
 	}
-	var flat *object.FlatDataset
 	switch e := d.engine.(type) {
 	case *core.ParallelGraphEngine:
-		if e.GridJoined() {
-			flat = e.Grid().Flat()
-			p := e.Grid().Parts()
-			s.Grid = &p
+		if e.GridJoined() || e.FlatJoined() {
+			if e.GridJoined() {
+				p := e.Grid().Parts()
+				s.Grid = &p
+			}
 			s.Graph = e.CSR()
 			s.GraphRadius = e.Radius()
 			// The component decomposition is persisted opportunistically:
@@ -77,18 +81,25 @@ func (d *Diversifier) WriteSnapshot(w io.Writer) error {
 			}
 		}
 	case *core.GridEngine:
-		flat = e.Grid().Flat()
 		p := e.Grid().Parts()
 		s.Grid = &p
 	}
-	if flat == nil {
-		var err error
-		flat, err = object.Flatten(d.points, d.metric)
-		if err != nil {
-			return fmt.Errorf("disc: snapshot: %w", err)
+	flat := d.flat
+	s.N, s.Dim = flat.Len(), flat.Dim()
+	if flat.Precision() == PrecisionFloat32 {
+		// De-pad the aligned mirror into the wire layout; the norms cache
+		// rides along so embedding-metric loads skip recomputing it.
+		stride, dim := flat.Stride32(), flat.Dim()
+		src := flat.Coords32()
+		c := make([]float32, s.N*dim)
+		for i := 0; i < s.N; i++ {
+			copy(c[i*dim:(i+1)*dim], src[i*stride:i*stride+dim])
 		}
+		s.Coords32 = c
+		s.SqNorms = flat.SqNorms()
+	} else {
+		s.Coords = flat.Coords()
 	}
-	s.N, s.Dim, s.Coords = flat.Len(), flat.Dim(), flat.Coords()
 	if err := snap.Write(w, s); err != nil {
 		return fmt.Errorf("disc: snapshot: %w", err)
 	}
@@ -153,12 +164,18 @@ func LoadDiversifier(r io.Reader, opts ...Option) (*Diversifier, error) {
 		o.index = ix
 	}
 
-	flat, err := object.NewFlatDataset(s.Coords, s.N, s.Dim, o.metric)
+	var flat *object.FlatDataset
+	if s.Coords32 != nil {
+		flat, err = object.NewFlatDataset32(s.Coords32, s.N, s.Dim, o.metric, s.SqNorms)
+	} else {
+		flat, err = object.NewFlatDataset(s.Coords, s.N, s.Dim, o.metric)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("disc: load: %w", err)
 	}
 	d := &Diversifier{
 		points:      flat.Points(),
+		flat:        flat,
 		metric:      o.metric,
 		index:       o.index,
 		parallelism: o.parallelism,
@@ -167,27 +184,38 @@ func LoadDiversifier(r io.Reader, opts ...Option) (*Diversifier, error) {
 	}
 
 	// Rehydrate persisted artifacts when the chosen backend can use
-	// them; FromParts and RehydrateGraphEngine revalidate every
+	// them; FromParts and the Rehydrate constructors revalidate every
 	// structural invariant, so a logically inconsistent snapshot fails
 	// here instead of answering queries wrongly.
 	switch o.index {
 	case IndexCoverageGraph:
-		if s.Grid != nil && s.Graph != nil && grid.Supports(o.metric) {
-			h, err := grid.FromParts(flat, *s.Grid)
-			if err != nil {
-				return nil, fmt.Errorf("disc: load: %w", err)
-			}
-			e, err := core.RehydrateGraphEngine(h, s.Graph, s.GraphRadius, o.parallelism)
-			if err != nil {
-				return nil, fmt.Errorf("disc: load: %w", err)
-			}
-			if s.ComponentLabels != nil {
-				if err := e.InstallComponents(s.ComponentLabels, s.ComponentCount); err != nil {
+		if s.Graph != nil {
+			var e *core.ParallelGraphEngine
+			switch {
+			case s.Grid != nil && grid.Supports(o.metric):
+				h, err := grid.FromParts(flat, *s.Grid)
+				if err != nil {
+					return nil, fmt.Errorf("disc: load: %w", err)
+				}
+				if e, err = core.RehydrateGraphEngine(h, s.Graph, s.GraphRadius, o.parallelism); err != nil {
+					return nil, fmt.Errorf("disc: load: %w", err)
+				}
+			case s.Grid == nil:
+				// A graph without an occupancy was flat-joined; its only
+				// substrate is the dataset itself.
+				if e, err = core.RehydrateFlatGraphEngine(flat, s.Graph, s.GraphRadius, o.parallelism); err != nil {
 					return nil, fmt.Errorf("disc: load: %w", err)
 				}
 			}
-			d.engine = e
-			return d, nil
+			if e != nil {
+				if s.ComponentLabels != nil {
+					if err := e.InstallComponents(s.ComponentLabels, s.ComponentCount); err != nil {
+						return nil, fmt.Errorf("disc: load: %w", err)
+					}
+				}
+				d.engine = e
+				return d, nil
+			}
 		}
 	case IndexGrid:
 		if s.Grid != nil {
@@ -199,7 +227,7 @@ func LoadDiversifier(r io.Reader, opts ...Option) (*Diversifier, error) {
 			return d, nil
 		}
 	}
-	e, err := initialEngine(o, d.points)
+	e, err := initialEngine(o, flat, d.points)
 	if err != nil {
 		return nil, err
 	}

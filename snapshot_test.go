@@ -472,3 +472,139 @@ func TestSnapshotTamperedComponentsRejected(t *testing.T) {
 		t.Fatal("tampered component labels accepted")
 	}
 }
+
+// TestSnapshotFloat32RoundTrip: a Float32 diversifier must persist its
+// float32 coordinates (and, for the embedding metrics, the squared-norm
+// cache) and load back at the same precision with bit-identical
+// selections — including the flat-joined coverage graph, which has no
+// grid occupancy to persist and must rehydrate from the CSR alone.
+func TestSnapshotFloat32RoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		dim    int
+		metric Metric
+		r      float64
+		opts   []Option
+	}{
+		// Cosine auto-selects the coverage graph and flat-joins it.
+		{"cosine-flatjoin", 16, Cosine(), 0.15, nil},
+		// Low-dim Euclidean grid-joins; the grid must carry the mirror.
+		{"euclidean-grid", 3, Euclidean(), 0.2, []Option{WithIndex(IndexCoverageGraph)}},
+		// High-dim Euclidean exceeds GraphFlatJoinDim and flat-joins.
+		{"euclidean-flatjoin", 20, Euclidean(), 1.2, []Option{WithIndex(IndexCoverageGraph)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := snapshotTestPoints(250, tc.dim, 31)
+			opts := append([]Option{WithMetric(tc.metric), WithPrecision(PrecisionFloat32)}, tc.opts...)
+			d, err := New(pts, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := d.Select(tc.r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := d.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := loaded.flat.Precision(); p != PrecisionFloat32 {
+				t.Fatalf("loaded precision %v, want float32", p)
+			}
+			// The padded float32 mirror must be bit-identical: the fast
+			// path reads it, so drift here would change filter outcomes.
+			if !slices.Equal(loaded.flat.Coords32(), d.flat.Coords32()) {
+				t.Fatal("float32 mirror drifted through the snapshot")
+			}
+			if loaded.engine == nil {
+				t.Fatal("no rehydrated engine")
+			}
+			if g, ok := loaded.engine.(*core.ParallelGraphEngine); ok {
+				if g.Radius() != tc.r {
+					t.Fatalf("rehydrated radius %g, want %g", g.Radius(), tc.r)
+				}
+				fresh := d.engine.(*core.ParallelGraphEngine)
+				if g.GridJoined() != fresh.GridJoined() || g.FlatJoined() != fresh.FlatJoined() {
+					t.Fatalf("substrate drifted: grid %v→%v flat %v→%v",
+						fresh.GridJoined(), g.GridJoined(), fresh.FlatJoined(), g.FlatJoined())
+				}
+			}
+			got, err := loaded.Select(tc.r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(want.SortedIDs(), got.SortedIDs()) {
+				t.Fatalf("loaded selection differs from fresh (%d vs %d objects)", got.Size(), want.Size())
+			}
+			// A float64 diversifier over the pre-rounded points must agree:
+			// the snapshot must not change which precision trade-off was
+			// taken (rounding happens once, at the original ingest).
+			rounded := make([]Point, len(pts))
+			for i, p := range pts {
+				rp := make(Point, len(p))
+				for j, v := range p {
+					rp[j] = float64(float32(v))
+				}
+				rounded[i] = rp
+			}
+			d64, err := New(rounded, append([]Option{WithMetric(tc.metric)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want64, err := d64.Select(tc.r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(want64.SortedIDs(), got.SortedIDs()) {
+				t.Fatal("float32 snapshot selection differs from the float64 reference over rounded points")
+			}
+		})
+	}
+}
+
+// TestSnapshotFlatGraphWarmStart: a flat-joined graph prepared before
+// writing must rehydrate straight into the engine cache — no re-join on
+// the loaded side — including its component decomposition.
+func TestSnapshotFlatGraphWarmStart(t *testing.T) {
+	pts := snapshotTestPoints(300, 4, 37)
+	const r = 0.4
+	d, err := New(pts, WithMetric(Cosine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.index != IndexCoverageGraph {
+		t.Fatalf("cosine auto-selected %v, want coverage-graph", d.index)
+	}
+	if err := d.Prepare(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDiversifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := loaded.engine.(*core.ParallelGraphEngine)
+	if !ok {
+		t.Fatalf("rehydrated engine is %T", loaded.engine)
+	}
+	if !g.FlatJoined() {
+		t.Fatal("rehydrated engine lost its flat-join substrate")
+	}
+	if g.CachedComponents() == nil {
+		t.Fatal("component decomposition not rehydrated")
+	}
+	before := loaded.engine
+	if _, err := loaded.Select(r, WithSelectMode(SelectComponents)); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.engine != before {
+		t.Fatal("Select at the prepared radius rebuilt the engine")
+	}
+}

@@ -153,6 +153,21 @@ func IndexByName(name string) (Index, error) {
 	return 0, fmt.Errorf("disc: unknown index %q (supported: %s)", name, strings.Join(SupportedIndexNames(), ", "))
 }
 
+// Precision selects the coordinate storage width of a Diversifier (see
+// WithPrecision).
+type Precision = object.Precision
+
+const (
+	// PrecisionFloat64 stores coordinates at full double precision (the
+	// default).
+	PrecisionFloat64 = object.Float64
+	// PrecisionFloat32 rounds coordinates to float32 at ingest and keeps
+	// a cache-aligned float32 mirror the batched kernels pre-filter on.
+	// Distances are still evaluated in exact float64 arithmetic over the
+	// rounded values, so selections stay bit-identical across backends.
+	PrecisionFloat32 = object.Float32
+)
+
 // Euclidean returns the L2 metric (the library default).
 func Euclidean() Metric { return object.Euclidean{} }
 
@@ -166,8 +181,26 @@ func Chebyshev() Metric { return object.Chebyshev{} }
 // suited to datasets whose coordinates are category codes.
 func Hamming() Metric { return object.Hamming{} }
 
-// MetricByName resolves "euclidean", "manhattan", "chebyshev" or
-// "hamming" (plus the aliases "l1", "l2", "linf").
+// Cosine returns the angular dissimilarity 1 − cos(a, b), the standard
+// distance for embedding vectors. It is symmetric and non-negative but
+// violates the triangle inequality, so the ball- and box-pruning
+// backends reject it; IndexCoverageGraph (which serves it with the
+// batched flat join — the auto-selected default for this metric) and
+// IndexLinearScan support it. The zero vector is at distance 1 from
+// everything, including itself.
+func Cosine() Metric { return object.Cosine{} }
+
+// InnerProduct returns the dissimilarity 1 − ⟨a, b⟩, the inner-product
+// surrogate used for maximum-inner-product retrieval over normalised
+// embeddings. Like Cosine it violates the triangle inequality (and even
+// d(x,x) = 0), so only the scan-based backends serve it; it is mainly
+// useful when vectors are pre-normalised and the 1 − dot ranking is the
+// quantity of interest.
+func InnerProduct() Metric { return object.DotProduct{} }
+
+// MetricByName resolves "euclidean", "manhattan", "chebyshev",
+// "hamming", "cosine" or "dot" (plus the aliases "l1", "l2", "linf" and
+// "inner-product").
 func MetricByName(name string) (Metric, error) { return object.MetricByName(name) }
 
 // ReadCSV parses a dataset written by Dataset.WriteCSV.
