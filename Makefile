@@ -13,7 +13,7 @@ BENCH_R ?= 0.0025
 # noisier runners.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: build test lint bench bench-guard snapshot-bench doclint kernel-props
+.PHONY: build test lint bench bench-guard snapshot-bench doclint kernel-props crash-props
 
 ## build: compile every package and command
 build:
@@ -97,6 +97,18 @@ snapshot-bench:
 kernel-props:
 	GOAMD64=v1 $(GO) test ./internal/object -run 'RawBatch|Filter|Within|Float32|Float64' -count=1
 	GOAMD64=v3 $(GO) test ./internal/object -run 'RawBatch|Filter|Within|Float32|Float64' -count=1
+
+## crash-props: the durability property suites under the race detector
+## — the WAL's torn-tail/bit-flip/rotation invariants, the fault
+## injectors' own contracts, the every-byte crash-prefix recovery
+## property (recovered selection bit-identical to a from-scratch
+## component Select over the surviving op prefix), the checkpoint
+## crash-window states, and the server's crash-restart and
+## load-shedding behaviour.
+crash-props:
+	$(GO) test -race -count=1 ./internal/wal ./internal/faultio
+	$(GO) test -race -count=1 -run 'TestCrashPrefixRecoveryEveryByte|TestCrashRecoveryInjectedWriter|TestCheckpointCrashStates|TestWALPoisoningOnSyncFailure|TestWALShortWriteTornTail' .
+	$(GO) test -race -count=1 -run 'TestLiveCrashRestart|TestDurableCreateRefusesLeftoverState|TestAdmissionControl|TestRequestTimeout|TestPanicRecovery|TestLiveFsyncModesOverHTTP' ./internal/server
 
 ## doclint: verify that relative links and file references in the
 ## repo's markdown docs resolve (the CI doc-link gate; see

@@ -232,6 +232,31 @@ func compareStream(w io.Writer, base, cur *experiments.StreamBench, tolerance fl
 	fmt.Fprintf(w, "%s %-8s %-16s %10.2f -> %10.2f (floor %.2f, %+.1f%%)\n",
 		status, "stream", "updates_per_sec", was, now, limit, pct)
 
+	// The WAL throughput floors guard the durable-updater path (log
+	// framing + append per op; fsync batched or off). A zero baseline
+	// means the reference JSON predates the WAL rows — skip, don't gate
+	// against nothing.
+	walFloors := []struct {
+		name     string
+		was, now float64
+	}{
+		{"wal_none_ups", base.WALNoneUpdatesPerSec, cur.WALNoneUpdatesPerSec},
+		{"wal_interval_ups", base.WALIntervalUpdatesPerSec, cur.WALIntervalUpdatesPerSec},
+	}
+	for _, f := range walFloors {
+		if f.was <= 0 {
+			continue
+		}
+		limit := f.was / (1 + tolerance)
+		status := "ok  "
+		if f.now < limit {
+			status = "FAIL"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-8s %-16s %10.2f -> %10.2f (floor %.2f, %+.1f%%)\n",
+			status, "stream", f.name, f.was, f.now, limit, 100*(f.now-f.was)/f.was)
+	}
+
 	was, now = base.RepairMSP99, cur.RepairMSP99
 	limit = was * (1 + tolerance)
 	status = "ok  "

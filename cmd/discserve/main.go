@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	discserve -addr :8080 [-snapshot demo.discsnap]
+//	discserve -addr :8080 [-snapshot demo.discsnap] [-live ./livedir]
 //
 //	curl -X POST localhost:8080/v1/datasets -d '{"name":"demo","points":[[0.1,0.2],[0.8,0.9]]}'
 //	curl -X POST localhost:8080/v1/datasets/demo/select -d '{"radius":0.3}'
@@ -21,6 +21,7 @@
 //	curl -X POST localhost:8080/v1/live/feed/insert -d '{"point":[0.8,0.9],"flush":true}'
 //	curl -X POST localhost:8080/v1/live/feed/delete -d '{"id":0}'
 //	curl -X POST localhost:8080/v1/live/feed/flush
+//	curl -X POST localhost:8080/v1/live/feed/snapshot
 //	curl localhost:8080/v1/live/feed/selection
 //
 // With -snapshot, the file (when present) is loaded before the listener
@@ -29,8 +30,16 @@
 // same directory, so a save/restart cycle round-trips the dataset and
 // its prepared index artifacts. Labels are not part of the .discsnap
 // format and do not survive the restart; re-upload labelled datasets
-// over the API when labels matter. The server drains in-flight requests
-// for up to 5 seconds on SIGINT/SIGTERM.
+// over the API when labels matter.
+//
+// With -live DIR, live maintainers become crash-safe: every insert and
+// delete is written to a per-maintainer write-ahead log in DIR before
+// it is acknowledged (fsync policy per -fsync; see docs/DURABILITY.md),
+// POST /v1/live/{name}/snapshot checkpoints the log into a .discsnap,
+// and a restarted discserve replays snapshot+log so acknowledged
+// mutations survive even a SIGKILL. The server drains in-flight
+// requests for up to 5 seconds on SIGINT/SIGTERM, then syncs and
+// closes the logs.
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	disc "github.com/discdiversity/disc"
 	"github.com/discdiversity/disc/internal/server"
 )
 
@@ -55,11 +65,38 @@ const shutdownTimeout = 5 * time.Second
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapshot := flag.String("snapshot", "", "warm-start .discsnap file; its directory becomes the snapshot-save target")
+	liveDir := flag.String("live", "", "directory for live-maintainer WAL + checkpoints; empty keeps them memory-only")
+	fsyncMode := flag.String("fsync", "always", "WAL fsync policy for live maintainers: always, interval, or none")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "batching window when -fsync=interval")
+	maxInflight := flag.Int("max-inflight", 64, "maximum concurrently-served requests; excess get 503 + Retry-After (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
+	maxBody := flag.Int64("max-body", 64<<20, "request body cap in bytes on mutating endpoints (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 1*time.Minute, "http.Server ReadTimeout: full request including body (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
 	flag.Parse()
 
-	var opts []server.Option
+	fsync, err := disc.FsyncPolicyByName(*fsyncMode)
+	if err != nil {
+		log.Fatalf("discserve: %v", err)
+	}
+
+	opts := []server.Option{
+		server.WithMaxInflight(*maxInflight),
+		server.WithRequestTimeout(*requestTimeout),
+		server.WithMaxBodyBytes(*maxBody),
+	}
 	if *snapshot != "" {
 		opts = append(opts, server.WithSnapshotDir(filepath.Dir(*snapshot)))
+	}
+	if *liveDir != "" {
+		if err := os.MkdirAll(*liveDir, 0o755); err != nil {
+			log.Fatalf("discserve: live dir: %v", err)
+		}
+		opts = append(opts,
+			server.WithLiveDir(*liveDir),
+			server.WithLiveFsync(fsync),
+			server.WithLiveFsyncInterval(*fsyncInterval))
 	}
 	srv := server.New(opts...)
 
@@ -68,11 +105,25 @@ func main() {
 			log.Fatalf("discserve: snapshot %s: %v", *snapshot, err)
 		}
 	}
+	if *liveDir != "" {
+		start := time.Now()
+		n, err := srv.RestoreLive()
+		if err != nil {
+			log.Fatalf("discserve: live recovery: %v", err)
+		}
+		if n > 0 {
+			log.Printf("discserve: recovered %d live maintainer(s) from %s in %s",
+				n, *liveDir, time.Since(start).Round(time.Millisecond))
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -97,6 +148,11 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("discserve: %v", err)
+		}
+		// Sync and release the write-ahead logs only after the listener
+		// has drained, so no in-flight mutation races the close.
+		if err := srv.Close(); err != nil {
+			log.Printf("discserve: close: %v", err)
 		}
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"github.com/discdiversity/disc/internal/core"
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/mtree"
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/wal"
 )
 
 // Algorithm selects the heuristic used by Select. The zero value is
@@ -98,6 +100,13 @@ type options struct {
 	parallelism int
 	seed        uint64
 	prec        Precision
+
+	// Durability knobs, consumed by OpenUpdater only (see
+	// openupdater.go); inert everywhere else.
+	walSync     FsyncPolicy
+	walInterval time.Duration
+	walSegment  int64
+	walOpenFile func(name string, create bool) (wal.File, error)
 }
 
 // Option configures New.

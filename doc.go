@@ -224,6 +224,30 @@
 // whole lifecycle under /v1/live. docs/ARCHITECTURE.md walks the
 // update/repair machinery in depth.
 //
+// # Crash-safe live updates
+//
+// OpenUpdater pairs the Updater with a snapshot file and an
+// append-only write-ahead log: every Insert/Delete is checksummed and
+// appended to the log before it is acknowledged (fsync policy via
+// WithFsync — FsyncAlways means acknowledged operations survive even
+// a power cut; FsyncInterval bounds the loss window; FsyncNone defers
+// to the kernel), Checkpoint compacts the live state into a fresh
+// crash-atomic snapshot and truncates the log, and reopening with
+// OpenUpdater replays snapshot plus log to exactly the acknowledged
+// state. Recovery truncates a torn tail (an append interrupted by the
+// crash — necessarily unacknowledged under FsyncAlways) but refuses
+// interior corruption loudly rather than silently dropping
+// acknowledged updates; any append or sync failure poisons the log so
+// later mutations fail fast instead of acknowledging into an unknown
+// state. The property suite behind the guarantee cuts the log at
+// every byte boundary under fault injection and asserts the recovered
+// selection is bit-identical to a from-scratch component-mode Select
+// over the surviving operation prefix (make crash-props, in CI under
+// the race detector). DescribeDurable identifies an existing log
+// (epoch, radius, metric) without replaying it, which is how discserve
+// -live rediscovers its maintainers at boot. docs/DURABILITY.md is
+// the normative wire format and the per-policy guarantee table.
+//
 // The subpackages under internal implement the substrates: the M-tree,
 // VP-tree and R-tree indexes, the algorithm engine (including the
 // parallel coverage-graph engine), dataset generators, baseline
@@ -238,8 +262,10 @@
 // The Makefile carries the shared entry points. CI runs `make build`,
 // `make test` (race detector on), `make lint` (go vet and the gofmt
 // gate), `make kernel-props` (the kernel bit-identity property suites
-// under both GOAMD64=v1 and v3), `make doclint` (markdown
-// cross-references must resolve) and `make bench-guard` (the
+// under both GOAMD64=v1 and v3), `make crash-props` (the WAL and
+// fault-injection durability suites under the race detector), `make
+// doclint` (markdown cross-references must resolve) and `make
+// bench-guard` (the
 // regression gate diffing fresh perf, snapshot, stream and high-dim
 // measurements against the checked-in BENCH_PR5.json, BENCH_PR4.json,
 // BENCH_PR6.json and BENCH_PR7.json — stream throughput is gated as a

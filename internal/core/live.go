@@ -119,6 +119,45 @@ func SeedLiveDisC(flat *object.FlatDataset, r float64, workers int) (*LiveDisC, 
 	if err != nil {
 		return nil, err
 	}
+	return adoptBatch(flat, csr, r, joinAcc)
+}
+
+// RestoreLiveDisC builds a maintainer from a dataset plus an
+// already-joined coverage-graph CSR — the warm-start path snapshot
+// recovery uses, skipping the grid build and ε-join entirely. The CSR
+// is structurally validated and the component decomposition recomputed
+// from it (never trusted from the caller), so a tampered or stale
+// adjacency fails here rather than corrupting repairs later. The
+// selection is re-derived by the batch greedy, exactly as SeedLiveDisC
+// would.
+func RestoreLiveDisC(flat *object.FlatDataset, csr *grid.CSR, r float64) (*LiveDisC, error) {
+	n := flat.Len()
+	if len(csr.Offsets) != n+1 || csr.Offsets[0] != 0 {
+		return nil, fmt.Errorf("core: live: adjacency offsets sized for %d points, dataset has %d", len(csr.Offsets)-1, n)
+	}
+	for i := 0; i < n; i++ {
+		if csr.Offsets[i+1] < csr.Offsets[i] {
+			return nil, fmt.Errorf("core: live: adjacency offsets not monotone at %d", i)
+		}
+	}
+	if int(csr.Offsets[n]) != len(csr.Nbrs) {
+		return nil, fmt.Errorf("core: live: adjacency offsets do not span the %d packed neighbours", len(csr.Nbrs))
+	}
+	for _, nb := range csr.Nbrs {
+		if nb.ID < 0 || nb.ID >= n {
+			return nil, fmt.Errorf("core: live: adjacency names id %d outside the dataset", nb.ID)
+		}
+		if !(nb.Dist >= 0) || nb.Dist > r {
+			return nil, fmt.Errorf("core: live: adjacency distance %g outside [0, r]", nb.Dist)
+		}
+	}
+	return adoptBatch(flat, csr, r, 0)
+}
+
+// adoptBatch runs the batch component labeling + greedy over (flat,
+// csr) and adopts the artifacts as live state — the shared tail of
+// SeedLiveDisC and RestoreLiveDisC.
+func adoptBatch(flat *object.FlatDataset, csr *grid.CSR, r float64, joinAcc int64) (*LiveDisC, error) {
 	n := flat.Len()
 	comp := grid.ComponentsOfCSR(csr, n, r)
 	sol := newSolution(n, r, greedyName(GreedyOptions{}, true))

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -45,6 +47,15 @@ type StreamBench struct {
 	RepairMSP50   float64 `json:"repair_ms_p50"`
 	RepairMSP99   float64 `json:"repair_ms_p99"`
 	RepairMSMax   float64 `json:"repair_ms_max"`
+
+	// The WAL rows repeat the converged-update workload against a
+	// durable updater (disc.OpenUpdater: every mutation framed, CRC'd
+	// and appended to the write-ahead log before it is acknowledged) at
+	// two fsync policies, measuring what crash-safety costs on top of
+	// the in-memory path. fsync=always is deliberately not benchmarked:
+	// it measures the disk's flush latency, not this code.
+	WALNoneUpdatesPerSec     float64 `json:"wal_none_updates_per_sec"`
+	WALIntervalUpdatesPerSec float64 `json:"wal_interval_updates_per_sec"`
 
 	FinalLive     int `json:"final_live"`
 	FinalSelected int `json:"final_selected"`
@@ -154,7 +165,84 @@ func Stream(cfg Config, datasetName string) (*StreamBench, error) {
 		return nil, err
 	}
 	res.EquivalentToRebuild = equivalent
+
+	res.WALNoneUpdatesPerSec, err = streamWALRun(cfg, pts, r, w.metric, disc.FsyncNone)
+	if err != nil {
+		return nil, err
+	}
+	res.WALIntervalUpdatesPerSec, err = streamWALRun(cfg, pts, r, w.metric, disc.FsyncInterval)
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// streamWALRun measures converged-update throughput through the
+// write-ahead log: the seed points are compacted into a snapshot, a
+// durable updater reopens from it under the requested fsync policy,
+// and the same mixed workload runs with per-op convergence — each
+// acknowledged mutation having first been appended (and, per policy,
+// synced) to the log.
+func streamWALRun(cfg Config, pts []disc.Point, r float64, m disc.Metric, policy disc.FsyncPolicy) (float64, error) {
+	dir, err := os.MkdirTemp("", "disc-stream-wal-*")
+	if err != nil {
+		return 0, fmt.Errorf("experiments: stream: wal: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	seed, err := disc.NewUpdater(pts, r, disc.WithMetric(m))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: stream: wal seed: %w", err)
+	}
+	snapPath := filepath.Join(dir, "stream.discsnap")
+	if err := seed.SaveSnapshot(snapPath); err != nil {
+		return 0, fmt.Errorf("experiments: stream: wal seed: %w", err)
+	}
+	u, err := disc.OpenUpdater(snapPath, filepath.Join(dir, "stream.wal"), r,
+		disc.WithMetric(m), disc.WithFsync(policy))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: stream: wal open: %w", err)
+	}
+	defer u.Close()
+
+	dim := u.Dim()
+	ops := cfg.streamOps()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5eed))
+	live := make([]int, u.Len())
+	for i := range live {
+		live[i] = i
+	}
+	runStart := time.Now()
+	for op := 0; op < ops; op++ {
+		if len(live) == 0 || rng.Float64() < 0.7 {
+			p := make(disc.Point, dim)
+			if len(live) > 0 && rng.Float64() < 0.5 {
+				src := u.Point(live[rng.IntN(len(live))])
+				for i := range p {
+					p[i] = src[i] + rng.NormFloat64()*2*r
+				}
+			} else {
+				for i := range p {
+					p[i] = rng.Float64()
+				}
+			}
+			id, err := u.Insert(p)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: stream: wal insert: %w", err)
+			}
+			live = append(live, id)
+		} else {
+			k := rng.IntN(len(live))
+			if err := u.Delete(live[k]); err != nil {
+				return 0, fmt.Errorf("experiments: stream: wal delete: %w", err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		u.Flush()
+	}
+	elapsed := time.Since(runStart)
+	return float64(ops) / elapsed.Seconds(), nil
 }
 
 // streamRebuildCheck re-runs the batch component-mode selection over the
@@ -225,6 +313,8 @@ func (s *StreamBench) Table() *stats.Table {
 		"metric", "value", "notes")
 	tab.AddRow("seed build", fmt.Sprintf("%.1f ms", s.SeedBuildMS), "batch pipeline over the seed points")
 	tab.AddRow("throughput", fmt.Sprintf("%.0f updates/s", s.UpdatesPerSec), "per-op convergence (mutation + Flush)")
+	tab.AddRow("throughput (WAL, fsync=none)", fmt.Sprintf("%.0f updates/s", s.WALNoneUpdatesPerSec), "durable updater, log append per op")
+	tab.AddRow("throughput (WAL, fsync=interval)", fmt.Sprintf("%.0f updates/s", s.WALIntervalUpdatesPerSec), "durable updater, batched fsync")
 	tab.AddRow("repair p50", fmt.Sprintf("%.3f ms", s.RepairMSP50), "")
 	tab.AddRow("repair p99", fmt.Sprintf("%.3f ms", s.RepairMSP99), "")
 	tab.AddRow("repair max", fmt.Sprintf("%.3f ms", s.RepairMSMax), "")

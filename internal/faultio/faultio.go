@@ -1,0 +1,209 @@
+// Package faultio wraps wal.File-shaped targets with injected storage
+// failures — short writes, fsync errors, and crash-at-byte-N truncation
+// — so the durability property tests can prove that every crash prefix
+// of the write-ahead log recovers correctly, without needing real power
+// cuts.
+//
+// The model is the standard crash-consistency one: a crash preserves an
+// arbitrary prefix of the bytes written since the last sync. CrashFile
+// realises it literally by buffering writes and only letting the first
+// N bytes ever reach the backing file; FaultFile injects the softer
+// failures (short writes, failing Sync) that exercise the log's
+// poisoning and torn-tail paths.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrInjectedSync is returned by a Sync scheduled to fail.
+var ErrInjectedSync = errors.New("faultio: injected sync failure")
+
+// ErrInjectedWrite is returned by a write scheduled to fail outright.
+var ErrInjectedWrite = errors.New("faultio: injected write failure")
+
+// ErrCrashed is returned by an OpenCrash factory once its byte budget
+// is exhausted: the simulated process is dead and cannot create files.
+var ErrCrashed = errors.New("faultio: crashed (byte budget exhausted)")
+
+// File is the surface both wrappers decorate — identical to wal.File
+// (kept textually separate so faultio does not depend on wal).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FaultFile decorates a File with deterministic, scriptable failures.
+// The zero schedule injects nothing. Not safe for concurrent use (the
+// log serialises all access anyway).
+type FaultFile struct {
+	f File
+
+	// ShortWriteAt makes the n-th Write call (1-based) write only half
+	// its buffer and return io.ErrShortWrite. 0 disables.
+	ShortWriteAt int
+	// FailWriteAt makes the n-th Write call (1-based) fail with
+	// ErrInjectedWrite before writing anything. 0 disables.
+	FailWriteAt int
+	// FailSyncAt makes the n-th Sync call (1-based) return
+	// ErrInjectedSync. 0 disables.
+	FailSyncAt int
+
+	writes int
+	syncs  int
+}
+
+// NewFaultFile wraps f; configure the exported schedule fields before
+// handing it to the log.
+func NewFaultFile(f File) *FaultFile { return &FaultFile{f: f} }
+
+// Writes reports how many Write calls have been observed.
+func (ff *FaultFile) Writes() int { return ff.writes }
+
+// Syncs reports how many Sync calls have been observed.
+func (ff *FaultFile) Syncs() int { return ff.syncs }
+
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	ff.writes++
+	if ff.FailWriteAt != 0 && ff.writes == ff.FailWriteAt {
+		return 0, ErrInjectedWrite
+	}
+	if ff.ShortWriteAt != 0 && ff.writes == ff.ShortWriteAt {
+		n, err := ff.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *FaultFile) Sync() error {
+	ff.syncs++
+	if ff.FailSyncAt != 0 && ff.syncs == ff.FailSyncAt {
+		return ErrInjectedSync
+	}
+	return ff.f.Sync()
+}
+
+func (ff *FaultFile) Close() error { return ff.f.Close() }
+
+// CrashFile admits only the first Limit bytes ever written to the
+// backing file and silently swallows the rest, while reporting full
+// success to the writer — the disk image an instant power cut at byte
+// Limit would leave behind (writes are sequential appends in the WAL,
+// so the surviving prefix is exactly the first Limit bytes). Sync and
+// Close are no-ops once the limit is hit. Offset reports how many
+// logical bytes the writer believes it wrote, so a test can first
+// record a full run's byte count and then re-run with every Limit in
+// [0, total].
+type CrashFile struct {
+	f       File
+	limit   int64
+	written int64
+}
+
+// NewCrashFile wraps f, admitting only the first limit bytes.
+func NewCrashFile(f File, limit int64) *CrashFile {
+	return &CrashFile{f: f, limit: limit}
+}
+
+// Offset returns the number of bytes the writer has (logically)
+// written so far, including bytes past the crash limit.
+func (cf *CrashFile) Offset() int64 { return cf.written }
+
+func (cf *CrashFile) Write(p []byte) (int, error) {
+	admit := cf.limit - cf.written
+	if admit > int64(len(p)) {
+		admit = int64(len(p))
+	}
+	if admit > 0 {
+		if n, err := cf.f.Write(p[:admit]); err != nil {
+			cf.written += int64(n)
+			return n, err
+		}
+	}
+	cf.written += int64(len(p))
+	return len(p), nil
+}
+
+func (cf *CrashFile) Sync() error {
+	if cf.written >= cf.limit {
+		return nil
+	}
+	return cf.f.Sync()
+}
+
+func (cf *CrashFile) Close() error { return cf.f.Close() }
+
+// OpenCrash is an OpenFile factory (matching wal.Options.OpenFile) that
+// wraps every created or appended file in a crash wrapper drawing on
+// one cumulative byte budget across all files, in creation order —
+// rotation mid-crash-window then behaves like a single linear byte
+// stream cut at `limit`. It returns the factory plus a counter of the
+// total bytes the writer attempted (read it after the run to learn the
+// full uncrashed length).
+func OpenCrash(limit int64) (open func(name string, create bool) (File, error), attempted *int64) {
+	st := &crashBudget{budget: limit}
+	open = func(name string, create bool) (File, error) {
+		// Creating a file is itself an act the crashed process cannot
+		// perform: once the budget is gone, refuse — otherwise the
+		// model could leave empty later segments next to a torn earlier
+		// one, an image the real sync-before-roll protocol rules out.
+		if st.budget <= 0 {
+			return nil, ErrCrashed
+		}
+		flags := os.O_WRONLY | os.O_APPEND
+		if create {
+			flags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+		}
+		f, err := os.OpenFile(name, flags, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &budgetCrashFile{f: f, st: st}, nil
+	}
+	return open, &st.attempted
+}
+
+// crashBudget is the byte budget shared by the files one OpenCrash
+// factory hands out.
+type crashBudget struct {
+	budget    int64
+	attempted int64
+}
+
+// budgetCrashFile admits writes only while the shared budget lasts and
+// silently swallows the rest, reporting success throughout.
+type budgetCrashFile struct {
+	f  File
+	st *crashBudget
+}
+
+func (bf *budgetCrashFile) Write(p []byte) (int, error) {
+	bf.st.attempted += int64(len(p))
+	admit := bf.st.budget
+	if admit > int64(len(p)) {
+		admit = int64(len(p))
+	}
+	if admit > 0 {
+		n, err := bf.f.Write(p[:admit])
+		bf.st.budget -= int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+func (bf *budgetCrashFile) Sync() error {
+	if bf.st.budget <= 0 {
+		return nil
+	}
+	return bf.f.Sync()
+}
+
+func (bf *budgetCrashFile) Close() error { return bf.f.Close() }

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// chain wraps the API mux with the hardening layers, outermost first:
+//
+//	recover → admission → body limit → per-request timeout → mux
+//
+// Panic recovery is outermost so a panic anywhere below — including in
+// the other layers — turns into a 500 on that one connection instead
+// of killing the process. Admission sits above the timeout so a shed
+// request costs a map lookup and a 503, never a handler goroutine.
+// /healthz is routed around the whole chain (see Handler): a liveness
+// probe must answer even when the server is at capacity.
+func (s *Server) chain(h http.Handler) http.Handler {
+	if s.requestTimeout > 0 {
+		h = deadline(h, s.requestTimeout)
+	}
+	if s.maxBodyBytes > 0 {
+		h = limitBody(h, s.maxBodyBytes)
+	}
+	if s.maxInflight > 0 {
+		h = admit(h, s.maxInflight)
+	}
+	return recoverPanics(h)
+}
+
+// recoverPanics converts a handler panic into a 500 for that request
+// and keeps the process serving. http.ErrAbortHandler is re-raised: it
+// is the sanctioned way to drop a connection, not a defect.
+func recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &sentinelWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !sw.wrote {
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// sentinelWriter records whether the response has started, so the
+// panic handler knows if a 500 can still be written.
+type sentinelWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *sentinelWriter) WriteHeader(status int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *sentinelWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
+
+// Unwrap lets http.NewResponseController reach through to the real
+// writer — without it the deadline layer's SetReadDeadline would be
+// silently unsupported.
+func (sw *sentinelWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// admit bounds the number of in-flight requests with a counting
+// semaphore; excess requests are shed immediately with 503 and a
+// Retry-After hint rather than queued, so a burst degrades into fast
+// failures instead of a pile of blocked goroutines.
+func admit(h http.Handler, max int) http.Handler {
+	sem := make(chan struct{}, max)
+	retryAfter := strconv.Itoa(int(retryAfterHint / time.Second))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, http.StatusServiceUnavailable, "server at capacity (%d requests in flight)", max)
+		}
+	})
+}
+
+// deadline bounds each request's wall-clock time three ways: the
+// connection's read and write deadlines are set, so a client that
+// stalls its upload (or stops draining the response) gets an I/O error
+// through the handler's normal decode path instead of pinning a
+// goroutine forever, and the request context carries the same deadline
+// for downstream work. Deliberately NOT http.TimeoutHandler: running
+// the handler in a second goroutine while the connection owner
+// finishes the request races with in-progress body reads — a stalled
+// client could deadlock the connection, the exact failure mode this
+// layer exists to prevent.
+func deadline(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rc := http.NewResponseController(w)
+		dl := time.Now().Add(d)
+		// Errors mean the underlying writer has no deadline support
+		// (ErrNotSupported); the context deadline below still applies.
+		// The write deadline gets a second period: a request that times
+		// out reading its body still needs the error response flushed
+		// after the read deadline has already passed.
+		_ = rc.SetReadDeadline(dl)
+		_ = rc.SetWriteDeadline(dl.Add(d))
+		ctx, cancel := context.WithDeadline(r.Context(), dl)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// retryAfterHint is the Retry-After value sent with shed requests:
+// long enough to thin a synchronized burst, short enough that a
+// briefly-saturated server recovers its clients quickly.
+const retryAfterHint = 1 * time.Second
+
+// limitBody caps request bodies on mutating methods.
+// http.MaxBytesReader makes the JSON decoders in the handlers fail
+// with a clear error (mapped to 400 by their normal error paths) and
+// closes the connection so an oversized upload stops mid-transfer
+// instead of being read to the end.
+func limitBody(h http.Handler, max int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost, http.MethodPut, http.MethodPatch:
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -47,8 +47,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/snap"
 )
 
 // Server is the HTTP handler. Create with New; it is safe for concurrent
@@ -57,6 +59,19 @@ type Server struct {
 	mux sync.Mutex
 
 	snapshotDir string
+
+	// Live-durability configuration (WithLiveDir and friends): when
+	// liveDir is set, live maintainers are created through
+	// disc.OpenUpdater with a snapshot + write-ahead log pair in that
+	// directory, and RestoreLive resumes them after a restart.
+	liveDir           string
+	liveFsync         disc.FsyncPolicy
+	liveFsyncInterval time.Duration
+
+	// Request-hardening configuration (see middleware.go).
+	maxInflight    int
+	requestTimeout time.Duration
+	maxBodyBytes   int64
 
 	datasets map[string]*datasetState
 	results  map[string]*resultState
@@ -72,6 +87,47 @@ type Option func(*Server)
 // disabled.
 func WithSnapshotDir(dir string) Option {
 	return func(s *Server) { s.snapshotDir = dir }
+}
+
+// WithLiveDir makes live maintainers durable: each is backed by a
+// <dir>/<name>.discsnap checkpoint and a <dir>/<name>.wal write-ahead
+// log, so a crashed or restarted server resumes them with RestoreLive.
+// An empty dir keeps live maintainers memory-only.
+func WithLiveDir(dir string) Option {
+	return func(s *Server) { s.liveDir = dir }
+}
+
+// WithLiveFsync sets the WAL fsync policy for durable live maintainers
+// (default disc.FsyncAlways: every acknowledged mutation survives any
+// crash).
+func WithLiveFsync(p disc.FsyncPolicy) Option {
+	return func(s *Server) { s.liveFsync = p }
+}
+
+// WithLiveFsyncInterval sets the batching interval used when the fsync
+// policy is disc.FsyncInterval.
+func WithLiveFsyncInterval(d time.Duration) Option {
+	return func(s *Server) { s.liveFsyncInterval = d }
+}
+
+// WithMaxInflight bounds concurrently-served requests; excess requests
+// receive 503 with a Retry-After header instead of queueing. Zero or
+// negative disables shedding.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.maxInflight = n }
+}
+
+// WithRequestTimeout bounds each request's wall-clock time; requests
+// over the deadline receive 503 and their context is cancelled. Zero
+// disables.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithMaxBodyBytes caps request bodies on mutating endpoints via
+// http.MaxBytesReader. Zero disables.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBodyBytes = n }
 }
 
 type datasetState struct {
@@ -98,9 +154,10 @@ type liveState struct {
 // New creates an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
-		datasets: make(map[string]*datasetState),
-		results:  make(map[string]*resultState),
-		live:     make(map[string]*liveState),
+		liveFsync: disc.FsyncAlways,
+		datasets:  make(map[string]*datasetState),
+		results:   make(map[string]*resultState),
+		live:      make(map[string]*liveState),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -108,26 +165,49 @@ func New(opts ...Option) *Server {
 	return s
 }
 
-// Handler returns the routing handler.
+// Handler returns the routing handler: the API mux behind the
+// hardening chain (panic recovery, bounded admission, body limits,
+// per-request timeouts — see middleware.go), with /healthz routed
+// around it so liveness probes answer even at capacity.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
-	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
-	mux.HandleFunc("POST /v1/datasets/{name}/select", s.handleSelect)
-	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSaveSnapshot)
-	mux.HandleFunc("GET /v1/results/{id}", s.handleGetResult)
-	mux.HandleFunc("POST /v1/results/{id}/zoom", s.handleZoom)
-	mux.HandleFunc("POST /v1/results/{id}/localzoom", s.handleLocalZoom)
-	mux.HandleFunc("POST /v1/live", s.handleCreateLive)
-	mux.HandleFunc("GET /v1/live", s.handleListLive)
-	mux.HandleFunc("GET /v1/live/{name}", s.handleGetLive)
-	mux.HandleFunc("POST /v1/live/{name}/insert", s.handleLiveInsert)
-	mux.HandleFunc("POST /v1/live/{name}/delete", s.handleLiveDelete)
-	mux.HandleFunc("POST /v1/live/{name}/flush", s.handleLiveFlush)
-	mux.HandleFunc("GET /v1/live/{name}/selection", s.handleLiveSelection)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	api.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	api.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	api.HandleFunc("POST /v1/datasets/{name}/select", s.handleSelect)
+	api.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSaveSnapshot)
+	api.HandleFunc("GET /v1/results/{id}", s.handleGetResult)
+	api.HandleFunc("POST /v1/results/{id}/zoom", s.handleZoom)
+	api.HandleFunc("POST /v1/results/{id}/localzoom", s.handleLocalZoom)
+	api.HandleFunc("POST /v1/live", s.handleCreateLive)
+	api.HandleFunc("GET /v1/live", s.handleListLive)
+	api.HandleFunc("GET /v1/live/{name}", s.handleGetLive)
+	api.HandleFunc("POST /v1/live/{name}/insert", s.handleLiveInsert)
+	api.HandleFunc("POST /v1/live/{name}/delete", s.handleLiveDelete)
+	api.HandleFunc("POST /v1/live/{name}/flush", s.handleLiveFlush)
+	api.HandleFunc("POST /v1/live/{name}/snapshot", s.handleLiveCheckpoint)
+	api.HandleFunc("GET /v1/live/{name}/selection", s.handleLiveSelection)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.Handle("/", s.chain(api))
+	return root
+}
+
+// Close releases every durable live maintainer's write-ahead log,
+// syncing acknowledged mutations to disk. The server keeps answering
+// reads afterwards, but durable mutations fail; call it once the
+// listener has drained.
+func (s *Server) Close() error {
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	var first error
+	for _, ls := range s.live {
+		if err := ls.updater.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // LoadSnapshot registers a dataset warm-started from a .discsnap stream
@@ -176,8 +256,10 @@ type snapshotBody struct {
 
 // handleSaveSnapshot persists a dataset (and whatever per-radius index
 // artifacts its diversifier currently holds) to
-// <snapshotDir>/<name>.discsnap, writing to a temporary file and
-// renaming so a concurrent warm start never observes a torn snapshot.
+// <snapshotDir>/<name>.discsnap via the shared crash-atomic save
+// (write a temp file, fsync, rename, fsync the directory), so a
+// concurrent warm start never observes a torn snapshot and a power
+// loss right after the response cannot lose it.
 func (s *Server) handleSaveSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.mux.Lock()
 	defer s.mux.Unlock()
@@ -191,38 +273,32 @@ func (s *Server) handleSaveSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	path := filepath.Join(s.snapshotDir, ds.name+".discsnap")
-	tmp, err := os.CreateTemp(s.snapshotDir, ds.name+".discsnap.tmp*")
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	defer os.Remove(tmp.Name())
-	if err := ds.div.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	size, err := tmp.Seek(0, io.SeekCurrent)
-	if err == nil {
-		// Flush data blocks before the rename: otherwise a power loss
-		// can commit the rename with unwritten content behind it, and
-		// the "atomic save" guarantee becomes a corrupt file at the
-		// next warm start.
-		err = tmp.Sync()
-	}
-	if err == nil {
-		err = tmp.Close()
-	} else {
-		tmp.Close()
-	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), path)
-	}
+	var size int64
+	err := snap.WriteFileAtomic(path, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		if err := ds.div.WriteSnapshot(cw); err != nil {
+			return err
+		}
+		size = cw.n
+		return nil
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, snapshotBody{Dataset: ds.name, Path: path, Bytes: size})
+}
+
+// countingWriter counts the bytes passed through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 type errorBody struct {
@@ -616,20 +692,172 @@ func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Points {
 		pts[i] = disc.Point(p)
 	}
-	u, err := disc.NewUpdater(pts, req.Radius, disc.WithMetric(metric))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	s.mux.Lock()
 	defer s.mux.Unlock()
 	if _, exists := s.live[req.Name]; exists {
 		writeError(w, http.StatusConflict, "live maintainer %q already exists", req.Name)
 		return
 	}
+	var u *disc.Updater
+	if s.liveDir == "" {
+		u, err = disc.NewUpdater(pts, req.Radius, disc.WithMetric(metric))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		// Durable create: refuse to silently resume on-disk state a
+		// previous life left behind under this name — that is
+		// RestoreLive's job, and seeding points on top of it would
+		// corrupt the recovered history.
+		snapPath, walPath := s.livePaths(req.Name)
+		if _, err := os.Stat(snapPath); err == nil {
+			writeError(w, http.StatusConflict, "live maintainer %q has a checkpoint on disk; restart with recovery to resume it", req.Name)
+			return
+		}
+		if _, _, _, err := disc.DescribeDurable(walPath); err == nil {
+			writeError(w, http.StatusConflict, "live maintainer %q has a write-ahead log on disk; restart with recovery to resume it", req.Name)
+			return
+		} else if !disc.IsNotExist(err) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		u, err = disc.OpenUpdater(snapPath, walPath, req.Radius, s.durableOpts(metric)...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for _, p := range pts {
+			if _, err := u.Insert(p); err != nil {
+				u.Close()
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		u.Flush()
+	}
 	ls := &liveState{name: req.Name, metric: metricName, updater: u}
 	s.live[req.Name] = ls
 	writeJSON(w, http.StatusCreated, s.liveInfoLocked(ls))
+}
+
+// livePaths returns the checkpoint and write-ahead-log paths backing a
+// durable live maintainer.
+func (s *Server) livePaths(name string) (snapPath, walPath string) {
+	return filepath.Join(s.liveDir, name+".discsnap"), filepath.Join(s.liveDir, name+".wal")
+}
+
+// durableOpts assembles the disc options for opening a durable live
+// maintainer.
+func (s *Server) durableOpts(metric disc.Metric) []disc.Option {
+	opts := []disc.Option{disc.WithMetric(metric), disc.WithFsync(s.liveFsync)}
+	if s.liveFsyncInterval > 0 {
+		opts = append(opts, disc.WithFsyncInterval(s.liveFsyncInterval))
+	}
+	return opts
+}
+
+// RestoreLive scans the live directory for checkpoint/WAL pairs and
+// reopens each as a live maintainer: the snapshot warm-starts the
+// state and the surviving log suffix replays on top, so every mutation
+// the previous process acknowledged (under fsync=always) is visible
+// again. Call once at boot, before serving. Returns the number of
+// maintainers restored.
+func (s *Server) RestoreLive() (int, error) {
+	if s.liveDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.liveDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasSuffix(n, ".discsnap") {
+			names[strings.TrimSuffix(n, ".discsnap")] = true
+		} else if i := strings.Index(n, ".wal."); i > 0 {
+			names[n[:i]] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	restored := 0
+	for _, name := range ordered {
+		if _, exists := s.live[name]; exists {
+			return restored, fmt.Errorf("server: live maintainer %q already loaded", name)
+		}
+		snapPath, walPath := s.livePaths(name)
+		radius, metricName, err := s.describeLive(snapPath, walPath)
+		if err != nil {
+			return restored, fmt.Errorf("server: restore %q: %w", name, err)
+		}
+		metric, err := disc.MetricByName(metricName)
+		if err != nil {
+			return restored, fmt.Errorf("server: restore %q: %w", name, err)
+		}
+		u, err := disc.OpenUpdater(snapPath, walPath, radius, s.durableOpts(metric)...)
+		if err != nil {
+			return restored, fmt.Errorf("server: restore %q: %w", name, err)
+		}
+		s.live[name] = &liveState{name: name, metric: metricName, updater: u}
+		restored++
+	}
+	return restored, nil
+}
+
+// describeLive recovers the radius and metric a durable maintainer was
+// created with: from the WAL header when segments exist, else from the
+// checkpoint itself (a checkpoint with no graph section cannot name
+// its radius and is refused).
+func (s *Server) describeLive(snapPath, walPath string) (float64, string, error) {
+	if _, radius, metric, err := disc.DescribeDurable(walPath); err == nil {
+		return radius, metric, nil
+	} else if !disc.IsNotExist(err) {
+		return 0, "", err
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return 0, "", err
+	}
+	defer f.Close()
+	sn, err := snap.Read(f)
+	if err != nil {
+		return 0, "", err
+	}
+	if sn.Graph == nil || sn.GraphRadius <= 0 {
+		return 0, "", fmt.Errorf("checkpoint has no coverage graph; cannot determine the maintainer's radius")
+	}
+	return sn.GraphRadius, sn.Metric, nil
+}
+
+// handleLiveCheckpoint compacts a durable maintainer into its
+// .discsnap file and rotates the write-ahead log to a fresh epoch,
+// bounding recovery time. 400 on memory-only maintainers.
+func (s *Server) handleLiveCheckpoint(w http.ResponseWriter, r *http.Request) {
+	ls := s.lookupLive(w, r)
+	if ls == nil {
+		return
+	}
+	if !ls.updater.Durable() {
+		writeError(w, http.StatusBadRequest, "live maintainer %q is memory-only (start the server with a live directory)", ls.name)
+		return
+	}
+	snapPath, _ := s.livePaths(ls.name)
+	if err := ls.updater.Checkpoint(snapPath); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snapshotBody{Dataset: ls.name, Path: snapPath})
 }
 
 func (s *Server) handleListLive(w http.ResponseWriter, _ *http.Request) {

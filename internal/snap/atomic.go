@@ -1,0 +1,67 @@
+package snap
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file crash-atomically: the content is
+// produced into a same-directory temp file, fsynced, renamed over path,
+// and the parent directory is fsynced so the rename itself survives a
+// power cut. Readers therefore observe either the complete old file or
+// the complete new one, never a mix or a half-written tail. On any
+// failure the temp file is removed and path is untouched.
+//
+// The emit callback writes the content; an error from it aborts the
+// save. This is the one save path every snapshot writer shares
+// (discserve's save endpoint, Diversifier.SaveSnapshot,
+// Updater.Checkpoint), so the durability sequence lives in exactly one
+// place.
+func WriteFileAtomic(path string, emit func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snap: atomic save: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = emit(tmp); err != nil {
+		return err
+	}
+	// Sync file content before the rename: a rename can become durable
+	// before lazily-flushed data blocks, which would make the crash
+	// window yield a named-but-empty file.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("snap: atomic save: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("snap: atomic save: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snap: atomic save: %w", err)
+	}
+	if err = SyncDir(dir); err != nil {
+		return fmt.Errorf("snap: atomic save: %w", err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making its entries (a just-renamed or
+// just-removed file) durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

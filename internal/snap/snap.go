@@ -28,7 +28,9 @@
 // that radius), dataset32 (6, the float32-precision dataset: metric
 // name, unpadded n×dim row-major float32 coordinates, and — for the
 // embedding metrics — the per-row squared norms; written instead of
-// kind 2 when the writer's dataset is Float32). Kinds 5 and 6 were
+// kind 2 when the writer's dataset is Float32), and walepoch (7, the
+// uint64 write-ahead-log epoch this snapshot begins — written only by
+// durable checkpoints; see docs/DURABILITY.md). Kinds 5–7 were
 // added after version 1 shipped and are readable by all version-1
 // readers through the unknown-kind skip; a reader too old to know
 // kind 6 fails a float32 snapshot safely with "no dataset section"
@@ -84,6 +86,7 @@ const (
 	kindGraph      = 4
 	kindComponents = 5
 	kindDataset32  = 6
+	kindWALEpoch   = 7
 )
 
 // castagnoli is the CRC-32C polynomial table; hardware-accelerated on
@@ -152,6 +155,14 @@ type Snapshot struct {
 	// trusting them.
 	ComponentCount  int
 	ComponentLabels []int32
+
+	// WALEpoch, when non-zero, marks this snapshot as a durable
+	// checkpoint: the write-ahead log of the same state begins a new
+	// epoch with this number, and recovery replays exactly the log
+	// segments stamped with it (internal/wal; docs/DURABILITY.md).
+	// Zero means the snapshot was written outside the WAL lifecycle and
+	// carries no walepoch section.
+	WALEpoch uint64
 }
 
 // validate checks the shape invariants Write relies on to size sections.
@@ -384,6 +395,11 @@ func Write(w io.Writer, s *Snapshot) error {
 				e.u64(uint64(s.ComponentCount))
 				e.i32s(l)
 			}})
+	}
+	if s.WALEpoch != 0 {
+		secs = append(secs, section{kindWALEpoch, 8, func(e *enc) {
+			e.u64(s.WALEpoch)
+		}})
 	}
 
 	tableEnd := headerSize + entrySize*len(secs)
@@ -679,6 +695,14 @@ func Read(r io.Reader) (*Snapshot, error) {
 			// Decoded after the graph section: the labels are only
 			// meaningful against its adjacency and radius.
 			compSec, compLen = d, length
+		case kindWALEpoch:
+			if length != 8 {
+				return nil, fmt.Errorf("snap: walepoch section length %d, want 8", length)
+			}
+			s.WALEpoch = d.u64()
+			if s.WALEpoch == 0 {
+				return nil, fmt.Errorf("snap: walepoch section with epoch 0 (durable checkpoints start at 1)")
+			}
 		default:
 			// Unknown kind: a forward-compatible addition; skip.
 		}

@@ -106,6 +106,15 @@ func (d *Diversifier) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
+// SaveSnapshot writes the snapshot to path crash-atomically: the bytes
+// are produced into a same-directory temp file, fsynced, renamed over
+// path, and the parent directory is fsynced — so a crash at any
+// instant leaves either the complete old file or the complete new one.
+// Use it instead of WriteSnapshot whenever the destination is a file.
+func (d *Diversifier) SaveSnapshot(path string) error {
+	return snap.WriteFileAtomic(path, d.WriteSnapshot)
+}
+
 // LoadDiversifier reconstructs a Diversifier from a snapshot written by
 // WriteSnapshot. The dataset is aliased straight out of the decoded
 // buffer (no per-point copies), and any persisted artifacts are

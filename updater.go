@@ -11,6 +11,7 @@ import (
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/snap"
+	"github.com/discdiversity/disc/internal/wal"
 )
 
 // Updater maintains an r-DisC diverse selection under live inserts and
@@ -50,6 +51,18 @@ type Updater struct {
 	parallelism int
 	capacity    int
 	seed        uint64
+
+	// Durability state, nil/zero for updaters without a write-ahead log
+	// (see OpenUpdater). epochID maps in-memory ids to log-space ids:
+	// identity at open, rebuilt from the compaction remap at every
+	// Checkpoint. logNext is the next log id to assign. A failed append
+	// or rotation poisons the log (the file may hold a torn frame), so
+	// all further mutations fail rather than silently diverging from
+	// the recovered state.
+	log     *wal.Log
+	epochID []int64
+	logNext int64
+	closed  bool
 }
 
 // NewUpdater builds an Updater for radius r, seeded with points (which
@@ -109,20 +122,49 @@ func NewUpdater(points []Point, r float64, opts ...Option) (*Updater, error) {
 
 // Insert adds p and returns its assigned id. The affected component
 // (the union of the components of p's in-range neighbours) is marked
-// dirty; the published selection is unchanged until Flush.
+// dirty; the published selection is unchanged until Flush. A durable
+// updater (OpenUpdater) appends the op to its write-ahead log — under
+// the configured fsync policy — before returning; an error means the
+// op is not acknowledged and may not survive a restart.
 func (u *Updater) Insert(p Point) (int, error) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	return u.live.Insert(p)
+	if u.closed {
+		return 0, fmt.Errorf("disc: updater is closed")
+	}
+	id, err := u.live.Insert(p)
+	if err != nil || u.log == nil {
+		return id, err
+	}
+	logID := u.logNext
+	u.logNext++
+	for len(u.epochID) < u.live.Slots() {
+		u.epochID = append(u.epochID, -1)
+	}
+	u.epochID[id] = logID
+	if err := u.log.Append(wal.Op{Kind: wal.OpInsert, ID: logID, Point: p}); err != nil {
+		return 0, err
+	}
+	return id, nil
 }
 
 // Delete retracts a live object. Its component is re-partitioned (a
 // delete can split it) and every resulting part marked dirty; the
-// published selection is unchanged until Flush.
+// published selection is unchanged until Flush. A durable updater
+// logs the op before returning, like Insert.
 func (u *Updater) Delete(id int) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	return u.live.Delete(id)
+	if u.closed {
+		return fmt.Errorf("disc: updater is closed")
+	}
+	if err := u.live.Delete(id); err != nil {
+		return err
+	}
+	if u.log == nil {
+		return nil
+	}
+	return u.log.Append(wal.Op{Kind: wal.OpDelete, ID: u.epochID[id]})
 }
 
 // Flush repairs every dirty component and publishes the converged
@@ -222,19 +264,33 @@ func (u *Updater) WriteSnapshot(w io.Writer) error {
 	if p := u.live.Pending(); p > 0 {
 		return fmt.Errorf("disc: snapshot: %d components pending repair; call Flush first", p)
 	}
-	if u.live.Len() == 0 {
-		return fmt.Errorf("disc: snapshot: updater holds no live objects")
-	}
-	flat, _, csr, comp, err := u.live.Compact()
+	s, _, err := u.buildSnapshot()
 	if err != nil {
+		return err
+	}
+	if err := snap.Write(w, s); err != nil {
 		return fmt.Errorf("disc: snapshot: %w", err)
+	}
+	return nil
+}
+
+// buildSnapshot compacts the live state into a snap.Snapshot (WALEpoch
+// unset) plus the compaction remap. Caller holds u.mu and has checked
+// Pending.
+func (u *Updater) buildSnapshot() (*snap.Snapshot, []int32, error) {
+	if u.live.Len() == 0 {
+		return nil, nil, fmt.Errorf("disc: snapshot: updater holds no live objects")
+	}
+	flat, remap, csr, comp, err := u.live.Compact()
+	if err != nil {
+		return nil, nil, fmt.Errorf("disc: snapshot: %w", err)
 	}
 	g, err := grid.Build(flat, u.live.Radius())
 	if err != nil {
-		return fmt.Errorf("disc: snapshot: %w", err)
+		return nil, nil, fmt.Errorf("disc: snapshot: %w", err)
 	}
 	parts := g.Parts()
-	s := &snap.Snapshot{
+	return &snap.Snapshot{
 		Index:           IndexCoverageGraph.String(),
 		Parallelism:     u.parallelism,
 		Capacity:        u.capacity,
@@ -248,9 +304,113 @@ func (u *Updater) WriteSnapshot(w io.Writer) error {
 		Graph:           csr,
 		ComponentCount:  comp.Count,
 		ComponentLabels: comp.Label,
+	}, remap, nil
+}
+
+// SaveSnapshot writes the compacted state to path crash-atomically
+// (temp file + fsync + rename + parent-directory fsync). For a durable
+// updater this is a full Checkpoint — the write-ahead log is rotated
+// and truncated in the same operation; for a plain updater it is an
+// atomic WriteSnapshot. Pending repairs are flushed first (the
+// snapshot must carry a converged selection).
+func (u *Updater) SaveSnapshot(path string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.checkpointLocked(path)
+}
+
+// Checkpoint is SaveSnapshot under its durability-lifecycle name: it
+// flushes pending repairs, writes the compacted state to path
+// crash-atomically, and — when the updater carries a write-ahead log —
+// advances the log to a fresh epoch and deletes the now-covered
+// segments. A crash at any instant leaves either the old
+// (snapshot, log) pair or the new one recoverable: the snapshot names
+// the epoch it begins, and OpenUpdater replays only segments stamped
+// with it.
+func (u *Updater) Checkpoint(path string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.checkpointLocked(path)
+}
+
+func (u *Updater) checkpointLocked(path string) error {
+	u.live.Flush()
+	s, remap, err := u.buildSnapshot()
+	if err != nil {
+		return err
 	}
-	if err := snap.Write(w, s); err != nil {
-		return fmt.Errorf("disc: snapshot: %w", err)
+	if u.log == nil {
+		return snap.WriteFileAtomic(path, func(w io.Writer) error {
+			if err := snap.Write(w, s); err != nil {
+				return fmt.Errorf("disc: snapshot: %w", err)
+			}
+			return nil
+		})
 	}
+	newEpoch := u.log.Epoch() + 1
+	s.WALEpoch = newEpoch
+	// Snapshot first, then rotate: if the process dies between the two,
+	// recovery sees a snapshot at the new epoch next to segments of the
+	// old one — which it discards as fully covered, exactly right,
+	// because the snapshot already contains every op they hold.
+	if err := snap.WriteFileAtomic(path, func(w io.Writer) error {
+		if err := snap.Write(w, s); err != nil {
+			return fmt.Errorf("disc: snapshot: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := u.log.Rotate(newEpoch); err != nil {
+		return err
+	}
+	// The log id space restarts at the compacted dense ids; in-memory
+	// ids are untouched (clients keep their handles), only the mapping
+	// changes.
+	live := int64(0)
+	for old, nw := range remap {
+		if nw >= 0 {
+			u.epochID[old] = int64(nw)
+			live++
+		} else if u.live.Alive(old) {
+			// Cannot happen: remap drops exactly the tombstones.
+			return fmt.Errorf("disc: checkpoint: live id %d missing from compaction remap", old)
+		}
+	}
+	u.logNext = live
 	return nil
+}
+
+// Durable reports whether the updater is backed by a write-ahead log
+// (constructed by OpenUpdater).
+func (u *Updater) Durable() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.log != nil
+}
+
+// SyncWAL forces an fsync of the write-ahead log regardless of the
+// configured policy; a no-op without one.
+func (u *Updater) SyncWAL() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.log == nil {
+		return nil
+	}
+	return u.log.Sync()
+}
+
+// Close syncs and closes the write-ahead log, if any. The updater's
+// in-memory state stays readable, but further mutations on a durable
+// updater will fail. Safe to call on a plain updater and idempotent.
+func (u *Updater) Close() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.log == nil {
+		return nil
+	}
+	err := u.log.Close()
+	u.log = nil
+	u.closed = true
+	return err
 }
