@@ -13,7 +13,14 @@ BENCH_R ?= 0.0025
 # noisier runners.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: build test lint bench bench-guard snapshot-bench doclint kernel-props crash-props
+# bench-serve workload: must match the checked-in BENCH_SERVE.json
+# identity (n/dim/radius/seed/workers/duration/mix are all part of it —
+# benchguard refuses to compare differing serve workloads).
+SERVE_N ?= 2000
+SERVE_WORKERS ?= 4
+SERVE_DURATION ?= 10s
+
+.PHONY: build test lint bench bench-guard bench-serve snapshot-bench doclint kernel-props crash-props
 
 ## build: compile every package and command
 build:
@@ -45,6 +52,23 @@ bench:
 	@cat BENCH_PR6.json
 	$(GO) run ./cmd/discbench -exp highdim -n $(BENCH_N) -format=json > BENCH_PR7.json
 	@cat BENCH_PR7.json
+	$(MAKE) bench-serve
+
+## bench-serve: regenerate the checked-in BENCH_SERVE.json measured-SLO
+## baseline: build discserve and discload, spawn the server on a free
+## port (with a throwaway WAL dir so the durable path is exercised),
+## drive the default read/write mix for SERVE_DURATION from
+## SERVE_WORKERS concurrent clients, and record per-endpoint
+## throughput + p50/p99 plus the server-side /metrics counter deltas.
+## The post-run /metrics scrape lands in serve-metrics.prom (a CI
+## artifact). Commit the refreshed BENCH_SERVE.json only when measured
+## on the baseline hardware.
+bench-serve:
+	$(GO) build -o bin/discserve ./cmd/discserve
+	$(GO) build -o bin/discload ./cmd/discload
+	./bin/discload -spawn ./bin/discserve -n $(SERVE_N) -workers $(SERVE_WORKERS) \
+		-duration $(SERVE_DURATION) -out BENCH_SERVE.json -metrics-out serve-metrics.prom
+	@cat BENCH_SERVE.json
 
 ## bench-guard: vet + compile-and-run gate over the selection and
 ## steady-state neighbour-query benchmarks with allocation reporting,
@@ -57,7 +81,10 @@ bench:
 ## floor and repair-latency p99 ceiling) and the highdim experiment
 ## (highdim-bench.json, diffed against BENCH_PR7.json — per-metric
 ## batched-join speedup, gated by an absolute 2x floor that transfers
-## across hardware because it is a same-machine ratio), failing on
+## across hardware because it is a same-machine ratio) and the serve
+## load run (serve-current.json from cmd/discload against a spawned
+## discserve, diffed against BENCH_SERVE.json — per-endpoint
+## throughput floor and p99 ceiling), failing on
 ## anything more than BENCH_TOLERANCE (default +25%) over its baseline.
 ## All outputs are uploaded as CI artifacts so the repo's perf
 ## trajectory is inspectable per commit. Also runs the zero-allocation
@@ -72,10 +99,15 @@ bench-guard:
 	$(GO) run ./cmd/discbench -exp snapshot -n $(BENCH_N) -r $(BENCH_R) -format=json > snapshot-bench.json
 	$(GO) run ./cmd/discbench -exp stream -n $(BENCH_N) -r $(BENCH_R) -format=json > stream-bench.json
 	$(GO) run ./cmd/discbench -exp highdim -n $(BENCH_N) -format=json > highdim-bench.json
+	$(GO) build -o bin/discserve ./cmd/discserve
+	$(GO) build -o bin/discload ./cmd/discload
+	./bin/discload -spawn ./bin/discserve -n $(SERVE_N) -workers $(SERVE_WORKERS) \
+		-duration $(SERVE_DURATION) -out serve-current.json -metrics-out serve-metrics.prom
 	$(GO) run ./cmd/benchguard -baseline BENCH_PR5.json -current bench-current.json \
 		-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json \
 		-stream-baseline BENCH_PR6.json -stream-current stream-bench.json \
 		-highdim-baseline BENCH_PR7.json -highdim-current highdim-bench.json \
+		-serve-baseline BENCH_SERVE.json -serve-current serve-current.json \
 		-tolerance $(BENCH_TOLERANCE)
 
 ## snapshot-bench: measure cold-build vs snapshot-save vs warm-load on

@@ -35,12 +35,22 @@
 // where wall-clock tolerances cannot — and must not fall more than the
 // tolerance below the baseline's measured speedup.
 //
+// With -serve-baseline and -serve-current set, the measured-SLO load
+// run (cmd/discload, BENCH_SERVE.json) is gated per endpoint:
+// throughput_rps is a floor (fails below baseline/(1+tolerance)) and
+// p99_ms a ceiling (fails above baseline*(1+tolerance)). An endpoint
+// present in the baseline but missing from the current run fails; a new
+// endpoint with no baseline row warns; a current run with endpoint
+// errors always fails — errored requests would otherwise flatter the
+// latency numbers.
+//
 // Usage:
 //
 //	benchguard -baseline BENCH_PR5.json -current bench-current.json \
 //	  [-snapshot-baseline BENCH_PR4.json -snapshot-current snapshot-bench.json] \
 //	  [-stream-baseline BENCH_PR6.json -stream-current stream-bench.json] \
 //	  [-highdim-baseline BENCH_PR7.json -highdim-current highdim-bench.json] \
+//	  [-serve-baseline BENCH_SERVE.json -serve-current serve-current.json] \
 //	  [-tolerance 0.25]
 package main
 
@@ -278,6 +288,91 @@ func compareStream(w io.Writer, base, cur *experiments.StreamBench, tolerance fl
 	return regressions
 }
 
+// checkServeWorkloads refuses to diff serve runs with differing
+// workload identities; the serve format has its own tuple (no dataset
+// name, but workers, duration and mix shape the measured load as much
+// as n and radius do).
+func checkServeWorkloads(base, cur *experiments.ServeBench) {
+	if base.N != cur.N || base.Dim != cur.Dim || base.Radius != cur.Radius ||
+		base.Seed != cur.Seed || base.Workers != cur.Workers ||
+		base.DurationS != cur.DurationS || base.Mix != cur.Mix {
+		fmt.Fprintf(os.Stderr, "benchguard: serve workloads differ (baseline n=%d dim=%d r=%g seed=%d workers=%d dur=%gs mix=%q, current n=%d dim=%d r=%g seed=%d workers=%d dur=%gs mix=%q); refusing to compare\n",
+			base.N, base.Dim, base.Radius, base.Seed, base.Workers, base.DurationS, base.Mix,
+			cur.N, cur.Dim, cur.Radius, cur.Seed, cur.Workers, cur.DurationS, cur.Mix)
+		os.Exit(2)
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Fprintf(os.Stderr, "benchguard: serve GOMAXPROCS differs (baseline %d, current %d); refusing to compare\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+		os.Exit(2)
+	}
+}
+
+// compareServe gates the measured-SLO load run per endpoint: throughput
+// is a floor, the p99 tail a ceiling, improvements never fail. A
+// baseline endpoint missing from the current run fails (losing a
+// measurement is how a regression hides); a current endpoint with no
+// baseline row warns; any endpoint errors in the current run fail —
+// errored requests return fast and would flatter both gated numbers.
+func compareServe(w io.Writer, base, cur *experiments.ServeBench, tolerance float64) (regressions, warnings int) {
+	current := map[string]experiments.ServeEndpoint{}
+	for _, e := range cur.Endpoints {
+		current[e.Endpoint] = e
+	}
+	baseline := map[string]bool{}
+	for _, b := range base.Endpoints {
+		baseline[b.Endpoint] = true
+		c, ok := current[b.Endpoint]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %-9s missing from current serve run\n", b.Endpoint)
+			regressions++
+			continue
+		}
+		floor := b.Throughput / (1 + tolerance)
+		status := "ok  "
+		if c.Throughput < floor && b.Throughput > 0 {
+			status = "FAIL"
+			regressions++
+		}
+		pct := 0.0
+		if b.Throughput > 0 {
+			pct = 100 * (c.Throughput - b.Throughput) / b.Throughput
+		}
+		fmt.Fprintf(w, "%s %-9s %-16s %10.2f -> %10.2f (floor %.2f, %+.1f%%)\n",
+			status, b.Endpoint, "throughput_rps", b.Throughput, c.Throughput, floor, pct)
+
+		limit := b.P99Ms * (1 + tolerance)
+		status = "ok  "
+		if c.P99Ms > limit && b.P99Ms > 0 {
+			status = "FAIL"
+			regressions++
+		}
+		pct = 0.0
+		if b.P99Ms > 0 {
+			pct = 100 * (c.P99Ms - b.P99Ms) / b.P99Ms
+		}
+		fmt.Fprintf(w, "%s %-9s %-16s %10.2f -> %10.2f (limit %.2f, %+.1f%%)\n",
+			status, b.Endpoint, "p99_ms", b.P99Ms, c.P99Ms, limit, pct)
+
+		if c.Errors > 0 {
+			fmt.Fprintf(w, "FAIL %-9s %-16s %d errored request(s) in current run\n", b.Endpoint, "errors", c.Errors)
+			regressions++
+		}
+	}
+	fresh := make([]string, 0, len(current))
+	for name := range current {
+		if !baseline[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Fprintf(w, "WARN %-9s not in serve baseline (new endpoint?); add a row on the next baseline refresh\n", name)
+		warnings++
+	}
+	return regressions, warnings
+}
+
 // highDimSpeedupFloor is the absolute gate on the highdim join rows:
 // the batched coverage-graph build must stay at least this much faster
 // than the per-pair scalar build. Being a ratio of two runs on the same
@@ -329,6 +424,8 @@ func main() {
 		streamCurPath   = flag.String("stream-current", "", "freshly measured stream-experiment result to check")
 		highdimBasePath = flag.String("highdim-baseline", "", "checked-in highdim-experiment baseline (e.g. BENCH_PR7.json)")
 		highdimCurPath  = flag.String("highdim-current", "", "freshly measured highdim-experiment result to check")
+		serveBasePath   = flag.String("serve-baseline", "", "checked-in serve-load baseline (e.g. BENCH_SERVE.json)")
+		serveCurPath    = flag.String("serve-current", "", "freshly measured serve-load result to check (cmd/discload output)")
 		tolerance       = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = +25%)")
 	)
 	flag.Parse()
@@ -346,6 +443,10 @@ func main() {
 	}
 	if (*highdimBasePath == "") != (*highdimCurPath == "") {
 		fmt.Fprintln(os.Stderr, "benchguard: -highdim-baseline and -highdim-current must be given together")
+		os.Exit(2)
+	}
+	if (*serveBasePath == "") != (*serveCurPath == "") {
+		fmt.Fprintln(os.Stderr, "benchguard: -serve-baseline and -serve-current must be given together")
 		os.Exit(2)
 	}
 	if *tolerance < 0 {
@@ -411,6 +512,22 @@ func main() {
 		checkWorkloads("highdim", highdimWorkload(hb), highdimWorkload(hc))
 		regressions += compareHighDim(os.Stdout, hb, hc, *tolerance)
 		baselines += " and " + *highdimBasePath
+	}
+	if *serveCurPath != "" {
+		vb, err := loadJSON[experiments.ServeBench](*serveBasePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		vc, err := loadJSON[experiments.ServeBench](*serveCurPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		checkServeWorkloads(vb, vc)
+		r, _ := compareServe(os.Stdout, vb, vc, *tolerance)
+		regressions += r
+		baselines += " and " + *serveBasePath
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed beyond %.0f%% of %s\n",

@@ -120,6 +120,71 @@ func TestCompareSnapshotBench(t *testing.T) {
 	}
 }
 
+func serveBench(eps ...experiments.ServeEndpoint) *experiments.ServeBench {
+	return &experiments.ServeBench{N: 2000, Dim: 2, Radius: 0.05, Seed: 42,
+		Workers: 4, DurationS: 10, Mix: experiments.DefaultServeMix, Endpoints: eps}
+}
+
+func serveEP(name string, rps, p99 float64) experiments.ServeEndpoint {
+	return experiments.ServeEndpoint{Endpoint: name, Requests: int64(rps * 10), Throughput: rps, P50Ms: p99 / 4, P99Ms: p99}
+}
+
+// TestCompareServeBench: per-endpoint throughput is a floor, p99 a
+// ceiling; improvements never fail.
+func TestCompareServeBench(t *testing.T) {
+	base := serveBench(serveEP("select", 100, 20), serveEP("insert", 400, 8))
+	var out strings.Builder
+	if r, w := compareServe(&out, base, serveBench(serveEP("select", 85, 24), serveEP("insert", 350, 9.5)), 0.25); r != 0 || w != 0 {
+		t.Fatalf("within-tolerance serve run flagged r=%d w=%d\n%s", r, w, out.String())
+	}
+	out.Reset()
+	if r, _ := compareServe(&out, base, serveBench(serveEP("select", 70, 20), serveEP("insert", 400, 8)), 0.25); r != 1 {
+		t.Fatalf("throughput drop flagged %d, want 1\n%s", r, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL select") || !strings.Contains(out.String(), "throughput_rps") {
+		t.Fatalf("missing FAIL throughput line:\n%s", out.String())
+	}
+	out.Reset()
+	if r, _ := compareServe(&out, base, serveBench(serveEP("select", 100, 20), serveEP("insert", 400, 11)), 0.25); r != 1 {
+		t.Fatalf("p99 regression flagged %d, want 1\n%s", r, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL insert") || !strings.Contains(out.String(), "p99_ms") {
+		t.Fatalf("missing FAIL p99 line:\n%s", out.String())
+	}
+	out.Reset()
+	if r, _ := compareServe(&out, base, serveBench(serveEP("select", 300, 5), serveEP("insert", 900, 2)), 0.25); r != 0 {
+		t.Fatalf("improvement flagged %d regressions\n%s", r, out.String())
+	}
+}
+
+// TestCompareServeRowDiscipline: a baseline endpoint missing from the
+// current run fails; a new current-only endpoint warns; endpoint errors
+// in the current run always fail.
+func TestCompareServeRowDiscipline(t *testing.T) {
+	base := serveBench(serveEP("select", 100, 20), serveEP("insert", 400, 8))
+	var out strings.Builder
+	if r, _ := compareServe(&out, base, serveBench(serveEP("select", 100, 20)), 0.25); r != 1 {
+		t.Fatalf("missing endpoint flagged %d, want 1\n%s", r, out.String())
+	}
+	out.Reset()
+	cur := serveBench(serveEP("select", 100, 20), serveEP("insert", 400, 8), serveEP("zoom", 50, 30))
+	if r, w := compareServe(&out, base, cur, 0.25); r != 0 || w != 1 {
+		t.Fatalf("new endpoint flagged r=%d w=%d, want r=0 w=1\n%s", r, w, out.String())
+	}
+	if !strings.Contains(out.String(), "WARN zoom") {
+		t.Fatalf("missing WARN line:\n%s", out.String())
+	}
+	out.Reset()
+	errored := serveEP("insert", 400, 8)
+	errored.Errors = 3
+	if r, _ := compareServe(&out, base, serveBench(serveEP("select", 100, 20), errored), 0.25); r != 1 {
+		t.Fatalf("errored endpoint flagged %d, want 1\n%s", r, out.String())
+	}
+	if !strings.Contains(out.String(), "errored request(s)") {
+		t.Fatalf("missing error line:\n%s", out.String())
+	}
+}
+
 func streamBench(updatesPerSec, p99 float64) *experiments.StreamBench {
 	return &experiments.StreamBench{Dataset: "clustered", N: 100, Dim: 2, Radius: 0.1,
 		UpdatesPerSec: updatesPerSec, RepairMSP99: p99, EquivalentToRebuild: true}

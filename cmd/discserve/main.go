@@ -11,6 +11,8 @@
 //	curl -X POST localhost:8080/v1/datasets/demo/snapshot
 //	curl -X POST localhost:8080/v1/results/r1/zoom -d '{"radius":0.1}'
 //	curl localhost:8080/healthz
+//	curl localhost:8080/readyz
+//	curl localhost:8080/metrics
 //
 // Live (incremental) maintainers keep a DisC selection converged under
 // a stream of inserts and deletes without rebuilding — reads are
@@ -24,8 +26,8 @@
 //	curl -X POST localhost:8080/v1/live/feed/snapshot
 //	curl localhost:8080/v1/live/feed/selection
 //
-// With -snapshot, the file (when present) is loaded before the listener
-// comes up — a warm start that skips the index build — and the
+// With -snapshot, the file (when present) is loaded at boot — a warm
+// start that skips the index build — and the
 // POST /v1/datasets/{name}/snapshot endpoint persists datasets into the
 // same directory, so a save/restart cycle round-trips the dataset and
 // its prepared index artifacts. Labels are not part of the .discsnap
@@ -37,17 +39,26 @@
 // it is acknowledged (fsync policy per -fsync; see docs/DURABILITY.md),
 // POST /v1/live/{name}/snapshot checkpoints the log into a .discsnap,
 // and a restarted discserve replays snapshot+log so acknowledged
-// mutations survive even a SIGKILL. The server drains in-flight
-// requests for up to 5 seconds on SIGINT/SIGTERM, then syncs and
-// closes the logs.
+// mutations survive even a SIGKILL. The listener comes up before that
+// recovery starts: /healthz answers immediately, while /readyz returns
+// 503 (and API requests are refused) until the replay converges — a
+// load balancer draining on readiness never routes to a half-replayed
+// server. The server drains in-flight requests for up to 5 seconds on
+// SIGINT/SIGTERM, then syncs and closes the logs.
+//
+// Observability (see docs/OBSERVABILITY.md): GET /metrics serves the
+// process-wide registry in the Prometheus text format; -log-format and
+// -log-level configure the structured (log/slog) logs; -pprof-addr
+// exposes net/http/pprof on a separate listener (keep it private).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -74,24 +85,39 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 1*time.Minute, "http.Server ReadTimeout: full request including body (0 = none)")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (0 = none)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = none)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (debug enables per-request access logs)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled; never expose publicly)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		slog.Error("discserve: invalid logging flags", "err", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	fsync, err := disc.FsyncPolicyByName(*fsyncMode)
 	if err != nil {
-		log.Fatalf("discserve: %v", err)
+		fatal("discserve: bad -fsync", "err", err)
 	}
 
 	opts := []server.Option{
 		server.WithMaxInflight(*maxInflight),
 		server.WithRequestTimeout(*requestTimeout),
 		server.WithMaxBodyBytes(*maxBody),
+		server.WithLogger(logger),
 	}
 	if *snapshot != "" {
 		opts = append(opts, server.WithSnapshotDir(filepath.Dir(*snapshot)))
 	}
 	if *liveDir != "" {
 		if err := os.MkdirAll(*liveDir, 0o755); err != nil {
-			log.Fatalf("discserve: live dir: %v", err)
+			fatal("discserve: live dir", "dir", *liveDir, "err", err)
 		}
 		opts = append(opts,
 			server.WithLiveDir(*liveDir),
@@ -99,23 +125,7 @@ func main() {
 			server.WithLiveFsyncInterval(*fsyncInterval))
 	}
 	srv := server.New(opts...)
-
-	if *snapshot != "" {
-		if err := warmStart(srv, *snapshot); err != nil {
-			log.Fatalf("discserve: snapshot %s: %v", *snapshot, err)
-		}
-	}
-	if *liveDir != "" {
-		start := time.Now()
-		n, err := srv.RestoreLive()
-		if err != nil {
-			log.Fatalf("discserve: live recovery: %v", err)
-		}
-		if n > 0 {
-			log.Printf("discserve: recovered %d live maintainer(s) from %s in %s",
-				n, *liveDir, time.Since(start).Round(time.Millisecond))
-		}
-	}
+	srv.SetReady(false) // not ready until warm start + recovery converge
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -129,42 +139,103 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listener first, recovery second: health probes and metrics scrapes
+	// answer during a long WAL replay, and /readyz gates traffic until
+	// the replay converges.
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("discserve listening on %s", *addr)
+		logger.Info("discserve listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
+	}()
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+
+	go func() {
+		if *snapshot != "" {
+			if err := warmStart(logger, srv, *snapshot); err != nil {
+				fatal("discserve: warm start failed", "snapshot", *snapshot, "err", err)
+			}
+		}
+		if *liveDir != "" {
+			start := time.Now()
+			n, err := srv.RestoreLive()
+			if err != nil {
+				fatal("discserve: live recovery failed", "dir", *liveDir, "err", err)
+			}
+			if n > 0 {
+				logger.Info("discserve: recovered live maintainers",
+					"count", n, "dir", *liveDir, "elapsed", time.Since(start).Round(time.Millisecond).String())
+			}
+		}
+		srv.SetReady(true)
+		logger.Info("discserve ready")
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("discserve: listener failed", "err", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills
-		log.Printf("discserve: shutting down (draining for up to %s)", shutdownTimeout)
+		srv.SetReady(false)
+		logger.Info("discserve: shutting down", "drain_timeout", shutdownTimeout.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("discserve: shutdown: %v", err)
+			logger.Warn("discserve: shutdown", "err", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("discserve: %v", err)
+			logger.Warn("discserve: listener", "err", err)
 		}
 		// Sync and release the write-ahead logs only after the listener
 		// has drained, so no in-flight mutation races the close.
 		if err := srv.Close(); err != nil {
-			log.Printf("discserve: close: %v", err)
+			logger.Warn("discserve: close", "err", err)
 		}
+	}
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, errors.New(`-log-format must be "text" or "json"`)
+	}
+}
+
+// servePprof runs the pprof handlers on their own mux and listener,
+// never the API one: profiling endpoints stay off the public address.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("discserve: pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Warn("discserve: pprof listener", "err", err)
 	}
 }
 
 // warmStart loads a .discsnap file into the server under the file's
 // base name; a missing file is not an error (first boot has nothing to
 // load yet).
-func warmStart(srv *server.Server, path string) error {
+func warmStart(logger *slog.Logger, srv *server.Server, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			log.Printf("discserve: snapshot %s not found; starting cold", path)
+			logger.Info("discserve: snapshot not found; starting cold", "path", path)
 			return nil
 		}
 		return err
@@ -175,6 +246,7 @@ func warmStart(srv *server.Server, path string) error {
 	if err := srv.LoadSnapshot(name, f); err != nil {
 		return err
 	}
-	log.Printf("discserve: warm-started dataset %q from %s in %s", name, path, time.Since(start).Round(time.Millisecond))
+	logger.Info("discserve: warm-started dataset",
+		"name", name, "path", path, "elapsed", time.Since(start).Round(time.Millisecond).String())
 	return nil
 }

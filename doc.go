@@ -248,6 +248,29 @@
 // -live rediscovers its maintainers at boot. docs/DURABILITY.md is
 // the normative wire format and the per-policy guarantee table.
 //
+// # Observability
+//
+// The pipeline is instrumented end to end through internal/telemetry,
+// a zero-dependency metrics core whose histogram Observe is three
+// atomic adds — lock-free and allocation-free, so the standing
+// 0 alloc/op invariants on steady-state query and repair paths hold
+// with telemetry enabled (AllocsPerRun tests pin both). Stage timers
+// cover the grid build, the ε-join, component labeling, global and
+// component-mode selection, live insert/delete/repair, WAL
+// append/fsync/rotate/replay and snapshot save/load; discserve adds
+// per-route request counters, latency histograms and an inflight
+// gauge, and serves the whole registry at GET /metrics in the
+// Prometheus text exposition format. The server logs through log/slog
+// with per-request ids (-log-format, -log-level), distinguishes
+// liveness (/healthz) from readiness (/readyz — 503 until boot-time
+// WAL replay converges), and can expose net/http/pprof on a private
+// listener (-pprof-addr). cmd/discload measures the served SLOs: it
+// drives a weighted traffic mix against a spawned discserve and writes
+// per-endpoint throughput and p50/p99 plus server-side counter deltas
+// into BENCH_SERVE.json, which CI gates via cmd/benchguard (throughput
+// as a floor, p99 as a ceiling). docs/OBSERVABILITY.md is the metric
+// catalogue and methodology reference.
+//
 // The subpackages under internal implement the substrates: the M-tree,
 // VP-tree and R-tree indexes, the algorithm engine (including the
 // parallel coverage-graph engine), dataset generators, baseline
@@ -266,17 +289,20 @@
 // fault-injection durability suites under the race detector), `make
 // doclint` (markdown cross-references must resolve) and `make
 // bench-guard` (the
-// regression gate diffing fresh perf, snapshot, stream and high-dim
-// measurements against the checked-in BENCH_PR5.json, BENCH_PR4.json,
-// BENCH_PR6.json and BENCH_PR7.json — stream throughput is gated as a
-// floor, repair p99 as a ceiling, batched-join speedup as a 2× floor)
+// regression gate diffing fresh perf, snapshot, stream, high-dim and
+// serve-load measurements against the checked-in BENCH_PR5.json,
+// BENCH_PR4.json, BENCH_PR6.json, BENCH_PR7.json and BENCH_SERVE.json
+// — stream throughput is gated as a floor, repair p99 as a ceiling,
+// batched-join speedup as a 2× floor, and every served endpoint's
+// throughput as a floor with its p99 as a ceiling)
 // on every push. All checked-in baselines were measured on this
 // repo's single-CPU dev container; wall-clock comparisons only hold
 // on comparable hardware (the speedup floor, a same-machine ratio,
 // transfers), so raise BENCH_TOLERANCE on slower runners. `make
 // bench` is the manual counterpart: a one-iteration smoke pass over
 // every benchmark, then a refresh of the BENCH_PR5.json,
-// BENCH_PR6.json and BENCH_PR7.json baselines — it rewrites those
+// BENCH_PR6.json, BENCH_PR7.json and BENCH_SERVE.json baselines (the
+// last via `make bench-serve`) — it rewrites those
 // checked-in files, so run it (and commit the result) only for
 // deliberate perf shifts measured on the baseline hardware, never in
 // CI, where it would turn the bench-guard diff into a

@@ -80,6 +80,37 @@ func TestComponentSelectZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestLiveSelectionZeroAlloc pins the steady-state read contract with
+// telemetry enabled: once a published snapshot has materialised its id
+// slice (first Selection call after a Flush), every further Selection,
+// Size and IsRepresentative read is 0 alloc/op — the instrumented
+// mutation path must not leak allocations into the lock-free read path.
+func TestLiveSelectionZeroAlloc(t *testing.T) {
+	l, err := NewLiveDisC(object.Euclidean{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randomPoints(200, 2, 42) {
+		if _, err := l.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Flush()
+	l.Selection() // materialise the id slice
+	var got int
+	allocs := testing.AllocsPerRun(500, func() {
+		ids := l.Selection()
+		got = len(ids) + l.Size()
+		_ = l.IsRepresentative(0)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Selection read allocates %.1f/op, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("selection unexpectedly empty")
+	}
+}
+
 // TestLazyHeapZeroAlloc: pushes within capacity and pops must not
 // allocate (the former container/heap implementation boxed every item).
 func TestLazyHeapZeroAlloc(t *testing.T) {

@@ -1,6 +1,11 @@
 package core
 
-import "github.com/discdiversity/disc/internal/object"
+import (
+	"time"
+
+	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/telemetry"
+)
 
 // UpdateStrategy selects how Greedy-DisC refreshes the white-neighbourhood
 // sizes of the remaining white objects after a selection (Section 5.1).
@@ -70,6 +75,7 @@ type queryScratch struct {
 // (CountingEngine, radius matching r), initialisation is free; otherwise
 // one range query per object establishes the counts.
 func GreedyDisC(e Engine, r float64, opts GreedyOptions) *Solution {
+	defer telemetry.Since(metSelectGlobal, time.Now())
 	n := e.Size()
 	name := greedyName(opts, false)
 	cov, hasCov := e.(CoverageEngine)

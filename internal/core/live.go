@@ -5,10 +5,12 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/telemetry"
 )
 
 // LiveDisC maintains an r-DisC diverse selection under inserts and
@@ -229,6 +231,7 @@ func (l *LiveDisC) Accesses() int64 { return l.accesses }
 // components of its in-range neighbours and marks the merged component
 // dirty. The published selection is unchanged until the next Flush.
 func (l *LiveDisC) Insert(p object.Point) (int, error) {
+	defer telemetry.Since(metLiveInsert, time.Now())
 	id, err := l.dyn.Append(p)
 	if err != nil {
 		return 0, err
@@ -280,6 +283,7 @@ func (l *LiveDisC) Insert(p object.Point) (int, error) {
 // whether the removal split it) and marks every resulting part dirty.
 // The published selection is unchanged until the next Flush.
 func (l *LiveDisC) Delete(id int) error {
+	defer telemetry.Since(metLiveDelete, time.Now())
 	if !l.dyn.Alive(id) {
 		return fmt.Errorf("core: live: id %d is not a live object", id)
 	}
@@ -417,6 +421,8 @@ func (l *LiveDisC) invalidate(lab int32) {
 func (l *LiveDisC) Flush() int {
 	repaired := len(l.dirty)
 	if repaired > 0 {
+		defer telemetry.Since(metLiveRepair, time.Now())
+		metLiveRepaired.Add(uint64(repaired))
 		order := make([]int32, 0, repaired)
 		for lab := range l.dirty {
 			order = append(order, lab)

@@ -3,9 +3,11 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/grid"
+	"github.com/discdiversity/disc/internal/telemetry"
 )
 
 // GreedyDisCComponents is Greedy-DisC decomposed over the connected
@@ -67,6 +69,9 @@ func GreedyDisCComponents(e Engine, r float64, opts GreedyOptions, workers int) 
 			return GreedyDisC(e, r, opts)
 		}
 	}
+	// From here on the run is genuinely component-decomposed; fallback
+	// runs above land in the mode="global" series via GreedyDisC.
+	defer telemetry.Since(metSelectComponents, time.Now())
 	if comp == nil {
 		comp = grid.ComponentsOfCSR(csr, n, r)
 	}

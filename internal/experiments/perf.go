@@ -51,6 +51,12 @@ type PerfSnapshot struct {
 	Components       int          `json:"components"`
 	LargestComponent int          `json:"largest_component"`
 	Engines          []PerfEngine `json:"engines"`
+
+	// Telemetry is the in-process metrics view over the whole snapshot
+	// run: selection and grid-build histogram quantiles aggregated
+	// across the measured engines (the instrumented counterpart of the
+	// per-engine wall-clock rows above).
+	Telemetry *ExperimentTelemetry `json:"telemetry,omitempty"`
 }
 
 // measure runs f repeatedly until budget elapses (always at least once)
@@ -115,6 +121,7 @@ func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
 		Algorithm:  "Grey-Greedy-DisC (Pruned)",
 	}
 
+	probe := newTelemetryProbe()
 	builders := []struct {
 		name  string
 		build func() (core.Engine, error)
@@ -186,6 +193,7 @@ func Perf(cfg Config, datasetName string) (*PerfSnapshot, error) {
 
 		snap.Engines = append(snap.Engines, pe)
 	}
+	snap.Telemetry = probe.Report()
 	return snap, nil
 }
 

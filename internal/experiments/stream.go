@@ -65,6 +65,13 @@ type StreamBench struct {
 	// from-scratch component-mode Select over the surviving points
 	// computes.
 	EquivalentToRebuild bool `json:"equivalent_to_rebuild"`
+
+	// Telemetry is the in-process metrics view of the measured run: the
+	// disc_live_repair_seconds histogram delta over exactly the measured
+	// mutations (an instrumented cross-check of the client-side repair
+	// percentiles above) and the WAL append/fsync counter movement across
+	// the durable runs.
+	Telemetry *ExperimentTelemetry `json:"telemetry,omitempty"`
 }
 
 // streamOps picks the mutation count: enough to average out repair
@@ -114,6 +121,7 @@ func Stream(cfg Config, datasetName string) (*StreamBench, error) {
 	slots := len(pts)
 
 	repairs := make([]float64, 0, res.Ops)
+	probe := newTelemetryProbe()
 	runStart := time.Now()
 	for op := 0; op < res.Ops; op++ {
 		if len(live) == 0 || rng.Float64() < 0.7 {
@@ -160,6 +168,11 @@ func Stream(cfg Config, datasetName string) (*StreamBench, error) {
 	res.FinalLive = u.Len()
 	res.FinalSelected = u.Size()
 
+	// Read the repair histogram delta now, while it covers exactly the
+	// measured mutations — the rebuild check and WAL runs below drive
+	// the same series again.
+	res.Telemetry = probe.Report()
+
 	equivalent, err := streamRebuildCheck(u, slots, r, w.metric)
 	if err != nil {
 		return nil, err
@@ -174,6 +187,11 @@ func Stream(cfg Config, datasetName string) (*StreamBench, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The WAL counters only move during the durable runs; fold their
+	// full movement into the report.
+	final := probe.Report()
+	res.Telemetry.WALAppends = final.WALAppends
+	res.Telemetry.WALFsyncs = final.WALFsyncs
 	return res, nil
 }
 
@@ -320,5 +338,11 @@ func (s *StreamBench) Table() *stats.Table {
 	tab.AddRow("repair max", fmt.Sprintf("%.3f ms", s.RepairMSMax), "")
 	tab.AddRow("final state", fmt.Sprintf("%d live / %d selected", s.FinalLive, s.FinalSelected),
 		fmt.Sprintf("equivalent to rebuild: %v", s.EquivalentToRebuild))
+	if t := s.Telemetry; t != nil {
+		tab.AddRow("repair p99 (instrumented)", fmt.Sprintf("%.3f ms", t.RepairP99Ms),
+			"disc_live_repair_seconds histogram delta over the measured ops")
+		tab.AddRow("WAL appends / fsyncs", fmt.Sprintf("%d / %d", t.WALAppends, t.WALFsyncs),
+			"durable runs; the ratio is the fsync batching factor")
+	}
 	return tab
 }

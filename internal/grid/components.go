@@ -2,8 +2,10 @@ package grid
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/telemetry"
 )
 
 // Components is the connected-component decomposition of an r-coverage
@@ -65,6 +67,7 @@ func (cp *Components) Largest() int {
 // by the O(n) counting-sort member index. O(n + edges) plus the cost of
 // the row calls.
 func ComponentsOf(n int, r float64, row func(id int) []object.Neighbor) *Components {
+	defer telemetry.Since(metLabel, time.Now())
 	label := make([]int32, n)
 	for i := range label {
 		label[i] = -1

@@ -28,9 +28,11 @@ package grid
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/discdiversity/disc/internal/bitset"
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/telemetry"
 )
 
 // maxCellsPerPoint bounds the total cell count at maxCellsPerPoint·n (+ a
@@ -79,6 +81,7 @@ type Grid struct {
 // Build buckets flat's points for radius r. The dataset is retained (not
 // copied); it must not change afterwards.
 func Build(flat *object.FlatDataset, r float64) (*Grid, error) {
+	defer telemetry.Since(metBuild, time.Now())
 	if flat == nil || flat.Len() == 0 {
 		return nil, fmt.Errorf("grid: empty dataset")
 	}

@@ -3,8 +3,10 @@ package grid
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/telemetry"
 )
 
 // CSR is a compressed-sparse-row adjacency: point id's neighbours are
@@ -71,6 +73,7 @@ func (g *Grid) Suits(r float64) bool {
 // objects-examined measure of the scan engines. Join requires
 // Covers(r); callers holding a finer-bucketed grid must re-bucket first.
 func Join(g *Grid, r float64, workers int) (*CSR, int64, error) {
+	defer telemetry.Since(metJoin, time.Now())
 	if !g.Covers(r) {
 		return nil, 0, fmt.Errorf("grid: join radius %g exceeds cell side %g; rebucket first", r, g.cell)
 	}
@@ -111,6 +114,7 @@ func Join(g *Grid, r float64, workers int) (*CSR, int64, error) {
 	for _, a := range examined {
 		acc += a
 	}
+	metJoinEdges.Add(uint64(len(csr.Nbrs)))
 	return csr, acc, nil
 }
 

@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -11,14 +10,20 @@ import (
 
 // chain wraps the API mux with the hardening layers, outermost first:
 //
-//	recover → admission → body limit → per-request timeout → mux
+//	request id → recover → readiness → admission → inflight gauge →
+//	body limit → per-request timeout → mux
 //
-// Panic recovery is outermost so a panic anywhere below — including in
-// the other layers — turns into a 500 on that one connection instead
-// of killing the process. Admission sits above the timeout so a shed
+// Request ids are assigned outermost so even a panic or a shed request
+// logs with an id. Panic recovery wraps everything below it so a panic
+// anywhere — including in the other layers — turns into a 500 on that
+// one connection instead of killing the process. The readiness gate
+// sits above admission: while boot-time WAL recovery is replaying, every
+// API request is refused outright rather than queued against state that
+// is still being rebuilt. Admission sits above the timeout so a shed
 // request costs a map lookup and a 503, never a handler goroutine.
-// /healthz is routed around the whole chain (see Handler): a liveness
-// probe must answer even when the server is at capacity.
+// /healthz, /readyz and /metrics are routed around the whole chain (see
+// Handler): probes and scrapes must answer even when the server is at
+// capacity.
 func (s *Server) chain(h http.Handler) http.Handler {
 	if s.requestTimeout > 0 {
 		h = deadline(h, s.requestTimeout)
@@ -26,16 +31,29 @@ func (s *Server) chain(h http.Handler) http.Handler {
 	if s.maxBodyBytes > 0 {
 		h = limitBody(h, s.maxBodyBytes)
 	}
+	h = trackInflight(h)
 	if s.maxInflight > 0 {
 		h = admit(h, s.maxInflight)
 	}
-	return recoverPanics(h)
+	h = s.gateReady(h)
+	return s.requestID(s.recoverPanics(h))
+}
+
+// requestID assigns each request a process-unique id, carried in the
+// context for log correlation and echoed in the X-Request-Id response
+// header so clients can quote it.
+func (s *Server) requestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := formatRequestID(s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
 }
 
 // recoverPanics converts a handler panic into a 500 for that request
 // and keeps the process serving. http.ErrAbortHandler is re-raised: it
 // is the sanctioned way to drop a connection, not a defect.
-func recoverPanics(h http.Handler) http.Handler {
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &sentinelWriter{ResponseWriter: w}
 		defer func() {
@@ -46,12 +64,35 @@ func recoverPanics(h http.Handler) http.Handler {
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
-			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			metPanics.Inc()
+			s.logger().Error("panic serving request",
+				"method", r.Method,
+				"route", r.URL.Path,
+				"request_id", requestIDFrom(r),
+				"panic", p,
+				"stack", string(debug.Stack()))
 			if !sw.wrote {
 				writeError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		h.ServeHTTP(sw, r)
+	})
+}
+
+// gateReady refuses API requests with 503 while the server is still
+// recovering (see SetReady): a load balancer watching /readyz should
+// never have routed them here, but one that did must not observe
+// half-replayed state.
+func (s *Server) gateReady(h http.Handler) http.Handler {
+	retryAfter := strconv.Itoa(int(retryAfterHint / time.Second))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			metNotReady.Inc()
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, http.StatusServiceUnavailable, "server is recovering; not ready")
+			return
+		}
+		h.ServeHTTP(w, r)
 	})
 }
 
@@ -77,6 +118,17 @@ func (sw *sentinelWriter) Write(p []byte) (int, error) {
 // silently unsupported.
 func (sw *sentinelWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
+// trackInflight maintains the in-flight gauge for every admitted API
+// request, whether or not admission shedding is configured. It sits
+// just inside admit, so shed requests never count as in flight.
+func trackInflight(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		metInflight.Inc()
+		defer metInflight.Dec()
+		h.ServeHTTP(w, r)
+	})
+}
+
 // admit bounds the number of in-flight requests with a counting
 // semaphore; excess requests are shed immediately with 503 and a
 // Retry-After hint rather than queued, so a burst degrades into fast
@@ -90,6 +142,7 @@ func admit(h http.Handler, max int) http.Handler {
 			defer func() { <-sem }()
 			h.ServeHTTP(w, r)
 		default:
+			metShed.Inc()
 			w.Header().Set("Retry-After", retryAfter)
 			writeError(w, http.StatusServiceUnavailable, "server at capacity (%d requests in flight)", max)
 		}

@@ -38,8 +38,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	disc "github.com/discdiversity/disc"
@@ -72,6 +75,13 @@ type Server struct {
 	maxInflight    int
 	requestTimeout time.Duration
 	maxBodyBytes   int64
+
+	// Observability: structured logger (WithLogger), readiness flag
+	// (SetReady; true from birth so embedded servers need no opt-in) and
+	// the per-request id sequence.
+	log    *slog.Logger
+	ready  atomic.Bool
+	reqSeq atomic.Uint64
 
 	datasets map[string]*datasetState
 	results  map[string]*resultState
@@ -130,6 +140,27 @@ func WithMaxBodyBytes(n int64) Option {
 	return func(s *Server) { s.maxBodyBytes = n }
 }
 
+// WithLogger sets the structured logger for panic reports and
+// debug-level access logs. Defaults to slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// SetReady flips the readiness state reported by GET /readyz. A server
+// is ready from birth; discserve clears the flag before boot-time WAL
+// recovery (RestoreLive) and restores it once recovery converges, so a
+// load balancer never routes traffic to a half-replayed server. While
+// not ready, API requests are refused with 503 (see gateReady).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// logger returns the configured logger, falling back to slog.Default.
+func (s *Server) logger() *slog.Logger {
+	if s.log != nil {
+		return s.log
+	}
+	return slog.Default()
+}
+
 type datasetState struct {
 	name   string
 	metric string
@@ -159,6 +190,7 @@ func New(opts ...Option) *Server {
 		results:   make(map[string]*resultState),
 		live:      make(map[string]*liveState),
 	}
+	s.ready.Store(true)
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -166,30 +198,37 @@ func New(opts ...Option) *Server {
 }
 
 // Handler returns the routing handler: the API mux behind the
-// hardening chain (panic recovery, bounded admission, body limits,
-// per-request timeouts — see middleware.go), with /healthz routed
-// around it so liveness probes answer even at capacity.
+// hardening chain (panic recovery, readiness gate, bounded admission,
+// body limits, per-request timeouts — see middleware.go), every route
+// wrapped with its per-route request metrics (see metrics.go), and
+// /healthz, /readyz and /metrics routed around the chain so probes and
+// scrapes answer even at capacity or mid-recovery.
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
-	api.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
-	api.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	api.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
-	api.HandleFunc("POST /v1/datasets/{name}/select", s.handleSelect)
-	api.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSaveSnapshot)
-	api.HandleFunc("GET /v1/results/{id}", s.handleGetResult)
-	api.HandleFunc("POST /v1/results/{id}/zoom", s.handleZoom)
-	api.HandleFunc("POST /v1/results/{id}/localzoom", s.handleLocalZoom)
-	api.HandleFunc("POST /v1/live", s.handleCreateLive)
-	api.HandleFunc("GET /v1/live", s.handleListLive)
-	api.HandleFunc("GET /v1/live/{name}", s.handleGetLive)
-	api.HandleFunc("POST /v1/live/{name}/insert", s.handleLiveInsert)
-	api.HandleFunc("POST /v1/live/{name}/delete", s.handleLiveDelete)
-	api.HandleFunc("POST /v1/live/{name}/flush", s.handleLiveFlush)
-	api.HandleFunc("POST /v1/live/{name}/snapshot", s.handleLiveCheckpoint)
-	api.HandleFunc("GET /v1/live/{name}/selection", s.handleLiveSelection)
+	route := func(method, pattern string, h http.HandlerFunc) {
+		api.Handle(method+" "+pattern, s.instrument(method, pattern, h))
+	}
+	route("POST", "/v1/datasets", s.handleCreateDataset)
+	route("GET", "/v1/datasets", s.handleListDatasets)
+	route("GET", "/v1/datasets/{name}", s.handleGetDataset)
+	route("POST", "/v1/datasets/{name}/select", s.handleSelect)
+	route("POST", "/v1/datasets/{name}/snapshot", s.handleSaveSnapshot)
+	route("GET", "/v1/results/{id}", s.handleGetResult)
+	route("POST", "/v1/results/{id}/zoom", s.handleZoom)
+	route("POST", "/v1/results/{id}/localzoom", s.handleLocalZoom)
+	route("POST", "/v1/live", s.handleCreateLive)
+	route("GET", "/v1/live", s.handleListLive)
+	route("GET", "/v1/live/{name}", s.handleGetLive)
+	route("POST", "/v1/live/{name}/insert", s.handleLiveInsert)
+	route("POST", "/v1/live/{name}/delete", s.handleLiveDelete)
+	route("POST", "/v1/live/{name}/flush", s.handleLiveFlush)
+	route("POST", "/v1/live/{name}/snapshot", s.handleLiveCheckpoint)
+	route("GET", "/v1/live/{name}/selection", s.handleLiveSelection)
 
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
 	root.Handle("/", s.chain(api))
 	return root
 }
@@ -246,6 +285,29 @@ func (s *Server) LoadSnapshot(name string, r io.Reader) error {
 // what an orchestrator should see.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 once the server may receive
+// traffic, 503 while boot-time WAL recovery is still replaying (see
+// SetReady). Lock-free for the same reason as handleHealthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+}
+
+// decodeJSON decodes a request body, counting bodies rejected by the
+// size cap (the 400 mapping in each handler's error path is unchanged —
+// the counter is how operators see a client hitting the limit).
+func (s *Server) decodeJSON(r *http.Request, dst any) error {
+	err := json.NewDecoder(r.Body).Decode(dst)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		metBodyCap.Inc()
+	}
+	return err
 }
 
 type snapshotBody struct {
@@ -352,7 +414,7 @@ type datasetInfo struct {
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	var req createDatasetRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -475,7 +537,7 @@ func algorithmByName(name string) (disc.Algorithm, error) {
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req selectRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -547,7 +609,7 @@ type zoomRequest struct {
 
 func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 	var req zoomRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -594,7 +656,7 @@ type localZoomBody struct {
 
 func (s *Server) handleLocalZoom(w http.ResponseWriter, r *http.Request) {
 	var req localZoomRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -671,7 +733,7 @@ func (s *Server) liveInfoLocked(ls *liveState) liveInfo {
 // first published selection is exactly the batch selection).
 func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
 	var req createLiveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -911,7 +973,7 @@ type liveMutationBody struct {
 // point became a representative.
 func (s *Server) handleLiveInsert(w http.ResponseWriter, r *http.Request) {
 	var req liveInsertRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -947,7 +1009,7 @@ type liveDeleteRequest struct {
 // insert.
 func (s *Server) handleLiveDelete(w http.ResponseWriter, r *http.Request) {
 	var req liveDeleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}

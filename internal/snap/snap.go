@@ -66,10 +66,21 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"time"
 	"unsafe"
 
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/telemetry"
+)
+
+// Serialisation timers: one observation per snapshot written or read
+// (checkpoints, warm starts, recovery).
+var (
+	metWrite = telemetry.Default().Histogram("disc_snapshot_write_seconds",
+		"Wall time of serialising one snapshot (snap.Write).")
+	metRead = telemetry.Default().Histogram("disc_snapshot_read_seconds",
+		"Wall time of decoding and verifying one snapshot (snap.Read).")
 )
 
 // Version is the format version this package reads and writes.
@@ -314,6 +325,7 @@ type section struct {
 // deterministic: the same snapshot always produces byte-identical
 // output, which the round-trip tests rely on.
 func Write(w io.Writer, s *Snapshot) error {
+	defer telemetry.Since(metWrite, time.Now())
 	if err := s.validate(); err != nil {
 		return err
 	}
@@ -575,6 +587,7 @@ func readAll(r io.Reader) ([]byte, error) {
 // policy); duplicate or structurally inconsistent sections are
 // rejected.
 func Read(r io.Reader) (*Snapshot, error) {
+	defer telemetry.Since(metRead, time.Now())
 	data, err := readAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("snap: %w", err)

@@ -1,0 +1,36 @@
+//go:build !race
+
+package telemetry
+
+import "testing"
+
+// The race detector instruments atomic operations and may allocate;
+// these pins only hold (and only matter) for normal builds, mirroring
+// the build tag on internal/core's alloc tests.
+
+// TestObserveZeroAlloc pins the tentpole invariant: recording a latency
+// sample on the hot path costs zero heap allocations.
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	v := int64(1)
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v = (v * 31) & ((1 << 44) - 1) // wander across buckets, overflow included
+	}); avg != 0 {
+		t.Fatalf("Observe allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestCounterGaugeZeroAlloc pins the other two handle types.
+func TestCounterGaugeZeroAlloc(t *testing.T) {
+	var c Counter
+	var g Gauge
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Inc()
+		g.Add(-2)
+	}); avg != 0 {
+		t.Fatalf("counter/gauge ops allocate %.1f per op, want 0", avg)
+	}
+}

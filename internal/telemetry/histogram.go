@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log-linear ("HDR-style") over non-negative
+// int64 values, interpreted as nanoseconds. Values 0..15 get exact
+// unit-width buckets; above that each power-of-two octave is split into
+// histSub sub-buckets of equal width, so the relative width of any
+// bucket is at most 1/histSub = 12.5% — tight enough that a quantile
+// read off a bucket's upper bound is within one bucket width of the
+// true order statistic (the property tests pin this bracketing).
+//
+// The layout is fixed at compile time: no configuration, no resizing,
+// no pointers chased on the observation path. Observe is three atomic
+// adds on pre-sized arrays — lock-free, allocation-free, and safe for
+// any number of concurrent writers, which is what lets the hot repair
+// and WAL paths carry a histogram without violating the repo's
+// 0 alloc/op pins.
+const (
+	// histSub sub-buckets per octave (must be a power of two).
+	histSub = 8
+	// histSubBits = log2(histSub); the mantissa is the top 1+histSubBits
+	// bits of the value.
+	histSubBits = 3
+	// histMaxExp caps the covered range at 2^histMaxExp-1 nanoseconds
+	// (~73 minutes); anything larger lands in the overflow bucket. Far
+	// beyond any per-request or per-stage latency this repo measures,
+	// and it keeps the bucket array compact.
+	histMaxExp = 42
+
+	// histLinear exact unit buckets cover 0..histLinear-1.
+	histLinear = 2 * histSub
+	// histBuckets = linear region + full octaves + overflow.
+	histBuckets = histLinear + (histMaxExp-histSubBits-1)*histSub + 1
+)
+
+// Histogram is a fixed-boundary log-scaled latency histogram. Create
+// with NewHistogram (usually via Registry.Histogram); the zero value is
+// NOT ready to use — the bucket array would be nil.
+type Histogram struct {
+	buckets []atomic.Uint64 // len histBuckets
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Uint64, histBuckets)}
+}
+
+// bucketIndex maps a non-negative value to its bucket. Exported logic
+// (not the function) is pinned by the property tests: every value lands
+// in exactly one bucket and within that bucket's (lo, hi] bounds.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histLinear {
+		return int(u)
+	}
+	e := bits.Len64(u) // u in [2^(e-1), 2^e), e >= histSubBits+2
+	if e > histMaxExp {
+		return histBuckets - 1
+	}
+	mantissa := int(u >> uint(e-histSubBits-1)) // in [histSub, 2*histSub)
+	return histLinear + (e-histSubBits-2)*histSub + (mantissa - histSub)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket idx in
+// nanoseconds; the overflow bucket returns math.MaxInt64.
+func bucketUpper(idx int) int64 {
+	if idx < histLinear {
+		return int64(idx)
+	}
+	if idx >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	b := idx - histLinear
+	e := histSubBits + 2 + b/histSub
+	mantissa := histSub + b%histSub
+	return int64(mantissa+1)<<uint(e-histSubBits-1) - 1
+}
+
+// Observe records one value (nanoseconds). Lock-free, allocation-free,
+// safe for concurrent use; negative values clamp to zero.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistSnapshot is a point-in-time copy of a histogram's state, used to
+// compute quantiles — either of the full history or, via Sub, of the
+// observations between two snapshots (how the experiments isolate one
+// benchmark phase from whatever ran before it in the process).
+type HistSnapshot struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     int64
+}
+
+// Snapshot copies the histogram's current state. The copy is weakly
+// consistent under concurrent writers (buckets are read one by one),
+// which is fine for monitoring; take snapshots at quiescent points when
+// exact counts matter.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sub returns the difference s - prev: the observations recorded
+// between the two snapshots. prev must be the earlier one.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{
+		Buckets: make([]uint64, len(s.Buckets)),
+		Count:   s.Count - prev.Count,
+		Sum:     s.Sum - prev.Sum,
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i]
+		if i < len(prev.Buckets) {
+			d.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	return d
+}
+
+// Quantile estimates the q-th quantile (0..1) in nanoseconds: the upper
+// bound of the bucket holding the ceil(q*count)-th observation. The
+// estimate is an upper bracket of the true order statistic, and the
+// bucket's lower bound a lower bracket; with 12.5%-wide buckets the
+// relative error is bounded accordingly. Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(s.Buckets) - 1)
+}
+
+// Quantile is Snapshot().Quantile(q): an estimate over the histogram's
+// whole history.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.Snapshot().Quantile(q)
+}

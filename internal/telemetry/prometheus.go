@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the value GET /metrics should set on Content-Type for
+// the text exposition format rendered by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), hand-rolled — no dependency
+// on a client library. Series sharing a base name (label variants) are
+// grouped under one # HELP / # TYPE header pair; histograms render as
+// the conventional cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`, with nanosecond-valued buckets converted to seconds (the
+// Prometheus base unit for time). Empty buckets are elided — cumulative
+// bucket semantics make the sparse form exactly equivalent, and it
+// keeps a scrape of many fine-grained histograms compact.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastBase string
+	for _, e := range r.snapshot() {
+		if e.base != lastBase {
+			if help := r.helpFor(e.base); help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(e.base)
+				bw.WriteByte(' ')
+				bw.WriteString(strings.ReplaceAll(help, "\n", " "))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(e.base)
+			bw.WriteByte(' ')
+			bw.WriteString(e.kind.String())
+			bw.WriteByte('\n')
+			lastBase = e.base
+		}
+		switch e.kind {
+		case kindCounter:
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(e.c.Value(), 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(e.g.Value(), 10))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			writeHistogram(bw, e.name, e.h.Snapshot())
+		}
+	}
+	return bw.Flush()
+}
+
+// seriesWithLabel renders name with an extra label appended to (or
+// starting) its label set: ("x{a="b"}", `le`, "1") -> `x{a="b",le="1"}`.
+func seriesWithLabel(name, label, value string) string {
+	var sb strings.Builder
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		sb.WriteString(name[:len(name)-1]) // drop the closing brace
+		sb.WriteByte(',')
+	} else {
+		sb.WriteString(name)
+		sb.WriteByte('{')
+	}
+	sb.WriteString(label)
+	sb.WriteString(`="`)
+	sb.WriteString(value)
+	sb.WriteString(`"}`)
+	return sb.String()
+}
+
+// writeHistogram renders one histogram snapshot: cumulative non-empty
+// buckets with le boundaries in seconds, then +Inf, _sum and _count.
+// The totals are derived from the bucket array itself (not the separate
+// count cell), so the rendered cumulative series is always internally
+// monotone even when a concurrent Observe lands between the two loads.
+func writeHistogram(bw *bufio.Writer, name string, s HistSnapshot) {
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		upper := bucketUpper(i)
+		if upper == math.MaxInt64 {
+			// Overflow bucket: folded into +Inf below.
+			continue
+		}
+		le := strconv.FormatFloat(float64(upper)/1e9, 'g', -1, 64)
+		bw.WriteString(seriesWithLabel(name+"_bucket", "le", le))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(seriesWithLabel(name+"_bucket", "le", "+Inf"))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name + "_sum")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+	bw.WriteByte('\n')
+	bw.WriteString(name + "_count")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+}

@@ -1,0 +1,219 @@
+// Package telemetry is the repo's zero-dependency metrics core: atomic
+// counters and gauges, fixed-boundary log-scaled latency histograms with
+// a lock-free, allocation-free Observe, and a named registry that renders
+// everything in the Prometheus text exposition format (see
+// prometheus.go). It exists so the hot paths — steady-state selection
+// reads, component repairs, WAL appends — can be instrumented without
+// violating the repo's standing 0 alloc/op invariants: every mutation on
+// a metric handle is a handful of atomic adds on pre-sized arrays, and
+// handle lookup (the only locking, allocating operation) happens once at
+// package init, never per observation.
+//
+// # Naming and labels
+//
+// Metric names follow the Prometheus conventions: snake_case, a
+// `disc_` namespace prefix, unit suffixes (`_seconds`, `_bytes`), and
+// `_total` on counters. A handle's name may carry a label set baked in
+// as a literal suffix — `disc_http_requests_total{route="/v1/x"}` — in
+// which case the registry treats the whole string as the series key and
+// groups series of the same base name under one HELP/TYPE header. Label
+// fan-out is therefore decided at registration time (one handle per
+// label combination), which is what keeps the observation path free of
+// formatting and map lookups.
+//
+// # Concurrency
+//
+// All metric types are safe for concurrent use by any number of
+// writers and readers. Registration (Counter/Gauge/Histogram on a
+// Registry) is also safe for concurrent use and idempotent: the same
+// name always returns the same handle, so independent packages may
+// register the same series without coordination.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing value (Prometheus type
+// "counter"). The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Gauge is a value that can go up and down (Prometheus type "gauge").
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increases (or, negative n, decreases) the gauge.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind discriminates registered metric handles.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered series.
+type entry struct {
+	name string // full series name, labels included
+	base string // name with the label set stripped
+	kind kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; create with NewRegistry or use the process-wide Default.
+type Registry struct {
+	mu      sync.Mutex
+	series  map[string]*entry
+	ordered []*entry          // registration order, for stable exposition
+	help    map[string]string // base name -> help text (first wins)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*entry),
+		help:   make(map[string]string),
+	}
+}
+
+// defaultRegistry is the process-wide registry every instrumented
+// package registers into; discserve exposes it at GET /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// baseName strips a literal label suffix: "x_total{a=\"b\"}" -> "x_total".
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register returns the series entry for name, creating it with make on
+// first registration. It panics when name is empty, malformed, or
+// already registered as a different kind — all three are programming
+// errors at package init, not runtime conditions to handle.
+func (r *Registry) register(name string, k kind, help string, mk func(e *entry)) *entry {
+	base := baseName(name)
+	if base == "" {
+		panic("telemetry: empty metric name")
+	}
+	if strings.ContainsAny(base, " \n\"") {
+		panic(fmt.Sprintf("telemetry: malformed metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.series[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("telemetry: %s already registered as a %s, not a %s", name, e.kind, k))
+		}
+		return e
+	}
+	e := &entry{name: name, base: base, kind: k}
+	mk(e)
+	r.series[name] = e
+	r.ordered = append(r.ordered, e)
+	if help != "" {
+		if _, ok := r.help[base]; !ok {
+			r.help[base] = help
+		}
+	}
+	return e
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. help documents the base name in the exposition (the first
+// non-empty help for a base name wins).
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, kindCounter, help, func(e *entry) { e.c = new(Counter) }).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, kindGauge, help, func(e *entry) { e.g = new(Gauge) }).g
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it on first use. Observations are int64 nanoseconds; the
+// exposition renders boundaries and sums in seconds, so names should
+// carry the `_seconds` suffix.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, kindHistogram, help, func(e *entry) { e.h = NewHistogram() }).h
+}
+
+// snapshot returns a stable copy of the registration list, sorted by
+// base name (series of one base adjacent, registration order within).
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.ordered))
+	copy(entries, r.ordered)
+	r.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].base < entries[j].base })
+	return entries
+}
+
+// helpFor returns the help text registered for a base name.
+func (r *Registry) helpFor(base string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[base]
+}
+
+// A Timer observes elapsed wall time into a histogram; use as
+//
+//	defer telemetry.Since(hist, time.Now())
+//
+// or explicitly with Observe. Provided as a function, not a type, to
+// keep the hot path free of interface values.
+func Since(h *Histogram, start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}

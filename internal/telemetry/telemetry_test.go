@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketPartition pins the layout invariant every other guarantee
+// rests on: the buckets partition the non-negative int64 range — each
+// value lands in exactly one bucket, and that bucket's bounds contain
+// it.
+func TestBucketPartition(t *testing.T) {
+	// Bounds must be strictly increasing with no gaps: bucket i covers
+	// (upper(i-1), upper(i)].
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d: upper bound %d not above previous %d", i, up, prev)
+		}
+		prev = up
+	}
+	if bucketUpper(histBuckets-1) != math.MaxInt64 {
+		t.Fatalf("overflow bucket upper = %d, want MaxInt64", bucketUpper(histBuckets-1))
+	}
+
+	check := func(v int64) {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		if v > bucketUpper(idx) {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, idx, bucketUpper(idx))
+		}
+		if idx > 0 && v <= bucketUpper(idx-1) {
+			t.Fatalf("value %d at or below the previous bucket's bound %d (bucket %d)", v, bucketUpper(idx-1), idx)
+		}
+	}
+	// Exhaustive over the linear region and the first octaves, then the
+	// exact boundaries (and their neighbours) of every bucket.
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for i := 0; i < histBuckets-1; i++ {
+		up := bucketUpper(i)
+		check(up)
+		if up < math.MaxInt64 {
+			check(up + 1)
+		}
+		if up > 0 {
+			check(up - 1)
+		}
+	}
+	// Random probes across the full range, overflow included.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for n := 0; n < 100000; n++ {
+		check(int64(rng.Uint64() >> uint(1+rng.IntN(40))))
+	}
+	check(math.MaxInt64)
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative values must clamp to bucket 0, got %d", got)
+	}
+}
+
+// TestQuantileBrackets pins the estimate's guarantee: for any sample
+// set, the reported quantile is >= the true order statistic and <= the
+// next bucket boundary above it (upper bracketing with bounded relative
+// error).
+func TestQuantileBrackets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.IntN(5000)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Mix of magnitudes: exercise linear buckets, mid octaves
+			// and large values.
+			v := int64(rng.Uint64() >> uint(10+rng.IntN(50)))
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank == 0 {
+				rank = 1
+			}
+			truth := samples[rank-1]
+			est := h.Quantile(q)
+			if est < truth {
+				t.Fatalf("trial %d q=%g: estimate %d below true order statistic %d", trial, q, est, truth)
+			}
+			// The estimate is the upper bound of the bucket holding the
+			// true statistic.
+			if idx := bucketIndex(truth); est > bucketUpper(idx) {
+				t.Fatalf("trial %d q=%g: estimate %d beyond the true value's bucket bound %d", trial, q, est, bucketUpper(idx))
+			}
+		}
+	}
+	if NewHistogram().Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (the -race CI step makes this a data-race proof) and
+// checks that no observation is lost or double-counted.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(rng.Uint64() >> 20))
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	var cum uint64
+	for _, c := range s.Buckets {
+		cum += c
+	}
+	if cum != workers*perWorker {
+		t.Fatalf("bucket sum = %d, want %d", cum, workers*perWorker)
+	}
+}
+
+// TestSnapshotSub pins the delta arithmetic the experiments rely on to
+// isolate one phase from whatever the process observed before it.
+func TestSnapshotSub(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	h.Observe(1000)
+	before := h.Snapshot()
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(1 << 30)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if d.Sum != 10+(1<<30) {
+		t.Fatalf("delta sum = %d", d.Sum)
+	}
+	if q := d.Quantile(0.5); q < 5 || q > bucketUpper(bucketIndex(5)) {
+		t.Fatalf("delta median %d outside the 5ns bucket", q)
+	}
+}
+
+// TestRegistryHandles pins idempotent registration and kind conflicts.
+func TestRegistryHandles(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatal("same name must return the same counter handle")
+	}
+	if r.Counter(`x_total{k="v"}`, "") == c1 {
+		t.Fatal("label variant must be a distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestWritePrometheus checks the exposition output: parseable lines,
+// grouped HELP/TYPE headers, cumulative monotone histogram buckets
+// ending at +Inf, and consistent _count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "requests served").Add(7)
+	r.Counter(`t_requests_total{code="5xx"}`, "").Add(2)
+	r.Gauge("t_inflight", "in-flight requests").Set(3)
+	h := r.Histogram("t_latency_seconds", "request latency")
+	for _, v := range []int64{10, 10, 500, 1e6, 5e9} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		"t_requests_total 7",
+		`t_requests_total{code="5xx"} 2`,
+		"# TYPE t_inflight gauge",
+		"t_inflight 3",
+		"# TYPE t_latency_seconds histogram",
+		`t_latency_seconds_bucket{le="+Inf"} 5`,
+		"t_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE t_requests_total") != 1 {
+		t.Fatalf("label variants must share one TYPE header:\n%s", out)
+	}
+
+	// Histogram buckets: cumulative, monotone, boundaries ascending.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lastCum := uint64(0)
+	lastLE := -1.0
+	buckets := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "t_latency_seconds_bucket{le=\"") {
+			continue
+		}
+		buckets++
+		rest := strings.TrimPrefix(line, "t_latency_seconds_bucket{le=\"")
+		i := strings.Index(rest, `"}`)
+		leStr, valStr := rest[:i], strings.TrimSpace(rest[i+2:])
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("unparseable le %q: %v", leStr, err)
+			}
+		}
+		if le <= lastLE {
+			t.Fatalf("bucket boundaries not ascending: %g after %g", le, lastLE)
+		}
+		lastLE = le
+		cum, err := strconv.ParseUint(valStr, 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket count %q: %v", valStr, err)
+		}
+		if cum < lastCum {
+			t.Fatalf("bucket counts not cumulative: %d after %d", cum, lastCum)
+		}
+		lastCum = cum
+	}
+	if buckets < 2 {
+		t.Fatalf("expected multiple bucket lines, got %d", buckets)
+	}
+	if lastCum != 5 || !math.IsInf(lastLE, 1) {
+		t.Fatalf("final bucket must be +Inf with the full count, got le=%g cum=%d", lastLE, lastCum)
+	}
+}
+
+// TestSeriesWithLabel pins the label-splice helper both with and
+// without an existing label set.
+func TestSeriesWithLabel(t *testing.T) {
+	if got := seriesWithLabel("x", "le", "1"); got != `x{le="1"}` {
+		t.Fatalf("got %q", got)
+	}
+	if got := seriesWithLabel(`x{a="b"}`, "le", "1"); got != `x{a="b",le="1"}` {
+		t.Fatalf("got %q", got)
+	}
+}

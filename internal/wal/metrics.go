@@ -1,0 +1,38 @@
+package wal
+
+import (
+	"time"
+
+	"github.com/discdiversity/disc/internal/telemetry"
+)
+
+// Durability counters and timers. Fsync timing goes through the fsync
+// helper below so every data-file sync — per-append policy syncs,
+// explicit Sync, segment rolls, rotations, close — lands in one series;
+// comparing disc_wal_fsyncs_total against disc_wal_appends_total shows
+// how much batching the configured policy actually achieves.
+var (
+	metAppend = telemetry.Default().Histogram("disc_wal_append_seconds",
+		"Wall time of one WAL append, policy fsync included.")
+	metAppends = telemetry.Default().Counter("disc_wal_appends_total",
+		"Operations appended to the WAL since process start.")
+	metFsync = telemetry.Default().Histogram("disc_wal_fsync_seconds",
+		"Wall time of one fsync of the active WAL segment.")
+	metFsyncs = telemetry.Default().Counter("disc_wal_fsyncs_total",
+		"Fsyncs of the active WAL segment since process start.")
+	metRotations = telemetry.Default().Counter("disc_wal_rotations_total",
+		"Checkpoint rotations (epoch advances) since process start.")
+	metReplay = telemetry.Default().Histogram("disc_wal_replay_seconds",
+		"Wall time of one recovery replay (wal.Open over existing segments).")
+	metReplayed = telemetry.Default().Counter("disc_wal_replayed_records_total",
+		"Operations replayed from WAL segments during recovery since process start.")
+)
+
+// fsync syncs the active segment file, timing and counting the call.
+func (l *Log) fsync() error {
+	start := time.Now()
+	err := l.f.Sync()
+	telemetry.Since(metFsync, start)
+	metFsyncs.Inc()
+	return err
+}

@@ -81,6 +81,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/discdiversity/disc/internal/telemetry"
 )
 
 const (
@@ -528,6 +530,7 @@ func Describe(path string) (*Info, error) {
 // the final segment is truncated away; any other damage fails loudly.
 // When no current-epoch segment exists, a fresh one is created.
 func Open(path string, opts Options) (*Log, []Op, error) {
+	defer telemetry.Since(metReplay, time.Now())
 	segs, err := listSegments(path)
 	if err != nil {
 		return nil, nil, err
@@ -632,6 +635,7 @@ func Open(path string, opts Options) (*Log, []Op, error) {
 		l.f = f
 	}
 	l.lastSync = time.Now()
+	metReplayed.Add(uint64(len(ops)))
 	return l, ops, nil
 }
 
@@ -665,9 +669,11 @@ func (l *Log) createSegment(seq uint64) error {
 // log — the file may hold a partial frame, so further appends would
 // corrupt it; recovery treats the partial frame as a torn tail.
 func (l *Log) Append(op Op) error {
+	defer telemetry.Since(metAppend, time.Now())
 	if l.broken != nil {
 		return fmt.Errorf("wal: log is poisoned by an earlier failure: %w", l.broken)
 	}
+	metAppends.Inc()
 	buf, err := encodeOp(l.buf[:0], op)
 	if err != nil {
 		return err
@@ -689,14 +695,14 @@ func (l *Log) Append(op Op) error {
 	l.size += int64(len(buf))
 	switch l.opts.Sync {
 	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
+		if err := l.fsync(); err != nil {
 			l.broken = err
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		l.lastSync = time.Now()
 	case SyncBatched:
 		if time.Since(l.lastSync) >= l.opts.interval() {
-			if err := l.f.Sync(); err != nil {
+			if err := l.fsync(); err != nil {
 				l.broken = err
 				return fmt.Errorf("wal: sync: %w", err)
 			}
@@ -709,7 +715,7 @@ func (l *Log) Append(op Op) error {
 // rollSegment closes the active segment and starts the next sequence
 // number in the same epoch.
 func (l *Log) rollSegment() error {
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		l.broken = err
 		return fmt.Errorf("wal: sync before roll: %w", err)
 	}
@@ -729,7 +735,7 @@ func (l *Log) Sync() error {
 	if l.broken != nil {
 		return fmt.Errorf("wal: log is poisoned by an earlier failure: %w", l.broken)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		l.broken = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
@@ -751,7 +757,7 @@ func (l *Log) Rotate(newEpoch uint64) error {
 	if newEpoch <= l.epoch {
 		return fmt.Errorf("wal: rotate to epoch %d from %d (epochs must advance)", newEpoch, l.epoch)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		l.broken = err
 		return fmt.Errorf("wal: sync before rotate: %w", err)
 	}
@@ -786,6 +792,7 @@ func (l *Log) Rotate(newEpoch uint64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.lastSync = time.Now()
+	metRotations.Inc()
 	return nil
 }
 
@@ -806,7 +813,7 @@ func (l *Log) Close() error {
 	}
 	var err error
 	if l.broken == nil {
-		err = l.f.Sync()
+		err = l.fsync()
 	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr

@@ -135,6 +135,12 @@ func withWALOpenFile(open func(name string, create bool) (wal.File, error)) Opti
 // WithFsyncInterval and WithWALSegmentBytes. The snapshot must be a
 // float64 coverage-graph snapshot (what Updater.Checkpoint and
 // Updater.WriteSnapshot write).
+//
+// The durable path feeds the process-wide telemetry registry: appends,
+// fsyncs, rotations and recovery replays are counted and timed
+// (disc_wal_appends_total, disc_wal_fsyncs_total,
+// disc_wal_replay_seconds, disc_snapshot_read_seconds, …) and exposed
+// by discserve at GET /metrics; see docs/OBSERVABILITY.md.
 func OpenUpdater(snapshotPath, walPath string, r float64, opts ...Option) (*Updater, error) {
 	o := defaultOptions()
 	// Clear the metric default so a caller-supplied metric is
