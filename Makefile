@@ -20,7 +20,7 @@ SERVE_N ?= 2000
 SERVE_WORKERS ?= 4
 SERVE_DURATION ?= 10s
 
-.PHONY: build test lint bench bench-guard bench-serve snapshot-bench doclint kernel-props crash-props
+.PHONY: build test lint bench bench-guard bench-serve snapshot-bench doclint kernel-props crash-props chaos-props
 
 ## build: compile every package and command
 build:
@@ -141,6 +141,21 @@ crash-props:
 	$(GO) test -race -count=1 ./internal/wal ./internal/faultio
 	$(GO) test -race -count=1 -run 'TestCrashPrefixRecoveryEveryByte|TestCrashRecoveryInjectedWriter|TestCheckpointCrashStates|TestWALPoisoningOnSyncFailure|TestWALShortWriteTornTail' .
 	$(GO) test -race -count=1 -run 'TestLiveCrashRestart|TestDurableCreateRefusesLeftoverState|TestAdmissionControl|TestRequestTimeout|TestPanicRecovery|TestLiveFsyncModesOverHTTP' ./internal/server
+
+## chaos-props: the fault-isolation property suites under the race
+## detector — randomized multi-dataset fault sweeps against a server
+## holding three concurrently-served datasets (WAL append EIO, sync
+## failure, torn writes, checkpoint ENOSPC, boot-time read faults,
+## interior corruption). The property: datasets that were not faulted
+## keep serving with zero errors throughout, while the faulted one
+## either recovers a selection bit-identical to its acknowledged op
+## prefix or quarantines loudly. Also runs the manager's own lifecycle
+## suites (degraded mode, quarantine round-trip, backoff parking) and
+## the root checkpoint-ENOSPC authority test.
+chaos-props:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/server
+	$(GO) test -race -count=1 ./internal/manager
+	$(GO) test -race -count=1 -run 'TestCheckpointENOSPCLeavesStateAuthoritative' .
 
 ## doclint: verify that relative links and file references in the
 ## repo's markdown docs resolve (the CI doc-link gate; see

@@ -37,12 +37,17 @@
 //
 // With -serve-baseline and -serve-current set, the measured-SLO load
 // run (cmd/discload, BENCH_SERVE.json) is gated per endpoint:
-// throughput_rps is a floor (fails below baseline/(1+tolerance)) and
-// p99_ms a ceiling (fails above baseline*(1+tolerance)). An endpoint
-// present in the baseline but missing from the current run fails; a new
-// endpoint with no baseline row warns; a current run with endpoint
-// errors always fails — errored requests would otherwise flatter the
-// latency numbers.
+// throughput_rps is a floor (fails below baseline/(1+tolerance)),
+// p99_ms a ceiling (fails above baseline*(1+tolerance)), and
+// availability_pct a floor — the tolerance scales the baseline's
+// unavailable fraction plus a small absolute slack, so a near-perfect
+// baseline cannot demand a literally perfect run while a real
+// availability drop (one dataset quietly 503ing) still fails. An
+// endpoint present in the baseline but missing from the current run
+// fails; a new endpoint with no baseline row warns; a current run with
+// endpoint errors always fails — errored requests would otherwise
+// flatter the latency numbers. Baselines that predate the availability
+// field (value 0) skip that gate.
 //
 // Usage:
 //
@@ -357,6 +362,26 @@ func compareServe(w io.Writer, base, cur *experiments.ServeBench, tolerance floa
 		if c.Errors > 0 {
 			fmt.Fprintf(w, "FAIL %-9s %-16s %d errored request(s) in current run\n", b.Endpoint, "errors", c.Errors)
 			regressions++
+		}
+
+		// Availability floor: the current run may not drop below the
+		// baseline's availability by more than the tolerance applied to
+		// the unavailable fraction (an absolute-percentage tolerance would
+		// let a 99.9% baseline quietly admit 75% runs). A zero baseline
+		// availability means the reference JSON predates the field — skip,
+		// don't gate against nothing.
+		if b.Availability > 0 {
+			floor := 100 - (100-b.Availability)*(1+tolerance) - 100*tolerance*0.01
+			if floor < 0 {
+				floor = 0
+			}
+			status = "ok  "
+			if c.Availability < floor {
+				status = "FAIL"
+				regressions++
+			}
+			fmt.Fprintf(w, "%s %-9s %-16s %10.2f -> %10.2f (floor %.2f, %+.2f)\n",
+				status, b.Endpoint, "availability_pct", b.Availability, c.Availability, floor, c.Availability-b.Availability)
 		}
 	}
 	fresh := make([]string, 0, len(current))

@@ -185,6 +185,38 @@ func TestCompareServeRowDiscipline(t *testing.T) {
 	}
 }
 
+// TestCompareServeAvailability: availability is a floor scaled off the
+// baseline's unavailable fraction; a baseline without the field (zero)
+// skips the gate instead of gating against nothing.
+func TestCompareServeAvailability(t *testing.T) {
+	withAvail := func(ep experiments.ServeEndpoint, pct float64) experiments.ServeEndpoint {
+		ep.Availability = pct
+		return ep
+	}
+	base := serveBench(withAvail(serveEP("select", 100, 20), 99.9))
+	var out strings.Builder
+	if r, _ := compareServe(&out, base, serveBench(withAvail(serveEP("select", 100, 20), 99.8)), 0.25); r != 0 {
+		t.Fatalf("within-tolerance availability flagged %d\n%s", r, out.String())
+	}
+	out.Reset()
+	if r, _ := compareServe(&out, base, serveBench(withAvail(serveEP("select", 100, 20), 90)), 0.25); r != 1 {
+		t.Fatalf("availability drop flagged %d, want 1\n%s", r, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL select") || !strings.Contains(out.String(), "availability_pct") {
+		t.Fatalf("missing FAIL availability line:\n%s", out.String())
+	}
+	out.Reset()
+	// Old baseline, no availability field: current availability is
+	// reported nowhere and never gated.
+	old := serveBench(serveEP("select", 100, 20))
+	if r, _ := compareServe(&out, old, serveBench(withAvail(serveEP("select", 100, 20), 50)), 0.25); r != 0 {
+		t.Fatalf("zero-baseline availability gated: %d\n%s", r, out.String())
+	}
+	if strings.Contains(out.String(), "availability_pct") {
+		t.Fatalf("zero-baseline run printed an availability line:\n%s", out.String())
+	}
+}
+
 func streamBench(updatesPerSec, p99 float64) *experiments.StreamBench {
 	return &experiments.StreamBench{Dataset: "clustered", N: 100, Dim: 2, Radius: 0.1,
 		UpdatesPerSec: updatesPerSec, RepairMSP99: p99, EquivalentToRebuild: true}

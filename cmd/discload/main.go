@@ -1,12 +1,14 @@
 // Command discload turns "the server feels fast" into checked-in
 // numbers: it drives a configurable mix of select / zoom / insert /
 // delete / selection traffic against a running discserve from
-// concurrent workers, measures client-observed p50/p99 latency and
-// throughput per endpoint, scrapes GET /metrics before and after for
-// the server-side counter deltas (WAL appends, fsyncs, shed requests,
-// repaired components), and writes the result as the BENCH_SERVE.json
-// format that cmd/benchguard gates (throughput as a floor, p99 as a
-// ceiling).
+// concurrent workers, measures client-observed p50/p99 latency,
+// throughput and availability per endpoint (503s are retried honoring
+// the server's Retry-After hint with capped jitter, and every shed
+// attempt counts against availability), scrapes GET /metrics before
+// and after for the server-side counter deltas (WAL appends, fsyncs,
+// shed requests, repaired components), and writes the result as the
+// BENCH_SERVE.json format that cmd/benchguard gates (throughput and
+// availability as floors, p99 as a ceiling).
 //
 // Point it at an already-running server:
 //

@@ -34,16 +34,23 @@
 // format and do not survive the restart; re-upload labelled datasets
 // over the API when labels matter.
 //
-// With -live DIR, live maintainers become crash-safe: every insert and
-// delete is written to a per-maintainer write-ahead log in DIR before
-// it is acknowledged (fsync policy per -fsync; see docs/DURABILITY.md),
+// With -live DIR (flat layout) or -data-dir DIR (one home directory
+// per dataset), live maintainers become crash-safe: every insert and
+// delete is written to a per-maintainer write-ahead log before it is
+// acknowledged (fsync policy per -fsync; see docs/DURABILITY.md),
 // POST /v1/live/{name}/snapshot checkpoints the log into a .discsnap,
 // and a restarted discserve replays snapshot+log so acknowledged
-// mutations survive even a SIGKILL. The listener comes up before that
-// recovery starts: /healthz answers immediately, while /readyz returns
-// 503 (and API requests are refused) until the replay converges — a
-// load balancer draining on readiness never routes to a half-replayed
-// server. The server drains in-flight requests for up to 5 seconds on
+// mutations survive even a SIGKILL. Each dataset recovers under its
+// own supervisor (see docs/OPERATIONS.md): boot scrubs every snapshot
+// and log segment, transient failures retry with backoff (tune with
+// -recovery-backoff, -recovery-backoff-cap, -recovery-max-attempts),
+// interior corruption quarantines that dataset alone, and a dataset
+// with a good last snapshot keeps serving read-only while its log
+// recovery retries. The listener comes up before recovery starts:
+// /healthz answers immediately, while /readyz returns 503 (and API
+// requests are refused) until the replay converges — a load balancer
+// draining on readiness never routes to a half-replayed server. The
+// server drains in-flight requests for up to 5 seconds on
 // SIGINT/SIGTERM, then syncs and closes the logs.
 //
 // Observability (see docs/OBSERVABILITY.md): GET /metrics serves the
@@ -76,9 +83,13 @@ const shutdownTimeout = 5 * time.Second
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapshot := flag.String("snapshot", "", "warm-start .discsnap file; its directory becomes the snapshot-save target")
-	liveDir := flag.String("live", "", "directory for live-maintainer WAL + checkpoints; empty keeps them memory-only")
+	liveDir := flag.String("live", "", "directory for live-maintainer WAL + checkpoints (flat layout); empty keeps them memory-only")
+	dataDir := flag.String("data-dir", "", "directory of per-dataset homes (<dir>/<name>/); takes precedence over -live")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy for live maintainers: always, interval, or none")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "batching window when -fsync=interval")
+	backoffBase := flag.Duration("recovery-backoff", 0, "initial per-dataset recovery retry delay (0 = default 50ms)")
+	backoffCap := flag.Duration("recovery-backoff-cap", 0, "maximum per-dataset recovery retry delay (0 = default 5s)")
+	maxAttempts := flag.Int("recovery-max-attempts", 0, "consecutive failures before a dataset parks degraded/loading at the cap (0 = default 5)")
 	maxInflight := flag.Int("max-inflight", 64, "maximum concurrently-served requests; excess get 503 + Retry-After (0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 	maxBody := flag.Int64("max-body", 64<<20, "request body cap in bytes on mutating endpoints (0 = unlimited)")
@@ -115,14 +126,21 @@ func main() {
 	if *snapshot != "" {
 		opts = append(opts, server.WithSnapshotDir(filepath.Dir(*snapshot)))
 	}
-	if *liveDir != "" {
-		if err := os.MkdirAll(*liveDir, 0o755); err != nil {
-			fatal("discserve: live dir", "dir", *liveDir, "err", err)
+	if *liveDir != "" || *dataDir != "" {
+		for _, dir := range []string{*liveDir, *dataDir} {
+			if dir == "" {
+				continue
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal("discserve: storage dir", "dir", dir, "err", err)
+			}
 		}
 		opts = append(opts,
 			server.WithLiveDir(*liveDir),
+			server.WithDataDir(*dataDir),
 			server.WithLiveFsync(fsync),
-			server.WithLiveFsyncInterval(*fsyncInterval))
+			server.WithLiveFsyncInterval(*fsyncInterval),
+			server.WithRecoveryBackoff(*backoffBase, *backoffCap, *maxAttempts))
 	}
 	srv := server.New(opts...)
 	srv.SetReady(false) // not ready until warm start + recovery converge
@@ -157,15 +175,19 @@ func main() {
 				fatal("discserve: warm start failed", "snapshot", *snapshot, "err", err)
 			}
 		}
-		if *liveDir != "" {
+		if *liveDir != "" || *dataDir != "" {
+			dir := *liveDir
+			if *dataDir != "" {
+				dir = *dataDir
+			}
 			start := time.Now()
 			n, err := srv.RestoreLive()
 			if err != nil {
-				fatal("discserve: live recovery failed", "dir", *liveDir, "err", err)
+				fatal("discserve: live recovery failed", "dir", dir, "err", err)
 			}
 			if n > 0 {
 				logger.Info("discserve: recovered live maintainers",
-					"count", n, "dir", *liveDir, "elapsed", time.Since(start).Round(time.Millisecond).String())
+					"count", n, "dir", dir, "elapsed", time.Since(start).Round(time.Millisecond).String())
 			}
 		}
 		srv.SetReady(true)

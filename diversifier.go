@@ -10,6 +10,7 @@ import (
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/mtree"
 	"github.com/discdiversity/disc/internal/object"
+	"github.com/discdiversity/disc/internal/vfs"
 	"github.com/discdiversity/disc/internal/wal"
 )
 
@@ -107,6 +108,7 @@ type options struct {
 	walInterval time.Duration
 	walSegment  int64
 	walOpenFile func(name string, create bool) (wal.File, error)
+	storageFS   vfs.FS
 }
 
 // Option configures New.

@@ -42,15 +42,22 @@ type ServeConfig struct {
 	Seed uint64
 }
 
-// ServeEndpoint is the measured result of one operation kind.
+// ServeEndpoint is the measured result of one operation kind. Shed
+// counts 503 responses that were retried after honoring the server's
+// Retry-After hint (capped, jittered); Availability is the percentage
+// of attempts that ultimately succeeded — sheds and errors both count
+// against it, so a server that throttles heavily cannot hide behind
+// retries.
 type ServeEndpoint struct {
-	Endpoint   string  `json:"endpoint"`
-	Requests   int64   `json:"requests"`
-	Errors     int64   `json:"errors"`
-	Throughput float64 `json:"throughput_rps"`
-	P50Ms      float64 `json:"p50_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	MaxMs      float64 `json:"max_ms"`
+	Endpoint     string  `json:"endpoint"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Shed         int64   `json:"shed"`
+	Availability float64 `json:"availability_pct"`
+	Throughput   float64 `json:"throughput_rps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
 }
 
 // ServeMetricsDelta holds server-side counter movements over the
@@ -134,33 +141,62 @@ type serveClient struct {
 	hc   *http.Client
 }
 
-func (c *serveClient) postJSON(path string, body any, out any) (int, error) {
+// Retry policy for 503 responses: the server's Retry-After hint is
+// honored but capped (a load generator must not let one shed park a
+// worker for a full second) and jittered (a worker fleet must not
+// retry in lockstep). serveRetryMax bounds retries per logical op.
+const (
+	serveRetryMax = 3
+	serveRetryCap = 250 * time.Millisecond
+)
+
+// retryWait turns a Retry-After hint into a capped, full-jitter sleep
+// in [min(hint,cap)/2, min(hint,cap)].
+func retryWait(rng *rand.Rand, hint time.Duration) time.Duration {
+	if hint <= 0 || hint > serveRetryCap {
+		hint = serveRetryCap
+	}
+	half := hint / 2
+	return half + time.Duration(rng.Int64N(int64(half)+1))
+}
+
+// retryAfterOf parses a 503's Retry-After header (seconds form).
+func retryAfterOf(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 0
+}
+
+func (c *serveClient) postJSON(path string, body any, out any) (int, time.Duration, error) {
 	var buf bytes.Buffer
 	if body != nil {
 		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	resp, err := c.hc.Post(c.base+path, "application/json", &buf)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode < 300 {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfterOf(resp), nil
 }
 
-func (c *serveClient) get(path string) (int, error) {
+func (c *serveClient) get(path string) (int, time.Duration, error) {
 	resp, err := c.hc.Get(c.base + path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfterOf(resp), nil
 }
 
 // ScrapeMetrics fetches the raw /metrics exposition.
@@ -247,7 +283,7 @@ func RunServe(cfg ServeConfig) (*ServeBench, error) {
 		}
 		points[i] = p
 	}
-	if code, err := c.postJSON("/v1/datasets", map[string]any{
+	if code, _, err := c.postJSON("/v1/datasets", map[string]any{
 		"name": "load", "metric": "euclidean", "points": points,
 	}, nil); err != nil || code >= 300 {
 		return nil, fmt.Errorf("experiments: serve: seed dataset: status %d, err %v", code, err)
@@ -255,11 +291,11 @@ func RunServe(cfg ServeConfig) (*ServeBench, error) {
 	var sel struct {
 		ID string `json:"id"`
 	}
-	if code, err := c.postJSON("/v1/datasets/load/select", map[string]any{"radius": cfg.Radius}, &sel); err != nil || code >= 300 || sel.ID == "" {
+	if code, _, err := c.postJSON("/v1/datasets/load/select", map[string]any{"radius": cfg.Radius}, &sel); err != nil || code >= 300 || sel.ID == "" {
 		return nil, fmt.Errorf("experiments: serve: seed select: status %d, id %q, err %v", code, sel.ID, err)
 	}
 	liveSeed := points[:min(cfg.N, 500)]
-	if code, err := c.postJSON("/v1/live", map[string]any{
+	if code, _, err := c.postJSON("/v1/live", map[string]any{
 		"name": "loadlive", "radius": cfg.Radius, "metric": "euclidean", "points": liveSeed,
 	}, nil); err != nil || code >= 300 {
 		return nil, fmt.Errorf("experiments: serve: seed live: status %d, err %v", code, err)
@@ -271,9 +307,10 @@ func RunServe(cfg ServeConfig) (*ServeBench, error) {
 	}
 
 	type sample struct {
-		op int
-		ns int64
-		ok bool
+		op    int
+		ns    int64
+		ok    bool
+		sheds int
 	}
 	results := make([][]sample, cfg.Workers)
 	deadline := time.Now().Add(cfg.Duration)
@@ -313,40 +350,61 @@ func RunServe(cfg ServeConfig) (*ServeBench, error) {
 						}
 					}
 				}
-				var code int
-				var err error
-				var insertedID int
-				start := time.Now()
-				switch serveOps[op] {
-				case "select":
-					code, err = c.postJSON("/v1/datasets/load/select", map[string]any{"radius": cfg.Radius}, nil)
-				case "zoom":
-					code, err = c.postJSON("/v1/results/"+sel.ID+"/zoom", map[string]any{
-						"radius": zoomRadii[wrng.IntN(len(zoomRadii))],
-					}, nil)
-				case "insert":
-					p := make([]float64, cfg.Dim)
-					for d := range p {
-						p[d] = wrng.Float64()
-					}
-					var ir struct {
-						ID int `json:"id"`
-					}
-					code, err = c.postJSON("/v1/live/loadlive/insert", map[string]any{"point": p, "flush": true}, &ir)
-					insertedID = ir.ID
-				case "delete":
+				var insertedID, deleteID int
+				if serveOps[op] == "delete" {
+					// Pick the victim id once, outside the retry loop: a
+					// 503'd delete retries the SAME request.
 					k := wrng.IntN(len(owned))
-					code, err = c.postJSON("/v1/live/loadlive/delete", map[string]any{"id": owned[k], "flush": true}, nil)
+					deleteID = owned[k]
 					owned[k] = owned[len(owned)-1]
 					owned = owned[:len(owned)-1]
-				case "selection":
-					code, err = c.get("/v1/live/loadlive/selection")
+				}
+				issue := func() (int, time.Duration, error) {
+					switch serveOps[op] {
+					case "select":
+						return c.postJSON("/v1/datasets/load/select", map[string]any{"radius": cfg.Radius}, nil)
+					case "zoom":
+						return c.postJSON("/v1/results/"+sel.ID+"/zoom", map[string]any{
+							"radius": zoomRadii[wrng.IntN(len(zoomRadii))],
+						}, nil)
+					case "insert":
+						p := make([]float64, cfg.Dim)
+						for d := range p {
+							p[d] = wrng.Float64()
+						}
+						var ir struct {
+							ID int `json:"id"`
+						}
+						code, ra, err := c.postJSON("/v1/live/loadlive/insert", map[string]any{"point": p, "flush": true}, &ir)
+						insertedID = ir.ID
+						return code, ra, err
+					case "delete":
+						return c.postJSON("/v1/live/loadlive/delete", map[string]any{"id": deleteID, "flush": true}, nil)
+					default: // selection
+						return c.get("/v1/live/loadlive/selection")
+					}
+				}
+				// Issue, honoring Retry-After on 503 with capped jitter —
+				// the retry sleeps count toward the op's latency, so a
+				// throttling server still pays in p99.
+				var code int
+				var err error
+				sheds := 0
+				start := time.Now()
+				for attempt := 0; ; attempt++ {
+					var ra time.Duration
+					code, ra, err = issue()
+					if err != nil || code != http.StatusServiceUnavailable || attempt >= serveRetryMax {
+						break
+					}
+					sheds++
+					time.Sleep(retryWait(wrng, ra))
 				}
 				ok := err == nil && code < 400
 				if ok && serveOps[op] == "insert" {
 					owned = append(owned, insertedID)
 				}
-				buf = append(buf, sample{op: op, ns: time.Since(start).Nanoseconds(), ok: ok})
+				buf = append(buf, sample{op: op, ns: time.Since(start).Nanoseconds(), ok: ok, sheds: sheds})
 			}
 			results[w] = buf
 		}(w)
@@ -372,12 +430,14 @@ func RunServe(cfg ServeConfig) (*ServeBench, error) {
 
 	perOp := make([][]float64, len(serveOps))
 	errs := make([]int64, len(serveOps))
+	sheds := make([]int64, len(serveOps))
 	for _, buf := range results {
 		for _, s := range buf {
 			perOp[s.op] = append(perOp[s.op], float64(s.ns)/1e6)
 			if !s.ok {
 				errs[s.op]++
 			}
+			sheds[s.op] += int64(s.sheds)
 		}
 	}
 	for i, op := range serveOps {
@@ -390,7 +450,13 @@ func RunServe(cfg ServeConfig) (*ServeBench, error) {
 			Endpoint:   op,
 			Requests:   int64(len(xs)),
 			Errors:     errs[i],
+			Shed:       sheds[i],
 			Throughput: float64(len(xs)) / cfg.Duration.Seconds(),
+		}
+		// Availability: attempts = final ops + shed retries; anything
+		// that was shed or ultimately failed counts against it.
+		if attempts := ep.Requests + ep.Shed; attempts > 0 {
+			ep.Availability = 100 * float64(ep.Requests-ep.Errors) / float64(attempts)
 		}
 		if len(xs) > 0 {
 			ep.P50Ms = percentile(xs, 0.50)

@@ -1,0 +1,539 @@
+package manager
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/snap"
+	"github.com/discdiversity/disc/internal/wal"
+)
+
+// Dataset is one supervised dataset. All exported methods are safe for
+// concurrent use; state transitions are owned by the supervisor
+// goroutine (plus Unquarantine and close).
+type Dataset struct {
+	name  string
+	m     *Manager
+	paths dsPaths
+
+	mu      sync.Mutex
+	state   State
+	reason  string
+	metric  string
+	radius  float64
+	upd     *disc.Updater
+	deg     *DegradedView
+	retryAt time.Time
+	settled chan struct{}
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (m *Manager) newDataset(name string, p dsPaths) *Dataset {
+	return &Dataset{
+		name:    name,
+		m:       m,
+		paths:   p,
+		settled: make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Name returns the dataset's name.
+func (d *Dataset) Name() string { return d.name }
+
+// Status reports the current state and, for non-ready states, the
+// human-readable reason.
+func (d *Dataset) Status() (State, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state, d.reason
+}
+
+// RetryAfter hints how long a client should wait before retrying a
+// 503: the time until the supervisor's next recovery attempt, floored
+// at one second.
+func (d *Dataset) RetryAfter() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	wait := time.Until(d.retryAt)
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait.Round(time.Second)
+}
+
+// Updater returns the live engine when the dataset is ready; otherwise
+// an *UnavailableError naming the state. The returned updater stays
+// valid even if a fault lands mid-request — a superseded instance
+// refuses further mutations with its own error rather than racing.
+func (d *Dataset) Updater() (*disc.Updater, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == StateReady && d.upd != nil {
+		return d.upd, nil
+	}
+	return nil, d.unavailableLocked()
+}
+
+// ReadView is what a read-path handler gets: exactly one of Upd
+// (ready) or Deg (degraded) is non-nil.
+type ReadView struct {
+	State State
+	Upd   *disc.Updater
+	Deg   *DegradedView
+}
+
+// View returns a read view when the dataset can serve reads (ready or
+// degraded), else an *UnavailableError.
+func (d *Dataset) View() (ReadView, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.state == StateReady && d.upd != nil:
+		return ReadView{State: d.state, Upd: d.upd}, nil
+	case d.state == StateDegraded && d.deg != nil:
+		return ReadView{State: d.state, Deg: d.deg}, nil
+	}
+	return ReadView{}, d.unavailableLocked()
+}
+
+func (d *Dataset) unavailableLocked() *UnavailableError {
+	wait := time.Until(d.retryAt)
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return &UnavailableError{Dataset: d.name, State: d.state, Reason: d.reason, RetryAfter: wait.Round(time.Second)}
+}
+
+// Info is a stable snapshot of a dataset for listing/info endpoints.
+// Counts are zero when the dataset cannot serve reads.
+type Info struct {
+	Name     string
+	State    State
+	Reason   string
+	Metric   string
+	Radius   float64
+	Dim      int
+	Live     int
+	Selected int
+	Pending  int
+}
+
+// Info captures the dataset's externally visible state.
+func (d *Dataset) Info() Info {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info := Info{Name: d.name, State: d.state, Reason: d.reason, Metric: d.metric, Radius: d.radius}
+	switch {
+	case d.state == StateReady && d.upd != nil:
+		info.Radius = d.upd.Radius()
+		info.Dim = d.upd.Dim()
+		info.Live = d.upd.Len()
+		info.Selected = d.upd.Size()
+		info.Pending = d.upd.Pending()
+	case d.state == StateDegraded && d.deg != nil:
+		info.Metric = d.deg.Metric
+		info.Radius = d.deg.Radius
+		info.Dim = d.deg.Dim
+		info.Live = d.deg.Live
+		info.Selected = len(d.deg.Selection)
+	}
+	return info
+}
+
+// CheckpointPath returns where this dataset's checkpoint snapshot
+// lives (empty for memory-only managers).
+func (d *Dataset) CheckpointPath() string {
+	if !d.m.Durable() {
+		return ""
+	}
+	return d.paths.snap
+}
+
+// ReportFault classifies an error from a mutation or checkpoint. A
+// storage-class fault (the write-ahead log poisoned itself, or the
+// error carries a filesystem *PathError) wakes the supervisor and
+// returns true — the server should answer 503, because the client did
+// nothing wrong and a retry after recovery will succeed. Anything else
+// returns false: a plain bad request.
+func (d *Dataset) ReportFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	d.mu.Lock()
+	broken := d.upd != nil && d.upd.WALBroken() != nil
+	d.mu.Unlock()
+	var pe *os.PathError
+	if !broken && !errors.As(err, &pe) {
+		return false
+	}
+	metFaults.Inc()
+	d.m.logger().Error("dataset storage fault", "dataset", d.name, "err", err)
+	d.kickNow()
+	return true
+}
+
+// kickNow wakes the supervisor without blocking (the channel holds one
+// pending kick; more are redundant).
+func (d *Dataset) kickNow() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (d *Dataset) settledCh() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.settled
+}
+
+// settle marks the dataset settled (first arrival in a stable state);
+// idempotent until resetSettle.
+func (d *Dataset) settle() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.settled:
+	default:
+		close(d.settled)
+	}
+}
+
+// resetSettle re-arms the settled barrier (Unquarantine waits on the
+// next settle). Caller holds d.mu.
+func (d *Dataset) resetSettle() {
+	select {
+	case <-d.settled:
+		d.settled = make(chan struct{})
+	default:
+	}
+}
+
+// setState publishes a state transition (and its gauge).
+func (d *Dataset) setState(st State, reason string) {
+	d.mu.Lock()
+	d.state = st
+	d.reason = reason
+	d.mu.Unlock()
+	setStateGauge(d.name, st)
+}
+
+// close stops the supervisor and closes the engine. Used by
+// Manager.Close only.
+func (d *Dataset) close() error {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	<-d.done
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state = StateClosed
+	var err error
+	if d.upd != nil {
+		err = d.upd.Close()
+	}
+	setStateGauge(d.name, StateClosed)
+	return err
+}
+
+// supervise is the per-dataset supervisor goroutine: it drives the
+// state machine until the manager closes. One dataset's supervisor
+// never touches another dataset — that is the isolation property the
+// chaos suite pins.
+func (d *Dataset) supervise() {
+	defer close(d.done)
+	rng := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), uint64(len(d.name))))
+	backoff := d.m.cfg.BackoffBase
+	attempts := 0
+	for {
+		st, _ := d.Status()
+		switch st {
+		case StateClosed:
+			return
+		case StateReady:
+			select {
+			case <-d.stop:
+				return
+			case <-d.kick:
+				// Only a poisoned write-ahead log needs recovery; a
+				// checkpoint whose snapshot write failed leaves the log
+				// healthy and the dataset fully serviceable.
+				d.mu.Lock()
+				broken := error(nil)
+				if d.upd != nil {
+					broken = d.upd.WALBroken()
+				}
+				if broken == nil {
+					d.mu.Unlock()
+					continue
+				}
+				// The in-memory engine may hold operations whose log append
+				// failed — unacknowledged state. Recovery must reopen from
+				// disk, the acknowledged prefix, never from this instance.
+				d.upd.Close()
+				d.upd = nil
+				d.state = StateLoading
+				d.reason = fmt.Sprintf("write-ahead log fault: %v", broken)
+				d.resetSettle()
+				d.mu.Unlock()
+				setStateGauge(d.name, StateLoading)
+				d.m.logger().Warn("dataset entering recovery", "dataset", d.name, "err", broken)
+				attempts, backoff = 0, d.m.cfg.BackoffBase
+			}
+		case StateQuarantined:
+			select {
+			case <-d.stop:
+				return
+			case <-d.kick:
+				// Unquarantine flipped the state to loading already; a
+				// spurious kick loops back here harmlessly.
+				attempts, backoff = 0, d.m.cfg.BackoffBase
+			}
+		default: // StateLoading, StateDegraded
+			err := d.tryOpen()
+			if err == nil {
+				metRecoveries.Inc()
+				d.m.logger().Info("dataset recovered", "dataset", d.name)
+				attempts, backoff = 0, d.m.cfg.BackoffBase
+				d.settle()
+				continue
+			}
+			if isUnrecoverable(err) {
+				d.quarantine(err)
+				d.settle()
+				continue
+			}
+			attempts++
+			metRetries.Inc()
+			d.m.logger().Warn("dataset recovery attempt failed",
+				"dataset", d.name, "attempt", attempts, "err", err)
+			d.mu.Lock()
+			d.reason = err.Error()
+			d.mu.Unlock()
+			if attempts >= d.m.cfg.MaxAttempts {
+				// Park: serve read-only from the last good snapshot when
+				// one exists, and keep retrying at the cap either way.
+				if d.tryDegrade() {
+					d.m.logger().Warn("dataset serving degraded (read-only) from last snapshot",
+						"dataset", d.name, "err", err)
+				}
+				d.settle()
+			}
+			// Full jitter: a fleet of datasets felled by one disk must not
+			// retry in lockstep.
+			wait := time.Duration(rng.Int64N(int64(backoff))) + backoff/2
+			if backoff *= 2; backoff > d.m.cfg.BackoffCap {
+				backoff = d.m.cfg.BackoffCap
+			}
+			d.mu.Lock()
+			d.retryAt = time.Now().Add(wait)
+			d.mu.Unlock()
+			select {
+			case <-d.stop:
+				return
+			case <-d.kick:
+			case <-time.After(wait):
+			}
+		}
+	}
+}
+
+// errUnrecoverable classifies deterministic open failures that byte
+// scrubbing cannot see (a log that does not extend its snapshot, an
+// unknown metric): retrying cannot help, quarantine.
+var errUnrecoverable = errors.New("unrecoverable")
+
+func isUnrecoverable(err error) bool {
+	return errors.Is(err, wal.ErrCorrupt) || errors.Is(err, snap.ErrCorrupt) || errors.Is(err, errUnrecoverable)
+}
+
+// tryOpen performs one full recovery attempt: sidecar check, snapshot
+// and WAL scrub, open, replay. On success the dataset is ready. The
+// error classifies the failure (isUnrecoverable → quarantine, else
+// retry with backoff).
+func (d *Dataset) tryOpen() error {
+	fsys := d.m.fs()
+
+	// A sidecar left by a previous life keeps the dataset out until an
+	// operator removes it — rebooting must not clear a quarantine.
+	if data, err := fsys.ReadFile(d.paths.quar); err == nil {
+		return fmt.Errorf("quarantine sidecar present: %s (%w)", bytes.TrimSpace(data), errUnrecoverable)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+
+	// Scrub the snapshot: full read, every checksum checked, before any
+	// state is admitted. I/O errors are retryable; validation errors are
+	// corruption.
+	var (
+		epoch    uint64
+		haveSnap bool
+		ssum     *snap.VerifySummary
+	)
+	ssum, serr := snap.Verify(fsys, d.paths.snap)
+	switch {
+	case serr == nil:
+		epoch, haveSnap = ssum.WALEpoch, true
+	case errors.Is(serr, fs.ErrNotExist):
+	default:
+		return serr
+	}
+
+	// Scrub the log against the snapshot's epoch. A log from a future
+	// epoch, a sequence gap, or a checksum mismatch is corruption; a
+	// missing-snapshot-after-checkpoint shows up here too (the segments
+	// are "from the future" relative to epoch 0).
+	wres, werr := wal.Verify(fsys, d.paths.wal, epoch)
+	if werr != nil {
+		return werr
+	}
+
+	// Resolve the dataset's identity: the WAL header names it; a
+	// snapshot-only dataset must carry a coverage graph (the graph
+	// radius IS the identity); a freshly created dataset with neither
+	// remembers it from Create.
+	radius, metricName := wres.Radius, wres.Metric
+	if metricName == "" && haveSnap {
+		if ssum.GraphRadius <= 0 {
+			return fmt.Errorf("checkpoint has no coverage graph; cannot determine the dataset's radius (%w)", errUnrecoverable)
+		}
+		radius, metricName = ssum.GraphRadius, ssum.Metric
+	}
+	if metricName == "" {
+		d.mu.Lock()
+		radius, metricName = d.radius, d.metric
+		d.mu.Unlock()
+	}
+	if metricName == "" {
+		return fmt.Errorf("no snapshot, no log, no remembered identity for %q (%w)", d.name, errUnrecoverable)
+	}
+	metric, err := disc.MetricByName(metricName)
+	if err != nil {
+		return fmt.Errorf("%v (%w)", err, errUnrecoverable)
+	}
+
+	u, err := disc.OpenUpdater(d.paths.snap, d.paths.wal, radius, d.m.openOpts(metric)...)
+	if err != nil {
+		// The scrub passed, so a deterministic (non-I/O) failure here is
+		// semantic corruption: a replay id drift, a radius mismatch.
+		var pe *os.PathError
+		if errors.As(err, &pe) || isUnrecoverable(err) {
+			return err
+		}
+		return fmt.Errorf("%v (%w)", err, errUnrecoverable)
+	}
+
+	d.mu.Lock()
+	d.upd = u
+	d.metric = metricName
+	d.radius = radius
+	d.deg = nil
+	d.state = StateReady
+	d.reason = ""
+	d.mu.Unlock()
+	setStateGauge(d.name, StateReady)
+	return nil
+}
+
+// quarantine transitions into StateQuarantined: sidecar on disk,
+// structured log line, counter. Loud by design.
+func (d *Dataset) quarantine(cause error) {
+	reason := cause.Error()
+	d.mu.Lock()
+	if d.upd != nil {
+		d.upd.Close()
+		d.upd = nil
+	}
+	d.deg = nil
+	d.state = StateQuarantined
+	d.reason = reason
+	d.mu.Unlock()
+	setStateGauge(d.name, StateQuarantined)
+	metQuarantines.Inc()
+	d.m.logger().Error("DATASET QUARANTINED: unrecoverable corruption; operator action required (see docs/OPERATIONS.md)",
+		"dataset", d.name, "reason", reason, "sidecar", d.paths.quar)
+	// Best-effort sidecar write (the disk may be the problem); an
+	// existing sidecar is preserved — it names the original cause.
+	if _, err := d.m.fs().Stat(d.paths.quar); err != nil {
+		body, _ := json.Marshal(map[string]string{
+			"dataset": d.name,
+			"reason":  reason,
+			"time":    time.Now().UTC().Format(time.RFC3339),
+		})
+		if werr := d.m.fs().WriteFile(d.paths.quar, append(body, '\n'), 0o644); werr != nil {
+			d.m.logger().Error("quarantine sidecar write failed", "dataset", d.name, "err", werr)
+		}
+	}
+}
+
+// DegradedView is the read-only stand-in served while recovery keeps
+// failing: the last good checkpoint's points and the selection a
+// from-scratch component-mode Select computes over them.
+type DegradedView struct {
+	Radius    float64
+	Metric    string
+	Dim       int
+	Live      int
+	Selection []int
+}
+
+// tryDegrade loads the last good snapshot into a read-only view and
+// enters StateDegraded. Returns false (state unchanged) when no
+// readable snapshot with a coverage graph exists. An already-degraded
+// dataset keeps its view.
+func (d *Dataset) tryDegrade() bool {
+	d.mu.Lock()
+	if d.state == StateDegraded && d.deg != nil {
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+
+	fsys := d.m.fs()
+	ssum, err := snap.Verify(fsys, d.paths.snap)
+	if err != nil || ssum.GraphRadius <= 0 || ssum.Float32 {
+		return false
+	}
+	data, err := fsys.ReadFile(d.paths.snap)
+	if err != nil {
+		return false
+	}
+	div, err := disc.LoadDiversifier(bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	res, err := div.Select(ssum.GraphRadius, disc.WithSelectMode(disc.SelectComponents))
+	if err != nil {
+		return false
+	}
+	view := &DegradedView{
+		Radius:    ssum.GraphRadius,
+		Metric:    ssum.Metric,
+		Dim:       ssum.Dim,
+		Live:      ssum.N,
+		Selection: res.SortedIDs(),
+	}
+	d.mu.Lock()
+	d.deg = view
+	d.state = StateDegraded
+	d.mu.Unlock()
+	setStateGauge(d.name, StateDegraded)
+	metDegraded.Inc()
+	return true
+}

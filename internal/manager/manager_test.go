@@ -1,0 +1,326 @@
+package manager
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/faultio"
+)
+
+// fastCfg returns a Config tuned for tests: millisecond backoff so a
+// park-after-retries transition happens in tens of milliseconds, not
+// tens of seconds.
+func fastCfg(dir string) Config {
+	return Config{
+		Dir:         dir,
+		Fsync:       disc.FsyncAlways,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffCap:  20 * time.Millisecond,
+		MaxAttempts: 3,
+	}
+}
+
+func seedPoints(n int) []disc.Point {
+	pts := make([]disc.Point, n)
+	for i := range pts {
+		pts[i] = disc.Point{float64(i) * 3, float64(i%3) * 3}
+	}
+	return pts
+}
+
+// waitState polls until the dataset reaches the wanted state or the
+// deadline passes.
+func waitState(t *testing.T, d *Dataset, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, _ := d.Status(); st == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, reason := d.Status()
+	t.Fatalf("dataset %q never reached %s; stuck at %s (%s)", d.Name(), want, st, reason)
+}
+
+func TestManagerMemoryLifecycle(t *testing.T) {
+	m := New(Config{})
+	d, err := m.Create("mem", "euclidean", 2.0, seedPoints(6))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if st, _ := d.Status(); st != StateReady {
+		t.Fatalf("state = %s, want ready", st)
+	}
+	u, err := d.Updater()
+	if err != nil {
+		t.Fatalf("Updater: %v", err)
+	}
+	if u.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", u.Len())
+	}
+	if _, err := m.Create("mem", "euclidean", 2.0, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create err = %v, want ErrExists", err)
+	}
+	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get unknown err = %v, want ErrNotFound", err)
+	}
+	if err := m.Unquarantine("mem"); err == nil || !strings.Contains(err.Error(), "not quarantined") {
+		t.Fatalf("Unquarantine on ready dataset err = %v, want 'not quarantined'", err)
+	}
+	states := m.States()
+	if states["mem"].State != StateReady {
+		t.Fatalf("States = %+v, want mem ready", states)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st, _ := d.Status(); st != StateClosed {
+		t.Fatalf("state after Close = %s, want closed", st)
+	}
+}
+
+func TestManagerRecoverMultipleDatasets(t *testing.T) {
+	dir := t.TempDir()
+	m := New(fastCfg(dir))
+	counts := map[string]int{"alpha": 5, "beta": 7, "gamma": 3}
+	for name, n := range counts {
+		if _, err := m.Create(name, "euclidean", 2.0, seedPoints(n)); err != nil {
+			t.Fatalf("Create %s: %v", name, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m2 := New(fastCfg(dir))
+	defer m2.Close()
+	serving, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if serving != 3 {
+		t.Fatalf("Recover serving = %d, want 3", serving)
+	}
+	for name, n := range counts {
+		d, err := m2.Get(name)
+		if err != nil {
+			t.Fatalf("Get %s: %v", name, err)
+		}
+		if st, reason := d.Status(); st != StateReady {
+			t.Fatalf("%s state = %s (%s), want ready", name, st, reason)
+		}
+		if got := d.Info().Live; got != n {
+			t.Fatalf("%s Live = %d, want %d", name, got, n)
+		}
+	}
+	// Durable creates must refuse names with on-disk state.
+	if _, err := m2.Create("alpha", "euclidean", 2.0, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over loaded dataset err = %v, want ErrExists", err)
+	}
+}
+
+func TestManagerQuarantineAndUnquarantine(t *testing.T) {
+	dir := t.TempDir()
+	m := New(fastCfg(dir))
+	d, err := m.Create("victim", "euclidean", 2.0, seedPoints(8))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	u, err := d.Updater()
+	if err != nil {
+		t.Fatalf("Updater: %v", err)
+	}
+	if err := u.Checkpoint(d.CheckpointPath()); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snapPath := filepath.Join(dir, "victim.discsnap")
+	good, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	// Flip a byte in the snapshot's interior: checksummed payload, so
+	// the boot scrub must refuse it as corruption, not retry it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xff
+	if err := os.WriteFile(snapPath, bad, 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+
+	m2 := New(fastCfg(dir))
+	serving, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if serving != 0 {
+		t.Fatalf("Recover serving = %d, want 0 (quarantined)", serving)
+	}
+	d2, err := m2.Get("victim")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	st, reason := d2.Status()
+	if st != StateQuarantined || reason == "" {
+		t.Fatalf("state = %s (%q), want quarantined with a reason", st, reason)
+	}
+	if _, err := d2.Updater(); err == nil {
+		t.Fatal("Updater on quarantined dataset succeeded")
+	} else {
+		var ue *UnavailableError
+		if !errors.As(err, &ue) || ue.State != StateQuarantined {
+			t.Fatalf("Updater err = %v, want UnavailableError{quarantined}", err)
+		}
+	}
+	sidecar := filepath.Join(dir, "victim.QUARANTINE")
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("quarantine sidecar missing: %v", err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A reboot must not clear the quarantine: the sidecar keeps the
+	// dataset out even though we also repair the snapshot below.
+	if err := os.WriteFile(snapPath, good, 0o644); err != nil {
+		t.Fatalf("repair snapshot: %v", err)
+	}
+	m3 := New(fastCfg(dir))
+	defer m3.Close()
+	if serving, err := m3.Recover(); err != nil || serving != 0 {
+		t.Fatalf("Recover after repair-without-unquarantine = (%d, %v), want (0, nil)", serving, err)
+	}
+	d3, _ := m3.Get("victim")
+	if st, _ := d3.Status(); st != StateQuarantined {
+		t.Fatalf("state after reboot = %s, want quarantined (sidecar must persist)", st)
+	}
+
+	// The operator runbook: repair the files, then lift the quarantine.
+	if err := m3.Unquarantine("victim"); err != nil {
+		t.Fatalf("Unquarantine: %v", err)
+	}
+	waitState(t, d3, StateReady)
+	if got := d3.Info().Live; got != 8 {
+		t.Fatalf("Live after unquarantine = %d, want 8", got)
+	}
+	if _, err := os.Stat(sidecar); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("sidecar still present after unquarantine: %v", err)
+	}
+}
+
+func TestManagerDegradedServesLastSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	m := New(fastCfg(dir))
+	d, err := m.Create("deg", "euclidean", 2.0, seedPoints(9))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	u, _ := d.Updater()
+	if err := u.Checkpoint(d.CheckpointPath()); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// A few post-checkpoint mutations so the log carries state the
+	// degraded view must NOT pretend to have.
+	if _, err := u.Insert(disc.Point{100, 100}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Every WAL segment read fails with EIO — transient in kind, but
+	// persistent: recovery retries, exhausts its attempts, and must park
+	// in degraded mode serving the last good snapshot read-only.
+	fs := faultio.NewDirFS(&faultio.Rule{Op: faultio.OpRead, PathContains: ".wal.", Err: syscall.EIO})
+	cfg := fastCfg(dir)
+	cfg.FS = fs
+	m2 := New(cfg)
+	defer m2.Close()
+	serving, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if serving != 1 {
+		t.Fatalf("Recover serving = %d, want 1 (degraded still serves)", serving)
+	}
+	d2, _ := m2.Get("deg")
+	if st, _ := d2.Status(); st != StateDegraded {
+		t.Fatalf("state = %s, want degraded", st)
+	}
+	v, err := d2.View()
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if v.Deg == nil || v.Upd != nil {
+		t.Fatalf("degraded view = %+v, want snapshot-backed", v)
+	}
+	if v.Deg.Live != 9 {
+		t.Fatalf("degraded Live = %d, want 9 (snapshot state, not the logged insert)", v.Deg.Live)
+	}
+	if len(v.Deg.Selection) == 0 {
+		t.Fatal("degraded selection is empty")
+	}
+	// Mutations must refuse with a 503-shaped error while degraded.
+	if _, err := d2.Updater(); err == nil {
+		t.Fatal("Updater on degraded dataset succeeded")
+	}
+
+	// Disk heals: the supervisor is still retrying at the cap, so the
+	// dataset must climb back to ready with the logged insert replayed.
+	fs.ClearRules()
+	d2.kickNow()
+	waitState(t, d2, StateReady)
+	if got := d2.Info().Live; got != 10 {
+		t.Fatalf("Live after recovery = %d, want 10", got)
+	}
+}
+
+func TestManagerScanSkipsInvalidNames(t *testing.T) {
+	dir := t.TempDir()
+	m := New(fastCfg(dir))
+	if _, err := m.Create("good", "euclidean", 2.0, seedPoints(4)); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A stray file whose derived dataset name contains a separator must
+	// be skipped by the boot scan, never joined into a path.
+	if err := os.WriteFile(filepath.Join(dir, `evil\name.discsnap`), []byte("x"), 0o644); err != nil {
+		t.Fatalf("plant stray file: %v", err)
+	}
+	m2 := New(fastCfg(dir))
+	defer m2.Close()
+	serving, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if serving != 1 {
+		t.Fatalf("serving = %d, want 1", serving)
+	}
+	if _, err := m2.Get(`evil\name`); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("invalid name was loaded: %v", err)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	for _, name := range []string{"alpha", "a-b_c.1", "UPPER"} {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "../etc", "a/../b", "/abs"} {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", name)
+		}
+	}
+}

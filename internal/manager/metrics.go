@@ -1,0 +1,38 @@
+package manager
+
+import (
+	"github.com/discdiversity/disc/internal/telemetry"
+)
+
+// Lifecycle metrics, exposed at GET /metrics alongside the request and
+// durability series (see docs/OBSERVABILITY.md).
+var (
+	metRecoveries = telemetry.Default().Counter("disc_dataset_recoveries_total",
+		"Successful dataset recoveries (transitions into ready).")
+	metRetries = telemetry.Default().Counter("disc_dataset_recovery_retries_total",
+		"Recovery attempts that failed with a retryable error (backoff applied).")
+	metQuarantines = telemetry.Default().Counter("disc_dataset_quarantines_total",
+		"Datasets quarantined for unrecoverable corruption since process start.")
+	metDegraded = telemetry.Default().Counter("disc_dataset_degraded_total",
+		"Transitions into degraded (read-only) serving since process start.")
+	metFaults = telemetry.Default().Counter("disc_dataset_storage_faults_total",
+		"Runtime storage faults reported against serving datasets.")
+)
+
+// setStateGauge publishes a dataset's state as one-hot gauges:
+// disc_dataset_state{dataset="X",state="ready"} is 1 for the current
+// state and 0 for the rest, so a scrape sees exactly one state per
+// dataset. Cardinality is datasets × 5 — bounded by the operator's own
+// dataset count.
+func setStateGauge(name string, st State) {
+	reg := telemetry.Default()
+	for _, s := range states {
+		g := reg.Gauge(`disc_dataset_state{dataset="`+name+`",state="`+string(s)+`"}`,
+			"Dataset lifecycle state (one-hot per dataset; see docs/OPERATIONS.md).")
+		if s == st {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+	}
+}

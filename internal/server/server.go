@@ -25,15 +25,21 @@
 //
 //	POST /v1/live                         create {name, radius, metric?, points?}
 //	GET  /v1/live                         list live maintainers
-//	GET  /v1/live/{name}                  maintainer info (live, selected, pending)
+//	GET  /v1/live/{name}                  maintainer info (live, selected, pending, state)
 //	POST /v1/live/{name}/insert          {point, flush?} -> assigned id
 //	POST /v1/live/{name}/delete          {id, flush?} -> updated counts
 //	POST /v1/live/{name}/flush           repair dirty components, publish
 //	GET  /v1/live/{name}/selection       last published representative ids
+//	POST /v1/live/{name}/unquarantine    lift a quarantine after repair
 //
 // Mutations are bounded-stale by default: reads keep serving the last
 // published selection until a flush converges the dirty components.
 // Pass "flush": true on a mutation for per-operation convergence.
+//
+// Every live maintainer is owned by a supervised lifecycle (see
+// internal/manager and docs/OPERATIONS.md): a dataset whose disk
+// fails recovers — or quarantines — independently, answering 503 with
+// a Retry-After hint while every other dataset keeps serving.
 package server
 
 import (
@@ -43,17 +49,17 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	disc "github.com/discdiversity/disc"
+	"github.com/discdiversity/disc/internal/manager"
 	"github.com/discdiversity/disc/internal/snap"
+	"github.com/discdiversity/disc/internal/vfs"
 )
 
 // Server is the HTTP handler. Create with New; it is safe for concurrent
@@ -64,12 +70,17 @@ type Server struct {
 	snapshotDir string
 
 	// Live-durability configuration (WithLiveDir and friends): when
-	// liveDir is set, live maintainers are created through
+	// liveDir (or dataDir) is set, live maintainers are created through
 	// disc.OpenUpdater with a snapshot + write-ahead log pair in that
 	// directory, and RestoreLive resumes them after a restart.
 	liveDir           string
+	dataDir           string
 	liveFsync         disc.FsyncPolicy
 	liveFsyncInterval time.Duration
+	storageFS         vfs.FS
+	backoffBase       time.Duration
+	backoffCap        time.Duration
+	maxAttempts       int
 
 	// Request-hardening configuration (see middleware.go).
 	maxInflight    int
@@ -85,8 +96,12 @@ type Server struct {
 
 	datasets map[string]*datasetState
 	results  map[string]*resultState
-	live     map[string]*liveState
 	nextID   int
+
+	// mgr owns every live maintainer's lifecycle: supervised recovery,
+	// corruption quarantine, degraded-mode reads. Built by New after
+	// the options have resolved the storage layout.
+	mgr *manager.Manager
 }
 
 // Option configures New.
@@ -118,6 +133,34 @@ func WithLiveFsync(p disc.FsyncPolicy) Option {
 // policy is disc.FsyncInterval.
 func WithLiveFsyncInterval(d time.Duration) Option {
 	return func(s *Server) { s.liveFsyncInterval = d }
+}
+
+// WithDataDir makes live maintainers durable in per-dataset home
+// directories (<dir>/<name>/current.discsnap, <dir>/<name>/wal.*)
+// instead of the flat WithLiveDir layout. Takes precedence over
+// WithLiveDir when both are set.
+func WithDataDir(dir string) Option {
+	return func(s *Server) { s.dataDir = dir }
+}
+
+// WithStorageFS routes every durable-state file operation through fsys
+// — the chaos suite injects a fault-scheduling filesystem here. Nil
+// (the default) means the real filesystem.
+func WithStorageFS(fsys vfs.FS) Option {
+	return func(s *Server) { s.storageFS = fsys }
+}
+
+// WithRecoveryBackoff tunes per-dataset recovery: the retry delay
+// starts at base and doubles up to cap (with jitter), and after
+// maxAttempts consecutive failures the dataset parks — serving
+// read-only from its last good snapshot when one exists — while
+// retries continue at the cap. Zeroes keep the defaults (50ms / 5s / 5).
+func WithRecoveryBackoff(base, cap time.Duration, maxAttempts int) Option {
+	return func(s *Server) {
+		s.backoffBase = base
+		s.backoffCap = cap
+		s.maxAttempts = maxAttempts
+	}
 }
 
 // WithMaxInflight bounds concurrently-served requests; excess requests
@@ -176,24 +219,32 @@ type resultState struct {
 	res     *disc.Result
 }
 
-type liveState struct {
-	name    string
-	metric  string
-	updater *disc.Updater
-}
-
 // New creates an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
 		liveFsync: disc.FsyncAlways,
 		datasets:  make(map[string]*datasetState),
 		results:   make(map[string]*resultState),
-		live:      make(map[string]*liveState),
 	}
 	s.ready.Store(true)
 	for _, opt := range opts {
 		opt(s)
 	}
+	dir, homes := s.liveDir, false
+	if s.dataDir != "" {
+		dir, homes = s.dataDir, true
+	}
+	s.mgr = manager.New(manager.Config{
+		Dir:           dir,
+		Homes:         homes,
+		Fsync:         s.liveFsync,
+		FsyncInterval: s.liveFsyncInterval,
+		FS:            s.storageFS,
+		Logger:        s.log,
+		BackoffBase:   s.backoffBase,
+		BackoffCap:    s.backoffCap,
+		MaxAttempts:   s.maxAttempts,
+	})
 	return s
 }
 
@@ -224,6 +275,7 @@ func (s *Server) Handler() http.Handler {
 	route("POST", "/v1/live/{name}/flush", s.handleLiveFlush)
 	route("POST", "/v1/live/{name}/snapshot", s.handleLiveCheckpoint)
 	route("GET", "/v1/live/{name}/selection", s.handleLiveSelection)
+	route("POST", "/v1/live/{name}/unquarantine", s.handleLiveUnquarantine)
 
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
@@ -233,20 +285,12 @@ func (s *Server) Handler() http.Handler {
 	return root
 }
 
-// Close releases every durable live maintainer's write-ahead log,
-// syncing acknowledged mutations to disk. The server keeps answering
-// reads afterwards, but durable mutations fail; call it once the
-// listener has drained.
+// Close stops every dataset supervisor and releases every durable live
+// maintainer's write-ahead log, syncing acknowledged mutations to
+// disk. The server keeps answering reads afterwards, but durable
+// mutations fail; call it once the listener has drained.
 func (s *Server) Close() error {
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	var first error
-	for _, ls := range s.live {
-		if err := ls.updater.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return s.mgr.Close()
 }
 
 // LoadSnapshot registers a dataset warm-started from a .discsnap stream
@@ -287,15 +331,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyzBody is the /readyz payload. Datasets appears once live
+// maintainers exist: each one's lifecycle state, so an orchestrator
+// (or an operator with curl) sees a quarantined or still-recovering
+// dataset without touching its routes.
+type readyzBody struct {
+	Status   string                           `json:"status"`
+	Datasets map[string]manager.DatasetStatus `json:"datasets,omitempty"`
+}
+
 // handleReadyz is the readiness probe: 200 once the server may receive
 // traffic, 503 while boot-time WAL recovery is still replaying (see
-// SetReady). Lock-free for the same reason as handleHealthz.
+// SetReady). It never takes the server's select lock, for the same
+// reason as handleHealthz (the per-dataset status reads take only the
+// manager's brief registry locks).
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := readyzBody{Status: "ready"}
+	if states := s.mgr.States(); len(states) > 0 {
+		body.Datasets = states
+	}
 	if s.ready.Load() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, body)
 		return
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	body.Status = "recovering"
+	writeJSON(w, http.StatusServiceUnavailable, body)
 }
 
 // decodeJSON decodes a request body, counting bodies rejected by the
@@ -323,20 +383,24 @@ type snapshotBody struct {
 // concurrent warm start never observes a torn snapshot and a power
 // loss right after the response cannot lose it.
 func (s *Server) handleSaveSnapshot(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
 	s.mux.Lock()
 	defer s.mux.Unlock()
 	if s.snapshotDir == "" {
 		writeError(w, http.StatusBadRequest, "snapshot directory not configured (start discserve with -snapshot)")
 		return
 	}
-	ds, ok := s.datasets[r.PathValue("name")]
+	ds, ok := s.datasets[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
 		return
 	}
 	path := filepath.Join(s.snapshotDir, ds.name+".discsnap")
 	var size int64
-	err := snap.WriteFileAtomic(path, func(w io.Writer) error {
+	err := snap.WriteFileAtomicFS(s.storageFS, path, func(w io.Writer) error {
 		cw := &countingWriter{w: w}
 		if err := ds.div.WriteSnapshot(cw); err != nil {
 			return err
@@ -380,18 +444,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // validateDatasetName rejects empty names and anything that is not a
 // plain path component: dataset names become snapshot file names
 // (<dir>/<name>.discsnap), so separators or dot-names must never reach
-// filepath.Join where they could escape the snapshot directory.
+// filepath.Join where they could escape the snapshot directory. It is
+// the manager's validator — one rule for every route and boot scan.
 func validateDatasetName(name string) error {
-	if name == "" {
-		return fmt.Errorf("dataset name required")
+	return manager.ValidateName(name)
+}
+
+// pathName extracts and validates the {name} path value. An invalid
+// name (separators, dot-names — anything validateDatasetName rejects)
+// can never name a dataset, so it is refused with 400 before reaching
+// any map lookup or filepath.Join.
+func (s *Server) pathName(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.PathValue("name")
+	if err := validateDatasetName(name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return "", false
 	}
-	// Backslash is rejected explicitly: it is not a separator on this
-	// platform's filepath, but snapshots may be copied to one where it
-	// is.
-	if name != filepath.Base(name) || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
-		return fmt.Errorf("dataset name %q must be a plain path component (no separators)", name)
-	}
-	return nil
+	return name, true
 }
 
 type createDatasetRequest struct {
@@ -488,11 +557,15 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
 	s.mux.Lock()
 	defer s.mux.Unlock()
-	ds, ok := s.datasets[r.PathValue("name")]
+	ds, ok := s.datasets[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, datasetInfo{Name: ds.name, Metric: ds.metric, Size: ds.size, Dim: ds.dim})
@@ -546,12 +619,16 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
 
 	s.mux.Lock()
 	defer s.mux.Unlock()
-	ds, ok := s.datasets[r.PathValue("name")]
+	ds, ok := s.datasets[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
 		return
 	}
 	res, err := ds.div.Select(req.Radius, disc.WithAlgorithm(alg))
@@ -714,23 +791,58 @@ type liveInfo struct {
 	Live     int     `json:"live"`
 	Selected int     `json:"selected"`
 	Pending  int     `json:"pending"`
+	State    string  `json:"state"`
+	Reason   string  `json:"reason,omitempty"`
 }
 
-func (s *Server) liveInfoLocked(ls *liveState) liveInfo {
+func liveInfoFrom(in manager.Info) liveInfo {
 	return liveInfo{
-		Name:     ls.name,
-		Metric:   ls.metric,
-		Radius:   ls.updater.Radius(),
-		Dim:      ls.updater.Dim(),
-		Live:     ls.updater.Len(),
-		Selected: ls.updater.Size(),
-		Pending:  ls.updater.Pending(),
+		Name:     in.Name,
+		Metric:   in.Metric,
+		Radius:   in.Radius,
+		Dim:      in.Dim,
+		Live:     in.Live,
+		Selected: in.Selected,
+		Pending:  in.Pending,
+		State:    string(in.State),
+		Reason:   in.Reason,
 	}
+}
+
+// writeUnavailable maps a manager.UnavailableError — the dataset is
+// loading, degraded (for a mutation), or quarantined — to 503 with a
+// Retry-After hint and the machine-readable state. Returns false when
+// err is some other kind, leaving the response to the caller.
+func writeUnavailable(w http.ResponseWriter, err error) bool {
+	var ue *manager.UnavailableError
+	if !errors.As(err, &ue) {
+		return false
+	}
+	secs := int(ue.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, struct {
+		Error  string `json:"error"`
+		State  string `json:"state"`
+		Reason string `json:"reason,omitempty"`
+	}{Error: ue.Error(), State: string(ue.State), Reason: ue.Reason})
+	return true
+}
+
+// writeStorageFault answers a mutation whose failure was classified as
+// a storage fault: the client did nothing wrong, recovery has been
+// kicked, retry after it converges.
+func writeStorageFault(w http.ResponseWriter, name string, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "dataset %q hit a storage fault; recovery started: %v", name, err)
 }
 
 // handleCreateLive builds an incremental maintainer, optionally seeded
 // with points (a non-empty seed runs the batch pipeline once, so the
-// first published selection is exactly the batch selection).
+// first published selection is exactly the batch selection). The
+// maintainer is owned by the dataset manager from birth.
 func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
 	var req createLiveRequest
 	if err := s.decodeJSON(r, &req); err != nil {
@@ -745,212 +857,129 @@ func (s *Server) handleCreateLive(w http.ResponseWriter, r *http.Request) {
 	if metricName == "" {
 		metricName = "euclidean"
 	}
-	metric, err := disc.MetricByName(metricName)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	pts := make([]disc.Point, len(req.Points))
 	for i, p := range req.Points {
 		pts[i] = disc.Point(p)
 	}
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	if _, exists := s.live[req.Name]; exists {
-		writeError(w, http.StatusConflict, "live maintainer %q already exists", req.Name)
+	d, err := s.mgr.Create(req.Name, metricName, req.Radius, pts)
+	if err != nil {
+		if errors.Is(err, manager.ErrExists) {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var u *disc.Updater
-	if s.liveDir == "" {
-		u, err = disc.NewUpdater(pts, req.Radius, disc.WithMetric(metric))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	} else {
-		// Durable create: refuse to silently resume on-disk state a
-		// previous life left behind under this name — that is
-		// RestoreLive's job, and seeding points on top of it would
-		// corrupt the recovered history.
-		snapPath, walPath := s.livePaths(req.Name)
-		if _, err := os.Stat(snapPath); err == nil {
-			writeError(w, http.StatusConflict, "live maintainer %q has a checkpoint on disk; restart with recovery to resume it", req.Name)
-			return
-		}
-		if _, _, _, err := disc.DescribeDurable(walPath); err == nil {
-			writeError(w, http.StatusConflict, "live maintainer %q has a write-ahead log on disk; restart with recovery to resume it", req.Name)
-			return
-		} else if !disc.IsNotExist(err) {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		u, err = disc.OpenUpdater(snapPath, walPath, req.Radius, s.durableOpts(metric)...)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		for _, p := range pts {
-			if _, err := u.Insert(p); err != nil {
-				u.Close()
-				writeError(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-		}
-		u.Flush()
-	}
-	ls := &liveState{name: req.Name, metric: metricName, updater: u}
-	s.live[req.Name] = ls
-	writeJSON(w, http.StatusCreated, s.liveInfoLocked(ls))
+	writeJSON(w, http.StatusCreated, liveInfoFrom(d.Info()))
 }
 
-// livePaths returns the checkpoint and write-ahead-log paths backing a
-// durable live maintainer.
-func (s *Server) livePaths(name string) (snapPath, walPath string) {
-	return filepath.Join(s.liveDir, name+".discsnap"), filepath.Join(s.liveDir, name+".wal")
-}
-
-// durableOpts assembles the disc options for opening a durable live
-// maintainer.
-func (s *Server) durableOpts(metric disc.Metric) []disc.Option {
-	opts := []disc.Option{disc.WithMetric(metric), disc.WithFsync(s.liveFsync)}
-	if s.liveFsyncInterval > 0 {
-		opts = append(opts, disc.WithFsyncInterval(s.liveFsyncInterval))
-	}
-	return opts
-}
-
-// RestoreLive scans the live directory for checkpoint/WAL pairs and
-// reopens each as a live maintainer: the snapshot warm-starts the
-// state and the surviving log suffix replays on top, so every mutation
-// the previous process acknowledged (under fsync=always) is visible
-// again. Call once at boot, before serving. Returns the number of
-// maintainers restored.
+// RestoreLive recovers every dataset a previous process left in the
+// storage directory, each under its own supervisor: a dataset that
+// needs backoff retries — or that is corrupt and gets quarantined —
+// neither delays nor fails the others. It blocks until every dataset
+// settles and returns how many are serving (ready or degraded). Call
+// once at boot, before serving.
 func (s *Server) RestoreLive() (int, error) {
-	if s.liveDir == "" {
-		return 0, nil
-	}
-	entries, err := os.ReadDir(s.liveDir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, nil
-		}
-		return 0, err
-	}
-	names := map[string]bool{}
-	for _, e := range entries {
-		n := e.Name()
-		if strings.HasSuffix(n, ".discsnap") {
-			names[strings.TrimSuffix(n, ".discsnap")] = true
-		} else if i := strings.Index(n, ".wal."); i > 0 {
-			names[n[:i]] = true
-		}
-	}
-	ordered := make([]string, 0, len(names))
-	for n := range names {
-		ordered = append(ordered, n)
-	}
-	sort.Strings(ordered)
-
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	restored := 0
-	for _, name := range ordered {
-		if _, exists := s.live[name]; exists {
-			return restored, fmt.Errorf("server: live maintainer %q already loaded", name)
-		}
-		snapPath, walPath := s.livePaths(name)
-		radius, metricName, err := s.describeLive(snapPath, walPath)
-		if err != nil {
-			return restored, fmt.Errorf("server: restore %q: %w", name, err)
-		}
-		metric, err := disc.MetricByName(metricName)
-		if err != nil {
-			return restored, fmt.Errorf("server: restore %q: %w", name, err)
-		}
-		u, err := disc.OpenUpdater(snapPath, walPath, radius, s.durableOpts(metric)...)
-		if err != nil {
-			return restored, fmt.Errorf("server: restore %q: %w", name, err)
-		}
-		s.live[name] = &liveState{name: name, metric: metricName, updater: u}
-		restored++
-	}
-	return restored, nil
-}
-
-// describeLive recovers the radius and metric a durable maintainer was
-// created with: from the WAL header when segments exist, else from the
-// checkpoint itself (a checkpoint with no graph section cannot name
-// its radius and is refused).
-func (s *Server) describeLive(snapPath, walPath string) (float64, string, error) {
-	if _, radius, metric, err := disc.DescribeDurable(walPath); err == nil {
-		return radius, metric, nil
-	} else if !disc.IsNotExist(err) {
-		return 0, "", err
-	}
-	f, err := os.Open(snapPath)
-	if err != nil {
-		return 0, "", err
-	}
-	defer f.Close()
-	sn, err := snap.Read(f)
-	if err != nil {
-		return 0, "", err
-	}
-	if sn.Graph == nil || sn.GraphRadius <= 0 {
-		return 0, "", fmt.Errorf("checkpoint has no coverage graph; cannot determine the maintainer's radius")
-	}
-	return sn.GraphRadius, sn.Metric, nil
+	return s.mgr.Recover()
 }
 
 // handleLiveCheckpoint compacts a durable maintainer into its
 // .discsnap file and rotates the write-ahead log to a fresh epoch,
-// bounding recovery time. 400 on memory-only maintainers.
+// bounding recovery time. 400 on memory-only maintainers. A failed
+// snapshot write (ENOSPC) leaves the old snapshot + log pair
+// authoritative and the dataset fully serviceable; only a failed log
+// rotation needs recovery, and that is kicked automatically.
 func (s *Server) handleLiveCheckpoint(w http.ResponseWriter, r *http.Request) {
-	ls := s.lookupLive(w, r)
-	if ls == nil {
+	d := s.lookupDataset(w, r)
+	if d == nil {
 		return
 	}
-	if !ls.updater.Durable() {
-		writeError(w, http.StatusBadRequest, "live maintainer %q is memory-only (start the server with a live directory)", ls.name)
+	u, err := d.Updater()
+	if err != nil {
+		if !writeUnavailable(w, err) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
-	snapPath, _ := s.livePaths(ls.name)
-	if err := ls.updater.Checkpoint(snapPath); err != nil {
+	if !u.Durable() {
+		writeError(w, http.StatusBadRequest, "live maintainer %q is memory-only (start the server with a live directory)", d.Name())
+		return
+	}
+	snapPath := d.CheckpointPath()
+	if err := u.Checkpoint(snapPath); err != nil {
+		if d.ReportFault(err) {
+			writeStorageFault(w, d.Name(), err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, snapshotBody{Dataset: ls.name, Path: snapPath})
+	writeJSON(w, http.StatusCreated, snapshotBody{Dataset: d.Name(), Path: snapPath})
+}
+
+// handleLiveUnquarantine lifts a quarantine after an operator has
+// repaired or replaced the damaged files (see docs/OPERATIONS.md): the
+// sidecar is removed and the dataset re-enters supervised recovery.
+// The response reports where the dataset settled — ready, degraded, or
+// quarantined again if the state is still bad.
+func (s *Server) handleLiveUnquarantine(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
+	if err := s.mgr.Unquarantine(name); err != nil {
+		switch {
+		case errors.Is(err, manager.ErrNotFound):
+			writeError(w, http.StatusNotFound, "unknown live maintainer %q", name)
+		default:
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	d, err := s.mgr.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown live maintainer %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, liveInfoFrom(d.Info()))
 }
 
 func (s *Server) handleListLive(w http.ResponseWriter, _ *http.Request) {
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	infos := make([]liveInfo, 0, len(s.live))
-	for _, ls := range s.live {
-		infos = append(infos, s.liveInfoLocked(ls))
+	ds := s.mgr.List()
+	infos := make([]liveInfo, 0, len(ds))
+	for _, d := range ds {
+		infos = append(infos, liveInfoFrom(d.Info()))
 	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, infos)
 }
 
-// lookupLive resolves the {name} path value, writing the 404 itself.
-func (s *Server) lookupLive(w http.ResponseWriter, r *http.Request) *liveState {
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	ls, ok := s.live[r.PathValue("name")]
+// lookupDataset resolves the {name} path value against the dataset
+// manager, writing the 400/404 itself. The returned dataset may be in
+// any lifecycle state — each handler gates on what it needs (Updater
+// for mutations, View for reads).
+func (s *Server) lookupDataset(w http.ResponseWriter, r *http.Request) *manager.Dataset {
+	name, ok := s.pathName(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown live maintainer %q", r.PathValue("name"))
 		return nil
 	}
-	return ls
+	d, err := s.mgr.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown live maintainer %q", name)
+		return nil
+	}
+	return d
 }
 
+// handleGetLive reports the maintainer's info in every lifecycle state
+// — it is the "what is wrong with my dataset" endpoint, so loading and
+// quarantined datasets answer 200 with their state and reason rather
+// than 503.
 func (s *Server) handleGetLive(w http.ResponseWriter, r *http.Request) {
-	ls := s.lookupLive(w, r)
-	if ls == nil {
+	d := s.lookupDataset(w, r)
+	if d == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.liveInfoLocked(ls))
+	writeJSON(w, http.StatusOK, liveInfoFrom(d.Info()))
 }
 
 type liveInsertRequest struct {
@@ -977,26 +1006,37 @@ func (s *Server) handleLiveInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	ls := s.lookupLive(w, r)
-	if ls == nil {
+	d := s.lookupDataset(w, r)
+	if d == nil {
+		return
+	}
+	u, err := d.Updater()
+	if err != nil {
+		if !writeUnavailable(w, err) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	// Dimensionality is validated by the updater itself, which
 	// serialises mutations — no server-side cache to race on.
-	id, err := ls.updater.Insert(disc.Point(req.Point))
+	id, err := u.Insert(disc.Point(req.Point))
 	if err != nil {
+		if d.ReportFault(err) {
+			writeStorageFault(w, d.Name(), err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Flush {
-		ls.updater.Flush()
+		u.Flush()
 	}
 	writeJSON(w, http.StatusCreated, liveMutationBody{
 		ID:       id,
-		Selected: ls.updater.IsRepresentative(id),
-		Live:     ls.updater.Len(),
-		Size:     ls.updater.Size(),
-		Pending:  ls.updater.Pending(),
+		Selected: u.IsRepresentative(id),
+		Live:     u.Len(),
+		Size:     u.Size(),
+		Pending:  u.Pending(),
 	})
 }
 
@@ -1013,22 +1053,33 @@ func (s *Server) handleLiveDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	ls := s.lookupLive(w, r)
-	if ls == nil {
+	d := s.lookupDataset(w, r)
+	if d == nil {
 		return
 	}
-	if err := ls.updater.Delete(req.ID); err != nil {
+	u, err := d.Updater()
+	if err != nil {
+		if !writeUnavailable(w, err) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	if err := u.Delete(req.ID); err != nil {
+		if d.ReportFault(err) {
+			writeStorageFault(w, d.Name(), err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Flush {
-		ls.updater.Flush()
+		u.Flush()
 	}
 	writeJSON(w, http.StatusOK, liveMutationBody{
 		ID:      req.ID,
-		Live:    ls.updater.Len(),
-		Size:    ls.updater.Size(),
-		Pending: ls.updater.Pending(),
+		Live:    u.Len(),
+		Size:    u.Size(),
+		Pending: u.Pending(),
 	})
 }
 
@@ -1039,35 +1090,62 @@ type liveFlushBody struct {
 }
 
 func (s *Server) handleLiveFlush(w http.ResponseWriter, r *http.Request) {
-	ls := s.lookupLive(w, r)
-	if ls == nil {
+	d := s.lookupDataset(w, r)
+	if d == nil {
 		return
 	}
-	repaired := ls.updater.Flush()
+	u, err := d.Updater()
+	if err != nil {
+		if !writeUnavailable(w, err) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	repaired := u.Flush()
 	writeJSON(w, http.StatusOK, liveFlushBody{
 		Repaired: repaired,
-		Size:     ls.updater.Size(),
-		Pending:  ls.updater.Pending(),
+		Size:     u.Size(),
+		Pending:  u.Pending(),
 	})
 }
 
 type liveSelectionBody struct {
-	Size    int   `json:"size"`
-	Pending int   `json:"pending"`
-	IDs     []int `json:"ids"`
+	Size    int    `json:"size"`
+	Pending int    `json:"pending"`
+	IDs     []int  `json:"ids"`
+	State   string `json:"state,omitempty"`
 }
 
 // handleLiveSelection serves the last published selection — lock-free
-// on the updater, so it stays responsive while repairs run.
+// on the updater, so it stays responsive while repairs run. A degraded
+// dataset serves the selection computed from its last good snapshot
+// (read-only, marked by the state field); loading and quarantined
+// datasets answer 503.
 func (s *Server) handleLiveSelection(w http.ResponseWriter, r *http.Request) {
-	ls := s.lookupLive(w, r)
-	if ls == nil {
+	d := s.lookupDataset(w, r)
+	if d == nil {
 		return
 	}
-	ids := ls.updater.Selection()
+	v, err := d.View()
+	if err != nil {
+		if !writeUnavailable(w, err) {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	if v.Upd != nil {
+		ids := v.Upd.Selection()
+		writeJSON(w, http.StatusOK, liveSelectionBody{
+			Size:    len(ids),
+			Pending: v.Upd.Pending(),
+			IDs:     append([]int(nil), ids...),
+			State:   string(v.State),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, liveSelectionBody{
-		Size:    len(ids),
-		Pending: ls.updater.Pending(),
-		IDs:     append([]int(nil), ids...),
+		Size:  len(v.Deg.Selection),
+		IDs:   append([]int(nil), v.Deg.Selection...),
+		State: string(v.State),
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"github.com/discdiversity/disc/internal/vfs"
 )
 
 // WriteFileAtomic writes a file crash-atomically: the content is
@@ -19,16 +21,27 @@ import (
 // (discserve's save endpoint, Diversifier.SaveSnapshot,
 // Updater.Checkpoint), so the durability sequence lives in exactly one
 // place.
-func WriteFileAtomic(path string, emit func(io.Writer) error) (err error) {
+func WriteFileAtomic(path string, emit func(io.Writer) error) error {
+	return WriteFileAtomicFS(vfs.OS, path, emit)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem,
+// so checkpoint writes can run under fault injection (scheduled ENOSPC
+// on the temp file, a failing rename) in the chaos properties. A nil
+// fsys means the real filesystem.
+func WriteFileAtomicFS(fsys vfs.FS, path string, emit func(io.Writer) error) (err error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("snap: atomic save: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	if err = emit(tmp); err != nil {
@@ -43,10 +56,10 @@ func WriteFileAtomic(path string, emit func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("snap: atomic save: %w", err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("snap: atomic save: %w", err)
 	}
-	if err = SyncDir(dir); err != nil {
+	if err = fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("snap: atomic save: %w", err)
 	}
 	return nil

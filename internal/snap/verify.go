@@ -1,0 +1,69 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/discdiversity/disc/internal/vfs"
+)
+
+// ErrCorrupt marks a snapshot whose bytes were read successfully but
+// failed validation — a CRC mismatch, bad magic, an impossible section
+// shape. Test with errors.Is. I/O failures while reading the file
+// deliberately do NOT match: those are retryable, corruption is not,
+// and the dataset manager routes the two to different states
+// (quarantined vs. backoff-and-retry).
+var ErrCorrupt = errors.New("unrecoverable corruption")
+
+// VerifySummary describes a snapshot that passed a full scrub.
+type VerifySummary struct {
+	N, Dim int
+	Metric string
+	// GraphRadius is the checkpointed coverage-graph radius (0 when the
+	// snapshot carries no graph section); WALEpoch is the write-ahead
+	// log epoch the snapshot begins.
+	GraphRadius float64
+	WALEpoch    uint64
+	// Float32 reports a float32-coordinate snapshot (batch datasets
+	// only; the live-update substrate is float64).
+	Float32 bool
+}
+
+// Verify scrubs the snapshot at path without loading it into an
+// engine: the whole file is read through fsys and every CRC-32C and
+// shape check Read performs runs over the bytes. The error comes back
+// in one of three classes:
+//
+//   - nil — the snapshot is whole; the summary describes it;
+//   - an I/O error from fsys.ReadFile, returned untouched (test with
+//     errors.Is(err, fs.ErrNotExist) for absence; anything else is
+//     retryable);
+//   - an ErrCorrupt-classified validation error — the file's bytes are
+//     damaged and rereading will not help.
+//
+// The distinction is what lets boot-time recovery retry EIO with
+// backoff but quarantine a checksum mismatch immediately.
+func Verify(fsys vfs.FS, path string) (*VerifySummary, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Read(bytes.NewReader(data))
+	if err != nil {
+		// The reader is in-memory, so every failure here is a property
+		// of the bytes themselves: corruption, not I/O.
+		return nil, fmt.Errorf("%s: %w (%w)", path, err, ErrCorrupt)
+	}
+	return &VerifySummary{
+		N:           s.N,
+		Dim:         s.Dim,
+		Metric:      s.Metric,
+		GraphRadius: s.GraphRadius,
+		WALEpoch:    s.WALEpoch,
+		Float32:     s.Coords32 != nil,
+	}, nil
+}

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/discdiversity/disc/internal/vfs"
+)
+
+// VerifyResult summarises a read-only scrub of a log (see Verify).
+type VerifyResult struct {
+	// Segments counts the current-epoch segments that parsed cleanly;
+	// Stale counts segments from older epochs (leftovers of a crashed
+	// checkpoint — harmless, Open deletes them).
+	Segments int
+	Stale    int
+	// Ops is the number of acknowledged operations the log holds;
+	// TornBytes is the size of a torn tail (or torn trailing segment
+	// header) Open would truncate away.
+	Ops       int
+	TornBytes int64
+	// Radius and Metric are the identity the segment headers carry
+	// (zero values when no segment exists).
+	Radius float64
+	Metric string
+}
+
+// Verify scrubs the log at path against snapshot epoch without
+// mutating anything: every current-epoch segment is read, its header
+// and record checksums validated, and torn tails measured — exactly
+// the checks Open performs, minus the truncation, deletion and
+// re-opening. It distinguishes the two ways a log can be bad:
+//
+//   - interior corruption (checksum mismatches, epoch from the future,
+//     sequence gaps, unparseable names) returns an error matching
+//     ErrCorrupt via errors.Is — the caller should quarantine, because
+//     recovery would have to drop acknowledged operations;
+//   - an I/O failure while reading returns the underlying *os.PathError
+//     untouched — the caller may retry, because the log itself has not
+//     been shown to be damaged.
+//
+// A path with no segments at all returns an empty result and nil error
+// (absence is a legal state for a freshly created dataset).
+func Verify(fsys vfs.FS, path string, epoch uint64) (*VerifyResult, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	segs, err := listSegments(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	res := &VerifyResult{}
+	var current []segment
+	for _, sg := range segs {
+		switch {
+		case sg.epoch < epoch:
+			res.Stale++
+		case sg.epoch > epoch:
+			return nil, corruptf("segment %s is from epoch %d, but the snapshot is at epoch %d — refusing to guess which is authoritative", sg.name, sg.epoch, epoch)
+		default:
+			current = append(current, sg)
+		}
+	}
+
+	// Trailing segments whose header never became complete are crashed
+	// segment creations; Open prunes them, Verify just skips them (and
+	// counts their bytes as torn).
+	for len(current) > 0 {
+		last := current[len(current)-1]
+		data, err := fsys.ReadFile(last.name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, herr := parseHeader(data); herr == errTornHeader {
+			res.TornBytes += int64(len(data))
+			current = current[:len(current)-1]
+			continue
+		}
+		break
+	}
+
+	for i, sg := range current {
+		if want := current[0].seq + uint64(i); sg.seq != want {
+			return nil, corruptf("segment sequence gap: have %s, want seq %d (acknowledged records lost)", sg.name, want)
+		}
+		final := i == len(current)-1
+		data, err := fsys.ReadFile(sg.name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		h, err := parseHeader(data)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %s: %w", sg.name, err)
+		}
+		if h.epoch != sg.epoch || h.seq != sg.seq {
+			return nil, corruptf("%s: header says epoch %d seq %d", sg.name, h.epoch, h.seq)
+		}
+		ops, end, err := parseRecords(data, h.size, final, sg.name)
+		if err != nil {
+			return nil, err
+		}
+		res.Segments++
+		res.Ops += len(ops)
+		res.TornBytes += int64(len(data) - end)
+		res.Radius, res.Metric = h.radius, h.metric
+	}
+
+	// No current-epoch segment but stale ones exist: report the stale
+	// identity so callers can still name the dataset's radius/metric.
+	if res.Segments == 0 && res.Stale > 0 {
+		if info, err := DescribeFS(fsys, path); err == nil {
+			res.Radius, res.Metric = info.Radius, info.Metric
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -72,6 +72,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -83,6 +84,7 @@ import (
 	"time"
 
 	"github.com/discdiversity/disc/internal/telemetry"
+	"github.com/discdiversity/disc/internal/vfs"
 )
 
 const (
@@ -105,6 +107,19 @@ const (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks damage recovery must not repair silently: interior
+// checksum mismatches, impossible epochs, sequence gaps, unparseable
+// segment names — anything that cannot be explained by a crash
+// mid-append. Test with errors.Is; transient I/O errors (EIO on a
+// read, ENOSPC on a write) deliberately do NOT match, which is how the
+// dataset manager separates "quarantine" from "retry with backoff".
+var ErrCorrupt = errors.New("unrecoverable corruption")
+
+// corruptf builds an ErrCorrupt-classified error with the wal: prefix.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("wal: %s (%w)", fmt.Sprintf(format, args...), ErrCorrupt)
+}
 
 // SyncMode selects the fsync policy applied to acknowledged appends.
 type SyncMode int
@@ -182,8 +197,22 @@ type Options struct {
 	SegmentBytes int64
 	// OpenFile, when non-nil, replaces the append-file factory (create
 	// truncates/creates; otherwise the file is opened for appending).
-	// Tests inject fault-wrapped files here.
+	// Tests inject fault-wrapped files here. It takes precedence over
+	// FS for the append path.
 	OpenFile func(name string, create bool) (File, error)
+	// FS, when non-nil, replaces every filesystem call the log makes —
+	// listing, reading and truncating segments, removing rotated ones,
+	// syncing directories, and (unless OpenFile overrides it) opening
+	// the append file. The fault-injection suites pass faultio.DirFS
+	// here; nil means the real filesystem (vfs.OS).
+	FS vfs.FS
+}
+
+func (o *Options) fs() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS
 }
 
 func (o *Options) segmentBytes() int64 {
@@ -204,10 +233,7 @@ func (o *Options) openFile(name string, create bool) (File, error) {
 	if o.OpenFile != nil {
 		return o.OpenFile(name, create)
 	}
-	if create {
-		return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	}
-	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+	return o.fs().OpenAppend(name, create)
 }
 
 // OpKind discriminates log records.
@@ -268,12 +294,12 @@ func segmentName(path string, epoch, seq uint64) string {
 // listSegments parses every segment file of path, sorted by (epoch,
 // seq). File names carrying the path prefix that do not parse are
 // corruption — a damaged name must not silently hide its records.
-func listSegments(path string) ([]segment, error) {
+func listSegments(fsys vfs.FS, path string) ([]segment, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -289,7 +315,7 @@ func listSegments(path string) ([]segment, error) {
 		var epoch, seq uint64
 		suffix := e.Name()[len(prefix):]
 		if _, err := fmt.Sscanf(suffix, "%d-%d", &epoch, &seq); err != nil || len(suffix) != 17 {
-			return nil, fmt.Errorf("wal: unrecognised segment file name %q", e.Name())
+			return nil, corruptf("unrecognised segment file name %q", e.Name())
 		}
 		segs = append(segs, segment{name: filepath.Join(dir, e.Name()), epoch: epoch, seq: seq})
 	}
@@ -300,20 +326,6 @@ func listSegments(path string) ([]segment, error) {
 		return segs[i].seq < segs[j].seq
 	})
 	return segs, nil
-}
-
-// syncDir fsyncs a directory so a just-created (or just-removed)
-// directory entry survives a power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
 // header is a parsed segment header.
@@ -338,14 +350,14 @@ func parseHeader(data []byte) (header, error) {
 		return h, errTornHeader
 	}
 	if string(data[:8]) != magic {
-		return h, fmt.Errorf("wal: bad magic (not a wal segment, or an unsupported version)")
+		return h, corruptf("bad magic (not a wal segment, or an unsupported version)")
 	}
 	h.epoch = binary.LittleEndian.Uint64(data[8:])
 	h.seq = binary.LittleEndian.Uint64(data[16:])
 	h.radius = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
 	mlen := int(binary.LittleEndian.Uint32(data[32:]))
 	if mlen < 0 || mlen > 1<<16 {
-		return h, fmt.Errorf("wal: implausible metric name length %d", mlen)
+		return h, corruptf("implausible metric name length %d", mlen)
 	}
 	if len(data) < fixedHeader+mlen+4 {
 		return h, errTornHeader
@@ -354,7 +366,7 @@ func parseHeader(data []byte) (header, error) {
 	h.size = fixedHeader + mlen + 4
 	crc := binary.LittleEndian.Uint32(data[fixedHeader+mlen:])
 	if crc32.Checksum(data[:fixedHeader+mlen], castagnoli) != crc {
-		return h, fmt.Errorf("wal: segment header checksum mismatch")
+		return h, corruptf("segment header checksum mismatch")
 	}
 	return h, nil
 }
@@ -388,7 +400,7 @@ func parseRecords(data []byte, start int, final bool, name string) ([]Op, int, e
 			if final {
 				return ops, off, nil
 			}
-			return nil, 0, fmt.Errorf("wal: %s: %s in a non-final segment (acknowledged records lost)", name, what)
+			return nil, 0, corruptf("%s: %s in a non-final segment (acknowledged records lost)", name, what)
 		}
 		if rem < frameHeader {
 			return torn("torn record frame")
@@ -400,7 +412,7 @@ func parseRecords(data []byte, start int, final bool, name string) ([]Op, int, e
 			return torn("zeroed record frame")
 		}
 		if length > maxRecordLen {
-			return nil, 0, fmt.Errorf("wal: %s: implausible record length %d at offset %d", name, length, off)
+			return nil, 0, corruptf("%s: implausible record length %d at offset %d", name, length, off)
 		}
 		if rem-frameHeader < length {
 			return torn("torn record payload")
@@ -408,11 +420,11 @@ func parseRecords(data []byte, start int, final bool, name string) ([]Op, int, e
 		payload := data[off+frameHeader : off+frameHeader+length]
 		crc := binary.LittleEndian.Uint32(data[off+4:])
 		if crc32.Checksum(payload, castagnoli) != crc {
-			return nil, 0, fmt.Errorf("wal: %s: record checksum mismatch at offset %d", name, off)
+			return nil, 0, corruptf("%s: record checksum mismatch at offset %d", name, off)
 		}
 		op, err := decodeOp(payload)
 		if err != nil {
-			return nil, 0, fmt.Errorf("wal: %s: offset %d: %w", name, off, err)
+			return nil, 0, corruptf("%s: offset %d: %v", name, off, err)
 		}
 		ops = append(ops, op)
 		off += frameHeader + length
@@ -489,8 +501,12 @@ func encodeOp(buf []byte, op Op) ([]byte, error) {
 // replaying it: the newest epoch present plus the radius and metric the
 // log maintains. It returns os.ErrNotExist (wrapped) when no segment
 // exists — the caller's signal to treat the state as absent.
-func Describe(path string) (*Info, error) {
-	segs, err := listSegments(path)
+func Describe(path string) (*Info, error) { return DescribeFS(vfs.OS, path) }
+
+// DescribeFS is Describe through an explicit filesystem, so recovery
+// scans can run under fault injection.
+func DescribeFS(fsys vfs.FS, path string) (*Info, error) {
+	segs, err := listSegments(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -500,7 +516,7 @@ func Describe(path string) (*Info, error) {
 	// The newest segment describes the current state; its header is
 	// validated like Open would.
 	last := segs[len(segs)-1]
-	data, err := os.ReadFile(last.name)
+	data, err := fsys.ReadFile(last.name)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -509,7 +525,7 @@ func Describe(path string) (*Info, error) {
 		if err == errTornHeader && len(segs) > 1 {
 			// A torn final header is a crashed segment creation; the
 			// previous segment still describes the state.
-			if data, err = os.ReadFile(segs[len(segs)-2].name); err != nil {
+			if data, err = fsys.ReadFile(segs[len(segs)-2].name); err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			if h, err = parseHeader(data); err != nil {
@@ -531,7 +547,8 @@ func Describe(path string) (*Info, error) {
 // When no current-epoch segment exists, a fresh one is created.
 func Open(path string, opts Options) (*Log, []Op, error) {
 	defer telemetry.Since(metReplay, time.Now())
-	segs, err := listSegments(path)
+	fsys := opts.fs()
+	segs, err := listSegments(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -544,18 +561,18 @@ func Open(path string, opts Options) (*Log, []Op, error) {
 	for _, sg := range segs {
 		switch {
 		case sg.epoch < opts.Epoch:
-			if err := os.Remove(sg.name); err != nil {
+			if err := fsys.Remove(sg.name); err != nil {
 				return nil, nil, fmt.Errorf("wal: removing stale segment: %w", err)
 			}
 			removedStale = true
 		case sg.epoch > opts.Epoch:
-			return nil, nil, fmt.Errorf("wal: segment %s is from epoch %d, but the snapshot is at epoch %d — refusing to guess which is authoritative", sg.name, sg.epoch, opts.Epoch)
+			return nil, nil, corruptf("segment %s is from epoch %d, but the snapshot is at epoch %d — refusing to guess which is authoritative", sg.name, sg.epoch, opts.Epoch)
 		default:
 			current = append(current, sg)
 		}
 	}
 	if removedStale {
-		if err := syncDir(dir); err != nil {
+		if err := fsys.SyncDir(dir); err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
 	}
@@ -568,12 +585,12 @@ func Open(path string, opts Options) (*Log, []Op, error) {
 	// parse loop below rejects.
 	for len(current) > 0 {
 		last := current[len(current)-1]
-		data, err := os.ReadFile(last.name)
+		data, err := fsys.ReadFile(last.name)
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
 		if _, err := parseHeader(data); err == errTornHeader {
-			if err := os.Remove(last.name); err != nil {
+			if err := fsys.Remove(last.name); err != nil {
 				return nil, nil, fmt.Errorf("wal: %w", err)
 			}
 			current = current[:len(current)-1]
@@ -586,10 +603,10 @@ func Open(path string, opts Options) (*Log, []Op, error) {
 	var ops []Op
 	for i, sg := range current {
 		if want := current[0].seq + uint64(i); sg.seq != want {
-			return nil, nil, fmt.Errorf("wal: segment sequence gap: have %s, want seq %d (acknowledged records lost)", sg.name, want)
+			return nil, nil, corruptf("segment sequence gap: have %s, want seq %d (acknowledged records lost)", sg.name, want)
 		}
 		final := i == len(current)-1
-		data, err := os.ReadFile(sg.name)
+		data, err := fsys.ReadFile(sg.name)
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
@@ -598,13 +615,13 @@ func Open(path string, opts Options) (*Log, []Op, error) {
 			return nil, nil, fmt.Errorf("wal: %s: %w", sg.name, err)
 		}
 		if h.epoch != sg.epoch || h.seq != sg.seq {
-			return nil, nil, fmt.Errorf("wal: %s: header says epoch %d seq %d", sg.name, h.epoch, h.seq)
+			return nil, nil, corruptf("%s: header says epoch %d seq %d", sg.name, h.epoch, h.seq)
 		}
 		if h.metric != opts.Metric {
-			return nil, nil, fmt.Errorf("wal: %s was written for metric %q, not %q", sg.name, h.metric, opts.Metric)
+			return nil, nil, corruptf("%s was written for metric %q, not %q", sg.name, h.metric, opts.Metric)
 		}
 		if h.radius != opts.Radius {
-			return nil, nil, fmt.Errorf("wal: %s was written for radius %g, not %g", sg.name, h.radius, opts.Radius)
+			return nil, nil, corruptf("%s was written for radius %g, not %g", sg.name, h.radius, opts.Radius)
 		}
 		segOps, end, err := parseRecords(data, h.size, final, sg.name)
 		if err != nil {
@@ -613,7 +630,7 @@ func Open(path string, opts Options) (*Log, []Op, error) {
 		if end < len(data) {
 			// Torn tail (final segment only): drop it physically so the
 			// next append continues from the clean end.
-			if err := os.Truncate(sg.name, int64(end)); err != nil {
+			if err := fsys.Truncate(sg.name, int64(end)); err != nil {
 				return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 			}
 		}
@@ -656,7 +673,7 @@ func (l *Log) createSegment(seq uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(filepath.Dir(name)); err != nil {
+	if err := l.opts.fs().SyncDir(filepath.Dir(name)); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -774,20 +791,21 @@ func (l *Log) Rotate(newEpoch uint64) error {
 	// Old segments go last: until the new segment is durable they are
 	// harmless (recovery for the new snapshot epoch ignores them), and
 	// removing them first would risk a window with no log at all.
-	segs, err := listSegments(l.path)
+	fsys := l.opts.fs()
+	segs, err := listSegments(fsys, l.path)
 	if err != nil {
 		l.broken = err
 		return err
 	}
 	for _, sg := range segs {
 		if sg.epoch <= oldEpoch {
-			if err := os.Remove(sg.name); err != nil {
+			if err := fsys.Remove(sg.name); err != nil {
 				l.broken = err
 				return fmt.Errorf("wal: removing rotated segment: %w", err)
 			}
 		}
 	}
-	if err := syncDir(filepath.Dir(l.path)); err != nil {
+	if err := fsys.SyncDir(filepath.Dir(l.path)); err != nil {
 		l.broken = err
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -798,6 +816,12 @@ func (l *Log) Rotate(newEpoch uint64) error {
 
 // Epoch returns the epoch the log is appending under.
 func (l *Log) Epoch() uint64 { return l.epoch }
+
+// Broken returns the error that poisoned the log, or nil while it is
+// healthy. A poisoned log refuses every further append; the owner
+// should close it and re-open from disk (recovery truncates the
+// possibly-torn tail back to the acknowledged prefix).
+func (l *Log) Broken() error { return l.broken }
 
 // Path returns the log's path prefix (segment files append .epoch-seq).
 func (l *Log) Path() string { return l.path }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/discdiversity/disc/internal/vfs"
 )
 
 func openEmpty(t *testing.T, dir string, opts Options) (*Log, string) {
@@ -166,7 +168,7 @@ func TestSegmentRollAndGap(t *testing.T) {
 		apnd(t, l, op)
 	}
 	l.Close()
-	segs, err := listSegments(path)
+	segs, err := listSegments(vfs.OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package disc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/snap"
+	"github.com/discdiversity/disc/internal/vfs"
 	"github.com/discdiversity/disc/internal/wal"
 )
 
@@ -109,6 +111,22 @@ func withWALOpenFile(open func(name string, create bool) (wal.File, error)) Opti
 	}
 }
 
+// WithStorageFS routes every file operation OpenUpdater and the
+// returned Updater perform — the snapshot read, WAL segment I/O, and
+// Checkpoint's atomic snapshot save — through fsys instead of the real
+// filesystem. The dataset manager uses it to run recovery and
+// checkpointing under scheduled fault injection; production callers
+// never need it. Ignored by constructors that take no files.
+func WithStorageFS(fsys vfs.FS) Option {
+	return func(o *options) error {
+		if fsys == nil {
+			return fmt.Errorf("disc: nil storage filesystem")
+		}
+		o.storageFS = fsys
+		return nil
+	}
+}
+
 // OpenUpdater opens (or creates) a crash-safe Updater backed by a
 // snapshot file and a write-ahead log: the state at snapshotPath is
 // loaded (when present), the log segments at walPath are replayed over
@@ -159,13 +177,17 @@ func OpenUpdater(snapshotPath, walPath string, r float64, opts ...Option) (*Upda
 		return nil, fmt.Errorf("disc: updater: index %v is not applicable; incremental repair runs on the coverage-graph substrate", o.index)
 	}
 
-	// Load the snapshot, when present.
+	fsys := o.storageFS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+
+	// Load the snapshot, when present. The bytes are read through the
+	// storage FS in full, then parsed in memory, so an I/O failure is
+	// distinguishable from corruption (see snap.Verify).
 	var s *snap.Snapshot
-	if f, err := os.Open(snapshotPath); err == nil {
-		s, err = func() (*snap.Snapshot, error) {
-			defer f.Close()
-			return snap.Read(f)
-		}()
+	if data, err := fsys.ReadFile(snapshotPath); err == nil {
+		s, err = snap.Read(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("disc: open: %s: %w", snapshotPath, err)
 		}
@@ -227,7 +249,7 @@ func OpenUpdater(snapshotPath, walPath string, r float64, opts ...Option) (*Upda
 	} else {
 		// No snapshot. A log that has been through a checkpoint (epoch
 		// > 0) depends on one: its pre-checkpoint records are gone.
-		if info, err := wal.Describe(walPath); err == nil && info.Epoch > 0 {
+		if info, err := wal.DescribeFS(fsys, walPath); err == nil && info.Epoch > 0 {
 			return nil, fmt.Errorf("disc: open: log %s is at checkpoint epoch %d but snapshot %s is missing; acknowledged state would be lost", walPath, info.Epoch, snapshotPath)
 		}
 		live, err := core.NewLiveDisC(metric, r)
@@ -245,6 +267,7 @@ func OpenUpdater(snapshotPath, walPath string, r float64, opts ...Option) (*Upda
 		Interval:     o.walInterval,
 		SegmentBytes: o.walSegment,
 		OpenFile:     o.walOpenFile,
+		FS:           o.storageFS,
 	})
 	if err != nil {
 		return nil, err
@@ -286,6 +309,7 @@ func OpenUpdater(snapshotPath, walPath string, r float64, opts ...Option) (*Upda
 	}
 	u.logNext = int64(slots)
 	u.log = log
+	u.fs = fsys
 	return u, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/discdiversity/disc/internal/grid"
 	"github.com/discdiversity/disc/internal/object"
 	"github.com/discdiversity/disc/internal/snap"
+	"github.com/discdiversity/disc/internal/vfs"
 	"github.com/discdiversity/disc/internal/wal"
 )
 
@@ -70,6 +71,9 @@ type Updater struct {
 	epochID []int64
 	logNext int64
 	closed  bool
+	// fs is the storage filesystem for checkpoint snapshot writes (set
+	// by OpenUpdater; nil means the real filesystem).
+	fs vfs.FS
 }
 
 // NewUpdater builds an Updater for radius r, seeded with points (which
@@ -347,7 +351,7 @@ func (u *Updater) checkpointLocked(path string) error {
 		return err
 	}
 	if u.log == nil {
-		return snap.WriteFileAtomic(path, func(w io.Writer) error {
+		return snap.WriteFileAtomicFS(u.fs, path, func(w io.Writer) error {
 			if err := snap.Write(w, s); err != nil {
 				return fmt.Errorf("disc: snapshot: %w", err)
 			}
@@ -360,7 +364,7 @@ func (u *Updater) checkpointLocked(path string) error {
 	// recovery sees a snapshot at the new epoch next to segments of the
 	// old one — which it discards as fully covered, exactly right,
 	// because the snapshot already contains every op they hold.
-	if err := snap.WriteFileAtomic(path, func(w io.Writer) error {
+	if err := snap.WriteFileAtomicFS(u.fs, path, func(w io.Writer) error {
 		if err := snap.Write(w, s); err != nil {
 			return fmt.Errorf("disc: snapshot: %w", err)
 		}
@@ -394,6 +398,21 @@ func (u *Updater) Durable() bool {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	return u.log != nil
+}
+
+// WALBroken returns the error that poisoned the write-ahead log (a
+// failed append, fsync or rotation), or nil while the log is healthy
+// or absent. A poisoned updater refuses further mutations; its
+// in-memory state may hold operations that were never acknowledged, so
+// a supervisor must recover from disk — the acknowledged prefix — not
+// from this instance.
+func (u *Updater) WALBroken() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.log == nil {
+		return nil
+	}
+	return u.log.Broken()
 }
 
 // SyncWAL forces an fsync of the write-ahead log regardless of the
